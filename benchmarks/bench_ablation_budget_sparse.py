@@ -1,0 +1,85 @@
+"""Related-work baseline ablations (§II-B refs [40], [41]).
+
+* RADIN budget souping: accuracy-vs-evaluation-budget curve against the
+  GIS forward-pass bill of ``O(N·g)`` — the proxy should buy most of the
+  informed-soup accuracy at a tiny fraction of GIS's evaluations.
+* Sparse model soups: accuracy-vs-sparsity curve for the shared-mask
+  prune-then-soup, both mask sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soup import gis_soup, radin_greedy_soup, sparse_soup, uniform_soup
+
+from conftest import write_artifact
+
+DATASET, ARCH = "flickr", "gcn"
+
+
+@pytest.fixture(scope="module")
+def cell(bench_env):
+    return bench_env.pool(ARCH, DATASET), bench_env.graph(DATASET)
+
+
+def test_bench_radin_budget_curve(benchmark, cell, results_dir):
+    pool, graph = cell
+
+    def sweep():
+        gis = gis_soup(pool, graph, granularity=20)
+        out = {b: radin_greedy_soup(pool, graph, eval_budget=b) for b in (0, 2, 4, 8)}
+        return gis, out
+
+    gis, out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    gis_bill = len(pool) * 20
+    rows = ["eval_budget,forward_passes,gis_forward_passes,val_acc,test_acc,gis_test_acc"]
+    for b, res in out.items():
+        rows.append(
+            f"{b},{res.extras['forward_passes']},{gis_bill},"
+            f"{res.val_acc:.4f},{res.test_acc:.4f},{gis.test_acc:.4f}"
+        )
+    write_artifact(results_dir, "ablation_radin_budget.csv", "\n".join(rows) + "\n")
+
+    for b, res in out.items():
+        # the whole point: an order of magnitude fewer forward passes than GIS
+        assert res.extras["forward_passes"] <= gis_bill / 10
+        # while staying in the informed-soup accuracy band
+        assert res.test_acc >= gis.test_acc - 0.05
+    # spending budget can only add confirmed (never proxy-blind) acceptances
+    passes = [out[b].extras["forward_passes"] for b in (0, 2, 4, 8)]
+    assert all(b >= a for a, b in zip(passes, passes[1:]))
+
+
+def test_bench_sparse_soup_curve(benchmark, cell, results_dir):
+    pool, graph = cell
+
+    def sweep():
+        us = uniform_soup(pool, graph)
+        rows = {}
+        for source in ("soup", "intersection"):
+            for sparsity in (0.0, 0.25, 0.5, 0.75, 0.9):
+                rows[(source, sparsity)] = sparse_soup(
+                    pool, graph, sparsity=sparsity, mask_source=source
+                )
+        return us, rows
+
+    us, out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = ["mask_source,sparsity_target,sparsity_achieved,test_acc,us_test_acc"]
+    for (source, target), res in out.items():
+        rows.append(
+            f"{source},{target},{res.extras['sparsity_achieved']:.4f},"
+            f"{res.test_acc:.4f},{us.test_acc:.4f}"
+        )
+    write_artifact(results_dir, "ablation_sparse_soup.csv", "\n".join(rows) + "\n")
+
+    for source in ("soup", "intersection"):
+        # zero-sparsity sparse soup IS the uniform soup
+        assert out[(source, 0.0)].test_acc == pytest.approx(us.test_acc, abs=1e-9)
+        # mild pruning costs little; the curve degrades monotonically-ish —
+        # assert the endpoints rather than every step (pruning noise)
+        assert out[(source, 0.25)].test_acc >= us.test_acc - 0.10
+        # achieved sparsity tracks the request (intersection may exceed it)
+        for sparsity in (0.25, 0.5, 0.75, 0.9):
+            assert out[(source, sparsity)].extras["sparsity_achieved"] >= sparsity - 0.02

@@ -1,0 +1,110 @@
+"""Fault/straggler ablation for Phase-1 (§III-A load-imbalance remark).
+
+The paper's Eq. (1) assumes homogeneous, reliable workers. This bench
+quantifies how the dynamic queue degrades — and recovers — when that
+assumption breaks:
+
+* straggler sweep: one worker at speed s ∈ {1, 1/2, 1/4, 1/8};
+* fail-stop sweep: one worker dying at increasing fractions of the clean
+  makespan, with wasted (retrained) work accounted;
+* the headline robustness property: requeueing loses time, never
+  ingredients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ResilientPoolSimulator,
+    WorkerPoolSimulator,
+    WorkerSpec,
+)
+
+from conftest import write_artifact
+
+
+N_TASKS = 32
+WORKERS = 4
+
+
+def _durations() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.lognormal(0.0, 0.25, size=N_TASKS)
+
+
+def test_bench_straggler_sweep(benchmark, results_dir):
+    """One straggler at decreasing speed: makespan grows, utilisation of the
+    healthy workers stays near 1 (the queue routes around the slow rank)."""
+    durations = _durations()
+
+    def sweep():
+        rows = ["straggler_speed,makespan,vs_clean,straggler_share"]
+        clean = WorkerPoolSimulator(WORKERS).schedule(durations).makespan
+        out = []
+        for speed in (1.0, 0.5, 0.25, 0.125):
+            workers = [WorkerSpec(speed=speed)] + [WorkerSpec() for _ in range(WORKERS - 1)]
+            sched = ResilientPoolSimulator(workers).schedule(durations)
+            share = float(np.mean(sched.worker_of_task == 0))
+            rows.append(f"{speed},{sched.makespan:.4f},{sched.makespan / clean:.4f},{share:.4f}")
+            out.append((speed, sched.makespan, share))
+        return rows, clean, out
+
+    rows, clean, out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(results_dir, "ablation_straggler.csv", "\n".join(rows) + "\n")
+    makespans = [m for _, m, _ in out]
+    shares = [s for _, _, s in out]
+    assert makespans[0] == pytest.approx(clean)  # speed 1.0 == clean cluster
+    assert all(b >= a - 1e-9 for a, b in zip(makespans, makespans[1:]))  # slower -> longer
+    assert all(b <= a + 1e-9 for a, b in zip(shares, shares[1:]))  # queue starves the straggler
+    # even a 8x straggler cannot cost 8x: the queue shifts work to healthy ranks
+    assert makespans[-1] / clean < 3.0
+
+
+def test_bench_failstop_sweep(benchmark, results_dir):
+    """One worker dying at increasing fractions of the clean makespan."""
+    durations = _durations()
+
+    def sweep():
+        clean = WorkerPoolSimulator(WORKERS).schedule(durations).makespan
+        rows = ["fail_fraction,makespan,vs_clean,wasted_work,retries"]
+        out = []
+        for frac in (0.1, 0.3, 0.5, 0.7, 0.9):
+            workers = [WorkerSpec(fail_at=frac * clean)] + [
+                WorkerSpec() for _ in range(WORKERS - 1)
+            ]
+            sched = ResilientPoolSimulator(workers).schedule(durations)
+            rows.append(
+                f"{frac},{sched.makespan:.4f},{sched.makespan / clean:.4f},"
+                f"{sched.wasted_work:.4f},{sched.total_retries}"
+            )
+            out.append(sched)
+        return clean, rows, out
+
+    clean, rows, out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(results_dir, "ablation_failstop.csv", "\n".join(rows) + "\n")
+    for sched in out:
+        # robustness: every ingredient trained despite the death
+        assert np.all(sched.worker_of_task >= 0)
+        assert np.all(np.isfinite(sched.end_times))
+        # a 4-worker cluster losing one rank cannot beat the clean run
+        assert sched.makespan >= clean - 1e-9
+        # and cannot be worse than serialising everything on the survivors
+        assert sched.makespan <= durations.sum() / (WORKERS - 1) + durations.max() + clean
+
+
+def test_shape_failure_cost_bounded_by_lost_capacity(benchmark):
+    """Late failures approach the lost-capacity bound: with W-1 survivors the
+    makespan stays within the Graham bound of the 3-worker clean cluster."""
+    durations = _durations()
+
+    def run():
+        clean3 = WorkerPoolSimulator(WORKERS - 1).schedule(durations).makespan
+        workers = [WorkerSpec(fail_at=0.0)] + [WorkerSpec() for _ in range(WORKERS - 1)]
+        dead_from_start = ResilientPoolSimulator(workers).schedule(durations).makespan
+        return clean3, dead_from_start
+
+    clean3, dead_from_start = benchmark.pedantic(run, rounds=1, iterations=1)
+    # dying at t=0 IS the (W-1)-worker cluster
+    assert dead_from_start == pytest.approx(clean3)

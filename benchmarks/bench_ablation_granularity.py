@@ -1,0 +1,110 @@
+"""§III-E ablation — the cost models O(N·g·F_v) for GIS vs O(e(F_v+B_v)) for LS.
+
+Sweeps GIS granularity and ingredient count, and LS epoch count, fitting
+linear cost models to the measured times. The fits confirm the complexity
+analysis that motivates Learned Souping: GIS cost is linear in both N and
+g, LS cost is linear in e and *independent of N* (the per-epoch cost of
+the alpha combine is negligible next to the graph forward/backward).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soup import SoupConfig, gis_soup, learned_soup
+
+from conftest import write_artifact
+
+DATASET, ARCH = "reddit", "gcn"
+
+
+@pytest.fixture(scope="module")
+def setting(bench_env):
+    return bench_env.graph(DATASET), bench_env.pool(ARCH, DATASET)
+
+
+@pytest.mark.parametrize("granularity", [5, 10, 20, 40])
+def test_bench_gis_granularity(benchmark, setting, granularity):
+    graph, pool = setting
+    result = benchmark.pedantic(
+        lambda: gis_soup(pool, graph, granularity=granularity), rounds=1, iterations=1
+    )
+    assert result.extras["forward_passes"] == 1 + (len(pool) - 1) * granularity
+
+
+@pytest.mark.parametrize("epochs", [10, 20, 40])
+def test_bench_ls_epochs(benchmark, setting, epochs):
+    graph, pool = setting
+    result = benchmark.pedantic(
+        lambda: learned_soup(pool, graph, SoupConfig(epochs=epochs, lr=1.0)), rounds=1, iterations=1
+    )
+    assert len(result.extras["history"]) == epochs
+
+
+def test_shape_gis_linear_in_granularity(benchmark, setting, results_dir):
+    graph, pool = setting
+
+    def sweep():
+        gs = np.array([5, 10, 20, 40])
+        times = np.array([gis_soup(pool, graph, granularity=int(g)).soup_time for g in gs])
+        return gs, times
+
+    gs, times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = ["granularity,time_s"] + [f"{g},{t:.4f}" for g, t in zip(gs, times)]
+    write_artifact(results_dir, "ablation_gis_granularity.csv", "\n".join(rows) + "\n")
+    # linear fit must explain the sweep (R^2 high) with positive slope
+    slope, intercept = np.polyfit(gs, times, 1)
+    pred = slope * gs + intercept
+    ss_res = float(np.sum((times - pred) ** 2))
+    ss_tot = float(np.sum((times - times.mean()) ** 2))
+    assert slope > 0
+    assert 1.0 - ss_res / ss_tot > 0.95
+
+
+def test_shape_gis_linear_in_ingredients(benchmark, setting):
+    """Time grows with N: souping 3 ingredients is clearly cheaper than 8."""
+    graph, pool = setting
+
+    def compare():
+        small = gis_soup(pool.subset(range(3)), graph, granularity=15).soup_time
+        large = gis_soup(pool, graph, granularity=15).soup_time
+        return small, large
+
+    small, large = benchmark.pedantic(compare, rounds=1, iterations=1)
+    # (N-1)*g forwards: 2*15 vs 7*15 -> expect ~3x; allow generous slack
+    assert large > 1.8 * small
+
+
+def test_shape_ls_linear_in_epochs(benchmark, setting, results_dir):
+    graph, pool = setting
+
+    def sweep():
+        es = np.array([10, 20, 40])
+        times = np.array(
+            [learned_soup(pool, graph, SoupConfig(epochs=int(e), lr=1.0)).soup_time for e in es]
+        )
+        return es, times
+
+    es, times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = ["epochs,time_s"] + [f"{e},{t:.4f}" for e, t in zip(es, times)]
+    write_artifact(results_dir, "ablation_ls_epochs.csv", "\n".join(rows) + "\n")
+    slope, _ = np.polyfit(es, times, 1)
+    assert slope > 0
+    assert times[-1] > 2.0 * times[0]  # 4x epochs ≫ 2x time
+
+
+def test_shape_ls_insensitive_to_ingredient_count(benchmark, setting):
+    """§III-E: LS cost is O(e(F_v+B_v)) — the forward/backward dominates,
+    so halving N changes time far less than it changes GIS time."""
+    graph, pool = setting
+
+    def ratios():
+        ls_small = learned_soup(pool.subset(range(3)), graph, SoupConfig(epochs=20, lr=1.0)).soup_time
+        ls_large = learned_soup(pool, graph, SoupConfig(epochs=20, lr=1.0)).soup_time
+        gis_small = gis_soup(pool.subset(range(3)), graph, granularity=15).soup_time
+        gis_large = gis_soup(pool, graph, granularity=15).soup_time
+        return ls_large / ls_small, gis_large / gis_small
+
+    ls_ratio, gis_ratio = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    assert ls_ratio < gis_ratio  # N affects GIS much more than LS

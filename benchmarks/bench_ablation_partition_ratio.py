@@ -1,0 +1,104 @@
+"""§VI-B ablation — the PLS partition ratio R/K.
+
+The paper's discussion: memory reduction tracks R/K; too-small (K, R)
+limits subgraph diversity (C(K,R) combinations) and degrades accuracy —
+the extreme R=1 loses all cut edges and costs 2-3%; (K, R) = (32, 8) is
+the practical sweet spot. This bench sweeps R at fixed K on the largest
+dataset and regenerates those trends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.sampling import num_possible_subgraphs
+from repro.soup import PLSConfig, partition_learned_soup
+
+from conftest import write_artifact
+
+DATASET, ARCH, K = "ogbn-products", "gcn", 16
+R_SWEEP = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def setting(bench_env):
+    spec = bench_env.spec(ARCH, DATASET)
+    return (
+        spec,
+        bench_env.graph(DATASET),
+        bench_env.pool(ARCH, DATASET),
+        bench_env.partition(DATASET, K),
+    )
+
+
+def run_pls(setting, r, seed=0, epochs=None):
+    spec, graph, pool, partition = setting
+    cfg = PLSConfig(
+        epochs=epochs or spec.pls_epochs,
+        lr=spec.pls_lr,
+        num_partitions=K,
+        partition_budget=r,
+        seed=seed,
+    )
+    return partition_learned_soup(pool, graph, cfg, partition=partition)
+
+
+@pytest.mark.parametrize("r", R_SWEEP)
+def test_bench_pls_ratio(benchmark, setting, r):
+    result = benchmark.pedantic(lambda: run_pls(setting, r), rounds=1, iterations=1)
+    assert 0.0 <= result.test_acc <= 1.0
+
+
+def test_shape_memory_tracks_ratio(benchmark, setting, results_dir):
+    """Peak memory must grow monotonically with R (≈ R/K scaling)."""
+
+    def sweep():
+        rows = ["r,k,ratio,diversity,test_acc,peak_bytes,time_s"]
+        peaks, accs = [], []
+        for r in R_SWEEP:
+            res = run_pls(setting, r)
+            peaks.append(res.peak_memory)
+            accs.append(res.test_acc)
+            rows.append(
+                f"{r},{K},{r / K:.3f},{num_possible_subgraphs(K, r)},"
+                f"{res.test_acc:.4f},{res.peak_memory},{res.soup_time:.4f}"
+            )
+        return rows, peaks, accs
+
+    rows, peaks, accs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(results_dir, "ablation_partition_ratio.csv", "\n".join(rows) + "\n")
+    # memory monotone non-decreasing in R
+    assert all(b >= a for a, b in zip(peaks, peaks[1:])), peaks
+    # the R=K ceiling uses substantially more memory than R=1
+    assert peaks[-1] > 1.5 * peaks[0]
+
+
+def test_shape_r1_degrades_accuracy(benchmark, setting):
+    """R=1 (no cut edges, only K possible subgraphs) must not beat the
+    practical mid-ratio setting; the paper reports a 2-3% hit. We assert
+    the direction with a small tolerance over 2 seeds."""
+
+    def compare():
+        acc_r1 = float(np.mean([run_pls(setting, 1, seed=s).test_acc for s in (0, 1)]))
+        acc_mid = float(np.mean([run_pls(setting, K // 4, seed=s).test_acc for s in (0, 1)]))
+        return acc_r1, acc_mid
+
+    acc_r1, acc_mid = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert acc_mid >= acc_r1 - 0.005, (acc_r1, acc_mid)
+
+
+def test_shape_diversity_count_argument(benchmark):
+    """The paper's combinatorial argument: (32, 8) gives > 10M subgraphs,
+    while (K, 1) gives only K — the epochs-vs-diversity inequality that
+    motivates the practical choice e << C(K, R)."""
+
+    def counts():
+        return num_possible_subgraphs(32, 8), num_possible_subgraphs(32, 1)
+
+    big, tiny = benchmark.pedantic(counts, rounds=1, iterations=1)
+    assert big > 10_000_000
+    assert tiny == 32
+    epochs = 300
+    assert epochs << 1 < big  # e ≪ C(K,R) for the recommended setting
+    assert epochs > tiny  # ...but e exceeds C(K,1): repeats guaranteed at R=1

@@ -1,0 +1,85 @@
+"""Fig 3 — comparison of souping strategies vs their ingredients.
+
+Regenerates the per-dataset scatter (ingredient accuracy distribution with
+each method's soup overlaid) as CSV series + ASCII art, and additionally
+runs the *full* method palette (greedy, ensembles, diversity soup) on one
+dataset — the background methods Fig 3's discussion references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3_series, render_fig3
+from repro.soup import (
+    diversity_weighted_soup,
+    greedy_soup,
+    logit_ensemble,
+    uniform_soup,
+    vote_ensemble,
+)
+
+from conftest import write_artifact
+
+
+def test_bench_extended_method_palette(benchmark, bench_env):
+    """All background methods on the Flickr/GCN cell (one timed sweep)."""
+    graph = bench_env.graph("flickr")
+    pool = bench_env.pool("gcn", "flickr")
+
+    def sweep():
+        return {
+            "greedy": greedy_soup(pool, graph),
+            "diversity": diversity_weighted_soup(pool, graph),
+            "ensemble-logit": logit_ensemble(pool, graph),
+            "ensemble-vote": vote_ensemble(pool, graph),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, r in results.items():
+        assert 0.0 <= r.test_acc <= 1.0, name
+    # ensembles pay N inference passes; soups pay none — Fig 3's backdrop
+    us = uniform_soup(pool, graph)
+    assert results["ensemble-logit"].soup_time > us.soup_time
+
+
+def test_fig3_series_structure(benchmark, bench_env):
+    results = bench_env.all_cells()
+    series = benchmark.pedantic(lambda: fig3_series(results), rounds=1, iterations=1)
+    for cell_id, entry in series.items():
+        assert len(entry["ingredients"]) >= 2
+        assert set(entry["soups"]) >= {"us", "gis", "ls", "pls"}
+
+
+def test_render_fig3(benchmark, bench_env, results_dir):
+    results = bench_env.all_cells()
+    text = benchmark.pedantic(lambda: render_fig3(results), rounds=1, iterations=1)
+    write_artifact(results_dir, "fig3_strategies.txt", text)
+    assert "FIG 3" in text
+
+    # CSV series for external plotting
+    lines = ["cell,kind,value"]
+    for cell_id, entry in fig3_series(results).items():
+        for acc in entry["ingredients"]:
+            lines.append(f"{cell_id},ingredient,{acc:.6f}")
+        for method, acc in entry["soups"].items():
+            lines.append(f"{cell_id},{method},{acc:.6f}")
+    write_artifact(results_dir, "fig3_series.csv", "\n".join(lines) + "\n")
+
+
+def test_shape_soups_cluster_at_ingredient_top(benchmark, bench_env):
+    """Fig 3's visual message: soups sit in the upper range of their
+    ingredient distribution (median over the grid)."""
+    results = bench_env.all_cells()
+
+    def percentile_positions():
+        positions = []
+        for cell in results:
+            ing = np.asarray(cell.ingredient_test_accs)
+            best_soup = max(cell.stats[m].acc_mean for m in ("us", "gis", "ls", "pls"))
+            positions.append(float(np.mean(best_soup >= ing)))
+        return positions
+
+    pos = benchmark.pedantic(percentile_positions, rounds=1, iterations=1)
+    assert float(np.median(pos)) >= 0.5

@@ -1,0 +1,62 @@
+"""Fig 4a — relative speedup over the GIS baseline [higher is better].
+
+Speedup(method) = t_GIS / t_method per cell. Paper headlines: LS 2.1x on
+Reddit/GAT, PLS 24.5x on products/GraphSAGE, US always enormous (it does
+no forward passes). We assert the reproducible shape: US > LS,PLS > 1 on
+the median, and the biggest PLS wins land on the biggest graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4a_speedups, render_fig4a
+
+from conftest import write_artifact
+
+
+def test_render_fig4a(benchmark, bench_env, results_dir):
+    results = bench_env.all_cells()
+    text = benchmark.pedantic(lambda: render_fig4a(results), rounds=1, iterations=1)
+    write_artifact(results_dir, "fig4a_speedup.txt", text)
+    assert "FIG 4a" in text
+
+    lines = ["cell,method,speedup_vs_gis"]
+    for cell_id, entry in fig4a_speedups(results).items():
+        for method, value in entry.items():
+            lines.append(f"{cell_id},{method},{value:.4f}")
+    write_artifact(results_dir, "fig4a_speedup.csv", "\n".join(lines) + "\n")
+
+
+def test_shape_median_learned_speedup_above_one(benchmark, bench_env):
+    """Across the grid, gradient-descent souping beats exhaustive search."""
+    results = bench_env.all_cells()
+
+    def medians():
+        data = fig4a_speedups(results)
+        ls = [entry["ls"] for entry in data.values() if "ls" in entry]
+        pls = [entry["pls"] for entry in data.values() if "pls" in entry]
+        us = [entry["us"] for entry in data.values() if "us" in entry]
+        return float(np.median(ls)), float(np.median(pls)), float(np.median(us))
+
+    ls_med, pls_med, us_med = benchmark.pedantic(medians, rounds=1, iterations=1)
+    assert ls_med > 1.0, f"median LS speedup {ls_med} <= 1"
+    assert pls_med > 1.0, f"median PLS speedup {pls_med} <= 1"
+    assert us_med > max(ls_med, pls_med)  # US does no forward work at all
+
+
+def test_shape_pls_speedup_grows_with_graph_size(benchmark, bench_env):
+    """The paper's biggest PLS wins are on the biggest dataset: products'
+    PLS speedup must exceed flickr's (subgraph savings scale with size)."""
+    results = {c.spec.cell_id: c for c in bench_env.all_cells()}
+
+    def compare():
+        small = results.get("gcn-flickr")
+        large = results.get("gcn-ogbn-products")
+        if small is None or large is None:
+            pytest.skip("cells filtered out")
+        return small.speedup_vs_gis("pls"), large.speedup_vs_gis("pls")
+
+    small_spd, large_spd = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert large_spd > small_spd

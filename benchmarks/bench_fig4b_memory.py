@@ -1,0 +1,98 @@
+"""Fig 4b — relative peak memory vs GIS [lower is better].
+
+Peak live bytes measured by the allocation meter during each souping run,
+normalised per cell to GIS (US is excluded, as in the paper — it performs
+no forward pass so its footprint is not comparable). Paper shape:
+
+* LS is the *highest*-memory method in all 12 combinations (§V-C),
+* PLS is the lowest, with reductions tracking R/K (76% on products/SAGE,
+  79.9% on products/GCN),
+* the measured peaks agree with the analytic memory model's ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4b_memory, render_fig4b
+from repro.profiling import MemoryModel
+
+from conftest import write_artifact
+
+
+def test_render_fig4b(benchmark, bench_env, results_dir):
+    results = bench_env.all_cells()
+    text = benchmark.pedantic(lambda: render_fig4b(results), rounds=1, iterations=1)
+    write_artifact(results_dir, "fig4b_memory.txt", text)
+    assert "FIG 4b" in text
+
+    lines = ["cell,method,peak_rel_gis"]
+    for cell_id, entry in fig4b_memory(results).items():
+        for method, value in entry.items():
+            lines.append(f"{cell_id},{method},{value:.4f}")
+    write_artifact(results_dir, "fig4b_memory.csv", "\n".join(lines) + "\n")
+
+
+def test_shape_ls_highest_memory_everywhere(benchmark, bench_env):
+    """§V-C: 'LS demonstrates the highest memory footprint across all 12
+    dataset-architecture combinations'."""
+    results = bench_env.all_cells()
+
+    def check():
+        violations = []
+        for cell in results:
+            ls_peak = cell.stats["ls"].peak_mean
+            for other in ("gis", "pls"):
+                if cell.stats[other].peak_mean > ls_peak:
+                    violations.append((cell.spec.cell_id, other))
+        return violations
+
+    violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert violations == [], f"LS not highest in: {violations}"
+
+
+def test_shape_pls_reduces_memory_vs_ls(benchmark, bench_env):
+    """PLS must sit well below LS on every cell; on the largest graph the
+    reduction should be deep (paper: 76-80% on ogbn-products)."""
+    results = bench_env.all_cells()
+
+    def reductions():
+        red = {}
+        for cell in results:
+            red[cell.spec.cell_id] = 1.0 - cell.stats["pls"].peak_mean / cell.stats["ls"].peak_mean
+        return red
+
+    red = benchmark.pedantic(reductions, rounds=1, iterations=1)
+    assert all(v > 0.0 for v in red.values()), red
+    products_cells = {k: v for k, v in red.items() if "products" in k}
+    if products_cells:
+        assert max(products_cells.values()) > 0.4, products_cells
+
+
+def test_shape_matches_analytic_model(benchmark, bench_env):
+    """The measured per-method ordering must match the closed-form model
+    (independent check on the instrumentation)."""
+    cell = bench_env.cell("gcn", "ogbn-products")
+    pool = bench_env.pool("gcn", "ogbn-products")
+    graph = bench_env.graph("ogbn-products")
+    spec = bench_env.spec("gcn", "ogbn-products")
+
+    def orders():
+        model_bytes = pool.state_nbytes() // len(pool)
+        model = MemoryModel(
+            n_ingredients=len(pool),
+            model_bytes=model_bytes,
+            graph_bytes=graph.nbytes,
+            activ_bytes=graph.num_nodes * spec.hidden_dim * 8,
+        )
+        predicted = {"us": model.uniform(), "gis": model.gis(), "ls": model.learned(),
+                     "pls": model.partition_learned(spec.pls_budget, spec.pls_partitions)}
+        measured = {m: cell.stats[m].peak_mean for m in ("us", "gis", "ls", "pls")}
+        return (
+            sorted(predicted, key=predicted.get),
+            sorted(measured, key=measured.get),
+        )
+
+    predicted_order, measured_order = benchmark.pedantic(orders, rounds=1, iterations=1)
+    assert predicted_order == measured_order

@@ -1,0 +1,97 @@
+"""Phase-1 scaling — Eq. (1) and Eq. (2) of §III-A.
+
+Validates the zero-communication training-time model on the list
+scheduler: ``T_total ≈ (N/W) · T_single`` for N > W, ``T_min = max_i T_i``
+for N <= W, embarrassingly-parallel utilisation, and the real measured
+per-ingredient durations of a trained pool feeding the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import WorkerPoolSimulator, eq1_estimate, eq2_min_time
+
+from conftest import write_artifact
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8, 16])
+def test_bench_scheduler_throughput(benchmark, workers):
+    """Raw scheduling cost for a 64-task queue at varying cluster widths."""
+    rng = np.random.default_rng(0)
+    durations = rng.lognormal(0.0, 0.3, size=64)
+    sim = WorkerPoolSimulator(workers)
+    sched = benchmark(lambda: sim.schedule(durations))
+    assert sched.makespan >= durations.max()
+
+
+def test_shape_eq1_accuracy_across_sweep(benchmark, results_dir):
+    """Eq. (1) holds to within the Graham bound across an (N, W) sweep."""
+    rng = np.random.default_rng(1)
+
+    def sweep():
+        rows = ["n,w,makespan,eq1_estimate,rel_err"]
+        errors = []
+        for n in (8, 16, 32, 64):
+            durations = rng.normal(1.0, 0.1, size=n).clip(0.5)
+            t_single = float(durations.mean())
+            for w in (1, 2, 4, 8):
+                sched = WorkerPoolSimulator(w).schedule(durations)
+                est = eq1_estimate(n, w, t_single)
+                rel = abs(sched.makespan - est) / est
+                errors.append((n, w, rel))
+                rows.append(f"{n},{w},{sched.makespan:.4f},{est:.4f},{rel:.4f}")
+        return rows, errors
+
+    rows, errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(results_dir, "scaling_workers_eq1.csv", "\n".join(rows) + "\n")
+    # Eq. (1) is tight when N >> W (dynamic queue packs well)
+    for n, w, rel in errors:
+        if n >= 4 * w:
+            assert rel < 0.15, f"Eq1 off by {rel:.2f} at N={n}, W={w}"
+
+
+def test_shape_eq2_when_workers_sufficient(benchmark):
+    """Eq. (2): N <= W ⇒ makespan equals the slowest single ingredient."""
+    rng = np.random.default_rng(2)
+
+    def check():
+        for n in (2, 4, 8):
+            durations = rng.lognormal(0.0, 0.5, size=n)
+            sched = WorkerPoolSimulator(8).schedule(durations)
+            assert sched.makespan == pytest.approx(eq2_min_time(durations))
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_shape_real_pool_durations_drive_simulator(benchmark, bench_env):
+    """Feed the measured per-ingredient training times of a real pool into
+    cluster widths 1..16: speedup must be monotone and bounded by W."""
+    pool = bench_env.pool("gcn", "flickr")
+    durations = np.asarray(pool.train_times)
+
+    def speedups():
+        seq = durations.sum()
+        return [seq / WorkerPoolSimulator(w).schedule(durations).makespan for w in (1, 2, 4, 8, 16)]
+
+    spd = benchmark.pedantic(speedups, rounds=1, iterations=1)
+    assert spd[0] == pytest.approx(1.0)
+    assert all(b >= a - 1e-9 for a, b in zip(spd, spd[1:]))  # non-decreasing
+    for width, s in zip((1, 2, 4, 8, 16), spd):
+        assert s <= width + 1e-9
+
+
+def test_shape_utilization_degrades_past_n_workers(benchmark):
+    """Adding workers beyond N only idles them (zero-communication regime:
+    no way to split one ingredient across workers)."""
+    durations = np.full(8, 1.0)
+
+    def utils():
+        return [WorkerPoolSimulator(w).schedule(durations).utilization for w in (2, 8, 16)]
+
+    u = benchmark.pedantic(utils, rounds=1, iterations=1)
+    assert u[0] == pytest.approx(1.0)
+    assert u[1] == pytest.approx(1.0)
+    assert u[2] == pytest.approx(0.5)

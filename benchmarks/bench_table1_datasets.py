@@ -1,0 +1,50 @@
+"""Table I — dataset statistics.
+
+Benchmarks dataset materialisation (generation is part of our substrate,
+so its cost is worth tracking) and regenerates the Table I comparison of
+paper graphs vs synthetic analogues.
+
+Every test here uses the ``benchmark`` fixture so the whole file executes
+under ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_table1
+from repro.graph import PAPER_STATS, dataset_names, load_dataset
+
+from conftest import BENCH_SCALE, write_artifact
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_bench_dataset_generation(benchmark, dataset):
+    """Time the full synthesis of each dataset analogue."""
+    graph = benchmark.pedantic(
+        lambda: load_dataset(dataset, seed=0, scale=BENCH_SCALE), rounds=3, iterations=1
+    )
+    assert graph.num_nodes > 0
+    assert graph.num_classes == PAPER_STATS[dataset]["classes"]
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_dataset_analogue_fidelity(benchmark, dataset):
+    """Class counts and split ratios must match Table I exactly."""
+    graph = benchmark.pedantic(
+        lambda: load_dataset(dataset, seed=0, scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    paper = PAPER_STATS[dataset]
+    assert graph.num_classes == paper["classes"]
+    tr, va, te = graph.split_counts()
+    total = graph.num_nodes
+    for measured, expected in zip((tr / total, va / total, te / total), paper["split"]):
+        assert abs(measured - expected) < 0.02
+
+
+def test_render_table1(benchmark, results_dir):
+    """Emit the side-by-side Table I artefact (timed: 4 full generations)."""
+    text = benchmark.pedantic(lambda: render_table1(graph_seed=0), rounds=1, iterations=1)
+    write_artifact(results_dir, "table1_datasets.txt", text)
+    for name in dataset_names():
+        assert name in text

@@ -1,0 +1,147 @@
+"""Extended Table II — every registered souping method on the GCN row.
+
+The paper's Table II compares US/GIS/LS/PLS. This bench widens the method
+axis with everything else the library implements — Greedy (Alg. 1), the
+§VIII extensions (ls-dropout, ls-finetune, diversity), the related-work
+baselines (radin, sparse) and the classic ensembles — across all four
+datasets on the GCN architecture (the cheapest row of the grid, so the
+whole sweep stays tractable). Produces ``results/table2_extended.txt``
+and ``.csv``.
+
+Shape assertions:
+* every single-model soup lands within the ingredient accuracy band
+  (no method collapses on a healthy pool);
+* the best extended method is at least as good as uniform souping on
+  every dataset;
+* radin's forward-pass bill stays an order of magnitude below GIS's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soup import soup
+
+from conftest import write_artifact
+
+ARCH = "gcn"
+METHODS = (
+    "us",
+    "greedy",
+    "gis",
+    "ls",
+    "pls",
+    "ls-dropout",
+    "ls-finetune",
+    "diversity",
+    "radin",
+    "sparse",
+    "ensemble-logit",
+    "ensemble-vote",
+)
+
+
+def _method_kwargs(method: str, spec) -> dict:
+    if method == "gis":
+        return dict(granularity=spec.gis_granularity)
+    if method == "ls":
+        return dict(cfg=spec.ls_config(seed=0))
+    if method == "pls":
+        return dict(cfg=spec.pls_config(seed=0))
+    if method == "ls-finetune":
+        return dict(cfg=spec.ls_config(seed=0), finetune_epochs=5)
+    if method == "radin":
+        return dict(eval_budget=4)
+    if method == "sparse":
+        return dict(sparsity=0.5)
+    return {}
+
+
+@pytest.fixture(scope="module")
+def extended_results(bench_env):
+    """method -> dataset -> SoupResult for the whole GCN row."""
+    out: dict[str, dict] = {m: {} for m in METHODS}
+    from repro.graph import dataset_names
+
+    for dataset in dataset_names():
+        pool = bench_env.pool(ARCH, dataset)
+        graph = bench_env.graph(dataset)
+        spec = bench_env.spec(ARCH, dataset)
+        for method in METHODS:
+            out[method][dataset] = soup(method, pool, graph, **_method_kwargs(method, spec))
+    return out
+
+
+def test_bench_extended_accuracy_table(benchmark, bench_env, extended_results, results_dir):
+    from repro.graph import dataset_names
+
+    datasets = dataset_names()
+
+    def render():
+        lines = [
+            "EXTENDED TABLE II — all souping methods, GCN row [test accuracy, higher is better]",
+            "",
+            f"{'method':<16}" + "".join(f"{d:>15}" for d in datasets),
+        ]
+        csv = ["method," + ",".join(datasets)]
+        for method in METHODS:
+            accs = [extended_results[method][d].test_acc for d in datasets]
+            lines.append(f"{method:<16}" + "".join(f"{a:>15.4f}" for a in accs))
+            csv.append(method + "," + ",".join(f"{a:.4f}" for a in accs))
+        return "\n".join(lines) + "\n", "\n".join(csv) + "\n"
+
+    text, csv = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_artifact(results_dir, "table2_extended.txt", text)
+    write_artifact(results_dir, "table2_extended.csv", csv)
+
+    for dataset in datasets:
+        pool = bench_env.pool(ARCH, dataset)
+        lo = min(pool.test_accs) - 0.06
+        us_acc = extended_results["us"][dataset].test_acc
+        best = max(extended_results[m][dataset].test_acc for m in METHODS)
+        assert best >= us_acc  # something informed must match or beat uniform
+        for method in METHODS:
+            acc = extended_results[method][dataset].test_acc
+            assert acc >= lo, f"{method} collapsed on {dataset}: {acc:.4f} < {lo:.4f}"
+
+
+def test_shape_radin_bill_vs_gis(benchmark, extended_results, bench_env):
+    from repro.graph import dataset_names
+
+    def check():
+        for dataset in dataset_names():
+            spec = bench_env.spec(ARCH, dataset)
+            radin = extended_results["radin"][dataset]
+            gis_bill = spec.n_ingredients * spec.gis_granularity
+            assert radin.extras["forward_passes"] <= gis_bill / 10
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_shape_sparse_soup_pattern_holds_gridwide(benchmark, extended_results):
+    def check():
+        for dataset, result in extended_results["sparse"].items():
+            assert result.extras["sparsity_achieved"] == pytest.approx(0.5, abs=0.02)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_shape_single_model_methods_cost_one_inference(benchmark, extended_results):
+    """Every non-ensemble method must produce exactly one state dict whose
+    tensors match the architecture — the soup premise."""
+
+    def check():
+        reference = extended_results["us"]
+        for method in METHODS:
+            if method.startswith("ensemble"):
+                continue
+            for dataset, result in extended_results[method].items():
+                ref_state = reference[dataset].state_dict
+                assert result.state_dict.keys() == ref_state.keys()
+                for name in ref_state:
+                    assert result.state_dict[name].shape == ref_state[name].shape
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Table III — souping wall-time per method.
+
+Two layers of measurement:
+
+1. the grid results (shared with Table II) already carry per-method souping
+   times from the instrumented runs — these populate the rendered table;
+2. direct pytest-benchmark timings of each souping call on a representative
+   large cell (GCN / ogbn-products: the cell with the paper's biggest GIS
+   blow-up), so the benchmark JSON contains honest re-executed numbers.
+
+Shape assertions mirror §V-B: US fastest; LS and PLS faster than GIS on
+the large graphs; the grid-median LS and PLS speedups over GIS exceed 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import render_table3
+from repro.soup import PLSConfig, SoupConfig, gis_soup, learned_soup, partition_learned_soup, uniform_soup
+
+from conftest import write_artifact
+
+BIG = ("gcn", "ogbn-products")
+
+
+@pytest.fixture(scope="module")
+def big_cell(bench_env):
+    arch, dataset = BIG
+    spec = bench_env.spec(arch, dataset)
+    return (
+        spec,
+        bench_env.graph(dataset),
+        bench_env.pool(arch, dataset),
+        bench_env.partition(dataset, spec.pls_partitions),
+    )
+
+
+def test_bench_us_time(benchmark, big_cell):
+    spec, graph, pool, _ = big_cell
+    result = benchmark.pedantic(lambda: uniform_soup(pool, graph), rounds=3, iterations=1)
+    assert result.test_acc > 0
+
+
+def test_bench_gis_time(benchmark, big_cell):
+    spec, graph, pool, _ = big_cell
+    result = benchmark.pedantic(
+        lambda: gis_soup(pool, graph, granularity=spec.gis_granularity), rounds=1, iterations=1
+    )
+    assert result.extras["forward_passes"] == 1 + (len(pool) - 1) * spec.gis_granularity
+
+
+def test_bench_ls_time(benchmark, big_cell):
+    spec, graph, pool, _ = big_cell
+    result = benchmark.pedantic(
+        lambda: learned_soup(pool, graph, spec.ls_config(seed=0)), rounds=1, iterations=1
+    )
+    assert result.test_acc > 0
+
+
+def test_bench_pls_time(benchmark, big_cell):
+    spec, graph, pool, partition = big_cell
+    result = benchmark.pedantic(
+        lambda: partition_learned_soup(pool, graph, spec.pls_config(seed=0), partition=partition),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.test_acc > 0
+
+
+def test_shape_large_cell_time_ordering(benchmark, big_cell):
+    """On the products cell: US < {LS, PLS} < GIS (Table III's ordering)."""
+    spec, graph, pool, partition = big_cell
+
+    def measure():
+        us = uniform_soup(pool, graph)
+        gis = gis_soup(pool, graph, granularity=spec.gis_granularity)
+        ls = learned_soup(pool, graph, spec.ls_config(seed=0))
+        pls = partition_learned_soup(pool, graph, spec.pls_config(seed=0), partition=partition)
+        return {r.method: r.soup_time for r in (us, gis, ls, pls)}
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert times["us"] < times["ls"]
+    assert times["ls"] < times["gis"]
+    assert times["pls"] < times["gis"]
+
+
+def test_render_table3(benchmark, bench_env, results_dir):
+    results = bench_env.all_cells()
+    text = benchmark.pedantic(lambda: render_table3(results), rounds=1, iterations=1)
+    write_artifact(results_dir, "table3_time.txt", text)
+    assert "TABLE III" in text
+
+    # grid-level shape: median speedup of LS and PLS over GIS exceeds 1
+    ls_speedups = [c.speedup_vs_gis("ls") for c in results]
+    pls_speedups = [c.speedup_vs_gis("pls") for c in results]
+    assert float(np.median(ls_speedups)) > 1.0
+    assert float(np.median(pls_speedups)) > 1.0
+    # US is the fastest method everywhere (paper §V-B)
+    for cell in results:
+        others = [cell.stats[m].time_mean for m in ("gis", "ls", "pls")]
+        assert cell.stats["us"].time_mean < min(others)

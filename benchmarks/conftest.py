@@ -1,0 +1,124 @@
+"""Shared benchmark infrastructure.
+
+Every table/figure bench consumes the same (graph, ingredient-pool, cell
+result) objects, mirroring the paper's single training campaign feeding all
+evaluations. This conftest provides:
+
+* ``bench_env`` — session-scoped provider with on-disk pool caching and a
+  per-session cell-result store, so the 12-cell grid is executed at most
+  once per session no matter which bench files run;
+* environment knobs:
+    - ``REPRO_BENCH_SCALE``   (default 0.5) dataset node-count multiplier,
+    - ``REPRO_BENCH_SOUPS``   (default 2)   soup repetitions per cell,
+    - ``REPRO_BENCH_CELLS``   (default all) comma list like ``gcn-flickr``;
+* ``results_dir`` — where rendered tables/CSVs land (``results/``).
+
+Run ``pytest benchmarks/ --benchmark-only`` for the full regeneration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    PAPER_ARCHS,
+    get_or_train_pool,
+    make_spec,
+    run_cell,
+)
+from repro.graph import dataset_names, load_dataset, partition_graph
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+BENCH_SOUPS = int(os.environ.get("REPRO_BENCH_SOUPS", "2"))
+_CELL_FILTER = os.environ.get("REPRO_BENCH_CELLS", "")
+
+
+def selected_cells() -> list[tuple[str, str]]:
+    """(arch, dataset) pairs honoured by the grid benches, paper order."""
+    cells = [(arch, ds) for arch in PAPER_ARCHS for ds in dataset_names()]
+    if _CELL_FILTER:
+        wanted = {c.strip() for c in _CELL_FILTER.split(",") if c.strip()}
+        cells = [c for c in cells if f"{c[0]}-{c[1]}" in wanted]
+    return cells
+
+
+class BenchEnv:
+    """Lazy, memoised provider of graphs, pools, partitions and cell results."""
+
+    def __init__(self) -> None:
+        self._graphs: dict[str, object] = {}
+        self._pools: dict[tuple[str, str], object] = {}
+        self._cells: dict[tuple[str, str], object] = {}
+        self._partitions: dict[tuple[str, int], object] = {}
+
+    # -- specs ---------------------------------------------------------------
+
+    def spec(self, arch: str, dataset: str, **overrides):
+        return make_spec(dataset, arch, n_soups=BENCH_SOUPS, **overrides)
+
+    # -- graphs ---------------------------------------------------------------
+
+    def graph(self, dataset: str):
+        if dataset not in self._graphs:
+            self._graphs[dataset] = load_dataset(dataset, seed=0, scale=BENCH_SCALE)
+        return self._graphs[dataset]
+
+    # -- pools ------------------------------------------------------------------
+
+    def pool(self, arch: str, dataset: str):
+        key = (arch, dataset)
+        if key not in self._pools:
+            spec = self.spec(arch, dataset)
+            self._pools[key] = get_or_train_pool(spec, self.graph(dataset), graph_seed=0)
+        return self._pools[key]
+
+    # -- partitions (PLS preprocessing, shared) -----------------------------------
+
+    def partition(self, dataset: str, k: int):
+        key = (dataset, k)
+        if key not in self._partitions:
+            self._partitions[key] = partition_graph(
+                self.graph(dataset), k, method="metis", node_weights="val", seed=0
+            )
+        return self._partitions[key]
+
+    # -- full cells -------------------------------------------------------------------
+
+    def cell(self, arch: str, dataset: str):
+        key = (arch, dataset)
+        if key not in self._cells:
+            spec = self.spec(arch, dataset)
+            self._cells[key] = run_cell(
+                spec,
+                graph=self.graph(dataset),
+                pool=self.pool(arch, dataset),
+                n_soups=BENCH_SOUPS,
+            )
+        return self._cells[key]
+
+    def all_cells(self):
+        return [self.cell(arch, ds) for arch, ds in selected_cells()]
+
+
+_ENV = BenchEnv()
+
+
+@pytest.fixture(scope="session")
+def bench_env() -> BenchEnv:
+    return _ENV
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).resolve().parents[1] / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def write_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to the bench log."""
+    (results_dir / name).write_text(text)
+    print(f"\n{text}")

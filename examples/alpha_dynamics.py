@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Watch the interpolation weights learn: alpha dynamics under three normalisers.
+
+§V-A explains LS's small-graph weakness through the *softmax floor*: "as
+the poor-performing ingredients' interpolation ratios near zero, the
+gradients they produce also shrink considerably, and the softmax function
+is not able to assign a zero". This script poisons one ingredient of a
+small pool and traces the weight each normaliser assigns it per epoch:
+
+* softmax      — decays but provably never reaches zero,
+* sparsemax    — hits exactly zero and stays there (off-support gradient
+                 is zero, so the drop is permanent),
+* softmax + entropy regularisation — the §VIII-style soft drop.
+
+Run:  python examples/alpha_dynamics.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.distributed import IngredientPool, train_ingredients
+from repro.soup import SoupConfig
+from repro.soup.learned import alpha_weights, build_alpha, combine_with_alphas, split_validation
+from repro.nn import cross_entropy, functional_params
+from repro.optim import SGD, CosineAnnealingLR
+from repro.soup.state import layer_groups
+from repro.tensor import Tensor
+from repro.train import TrainConfig
+
+EPOCHS = 40
+
+
+def poisoned_pool(graph) -> tuple[IngredientPool, int]:
+    pool = train_ingredients(
+        "gcn", graph, n_ingredients=5, train_cfg=TrainConfig(epochs=40, lr=0.01), base_seed=0
+    )
+    rng = np.random.default_rng(123)
+    states = [dict(sd) for sd in pool.states]
+    victim = len(states) - 1
+    states[victim] = {k: rng.normal(0, 3.0, size=v.shape) for k, v in states[victim].items()}
+    return (
+        IngredientPool(
+            model_config=pool.model_config,
+            states=states,
+            val_accs=list(pool.val_accs[:-1]) + [1.0 / graph.num_classes],
+            test_accs=list(pool.test_accs),
+            train_times=list(pool.train_times),
+            graph_name=pool.graph_name,
+        ),
+        victim,
+    )
+
+
+def trace_poison_weight(pool, graph, victim, cfg: SoupConfig) -> list[float]:
+    """One LS run, recording the poison ingredient's mean weight per epoch."""
+    rng = np.random.default_rng(cfg.seed)
+    model = pool.make_model()
+    model.eval()
+    names = pool.param_names()
+    group_ids, group_names = layer_groups(names, cfg.granularity)
+    group_of = {name: int(g) for name, g in zip(names, group_ids)}
+    train_idx, _ = split_validation(graph, cfg.holdout_fraction, rng)
+    stacks = pool.stacked_params()
+    alphas = build_alpha(len(pool), len(group_names), cfg, rng)
+    optimizer = SGD([alphas], lr=cfg.lr, momentum=cfg.momentum)
+    scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs)
+    features = Tensor(graph.features)
+    trace = []
+    for _ in range(cfg.epochs):
+        trace.append(float(alpha_weights(Tensor(alphas.data), cfg).data[victim].mean()))
+        weights = alpha_weights(alphas, cfg)
+        soup_params = combine_with_alphas(weights, stacks, group_of)
+        with functional_params(model, soup_params):
+            logits = model(graph, features)
+        loss = cross_entropy(logits[train_idx], graph.labels[train_idx])
+        if cfg.alpha_entropy_coef:
+            from repro.soup.learned import entropy_penalty
+
+            loss = loss + entropy_penalty(weights) * cfg.alpha_entropy_coef
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        scheduler.step()
+    trace.append(float(alpha_weights(Tensor(alphas.data), cfg).data[victim].mean()))
+    return trace
+
+
+def ascii_curve(trace: list[float], width: int = 50) -> str:
+    hi = max(max(trace), 1e-12)  # normalise to the curve's own peak
+    step = max(1, len(trace) // width)
+    cells = "".join(
+        " .:-=+*#%@"[min(9, int(9 * trace[i] / hi))] for i in range(0, len(trace), step)
+    )
+    return f"[{cells}]  start {trace[0]:.4f} -> end {trace[-1]:.2e}"
+
+
+def main() -> None:
+    graph = load_dataset("flickr", seed=0, scale=0.5)
+    pool, victim = poisoned_pool(graph)
+    print(f"dataset: {graph}\npool of {len(pool)} with ingredient {victim} poisoned\n")
+
+    runs = {
+        "softmax": SoupConfig(epochs=EPOCHS, lr=0.05, momentum=0.0, seed=0, holdout_fraction=0.0),
+        "sparsemax": SoupConfig(
+            epochs=EPOCHS, lr=0.05, momentum=0.0, seed=0, holdout_fraction=0.0,
+            normalize="sparsemax", alpha_init="uniform",
+        ),
+        "softmax+entropy": SoupConfig(
+            epochs=EPOCHS, lr=0.05, momentum=0.0, seed=0, holdout_fraction=0.0, alpha_entropy_coef=0.3
+        ),
+    }
+    print("poison ingredient's mean weight per epoch (darker = heavier):\n")
+    finals = {}
+    for label, cfg in runs.items():
+        trace = trace_poison_weight(pool, graph, victim, cfg)
+        finals[label] = trace[-1]
+        print(f"{label:<17} {ascii_curve(trace)}")
+
+    print(
+        f"\nsoftmax floor in action: softmax ends at {finals['softmax']:.2e} (> 0 forever), "
+        f"entropy regularisation pushes it to {finals['softmax+entropy']:.2e}, "
+        f"sparsemax reaches exactly {finals['sparsemax']:.1f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Phase 1 in detail: zero-communication distributed ingredient training.
+
+Demonstrates §III-A of the paper:
+
+* a shared initialisation distributed to all workers,
+* dynamic task-queue scheduling when N > W (Eq. 1: T ≈ (N/W)·T_single),
+* the ideal N <= W regime (Eq. 2: T = max_i T_i),
+* a cluster-width sweep showing the embarrassingly-parallel speedup curve,
+* determinism: the ingredient set is identical regardless of executor.
+
+Run:  python examples/distributed_ingredients.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.distributed import WorkerPoolSimulator, eq1_estimate, train_ingredients
+from repro.train import TrainConfig
+
+
+def main() -> None:
+    graph = load_dataset("ogbn-arxiv", seed=0, scale=0.5)
+    print(f"dataset: {graph}")
+
+    n_ingredients = 12
+    pool = train_ingredients(
+        "gcn",
+        graph,
+        n_ingredients=n_ingredients,
+        train_cfg=TrainConfig(epochs=30, lr=0.01),
+        base_seed=0,
+        epoch_jitter=12,  # heterogeneous task durations -> load imbalance
+        num_workers=4,
+    )
+    durations = np.asarray(pool.train_times)
+    print(
+        f"\ntrained {n_ingredients} ingredients; per-task seconds: "
+        f"min {durations.min():.2f} / mean {durations.mean():.2f} / max {durations.max():.2f}"
+    )
+
+    # -- the schedule the 4-worker cluster would execute --------------------
+    sched = pool.schedule
+    print(f"\ndynamic-queue schedule on W={sched.num_workers} workers:")
+    for w in range(sched.num_workers):
+        tasks = [i for i in range(n_ingredients) if sched.worker_of_task[i] == w]
+        busy = sched.worker_busy[w]
+        print(f"  worker {w}: tasks {tasks}  busy {busy:.2f}s")
+    eq1 = eq1_estimate(n_ingredients, sched.num_workers, float(durations.mean()))
+    print(
+        f"  makespan {sched.makespan:.2f}s | Eq.(1) estimate {eq1:.2f}s | "
+        f"utilisation {sched.utilization:.0%}"
+    )
+
+    # -- Eq. (2): enough workers -> slowest task dominates --------------------
+    wide = WorkerPoolSimulator(n_ingredients).schedule(durations)
+    print(
+        f"\nwith W = N = {n_ingredients} workers: makespan {wide.makespan:.2f}s "
+        f"== slowest ingredient {durations.max():.2f}s (Eq. 2)"
+    )
+
+    # -- scaling sweep ----------------------------------------------------------
+    print(f"\n{'W':>4} {'makespan':>9} {'speedup':>8} {'util':>6}")
+    seq = durations.sum()
+    for w in (1, 2, 4, 8, 16):
+        s = WorkerPoolSimulator(w).schedule(durations)
+        print(f"{w:>4} {s.makespan:>9.2f} {seq / s.makespan:>8.2f} {s.utilization:>6.0%}")
+
+    print(
+        "\nnote: zero-communication training parallelises embarrassingly until "
+        "W exceeds N — beyond that, extra workers idle (no way to split one "
+        "ingredient), which is exactly why the paper trains many ingredients."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The full souping workflow as explicit message passing (Fig. 1, both phases).
+
+The paper runs Phase 1 on an 8-GPU NCCL clique. This example runs the
+identical communication pattern on the in-process MPI-style communicator
+(`repro.distributed.comm`):
+
+* rank 0 builds the shared initialisation and **broadcasts** it,
+* workers pull ingredient indices from a coordinator-served **dynamic
+  task queue** (the master/worker MPI idiom) and train independently,
+* trained parameters are **gathered** back to rank 0 — the paper calls
+  Phase 2 "similar to a reduce operation", and for Uniform Souping it is
+  literally `Allreduce(SUM) / N`, which this script verifies numerically,
+* the gathered pool is then souped with LS and compared against US.
+
+Run:  python examples/message_passing_pipeline.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.distributed import train_ingredients_comm, uniform_soup_allreduce
+from repro.soup import SoupConfig, learned_soup, uniform_soup
+from repro.soup.state import average
+from repro.train import TrainConfig
+
+
+def main() -> None:
+    graph = load_dataset("flickr", seed=0, scale=0.5)
+    print(f"dataset: {graph}")
+
+    # -- Phases 1+2 over a message-passing world -----------------------------
+    n_ingredients, num_workers = 8, 4
+    report = train_ingredients_comm(
+        "gcn",
+        graph,
+        n_ingredients=n_ingredients,
+        train_cfg=TrainConfig(epochs=40, lr=0.01),
+        base_seed=0,
+        num_workers=num_workers,
+    )
+    pool = report.pool
+    print(
+        f"\nworld of {report.world_size} ranks (1 coordinator + {report.num_workers} workers) "
+        f"trained {len(pool)} ingredients in {report.wall_time:.2f}s wall"
+    )
+    for rank, count in sorted(report.tasks_per_worker.items()):
+        print(f"  worker rank {rank}: {count} ingredients via the dynamic queue")
+    accs = np.asarray(pool.val_accs)
+    print(f"  ingredient val acc: min {accs.min():.4f} / mean {accs.mean():.4f} / max {accs.max():.4f}")
+
+    # -- Uniform Souping really is an allreduce ------------------------------
+    souped = uniform_soup_allreduce(pool, num_workers=num_workers)
+    reference = average(pool.states)
+    max_err = max(float(np.abs(souped[k] - reference[k]).max()) for k in souped)
+    print(f"\nallreduce(SUM)/N vs direct average: max |Δ| = {max_err:.2e} (identical)")
+
+    # -- soup the gathered pool ----------------------------------------------
+    us = uniform_soup(pool, graph)
+    ls = learned_soup(pool, graph, SoupConfig(epochs=40, lr=1.0, seed=0))
+    print(f"\n{'method':<10} {'val acc':>8} {'test acc':>9} {'soup time':>10}")
+    for r in (us, ls):
+        print(f"{r.method:<10} {r.val_acc:>8.4f} {r.test_acc:>9.4f} {r.soup_time:>9.2f}s")
+    print(
+        "\nnote: every arrow in the paper's Fig. 1 appeared above as an actual "
+        "communicator call — bcast (shared init), send/recv (task queue), "
+        "gather (ingredient collection), allreduce (uniform soup)."
+    )
+
+
+if __name__ == "__main__":
+    main()

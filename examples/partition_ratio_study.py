@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""§VI-B study: how the PLS partition ratio R/K trades memory for accuracy.
+
+Sweeps R at fixed K on one dataset and prints the trade-off curve the
+paper discusses: memory tracks ~R/K, tiny R starves subgraph diversity
+(C(K,R) combinations; R=1 additionally loses every cut edge), and a
+mid-range ratio matches full-graph LS accuracy at a fraction of the
+footprint.
+
+Run:  python examples/partition_ratio_study.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.distributed import train_ingredients
+from repro.graph import partition_graph
+from repro.graph.sampling import num_possible_subgraphs
+from repro.soup import PLSConfig, SoupConfig, learned_soup, partition_learned_soup
+from repro.train import TrainConfig
+
+
+def main() -> None:
+    graph = load_dataset("ogbn-products", seed=0, scale=0.4)
+    print(f"dataset: {graph}")
+
+    pool = train_ingredients(
+        "gcn",
+        graph,
+        n_ingredients=6,
+        train_cfg=TrainConfig(epochs=30, lr=0.01),
+        base_seed=0,
+        epoch_jitter=8,
+    )
+    print(f"ingredients: test {np.mean(pool.test_accs):.4f} ± {np.std(pool.test_accs):.4f}")
+
+    K = 16
+    partition = partition_graph(graph, K, method="metis", node_weights="val", seed=0)
+    print(f"K = {K} partitions, {partition.cut_edges} cut edges\n")
+
+    ls = learned_soup(pool, graph, SoupConfig(epochs=30, lr=1.0, seed=0))
+    print(f"{'setting':<12} {'C(K,R)':>12} {'test acc':>9} {'peak MB':>8} {'time (s)':>9}")
+    print(f"{'LS (full)':<12} {'-':>12} {ls.test_acc:>9.4f} {ls.peak_memory / 1e6:>8.2f} {ls.soup_time:>9.3f}")
+
+    for r in (1, 2, 4, 8, 16):
+        cfg = PLSConfig(epochs=30, lr=1.0, num_partitions=K, partition_budget=r, seed=0)
+        res = partition_learned_soup(pool, graph, cfg, partition=partition)
+        label = f"PLS R={r}"
+        print(
+            f"{label:<12} {num_possible_subgraphs(K, r):>12,} {res.test_acc:>9.4f} "
+            f"{res.peak_memory / 1e6:>8.2f} {res.soup_time:>9.3f}"
+        )
+
+    print(
+        "\nreading the curve: peak memory grows with R (≈ R/K of LS at the "
+        "top); R=1 has no cut edges and only K distinct subgraphs — the "
+        "degradation case; mid-range R matches LS accuracy far cheaper "
+        "(the paper recommends R/K = 8/32)."
+    )
+
+
+if __name__ == "__main__":
+    main()

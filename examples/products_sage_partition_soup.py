@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The paper's headline PLS scenario: ogbn-products + GraphSAGE.
+
+Abstract claim: "On the ogbn-products dataset with GraphSAGE, partition
+learned souping achieves a 24.5X speedup and a 76% memory reduction
+without compromising accuracy."
+
+This script reproduces that comparison on the synthetic products analogue:
+GIS vs LS vs PLS on a GraphSAGE ingredient pool, reporting accuracy,
+relative speedup over GIS and peak-memory reduction, plus the R/K memory
+scaling §VI-B discusses.
+
+Run:  python examples/products_sage_partition_soup.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.distributed import train_ingredients
+from repro.graph import partition_graph
+from repro.soup import PLSConfig, SoupConfig, gis_soup, learned_soup, partition_learned_soup
+from repro.train import TrainConfig
+
+
+def main() -> None:
+    graph = load_dataset("ogbn-products", seed=0, scale=0.5)
+    print(f"dataset: {graph}")
+
+    pool = train_ingredients(
+        "sage",
+        graph,
+        n_ingredients=8,
+        train_cfg=TrainConfig(epochs=90, lr=0.01, weight_decay=5e-3),
+        base_seed=0,
+        dropout=0.3,  # the cross-validated SAGE recipe on the noisy analogues
+        epoch_jitter=20,
+    )
+    print(f"SAGE ingredients: test {np.mean(pool.test_accs):.4f} ± {np.std(pool.test_accs):.4f}")
+
+    # preprocessing: METIS-style partitioning balanced on validation nodes
+    K, R = 32, 8
+    partition = partition_graph(graph, K, method="metis", node_weights="val", seed=0)
+    print(
+        f"partitioned into K={K} parts: {partition.cut_edges} cut edges, "
+        f"imbalance {partition.imbalance:.3f}"
+    )
+
+    gis = gis_soup(pool, graph, granularity=20)
+    ls = learned_soup(pool, graph, SoupConfig(epochs=40, lr=1.0, seed=0))
+    pls = partition_learned_soup(
+        pool,
+        graph,
+        PLSConfig(epochs=40, lr=1.0, num_partitions=K, partition_budget=R, seed=0),
+        partition=partition,
+    )
+
+    print(f"\n{'method':<6} {'test acc':>9} {'time (s)':>9} {'peak MB':>9}")
+    for r in (gis, ls, pls):
+        print(f"{r.method:<6} {r.test_acc:>9.4f} {r.soup_time:>9.3f} {r.peak_memory / 1e6:>9.2f}")
+
+    speedup = gis.soup_time / pls.soup_time
+    mem_red = (1.0 - pls.peak_memory / ls.peak_memory) * 100
+    acc_delta = (pls.test_acc - gis.test_acc) * 100
+    print(
+        f"\nPLS vs GIS: {speedup:.1f}x speedup; "
+        f"PLS vs LS: {mem_red:.0f}% memory reduction; "
+        f"accuracy delta vs GIS: {acc_delta:+.2f}% "
+        f"(paper: 24.5x, 76%, 'without compromising accuracy')"
+    )
+    print(
+        f"R/K = {R}/{K} = {R/K:.2f}; possible epoch subgraphs C(K,R) = "
+        f"{pls.extras['subgraph_diversity']:,}"
+    )
+
+
+if __name__ == "__main__":
+    main()

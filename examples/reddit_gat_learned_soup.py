@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's headline LS scenario: Reddit + GAT.
+
+Abstract claim: "achieving up to 1.2% accuracy improvement and 2.1X
+speedup" — Learned Souping against Greedy Interpolated Souping on the
+Reddit dataset with the GAT architecture.
+
+This script reproduces the *comparison* on the synthetic Reddit analogue:
+train a pool of GAT ingredients, soup with GIS and LS, and report the
+accuracy delta and relative speedup. Absolute numbers differ from the
+paper (CPU + scaled graph); the relationship LS >= GIS accuracy at a
+fraction of the time is what reproduces.
+
+Run:  python examples/reddit_gat_learned_soup.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.distributed import train_ingredients
+from repro.soup import SoupConfig, gis_soup, learned_soup, uniform_soup
+from repro.train import TrainConfig
+
+
+def main() -> None:
+    graph = load_dataset("reddit", seed=0, scale=0.4)
+    print(f"dataset: {graph}")
+
+    pool = train_ingredients(
+        "gat",
+        graph,
+        n_ingredients=6,
+        train_cfg=TrainConfig(epochs=55, lr=0.02),
+        base_seed=0,
+        hidden_dim=8,
+        num_heads=2,
+        dropout=0.2,  # GAT needs low feature dropout on the noisy analogues
+        epoch_jitter=10,
+    )
+    print(
+        f"GAT ingredients: test {np.mean(pool.test_accs):.4f} ± {np.std(pool.test_accs):.4f}"
+    )
+
+    us = uniform_soup(pool, graph)
+    gis = gis_soup(pool, graph, granularity=20)
+    # early stopping (a §VI-A suggestion implemented here) ends the alpha
+    # descent once the holdout stops improving, widening the speedup
+    ls = learned_soup(pool, graph, SoupConfig(epochs=30, lr=1.0, seed=0, early_stopping=8))
+
+    print(f"\n{'method':<6} {'test acc':>9} {'time (s)':>9}")
+    for r in (us, gis, ls):
+        print(f"{r.method:<6} {r.test_acc:>9.4f} {r.soup_time:>9.3f}")
+
+    speedup = gis.soup_time / ls.soup_time
+    delta = (ls.test_acc - gis.test_acc) * 100
+    print(
+        f"\nLS vs GIS: {delta:+.2f}% accuracy, {speedup:.1f}x speedup "
+        f"(paper on real Reddit/GAT: +1.2% and 2.1x)"
+    )
+
+    # the per-layer alpha picture: which ingredients did LS favour?
+    weights = ls.extras["weights"]
+    print("\nlearned mixing weights (rows = ingredients, cols = layers):")
+    header = "        " + "  ".join(f"{g:>9}" for g in ls.extras["group_names"])
+    print(header)
+    for i, row in enumerate(weights):
+        marker = "*" if i == pool.best_index else " "
+        print(f"  M{i}{marker}  " + "  ".join(f"{w:>9.4f}" for w in row))
+    print("  (* = best single ingredient by validation accuracy)")
+
+
+if __name__ == "__main__":
+    main()

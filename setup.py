@@ -1,0 +1,24 @@
+"""Setuptools entry point — deliberately the ONLY packaging file.
+
+A pyproject.toml (even one without a [build-system] table) makes modern
+pip run the PEP 517 path with build isolation, which downloads the build
+backend and therefore fails in offline environments like this one. With
+only setup.py present, `pip install -e .` takes the legacy
+`setup.py develop` path and works with zero network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Enhanced Soups for Graph Neural Networks' (IPPS 2025): "
+        "Learned Souping and Partition Learned Souping on a from-scratch NumPy GNN stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis", "networkx"]},
+)

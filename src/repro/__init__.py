@@ -1,0 +1,52 @@
+"""repro — reproduction of "Enhanced Soups for Graph Neural Networks".
+
+Zuber, Sarkar, Jennings, Jannesari (IPPS 2025, arXiv:2503.11612).
+
+The package implements the paper's two contributions — **Learned Souping
+(LS)** and **Partition Learned Souping (PLS)** — together with the
+baselines it compares against (Uniform Souping, Greedy Souping, Greedy
+Interpolated Souping, classic ensembles) and every substrate the
+evaluation needs, built from scratch on NumPy/SciPy:
+
+* :mod:`repro.tensor` — reverse-mode autograd engine,
+* :mod:`repro.nn` / :mod:`repro.optim` — modules, losses, optimisers,
+* :mod:`repro.graph` — CSR graphs, synthetic OGB-like datasets, a
+  multilevel METIS-style partitioner, sampling,
+* :mod:`repro.models` — GCN / GraphSAGE / GAT / GIN / MLP,
+* :mod:`repro.train` — ingredient training loops,
+* :mod:`repro.distributed` — the zero-communication Phase-1 worker pool,
+  an MPI-style communicator and a fault-aware scheduler,
+* :mod:`repro.soup` — the souping algorithms (the paper's core),
+* :mod:`repro.profiling` — peak-memory and wall-time instrumentation,
+* :mod:`repro.experiments` — the harness regenerating every table/figure.
+
+Quickstart::
+
+    from repro import load_dataset, build_model, TrainConfig
+    from repro.distributed import train_ingredients
+    from repro.soup import learned_soup, SoupConfig
+
+    graph = load_dataset("reddit", seed=0)
+    pool = train_ingredients("gat", graph, n_ingredients=8, seed=0)
+    result = learned_soup(pool, graph, SoupConfig(epochs=40))
+    print(result.test_acc)
+"""
+
+from .graph import load_dataset, dataset_names, Graph
+from .models import build_model, model_names
+from .train import TrainConfig, train_model, evaluate, accuracy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "load_dataset",
+    "dataset_names",
+    "Graph",
+    "build_model",
+    "model_names",
+    "TrainConfig",
+    "train_model",
+    "evaluate",
+    "accuracy",
+    "__version__",
+]

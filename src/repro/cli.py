@@ -1,0 +1,233 @@
+"""Top-level command-line interface (``python -m repro``).
+
+Day-to-day entry points for a user of the library — the experiment
+harness regenerating the paper's tables keeps its own CLI at
+``python -m repro.experiments``.
+
+Subcommands::
+
+    python -m repro datasets                     # Table-I style statistics
+    python -m repro methods                      # registered souping methods
+    python -m repro train gcn flickr -n 8        # train (and cache) a pool
+    python -m repro soup ls gcn flickr           # soup a cached pool
+    python -m repro partition reddit -k 32       # run the METIS-style partitioner
+    python -m repro simulate -n 16 -w 4 --fail-at 2.0   # Phase-1 schedule
+
+``train``/``soup`` share the ingredient cache with the benchmarks
+(``.cache/ingredients`` or ``$REPRO_CACHE_DIR``), so souping after
+training is instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from .distributed import ResilientPoolSimulator, WorkerSpec, eq1_estimate
+from .experiments.cache import get_or_train_pool
+from .experiments.config import EXPERIMENT_GRID, ExperimentSpec
+from .graph import dataset_names, load_dataset, partition_graph
+from .soup import PLSConfig, SOUP_METHODS, SoupConfig, soup
+
+__all__ = ["main"]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _spec_for(arch: str, dataset: str, args: argparse.Namespace) -> ExperimentSpec:
+    """Grid spec when the cell exists (the paper's 12), fresh spec otherwise
+    (e.g. ``gin``/``mlp`` pools, which the grid does not tune)."""
+    base = EXPERIMENT_GRID.get((arch, dataset), ExperimentSpec(dataset=dataset, arch=arch))
+    overrides = {}
+    if args.n_ingredients is not None:
+        overrides["n_ingredients"] = args.n_ingredients
+    if getattr(args, "epochs", None) is not None and hasattr(base, "ingredient_epochs"):
+        pass  # 'epochs' belongs to souping; ingredient epochs use the spec
+    return replace(base, **overrides) if overrides else base
+
+
+def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
+    graph = load_dataset(dataset, seed=args.seed, scale=args.scale)
+    spec = _spec_for(arch, dataset, args)
+    pool = get_or_train_pool(spec, graph, graph_seed=args.seed)
+    return spec, graph, pool
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    """Print Table-I style statistics for every registered dataset."""
+    print(f"{'dataset':<15} {'nodes':>8} {'edges':>9} {'classes':>8} {'train/val/test':>20}")
+    for name in dataset_names():
+        g = load_dataset(name, seed=args.seed, scale=args.scale)
+        split = f"{len(g.train_idx)}/{len(g.val_idx)}/{len(g.test_idx)}"
+        print(f"{name:<15} {g.num_nodes:>8} {g.num_edges:>9} {g.num_classes:>8} {split:>20}")
+    return 0
+
+
+def cmd_methods(_args: argparse.Namespace) -> int:
+    """List every registered souping method with its one-line summary."""
+    for name, fn in SOUP_METHODS.items():
+        summary = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<16} {summary}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """Train (or load from cache) an ingredient pool and report it."""
+    spec, graph, pool = _get_pool(args.arch, args.dataset, args)
+    accs = np.asarray(pool.val_accs)
+    print(f"pool: {len(pool)} x {args.arch} on {graph}")
+    print(f"val acc: min {accs.min():.4f} / mean {accs.mean():.4f} / max {accs.max():.4f}")
+    if pool.schedule is not None:
+        s = pool.schedule
+        est = eq1_estimate(len(pool), s.num_workers, float(np.mean(pool.train_times)))
+        print(
+            f"schedule (W={s.num_workers}): makespan {s.makespan:.2f}s, "
+            f"Eq.(1) estimate {est:.2f}s, utilisation {s.utilization:.0%}"
+        )
+    return 0
+
+
+def cmd_soup(args: argparse.Namespace) -> int:
+    """Soup a (cached) pool with the chosen method and print the scores."""
+    if args.method not in SOUP_METHODS:
+        print(f"unknown method {args.method!r}; run `python -m repro methods`", file=sys.stderr)
+        return 2
+    spec, graph, pool = _get_pool(args.arch, args.dataset, args)
+    alpha_init = "uniform" if args.normalize in ("sparsemax", "none") else "xavier_normal"
+    kwargs: dict = {}
+    if args.method == "gis":
+        kwargs["granularity"] = args.granularity
+    elif args.method == "ls":
+        kwargs["cfg"] = SoupConfig(
+            epochs=args.epochs, lr=args.lr, normalize=args.normalize,
+            alpha_init=alpha_init, seed=args.seed,
+        )
+    elif args.method == "pls":
+        kwargs["cfg"] = PLSConfig(
+            epochs=args.epochs, lr=args.lr, normalize=args.normalize,
+            alpha_init=alpha_init, seed=args.seed,
+            num_partitions=args.partitions, partition_budget=args.budget,
+        )
+    elif args.method == "radin":
+        kwargs["eval_budget"] = args.eval_budget
+    elif args.method == "sparse":
+        kwargs["sparsity"] = args.sparsity
+    result = soup(args.method, pool, graph, **kwargs)
+    print(f"method      : {result.method}")
+    print(f"val acc     : {result.val_acc:.4f}")
+    print(f"test acc    : {result.test_acc:.4f}  (best ingredient {max(pool.test_accs):.4f})")
+    print(f"soup time   : {result.soup_time:.3f}s")
+    print(f"peak memory : {result.peak_memory / 1e6:.2f} MB")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    """Partition a dataset and report balance and edge-cut statistics."""
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    part = partition_graph(graph, args.k, method=args.method, node_weights="val", seed=args.seed)
+    sizes = np.bincount(part.labels, minlength=args.k)
+    print(f"{args.method} partition of {graph.name}: K={args.k}")
+    print(f"part sizes  : min {sizes.min()} / mean {sizes.mean():.1f} / max {sizes.max()}")
+    print(f"cut edges   : {part.cut_edges} of {graph.num_edges} ({part.cut_edges / graph.num_edges:.1%})")
+    print(f"imbalance   : {part.imbalance:.3f}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Simulate a Phase-1 schedule, optionally with a straggler or failure."""
+    rng = np.random.default_rng(args.seed)
+    durations = rng.lognormal(0.0, 0.25, size=args.n_tasks)
+    workers = [WorkerSpec() for _ in range(args.workers)]
+    if args.straggler is not None:
+        workers[0] = replace(workers[0], speed=args.straggler)
+    if args.fail_at is not None:
+        workers[0] = replace(workers[0], fail_at=args.fail_at)
+    sched = ResilientPoolSimulator(workers).schedule(durations)
+    est = eq1_estimate(args.n_tasks, args.workers, float(durations.mean()))
+    print(f"N={args.n_tasks} tasks on W={args.workers} workers")
+    print(f"makespan    : {sched.makespan:.2f}s   (Eq.(1) estimate {est:.2f}s)")
+    print(f"utilisation : {sched.utilization:.0%}")
+    print(f"wasted work : {sched.wasted_work:.2f}s over {sched.total_retries} retries")
+    if sched.dead_workers:
+        print(f"dead workers: {list(sched.dead_workers)}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def _common_data_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=0.5, help="dataset size multiplier")
+    p.add_argument("--seed", type=int, default=0, help="graph / souping seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list datasets with Table-I statistics")
+    _common_data_args(p)
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("methods", help="list registered souping methods")
+    p.set_defaults(fn=cmd_methods)
+
+    p = sub.add_parser("train", help="train (and cache) an ingredient pool")
+    p.add_argument("arch", help="gcn | sage | gat | gin | mlp")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("-n", "--n-ingredients", type=int, default=None)
+    _common_data_args(p)
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("soup", help="soup a cached pool with one method")
+    p.add_argument("method", help="see `python -m repro methods`")
+    p.add_argument("arch")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("-n", "--n-ingredients", type=int, default=None)
+    p.add_argument("--epochs", type=int, default=40, help="LS/PLS alpha epochs")
+    p.add_argument("--lr", type=float, default=1.0, help="LS/PLS alpha learning rate")
+    p.add_argument("--normalize", default="softmax", choices=["softmax", "sparsemax", "none"])
+    p.add_argument("--granularity", type=int, default=20, help="GIS ratio count")
+    p.add_argument("--partitions", type=int, default=32, help="PLS K")
+    p.add_argument("--budget", type=int, default=8, help="PLS R")
+    p.add_argument("--eval-budget", type=int, default=0, help="RADIN true-eval budget")
+    p.add_argument("--sparsity", type=float, default=0.5, help="sparse-soup target sparsity")
+    _common_data_args(p)
+    p.set_defaults(fn=cmd_soup)
+
+    p = sub.add_parser("partition", help="partition a dataset and report balance/cut")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("-k", type=int, default=32)
+    p.add_argument("--method", default="metis", choices=["metis", "spectral", "random", "bfs"])
+    _common_data_args(p)
+    p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser("simulate", help="simulate a Phase-1 schedule (with faults)")
+    p.add_argument("-n", "--n-tasks", type=int, default=16)
+    p.add_argument("-w", "--workers", type=int, default=4)
+    p.add_argument("--straggler", type=float, default=None, help="speed of worker 0 (e.g. 0.25)")
+    p.add_argument("--fail-at", type=float, default=None, help="worker 0 dies at this time")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    return args.fn(args)

@@ -1,0 +1,62 @@
+"""Phase-1 substrate: zero-communication ingredient training + scheduling.
+
+Three layers, lowest first:
+
+* :mod:`~repro.distributed.comm` — MPI-style in-process communicator
+  (point-to-point + collectives), the NCCL stand-in;
+* :mod:`~repro.distributed.scheduler` — deterministic dynamic-queue list
+  scheduler validating the paper's Eq. (1)/(2) makespan model, with
+  heterogeneous-speed and failure/requeue variants;
+* :mod:`~repro.distributed.ingredients` / :mod:`~repro.distributed.pipeline`
+  — Phase-1 ingredient production through an executor or through explicit
+  broadcast / task-queue / gather messages.
+"""
+
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    CommError,
+    Communicator,
+    ReduceOp,
+    SelfComm,
+    ThreadComm,
+    ThreadWorld,
+    run_world,
+)
+from .scheduler import TaskSchedule, WorkerPoolSimulator, eq1_estimate, eq2_min_time
+from .faults import ResilientPoolSimulator, ResilientSchedule, SchedulingError, WorkerSpec
+from .ingredients import IngredientPool, train_ingredients
+from .pipeline import PipelineReport, train_ingredients_comm, uniform_soup_allreduce
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "ReduceOp",
+    "CommError",
+    "Communicator",
+    "SelfComm",
+    "ThreadComm",
+    "ThreadWorld",
+    "run_world",
+    "TaskSchedule",
+    "WorkerPoolSimulator",
+    "eq1_estimate",
+    "eq2_min_time",
+    "WorkerSpec",
+    "ResilientSchedule",
+    "ResilientPoolSimulator",
+    "SchedulingError",
+    "IngredientPool",
+    "train_ingredients",
+    "PipelineReport",
+    "train_ingredients_comm",
+    "uniform_soup_allreduce",
+]

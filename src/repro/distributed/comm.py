@@ -1,0 +1,411 @@
+"""In-process MPI-style communicator for the souping pipeline.
+
+The paper's testbed wires 8 GPU workers together with NCCL; its workflow
+(Fig. 1) only ever uses three communication idioms:
+
+* **broadcast** — "a shared model initialization is performed on the CPU
+  and distributed across all the workers" (§III-A),
+* nothing at all during training — Phase 1 is zero-communication,
+* **gather / reduce** — Phase 2 "gathers model parameters … onto a single
+  device and mixes them together …, similar to a reduce operation" (§III).
+
+This module provides those semantics as a small MPI-flavoured API modelled
+on mpi4py (the tutorial of which is this project's distributed-idiom
+guide): lowercase methods (``send``/``recv``/``bcast``/``scatter``/
+``gather``/``allgather``/``reduce``/``allreduce``) move arbitrary Python
+objects, and the uppercase buffer variants (``Send``/``Recv``/``Bcast``/
+``Allreduce``) move NumPy arrays into caller-provided buffers without a
+serialisation step — mirroring mpi4py's pickle-path vs. buffer-path split.
+
+Two transports implement the same :class:`Communicator` interface:
+
+* :class:`SelfComm` — the degenerate world of size 1 (every collective is
+  the identity); lets pipeline code be written once and run serially;
+* :class:`ThreadComm` — ranks are threads inside one process sharing a
+  mailbox table; collectives are built from point-to-point messages the
+  way classic MPI implementations layer them, so message ordering and
+  root semantics are exercised for real.
+
+:func:`run_world` spawns a full world and returns every rank's result —
+the unit tests drive all collectives through it.
+
+Nothing here touches the network: the container has one core, so an
+in-process world is the faithful substitute for the paper's NCCL clique
+(DESIGN.md §2 records this substitution).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "CommError",
+    "Communicator",
+    "SelfComm",
+    "ThreadComm",
+    "ThreadWorld",
+    "run_world",
+]
+
+#: Wildcard source rank for :meth:`Communicator.recv` (mpi4py's ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard message tag for :meth:`Communicator.recv` (mpi4py's ANY_TAG).
+ANY_TAG = -1
+
+
+class CommError(RuntimeError):
+    """Raised on misuse of the communicator (bad rank, size mismatch, ...)."""
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named, associative-commutative reduction (MPI_Op equivalent).
+
+    ``fn`` combines two values elementwise; it must accept any mix of
+    Python scalars and ndarrays that :func:`numpy.asarray` can align.
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReduceOp({self.name})"
+
+
+SUM = ReduceOp("sum", lambda a, b: a + b)
+PROD = ReduceOp("prod", lambda a, b: a * b)
+MAX = ReduceOp("max", lambda a, b: np.maximum(a, b))
+MIN = ReduceOp("min", lambda a, b: np.minimum(a, b))
+
+
+class Communicator:
+    """Abstract MPI-style communicator over ``size`` ranks.
+
+    Subclasses provide :meth:`send` / :meth:`recv` / :meth:`barrier`; all
+    collectives are layered on top of those two primitives exactly like a
+    reference MPI implementation, so a transport only has to get
+    point-to-point right. All collectives must be called by **every** rank
+    of the world with a consistent ``root``.
+    """
+
+    #: number of ranks in the world
+    size: int
+    #: this endpoint's rank in ``[0, size)``
+    rank: int
+
+    # -- point-to-point (transport-specific) --------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Deliver ``obj`` to ``dest``'s mailbox (non-blocking buffered send)."""
+        raise NotImplementedError
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Block until a message matching ``(source, tag)`` arrives; return it."""
+        raise NotImplementedError
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, int, int]:
+        """Like :meth:`recv` but also returns ``(obj, actual_source, actual_tag)``."""
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        raise NotImplementedError
+
+    # -- validation helpers ---------------------------------------------------
+
+    def _check_rank(self, r: int, what: str = "rank") -> None:
+        if not 0 <= r < self.size:
+            raise CommError(f"{what} {r} out of range for world of size {self.size}")
+
+    # -- object collectives (mpi4py lowercase style) --------------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value.
+
+        Phase 1's "shared model initialization … distributed across all
+        the workers" is exactly ``comm.bcast(state_dict, root=0)``.
+        """
+        self._check_rank(root, "root")
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=_TAG_BCAST)
+            return obj
+        return self.recv(source=root, tag=_TAG_BCAST)
+
+    def scatter(self, seq: Sequence[Any] | None, root: int = 0) -> Any:
+        """Distribute ``seq[i]`` to rank ``i``; returns this rank's element."""
+        self._check_rank(root, "root")
+        if self.rank == root:
+            if seq is None or len(seq) != self.size:
+                raise CommError(
+                    f"scatter at root needs exactly {self.size} items, got "
+                    f"{'None' if seq is None else len(seq)}"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(seq[dest], dest, tag=_TAG_SCATTER)
+            return seq[root]
+        return self.recv(source=root, tag=_TAG_SCATTER)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Collect one object per rank at ``root`` (rank order); None elsewhere.
+
+        Phase 2's ingredient collection onto the souping device is
+        ``comm.gather(trained_state, root=0)``.
+        """
+        self._check_rank(root, "root")
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                item, src, _tag = self.recv_status(source=ANY_SOURCE, tag=_TAG_GATHER)
+                out[src] = item
+            return out
+        self.send(obj, root, tag=_TAG_GATHER)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Every rank receives the full rank-ordered list (gather + bcast)."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        """Fold every rank's ``value`` with ``op`` at ``root``; None elsewhere.
+
+        The fold is applied in rank order so non-commutative ops (unlike
+        the provided SUM/PROD/MAX/MIN) would still be deterministic.
+        """
+        gathered = self.gather(value, root=root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce then broadcast: every rank gets the folded result."""
+        return self.bcast(self.reduce(value, op=op, root=0), root=0)
+
+    # -- buffer collectives (mpi4py uppercase style) ---------------------------
+
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer-path send: ships a defensive copy of ``array``'s data."""
+        arr = np.ascontiguousarray(array)
+        self.send(arr.copy(), dest, tag=tag)
+
+    def Recv(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        """Buffer-path receive into the caller-provided ``buf`` (in place)."""
+        arr = self.recv(source=source, tag=tag)
+        arr = np.asarray(arr)
+        if arr.shape != buf.shape:
+            raise CommError(f"Recv buffer shape {buf.shape} != message shape {arr.shape}")
+        np.copyto(buf, arr)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        """Broadcast ``buf`` from root into every rank's ``buf`` (in place)."""
+        arr = self.bcast(buf.copy() if self.rank == root else None, root=root)
+        arr = np.asarray(arr)
+        if arr.shape != buf.shape:
+            raise CommError(f"Bcast buffer shape {buf.shape} != root shape {arr.shape}")
+        if self.rank != root:
+            np.copyto(buf, arr)
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM) -> None:
+        """Elementwise allreduce of equal-shaped arrays into ``recvbuf``."""
+        if sendbuf.shape != recvbuf.shape:
+            raise CommError(f"Allreduce shapes differ: {sendbuf.shape} vs {recvbuf.shape}")
+        result = self.allreduce(sendbuf.copy(), op=op)
+        np.copyto(recvbuf, np.asarray(result))
+
+
+# Reserved internal tags keep collective traffic from colliding with user
+# point-to-point messages (user tags are non-negative; these are < -1).
+_TAG_BCAST = -2
+_TAG_SCATTER = -3
+_TAG_GATHER = -4
+
+
+class SelfComm(Communicator):
+    """World of size 1: all collectives are identities, recv needs a prior send.
+
+    Lets every pipeline entry point accept an optional communicator and run
+    unchanged in a serial context (mpi4py's COMM_SELF equivalent).
+    """
+
+    def __init__(self) -> None:
+        self.size = 1
+        self.rank = 0
+        self._inbox: list[tuple[int, int, Any]] = []
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffer the message in this world's single inbox."""
+        self._check_rank(dest, "dest")
+        self._inbox.append((0, tag, obj))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Pop the first buffered message matching ``(source, tag)``."""
+        return self.recv_status(source, tag)[0]
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, int, int]:
+        """Like :meth:`recv`, also returning the source and tag."""
+        if source not in (ANY_SOURCE, 0):
+            raise CommError(f"source {source} out of range for world of size 1")
+        for i, (src, t, obj) in enumerate(self._inbox):
+            if tag in (ANY_TAG, t):
+                del self._inbox[i]
+                return obj, src, t
+        raise CommError("recv on SelfComm with no matching buffered message (would deadlock)")
+
+    def barrier(self) -> None:
+        """No-op: a world of one is always synchronised."""
+        return None
+
+
+class _Mailbox:
+    """One rank's inbox: a condition-guarded list supporting tag/source match."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._messages: list[tuple[int, int, Any]] = []  # (source, tag, payload)
+
+    def put(self, source: int, tag: int, obj: Any) -> None:
+        with self._cond:
+            self._messages.append((source, tag, obj))
+            self._cond.notify_all()
+
+    def take(self, source: int, tag: int, timeout: float | None) -> tuple[Any, int, int]:
+        """Pop the first message matching (source, tag); block until one exists."""
+
+        def find() -> int | None:
+            for i, (src, t, _obj) in enumerate(self._messages):
+                if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
+                    return i
+            return None
+
+        with self._cond:
+            idx = find()
+            while idx is None:
+                if not self._cond.wait(timeout=timeout):
+                    raise CommError(
+                        f"recv timed out after {timeout}s waiting for source={source} tag={tag}"
+                    )
+                idx = find()
+            src, t, obj = self._messages.pop(idx)
+            return obj, src, t
+
+
+@dataclass
+class _WorldState:
+    """Shared state of a thread world: mailboxes + one reusable barrier."""
+
+    size: int
+    mailboxes: list[_Mailbox] = field(init=False)
+    barrier: threading.Barrier = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.mailboxes = [_Mailbox() for _ in range(self.size)]
+        self.barrier = threading.Barrier(self.size)
+
+
+class ThreadComm(Communicator):
+    """One rank's endpoint of an in-process thread world.
+
+    ``timeout`` bounds every blocking receive so a mis-sequenced collective
+    in user code (classic MPI deadlock) surfaces as a :class:`CommError`
+    instead of hanging the test suite.
+    """
+
+    def __init__(self, world: _WorldState, rank: int, timeout: float | None = 30.0) -> None:
+        self.size = world.size
+        self.rank = rank
+        self.timeout = timeout
+        self._world = world
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Deposit ``obj`` in ``dest``'s mailbox (never blocks)."""
+        self._check_rank(dest, "dest")
+        self._world.mailboxes[dest].put(self.rank, tag, obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Block until a matching message arrives; return its payload."""
+        return self.recv_status(source, tag)[0]
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, int, int]:
+        """Blocking receive returning ``(obj, source, tag)``."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        return self._world.mailboxes[self.rank].take(source, tag, self.timeout)
+
+    def barrier(self) -> None:
+        """Wait until every rank of the world reaches the barrier."""
+        self._world.barrier.wait(timeout=self.timeout)
+
+
+class ThreadWorld:
+    """Owner of a thread world: builds per-rank communicators and runs mains.
+
+    >>> world = ThreadWorld(4)
+    >>> results = world.run(lambda comm: comm.allreduce(comm.rank))
+    >>> results  # every rank sees 0+1+2+3
+    [6, 6, 6, 6]
+    """
+
+    def __init__(self, size: int, timeout: float | None = 30.0) -> None:
+        if size < 1:
+            raise CommError("world size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self._state = _WorldState(size)
+        self.comms = [ThreadComm(self._state, rank, timeout) for rank in range(size)]
+
+    def run(self, fn: Callable[..., Any], *args: Any) -> list[Any]:
+        """Run ``fn(comm, *args)`` on every rank; return rank-ordered results.
+
+        The first rank exception (if any) is re-raised in the caller after
+        all threads have been joined, so failures don't leak threads.
+        """
+        results: list[Any] = [None] * self.size
+        errors: list[tuple[int, BaseException]] = []
+
+        def main(rank: int) -> None:
+            try:
+                results[rank] = fn(self.comms[rank], *args)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors.append((rank, exc))
+                self._state.barrier.abort()  # unblock peers stuck in barriers
+
+        threads = [
+            threading.Thread(target=main, args=(rank,), name=f"repro-rank-{rank}", daemon=True)
+            for rank in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            rank, exc = min(errors, key=lambda e: e[0])
+            raise CommError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+
+def run_world(size: int, fn: Callable[..., Any], *args: Any, timeout: float | None = 30.0) -> list[Any]:
+    """Convenience: ``ThreadWorld(size).run(fn, *args)`` (mpiexec equivalent)."""
+    if size == 1:
+        return [fn(SelfComm(), *args)]
+    return ThreadWorld(size, timeout=timeout).run(fn, *args)

@@ -1,0 +1,190 @@
+"""Fault- and heterogeneity-aware Phase-1 scheduling.
+
+§III-A of the paper notes that in practice "variability in ingredient
+complexity may lead to load imbalances, slightly increasing T_total" —
+and any real cluster also sees *worker* variability: a straggling GPU, or
+one that disappears mid-run. :class:`ResilientPoolSimulator` extends the
+idealised dynamic-queue list scheduler of
+:mod:`~repro.distributed.scheduler` with both effects:
+
+* **heterogeneous speeds** — worker ``w`` executes a task of nominal
+  duration ``d`` in ``d / speed_w`` seconds (a straggler is
+  ``speed < 1``);
+* **fail-stop workers** — a worker dies at wall-clock ``fail_at``; the
+  ingredient it was training is lost (zero-communication training has no
+  checkpointing to another rank by construction) and is **requeued at the
+  back of the shared task queue**, which is exactly how a dynamic-queue
+  cluster recovers: some other worker eventually pulls the index and
+  retrains it from the shared init. Because ingredient ``i`` is a pure
+  function of ``(config, graph, base_seed + i)``, the retrained
+  ingredient is bit-identical to what the dead worker would have
+  produced — failures cost time, never correctness.
+
+The simulation is event-driven and deterministic; it reports per-task
+attempts, wasted (lost) work, and per-worker busy time, so the benchmark
+suite can quantify how far Eq. (1) degrades under faults.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WorkerSpec", "ResilientSchedule", "SchedulingError", "ResilientPoolSimulator"]
+
+
+class SchedulingError(RuntimeError):
+    """Raised when the schedule cannot complete (e.g. every worker died)."""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One worker's behaviour model.
+
+    ``speed`` multiplies throughput (0.5 = straggler at half speed);
+    ``fail_at`` is the wall-clock instant the worker fail-stops, or None
+    for a reliable worker.
+    """
+
+    speed: float = 1.0
+    fail_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("worker speed must be positive")
+        if self.fail_at is not None and self.fail_at < 0:
+            raise ValueError("fail_at cannot be negative")
+
+
+@dataclass(frozen=True)
+class ResilientSchedule:
+    """Outcome of one resilient dynamic-queue simulation."""
+
+    workers: tuple[WorkerSpec, ...]
+    durations: np.ndarray  # [N] nominal task durations
+    worker_of_task: np.ndarray  # [N] worker that *completed* each task
+    start_times: np.ndarray  # [N] start of the successful attempt
+    end_times: np.ndarray  # [N] end of the successful attempt
+    attempts: np.ndarray  # [N] 1 + number of failed attempts
+    makespan: float
+    wasted_work: float  # worker-seconds burnt on attempts that died
+    worker_busy: np.ndarray = field(repr=False, default=None)  # [W] busy seconds
+    dead_workers: tuple[int, ...] = ()
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers in the simulated cluster."""
+        return len(self.workers)
+
+    @property
+    def useful_work(self) -> float:
+        """Worker-seconds of the successful attempts."""
+        return float(self.worker_busy.sum() - self.wasted_work)
+
+    @property
+    def total_retries(self) -> int:
+        """Failed attempts summed over all tasks."""
+        return int(self.attempts.sum() - len(self.attempts))
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of worker-seconds up to the makespan (dead workers
+        counted only until their failure)."""
+        horizon = 0.0
+        for w, spec in enumerate(self.workers):
+            alive_until = min(self.makespan, spec.fail_at) if spec.fail_at is not None else self.makespan
+            horizon += max(alive_until, 0.0)
+        return float(self.worker_busy.sum() / horizon) if horizon > 0 else 1.0
+
+
+class ResilientPoolSimulator:
+    """Dynamic-queue list scheduler under stragglers and fail-stop faults.
+
+    Semantics match the paper's shared task queue: tasks are handed out in
+    queue order to the earliest-available live worker (ties by worker id);
+    a failed task re-enters at the *back* of the queue.
+    """
+
+    def __init__(self, workers: list[WorkerSpec] | int) -> None:
+        if isinstance(workers, int):
+            workers = [WorkerSpec() for _ in range(workers)]
+        if len(workers) == 0:
+            raise ValueError("need at least one worker")
+        self.workers = tuple(workers)
+
+    def schedule(self, durations) -> ResilientSchedule:
+        """Run the event-driven simulation over ``durations`` (nominal seconds
+        per task) and return the completed :class:`ResilientSchedule`."""
+        durations = np.asarray(durations, dtype=np.float64)
+        if durations.ndim != 1 or len(durations) == 0:
+            raise ValueError("durations must be a non-empty 1-D sequence")
+        if np.any(durations < 0):
+            raise ValueError("durations must be non-negative")
+        n = len(durations)
+        w = len(self.workers)
+
+        # (free_at, worker) heap over *live* workers only
+        heap: list[tuple[float, int]] = [(0.0, i) for i in range(w)]
+        heapq.heapify(heap)
+        # FIFO of (available_at, task): the original N tasks are available at
+        # t=0; a task lost to a failure re-enters the queue AT the failure
+        # instant — no worker can resurrect it earlier than the cluster
+        # could have observed the death. With several in-flight failures the
+        # requeue order follows discovery (assignment) order rather than
+        # strict death chronology — the same implementation-defined window a
+        # real queue server has between a death and its detection.
+        queue: list[tuple[float, int]] = [(0.0, i) for i in range(n)]
+        worker_of_task = np.full(n, -1, dtype=np.int64)
+        start = np.full(n, np.nan)
+        end = np.full(n, np.nan)
+        attempts = np.zeros(n, dtype=np.int64)
+        busy = np.zeros(w)
+        wasted = 0.0
+        dead: list[int] = []
+
+        qi = 0  # queue read cursor (requeues are appended)
+        while qi < len(queue):
+            if not heap:
+                remaining = len(queue) - qi
+                raise SchedulingError(
+                    f"all {w} workers dead with {remaining} task(s) unfinished"
+                )
+            free_at, worker = heapq.heappop(heap)
+            spec = self.workers[worker]
+            available_at, task = queue[qi]
+            begin = max(free_at, available_at)  # may idle waiting for a requeue
+            if spec.fail_at is not None and begin >= spec.fail_at:
+                # worker dead by the time it could start: retire it
+                dead.append(worker)
+                continue
+            qi += 1
+            runtime = durations[task] / spec.speed
+            completion = begin + runtime
+            attempts[task] += 1
+            if spec.fail_at is not None and completion > spec.fail_at:
+                # fail-stop mid-task: work up to fail_at is lost, task requeued
+                wasted += spec.fail_at - begin
+                busy[worker] += spec.fail_at - begin
+                dead.append(worker)
+                queue.append((spec.fail_at, task))
+                continue
+            worker_of_task[task] = worker
+            start[task] = begin
+            end[task] = completion
+            busy[worker] += runtime
+            heapq.heappush(heap, (completion, worker))
+
+        return ResilientSchedule(
+            workers=self.workers,
+            durations=durations,
+            worker_of_task=worker_of_task,
+            start_times=start,
+            end_times=end,
+            attempts=attempts,
+            makespan=float(np.nanmax(end)),
+            wasted_work=float(wasted),
+            worker_busy=busy,
+            dead_workers=tuple(sorted(dead)),
+        )

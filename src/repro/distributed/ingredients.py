@@ -1,0 +1,196 @@
+"""Phase 1: zero-communication ingredient production.
+
+The paper's workflow (Fig. 1): a **shared model initialisation** is
+broadcast to all workers; each worker trains a replica independently (no
+gradient or message synchronisation) under its own stochasticity (dropout
+masks, data order, sampling); the trained replicas — the *ingredients* —
+are then gathered for Phase 2 souping.
+
+``train_ingredients`` reproduces that pipeline. Determinism contract: the
+ingredient list is a pure function of ``(arch config, graph, base_seed)``
+regardless of executor, because each task's RNG derives from
+``base_seed + task index``, not from scheduling order — the property that
+makes zero-communication training reproducible across cluster layouts.
+
+Executors: ``"serial"`` (default; this container has one core) and
+``"thread"`` (a real ``ThreadPoolExecutor``, exercising the dynamic-queue
+path). Either way the measured per-ingredient durations feed the
+:class:`~repro.distributed.scheduler.WorkerPoolSimulator`, which reports
+the makespan an actual W-worker cluster would achieve (Eq. 1/2).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..models import build_model
+from ..nn import Module
+from ..train import TrainConfig, TrainResult, train_model
+from .scheduler import TaskSchedule, WorkerPoolSimulator
+
+__all__ = ["IngredientPool", "train_ingredients"]
+
+
+@dataclass
+class IngredientPool:
+    """Trained ingredients plus everything souping needs to use them.
+
+    Attributes
+    ----------
+    model_config:
+        Kwargs for :func:`repro.models.build_model`; every souping method
+        instantiates its working model from this (all ingredients share
+        the architecture, per the soup prerequisite).
+    states:
+        One state dict per ingredient (best-val epoch of each run).
+    """
+
+    model_config: dict
+    states: list[dict]
+    val_accs: list[float]
+    test_accs: list[float]
+    train_times: list[float]
+    graph_name: str = ""
+    schedule: TaskSchedule | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.states)
+        if not (len(self.val_accs) == len(self.test_accs) == len(self.train_times) == n):
+            raise ValueError("per-ingredient lists must have equal length")
+        if n == 0:
+            raise ValueError("pool must contain at least one ingredient")
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def make_model(self) -> Module:
+        """Fresh model instance with the pool's (shared-init) architecture."""
+        return build_model(**self.model_config)
+
+    def order_by_val(self) -> np.ndarray:
+        """Ingredient indices sorted by validation accuracy, best first."""
+        return np.argsort(-np.asarray(self.val_accs), kind="stable")
+
+    @property
+    def best_index(self) -> int:
+        """Index of the highest-validation-accuracy ingredient."""
+        return int(self.order_by_val()[0])
+
+    def param_names(self) -> list[str]:
+        """Parameter names shared by every ingredient state dict."""
+        return list(self.states[0].keys())
+
+    def stacked_params(self) -> dict[str, np.ndarray]:
+        """``name -> [N, *shape]`` stacks (the LS working representation)."""
+        names = self.param_names()
+        return {name: np.stack([sd[name] for sd in self.states]) for name in names}
+
+    def state_nbytes(self) -> int:
+        """Total bytes of all ingredient state dicts."""
+        return sum(v.nbytes for sd in self.states for v in sd.values())
+
+    def subset(self, indices) -> "IngredientPool":
+        """A new pool holding only the chosen ingredients (same config)."""
+        indices = list(indices)
+        return IngredientPool(
+            model_config=self.model_config,
+            states=[self.states[i] for i in indices],
+            val_accs=[self.val_accs[i] for i in indices],
+            test_accs=[self.test_accs[i] for i in indices],
+            train_times=[self.train_times[i] for i in indices],
+            graph_name=self.graph_name,
+        )
+
+
+def _train_one(model_config: dict, shared_init: dict, graph: Graph, cfg: TrainConfig, seed: int) -> TrainResult:
+    """One worker task: fresh replica <- shared init, independent training."""
+    model = build_model(**model_config)
+    model.load_state_dict(shared_init)
+    return train_model(model, graph, cfg, seed=seed)
+
+
+def train_ingredients(
+    arch: str,
+    graph: Graph,
+    n_ingredients: int,
+    train_cfg: TrainConfig | None = None,
+    base_seed: int = 0,
+    num_workers: int = 8,
+    executor: str = "serial",
+    hidden_dim: int = 64,
+    num_layers: int = 2,
+    dropout: float = 0.5,
+    num_heads: int = 4,
+    attn_dropout: float = 0.0,
+    epoch_jitter: int = 0,
+) -> IngredientPool:
+    """Train ``n_ingredients`` independent replicas from one shared init.
+
+    Parameters
+    ----------
+    num_workers:
+        Cluster width W used for the makespan simulation (Eq. 1/2) and as
+        the thread count when ``executor="thread"``.
+    epoch_jitter:
+        Optional ± range on each ingredient's epoch budget (drawn from its
+        task seed). The paper notes "variability in ingredient complexity
+        may lead to load imbalances"; jitter reproduces that heterogeneity
+        and also widens the ingredient-quality spread that informed soups
+        exploit.
+    """
+    if n_ingredients < 1:
+        raise ValueError("need at least one ingredient")
+    if executor not in ("serial", "thread"):
+        raise ValueError(f"unknown executor {executor!r}")
+    cfg = train_cfg or TrainConfig()
+    model_config = dict(
+        arch=arch,
+        in_dim=graph.feature_dim,
+        out_dim=graph.num_classes,
+        hidden_dim=hidden_dim,
+        num_layers=num_layers,
+        dropout=dropout,
+        num_heads=num_heads,
+        attn_dropout=attn_dropout,
+        seed=base_seed,  # the shared initialisation seed
+    )
+    shared_init = build_model(**model_config).state_dict()
+
+    # task configs are fixed up-front (not scheduling-dependent)
+    task_cfgs: list[TrainConfig] = []
+    for i in range(n_ingredients):
+        task_cfg = cfg
+        if epoch_jitter:
+            jitter_rng = np.random.default_rng(base_seed * 1_000_003 + i)
+            delta = int(jitter_rng.integers(-epoch_jitter, epoch_jitter + 1))
+            task_cfg = TrainConfig(**{**cfg.__dict__, "epochs": max(1, cfg.epochs + delta)})
+        task_cfgs.append(task_cfg)
+    seeds = [base_seed * 7_919 + 1 + i for i in range(n_ingredients)]
+
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=num_workers) as pool:
+            futures = [
+                pool.submit(_train_one, model_config, shared_init, graph, task_cfgs[i], seeds[i])
+                for i in range(n_ingredients)
+            ]
+            results = [f.result() for f in futures]
+    else:
+        results = [
+            _train_one(model_config, shared_init, graph, task_cfgs[i], seeds[i]) for i in range(n_ingredients)
+        ]
+
+    durations = [r.train_time for r in results]
+    schedule = WorkerPoolSimulator(num_workers).schedule(durations)
+    return IngredientPool(
+        model_config=model_config,
+        states=[r.state_dict for r in results],
+        val_accs=[r.val_acc for r in results],
+        test_accs=[r.test_acc for r in results],
+        train_times=durations,
+        graph_name=graph.name,
+        schedule=schedule,
+    )

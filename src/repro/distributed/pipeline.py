@@ -1,0 +1,217 @@
+"""Communicator-based realisation of the paper's two-phase workflow.
+
+:mod:`repro.distributed.ingredients` produces ingredients through a plain
+executor; this module produces the *same* ingredients through explicit
+message passing on a :class:`~repro.distributed.comm.Communicator`, making
+every arrow of the paper's Fig. 1 an actual communication call:
+
+1. **Phase 1** — rank 0 (the coordinator, the paper's CPU) builds the
+   shared initialisation and ``bcast``\\ s it with the graph-independent
+   model config to all worker ranks. Workers then pull ingredient indices
+   from a coordinator-served **dynamic task queue** (§III-A: "once a
+   worker completes training an ingredient, it immediately begins training
+   the next available ingredient from a shared task queue") implemented as
+   the classic MPI master/worker pattern: a worker sends a ``REQUEST``,
+   the coordinator answers with a task id or ``STOP``.
+2. **Phase 2** — trained states are ``gather``\\ ed at rank 0 ("similar to
+   a reduce operation", §III); :func:`uniform_soup_allreduce` additionally
+   demonstrates that Uniform Souping literally *is* ``allreduce(SUM)/N``
+   over the flattened parameter vectors.
+
+Determinism contract (same as the executor path): ingredient *i* trains
+with seed ``base_seed * 7919 + 1 + i`` regardless of which worker pulled
+it, so the pool is identical to ``train_ingredients``' output no matter
+the world size or scheduling interleaving — the property zero-
+communication training needs to be reproducible across cluster layouts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..models import build_model
+from ..soup.state import flatten_state, unflatten_state
+from ..train import TrainConfig, train_model
+from .comm import ANY_SOURCE, SUM, Communicator, run_world
+from .ingredients import IngredientPool
+from .scheduler import WorkerPoolSimulator
+
+__all__ = [
+    "PipelineReport",
+    "train_ingredients_comm",
+    "uniform_soup_allreduce",
+]
+
+# message tags of the master/worker protocol
+TAG_REQUEST = 1
+TAG_ASSIGN = 2
+TAG_RESULT = 3
+
+_STOP = "stop"
+
+
+@dataclass
+class PipelineReport:
+    """What the comm pipeline observed, alongside the pool it produced."""
+
+    pool: IngredientPool
+    world_size: int
+    tasks_per_worker: dict[int, int]
+    wall_time: float
+
+    @property
+    def num_workers(self) -> int:
+        """Worker ranks (world minus the coordinator)."""
+        return self.world_size - 1
+
+
+def _coordinator(comm: Communicator, model_config: dict, n_ingredients: int) -> list[tuple]:
+    """Rank 0: broadcast shared init, serve the task queue, gather results.
+
+    Returns the rank-tagged result tuples in ingredient order.
+    """
+    shared_init = build_model(**model_config).state_dict()
+    comm.bcast((model_config, shared_init), root=0)
+
+    next_task = 0
+    results: list[tuple | None] = [None] * n_ingredients
+    done = 0
+    active = comm.size - 1
+    while done < n_ingredients or active > 0:
+        msg, src, tag = comm.recv_status(source=ANY_SOURCE)
+        if tag == TAG_REQUEST:
+            if next_task < n_ingredients:
+                comm.send(next_task, src, tag=TAG_ASSIGN)
+                next_task += 1
+            else:
+                comm.send(_STOP, src, tag=TAG_ASSIGN)
+                active -= 1
+        elif tag == TAG_RESULT:
+            task_id, payload = msg
+            results[task_id] = (src, payload)
+            done += 1
+        else:  # pragma: no cover - protocol violation
+            raise RuntimeError(f"coordinator got unexpected tag {tag} from rank {src}")
+    return [r for r in results if r is not None]
+
+
+def _worker(comm: Communicator, graph: Graph, train_cfg: TrainConfig, base_seed: int) -> int:
+    """Worker rank: receive shared init, loop request → train → report."""
+    model_config, shared_init = comm.bcast(None, root=0)
+    trained = 0
+    while True:
+        comm.send(None, 0, tag=TAG_REQUEST)
+        task = comm.recv(source=0, tag=TAG_ASSIGN)
+        if task == _STOP:
+            return trained
+        model = build_model(**model_config)
+        model.load_state_dict(shared_init)
+        seed = base_seed * 7_919 + 1 + task
+        result = train_model(model, graph, train_cfg, seed=seed)
+        comm.send((task, result), 0, tag=TAG_RESULT)
+        trained += 1
+
+
+def train_ingredients_comm(
+    arch: str,
+    graph: Graph,
+    n_ingredients: int,
+    train_cfg: TrainConfig | None = None,
+    base_seed: int = 0,
+    num_workers: int = 4,
+    hidden_dim: int = 64,
+    num_layers: int = 2,
+    dropout: float = 0.5,
+    num_heads: int = 4,
+    timeout: float | None = 120.0,
+) -> PipelineReport:
+    """Run the full Phase-1 pipeline over an in-process message-passing world.
+
+    The world has ``num_workers + 1`` ranks: rank 0 coordinates (shared
+    init broadcast + dynamic queue + gather) and never trains, matching
+    the paper's CPU/GPU split. Returns the :class:`PipelineReport` whose
+    ``pool`` is bit-identical to the serial ``train_ingredients`` pool for
+    the same ``(arch, graph, base_seed)``.
+    """
+    if n_ingredients < 1:
+        raise ValueError("need at least one ingredient")
+    if num_workers < 1:
+        raise ValueError("need at least one worker rank")
+    cfg = train_cfg or TrainConfig()
+    model_config = dict(
+        arch=arch,
+        in_dim=graph.feature_dim,
+        out_dim=graph.num_classes,
+        hidden_dim=hidden_dim,
+        num_layers=num_layers,
+        dropout=dropout,
+        num_heads=num_heads,
+        attn_dropout=0.0,
+        seed=base_seed,
+    )
+
+    def main(comm: Communicator) -> Any:  # noqa: ANN401 - rank-dependent type
+        if comm.rank == 0:
+            return _coordinator(comm, model_config, n_ingredients)
+        return _worker(comm, graph, cfg, base_seed)
+
+    t0 = time.perf_counter()
+    rank_results = run_world(num_workers + 1, main, timeout=timeout)
+    wall = time.perf_counter() - t0
+
+    tagged: list[tuple] = rank_results[0]
+    tasks_per_worker = {rank: 0 for rank in range(1, num_workers + 1)}
+    train_results = []
+    for src, payload in tagged:
+        tasks_per_worker[src] += 1
+        train_results.append(payload)
+
+    durations = [r.train_time for r in train_results]
+    schedule = WorkerPoolSimulator(num_workers).schedule(durations)
+    pool = IngredientPool(
+        model_config=model_config,
+        states=[r.state_dict for r in train_results],
+        val_accs=[r.val_acc for r in train_results],
+        test_accs=[r.test_acc for r in train_results],
+        train_times=durations,
+        graph_name=graph.name,
+        schedule=schedule,
+    )
+    return PipelineReport(
+        pool=pool, world_size=num_workers + 1, tasks_per_worker=tasks_per_worker, wall_time=wall
+    )
+
+
+def uniform_soup_allreduce(pool: IngredientPool, num_workers: int | None = None) -> dict:
+    """Uniform Souping expressed as the reduce it is (§III: "similar to a
+    reduce operation").
+
+    Ingredients are scattered round-robin over worker ranks; each rank sums
+    its shard's flattened parameter vectors locally and the world
+    ``Allreduce(SUM)``\\ s the partial sums; dividing by N yields exactly
+    ``soup.uniform.average``. Returns the souped state dict.
+    """
+    n = len(pool)
+    world = min(num_workers or n, n)
+    flats_specs = [flatten_state(sd) for sd in pool.states]
+    spec = flats_specs[0][1]
+    shards: list[list[np.ndarray]] = [[] for _ in range(world)]
+    for i, (flat, _spec) in enumerate(flats_specs):
+        shards[i % world].append(flat)
+
+    def main(comm: Communicator) -> np.ndarray:
+        local = shards[comm.rank]
+        partial = np.sum(local, axis=0) if local else np.zeros_like(flats_specs[0][0])
+        total = np.empty_like(partial)
+        comm.Allreduce(partial, total, op=SUM)
+        return total
+
+    totals = run_world(world, main)
+    for t in totals[1:]:  # every rank must hold the identical reduction
+        np.testing.assert_allclose(t, totals[0])
+    return unflatten_state(totals[0] / n, spec)

@@ -1,0 +1,48 @@
+"""Experiment harness: grid, caching, runners, table/figure regeneration."""
+
+from .config import ExperimentSpec, EXPERIMENT_GRID, make_spec, grid_cells, PAPER_ARCHS
+from .cache import cache_dir, pool_cache_key, save_pool, load_pool, get_or_train_pool
+from .runner import MethodStats, CellResult, run_cell, run_grid, PAPER_METHODS
+from .tables import render_table1, render_table2, render_table3, results_to_csv
+from .figures import (
+    fig3_series,
+    render_fig3,
+    fig4a_speedups,
+    render_fig4a,
+    fig4b_memory,
+    render_fig4b,
+)
+from .paper_values import PAPER_TABLE2, PAPER_TABLE3, PAPER_HEADLINES, paper_accuracy, paper_time
+
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENT_GRID",
+    "make_spec",
+    "grid_cells",
+    "PAPER_ARCHS",
+    "cache_dir",
+    "pool_cache_key",
+    "save_pool",
+    "load_pool",
+    "get_or_train_pool",
+    "MethodStats",
+    "CellResult",
+    "run_cell",
+    "run_grid",
+    "PAPER_METHODS",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "results_to_csv",
+    "fig3_series",
+    "render_fig3",
+    "fig4a_speedups",
+    "render_fig4a",
+    "fig4b_memory",
+    "render_fig4b",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_HEADLINES",
+    "paper_accuracy",
+    "paper_time",
+]

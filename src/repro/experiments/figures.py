@@ -1,0 +1,141 @@
+"""Figure regenerators: Fig 3 (strategies vs ingredients), Fig 4a (relative
+speedup), Fig 4b (relative memory).
+
+Figures are emitted as (a) data series suitable for plotting and (b) an
+ASCII rendering so ``pytest benchmarks/`` output is self-contained in a
+terminal-only environment.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from .runner import CellResult
+
+__all__ = [
+    "fig3_series",
+    "render_fig3",
+    "fig4a_speedups",
+    "render_fig4a",
+    "fig4b_memory",
+    "render_fig4b",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fig 3 — soups vs ingredient accuracy per dataset
+# ---------------------------------------------------------------------------
+
+
+def fig3_series(results: list[CellResult]) -> dict[str, dict]:
+    """Per cell: ingredient accuracy distribution + each soup's accuracy."""
+    series: dict[str, dict] = {}
+    for cell in results:
+        series[cell.spec.cell_id] = {
+            "ingredients": list(cell.ingredient_test_accs),
+            "soups": {m: s.acc_mean for m, s in cell.stats.items()},
+        }
+    return series
+
+
+def render_fig3(results: list[CellResult], width: int = 56) -> str:
+    """ASCII Fig 3: per cell, an accuracy axis with ingredient dots (.) and
+    method markers (method initial)."""
+    out = io.StringIO()
+    out.write("FIG 3: souping strategies vs their ingredients (test accuracy)\n")
+    for cell in results:
+        ing = np.asarray(cell.ingredient_test_accs)
+        soups = {m: s.acc_mean for m, s in cell.stats.items()}
+        lo = min(ing.min(), *soups.values())
+        hi = max(ing.max(), *soups.values())
+        span = max(hi - lo, 1e-6)
+        pad = 0.1 * span
+        lo, hi = lo - pad, hi + pad
+        axis = [" "] * width
+
+        def place(value: float, marker: str) -> None:
+            pos = int((value - lo) / (hi - lo) * (width - 1))
+            axis[pos] = marker
+
+        for acc in ing:
+            place(acc, ".")
+        for method, acc in sorted(soups.items()):
+            place(acc, method[0].upper())
+        out.write(f"{cell.spec.cell_id:<22} {lo * 100:6.2f}% |{''.join(axis)}| {hi * 100:6.2f}%\n")
+    out.write("markers: . ingredient, U=US, G=GIS, L=LS, P=PLS\n")
+    return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Fig 4a — relative speedup over GIS
+# ---------------------------------------------------------------------------
+
+
+def fig4a_speedups(results: list[CellResult], methods: tuple[str, ...] = ("us", "ls", "pls")) -> dict:
+    """``cell_id -> {method: t_GIS / t_method}`` (GIS itself is 1.0)."""
+    data: dict[str, dict[str, float]] = {}
+    for cell in results:
+        if "gis" not in cell.stats:
+            continue
+        entry = {"gis": 1.0}
+        for m in methods:
+            if m in cell.stats:
+                entry[m] = cell.speedup_vs_gis(m)
+        data[cell.spec.cell_id] = entry
+    return data
+
+
+def render_fig4a(results: list[CellResult], bar_width: int = 36) -> str:
+    """ASCII Fig 4a: horizontal bars of speedup vs the GIS baseline."""
+    data = fig4a_speedups(results)
+    out = io.StringIO()
+    out.write("FIG 4a: Relative speedup over GIS [higher is better]\n")
+    max_speedup = max((v for entry in data.values() for v in entry.values()), default=1.0)
+    for cell_id, entry in data.items():
+        out.write(f"{cell_id}\n")
+        for method in ("us", "gis", "ls", "pls"):
+            if method not in entry:
+                continue
+            frac = entry[method] / max_speedup
+            bar = "#" * max(1, int(frac * bar_width))
+            out.write(f"  {method:>4} {bar:<{bar_width}} {entry[method]:7.2f}x\n")
+    return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Fig 4b — relative memory vs GIS
+# ---------------------------------------------------------------------------
+
+
+def fig4b_memory(results: list[CellResult], methods: tuple[str, ...] = ("ls", "pls")) -> dict:
+    """``cell_id -> {method: peak_method / peak_GIS}`` (US excluded, as in
+    the paper: it does no forward pass, its footprint is not comparable)."""
+    data: dict[str, dict[str, float]] = {}
+    for cell in results:
+        if "gis" not in cell.stats:
+            continue
+        entry = {"gis": 1.0}
+        for m in methods:
+            if m in cell.stats:
+                entry[m] = cell.memory_vs_gis(m)
+        data[cell.spec.cell_id] = entry
+    return data
+
+
+def render_fig4b(results: list[CellResult], bar_width: int = 36) -> str:
+    """ASCII Fig 4b: horizontal bars of peak memory relative to GIS."""
+    data = fig4b_memory(results)
+    out = io.StringIO()
+    out.write("FIG 4b: Relative peak memory vs GIS [lower is better]\n")
+    max_rel = max((v for entry in data.values() for v in entry.values()), default=1.0)
+    for cell_id, entry in data.items():
+        out.write(f"{cell_id}\n")
+        for method in ("gis", "ls", "pls"):
+            if method not in entry:
+                continue
+            frac = entry[method] / max_rel
+            bar = "#" * max(1, int(frac * bar_width))
+            out.write(f"  {method:>4} {bar:<{bar_width}} {entry[method]:7.2f}x\n")
+    return out.getvalue()

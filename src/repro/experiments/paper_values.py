@@ -1,0 +1,109 @@
+"""The paper's reported numbers, transcribed for side-by-side comparison.
+
+Sources: Table II (accuracy, %), Table III (souping seconds), §V-B/§V-C
+headline claims. Keys are ``(arch, dataset)`` in our naming. These values
+anchor the EXPERIMENTS.md paper-vs-measured records and the shape
+assertions in the benches (we compare *orderings and ratios*, never
+absolute numbers — the substrate differs by construction).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_HEADLINES",
+    "paper_accuracy",
+    "paper_time",
+]
+
+# (arch, dataset) -> {column: (mean, std)} — Table II, accuracy %
+PAPER_TABLE2: dict[tuple[str, str], dict[str, tuple[float, float]]] = {
+    ("gcn", "flickr"): {
+        "ingredients": (51.34, 0.60), "us": (51.51, 0.04), "gis": (52.25, 0.15),
+        "ls": (51.95, 0.09), "pls": (51.56, 0.05),
+    },
+    ("gcn", "ogbn-arxiv"): {
+        "ingredients": (70.06, 0.60), "us": (57.65, 0.80), "gis": (70.64, 0.13),
+        "ls": (65.17, 1.68), "pls": (62.32, 0.68),
+    },
+    ("gcn", "reddit"): {
+        "ingredients": (92.85, 0.16), "us": (92.91, 0.01), "gis": (93.14, 0.01),
+        "ls": (93.20, 0.03), "pls": (93.10, 0.03),
+    },
+    ("gcn", "ogbn-products"): {
+        "ingredients": (73.93, 0.57), "us": (74.12, 0.08), "gis": (74.61, 0.13),
+        "ls": (74.72, 0.13), "pls": (74.69, 0.24),
+    },
+    ("gat", "flickr"): {
+        "ingredients": (54.00, 0.33), "us": (44.01, 0.23), "gis": (54.53, 0.21),
+        "ls": (50.85, 0.10), "pls": (49.43, 0.67),
+    },
+    ("gat", "ogbn-arxiv"): {
+        "ingredients": (70.37, 0.16), "us": (70.32, 0.03), "gis": (70.57, 0.05),
+        "ls": (70.63, 0.07), "pls": (70.63, 0.07),
+    },
+    ("gat", "reddit"): {
+        "ingredients": (95.49, 0.06), "us": (96.90, 0.01), "gis": (95.63, 0.03),
+        "ls": (96.81, 0.03), "pls": (96.82, 0.02),
+    },
+    ("gat", "ogbn-products"): {
+        "ingredients": (78.54, 0.27), "us": (78.22, 0.07), "gis": (78.74, 0.11),
+        "ls": (78.82, 0.03), "pls": (78.84, 0.02),
+    },
+    ("sage", "flickr"): {
+        "ingredients": (52.85, 0.23), "us": (52.72, 0.03), "gis": (53.08, 0.03),
+        "ls": (52.74, 0.04), "pls": (52.74, 0.03),
+    },
+    ("sage", "ogbn-arxiv"): {
+        "ingredients": (70.54, 0.49), "us": (69.57, 0.25), "gis": (71.09, 0.16),
+        "ls": (70.23, 0.29), "pls": (70.37, 0.28),
+    },
+    ("sage", "reddit"): {
+        "ingredients": (96.45, 0.04), "us": (96.48, 0.01), "gis": (96.49, 0.02),
+        "ls": (96.50, 0.01), "pls": (96.52, 0.02),
+    },
+    ("sage", "ogbn-products"): {
+        "ingredients": (79.33, 0.31), "us": (79.76, 0.05), "gis": (79.57, 0.096),
+        "ls": (79.78, 0.04), "pls": (79.75, 0.05),
+    },
+}
+
+# (arch, dataset) -> {method: (mean_s, std_s)} — Table III, seconds
+PAPER_TABLE3: dict[tuple[str, str], dict[str, tuple[float, float]]] = {
+    ("gcn", "flickr"): {"us": (8.36, 2.69), "gis": (19.12, 0.03), "ls": (9.61, 5.22), "pls": (17.24, 5.53)},
+    ("gcn", "ogbn-arxiv"): {"us": (7.27, 3.38), "gis": (28.63, 0.04), "ls": (25.65, 5.65), "pls": (25.05, 5.00)},
+    ("gcn", "reddit"): {"us": (4.76, 0.31), "gis": (326.76, 0.09), "ls": (65.01, 5.22), "pls": (267.01, 5.20)},
+    ("gcn", "ogbn-products"): {"us": (8.95, 3.93), "gis": (437.37, 0.45), "ls": (88.82, 4.79), "pls": (34.61, 4.99)},
+    ("gat", "flickr"): {"us": (197.48, 8.92), "gis": (738.63, 0.44), "ls": (350.05, 4.37), "pls": (122.15, 5.89)},
+    ("gat", "ogbn-arxiv"): {"us": (8.57, 2.97), "gis": (114.27, 0.34), "ls": (37.78, 4.56), "pls": (57.75, 4.45)},
+    ("gat", "reddit"): {"us": (14.92, 0.53), "gis": (292.73, 1.26), "ls": (137.36, 4.09), "pls": (38.33, 4.51)},
+    ("gat", "ogbn-products"): {"us": (48.38, 2.01), "gis": (696.47, 2.46), "ls": (533.60, 5.87), "pls": (70.28, 4.36)},
+    ("sage", "flickr"): {"us": (1.81, 2.93), "gis": (18.25, 0.01), "ls": (3.60, 5.25), "pls": (5.43, 5.24)},
+    ("sage", "ogbn-arxiv"): {"us": (1.86, 2.88), "gis": (39.73, 0.45), "ls": (30.17, 5.20), "pls": (19.20, 5.21)},
+    ("sage", "reddit"): {"us": (5.57, 0.14), "gis": (240.99, 0.02), "ls": (28.92, 3.58), "pls": (16.83, 5.22)},
+    ("sage", "ogbn-products"): {"us": (6.13, 3.04), "gis": (522.97, 0.57), "ls": (32.90, 4.89), "pls": (21.37, 5.05)},
+}
+
+#: §V / abstract headline claims, used in EXPERIMENTS.md.
+PAPER_HEADLINES: dict[str, str] = {
+    "ls_accuracy_gain": "LS/PLS beat GIS by 1.2% on Reddit+GAT",
+    "ls_speedup": "2.1x speedup (Reddit, GAT)",
+    "pls_products_sage": "PLS: 24.5x speedup, 76% memory reduction (ogbn-products, GraphSAGE)",
+    "pls_products_gcn": "PLS: 12.35x speedup, 79.86% memory reduction (ogbn-products, GCN)",
+    "us_fastest": "US nearly always fastest but least accurate",
+    "ls_highest_memory": "LS has the highest memory footprint across all 12 combinations",
+    "pls_lowest_sage": "PLS lowest memory across all datasets for GraphSAGE",
+    "r1_degradation": "R=1 degrades accuracy by 2-3% (no cut edges, only K subgraphs)",
+    "practical_rk": "practical choice R=8, K=32 (>10M possible subgraphs)",
+}
+
+
+def paper_accuracy(arch: str, dataset: str, column: str) -> tuple[float, float]:
+    """Table II lookup: mean/std accuracy (%) for one cell and column."""
+    return PAPER_TABLE2[(arch, dataset)][column]
+
+
+def paper_time(arch: str, dataset: str, method: str) -> tuple[float, float]:
+    """Table III lookup: mean/std seconds for one cell and method."""
+    return PAPER_TABLE3[(arch, dataset)][method]

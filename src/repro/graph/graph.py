@@ -1,0 +1,181 @@
+"""The ``Graph`` container: structure + features + labels + split masks.
+
+A single object passed around the whole pipeline (ingredient training,
+souping, evaluation). Normalised message-passing operators are cached per
+graph so the many forward passes of GIS/LS reuse one SpMM operand, exactly
+like DGL caches its normalised adjacency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.sparse import SparseAdj
+from .csr import CSR
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An attributed, node-classified graph with train/val/test masks."""
+
+    __slots__ = (
+        "csr",
+        "features",
+        "labels",
+        "train_mask",
+        "val_mask",
+        "test_mask",
+        "num_classes",
+        "name",
+        "_operators",
+    )
+
+    def __init__(
+        self,
+        csr: CSR,
+        features: np.ndarray,
+        labels: np.ndarray,
+        train_mask: np.ndarray,
+        val_mask: np.ndarray,
+        test_mask: np.ndarray,
+        num_classes: int,
+        name: str = "graph",
+    ) -> None:
+        self.csr = csr
+        self.features = np.ascontiguousarray(features, dtype=np.float64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.train_mask = np.asarray(train_mask, dtype=bool)
+        self.val_mask = np.asarray(val_mask, dtype=bool)
+        self.test_mask = np.asarray(test_mask, dtype=bool)
+        self.num_classes = int(num_classes)
+        self.name = name
+        self._operators: dict[str, SparseAdj] = {}
+        self.validate()
+
+    # -- invariants --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants the rest of the stack assumes."""
+        n = self.csr.num_nodes
+        if self.features.shape[0] != n:
+            raise ValueError(f"{self.features.shape[0]} feature rows vs {n} nodes")
+        if self.labels.shape != (n,):
+            raise ValueError(f"labels shape {self.labels.shape} != ({n},)")
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(self, mask_name)
+            if mask.shape != (n,):
+                raise ValueError(f"{mask_name} shape {mask.shape} != ({n},)")
+        overlap = (
+            (self.train_mask & self.val_mask) | (self.train_mask & self.test_mask) | (self.val_mask & self.test_mask)
+        )
+        if overlap.any():
+            raise ValueError("train/val/test masks must be disjoint")
+        if len(self.labels) and (self.labels.min() < 0 or self.labels.max() >= self.num_classes):
+            raise ValueError("label outside [0, num_classes)")
+
+    # -- stats -----------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self.csr.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self.csr.num_edges
+
+    @property
+    def feature_dim(self) -> int:
+        """Width of the node-feature matrix."""
+        return self.features.shape[1]
+
+    @property
+    def train_idx(self) -> np.ndarray:
+        """Node ids of the training split."""
+        return np.flatnonzero(self.train_mask)
+
+    @property
+    def val_idx(self) -> np.ndarray:
+        """Node ids of the validation split."""
+        return np.flatnonzero(self.val_mask)
+
+    @property
+    def test_idx(self) -> np.ndarray:
+        """Node ids of the test split."""
+        return np.flatnonzero(self.test_mask)
+
+    def split_counts(self) -> tuple[int, int, int]:
+        """``(train, val, test)`` node counts."""
+        return int(self.train_mask.sum()), int(self.val_mask.sum()), int(self.test_mask.sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this graph's raw payload (pre-operator)."""
+        return (
+            self.csr.nbytes
+            + self.features.nbytes
+            + self.labels.nbytes
+            + self.train_mask.nbytes
+            + self.val_mask.nbytes
+            + self.test_mask.nbytes
+        )
+
+    def __repr__(self) -> str:
+        tr, va, te = self.split_counts()
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"classes={self.num_classes}, split={tr}/{va}/{te})"
+        )
+
+    # -- message-passing operators ------------------------------------------------
+
+    def operator(self, kind: str) -> SparseAdj:
+        """Cached adjacency: ``gcn`` | ``mean`` | ``mean_loops`` | ``raw_loops`` | ``sum``."""
+        if kind not in self._operators:
+            if kind == "gcn":
+                mat = self.csr.gcn_matrix()
+            elif kind == "mean":
+                mat = self.csr.mean_matrix(add_self_loops=False)
+            elif kind == "mean_loops":
+                mat = self.csr.mean_matrix(add_self_loops=True)
+            elif kind == "raw_loops":
+                mat = self.csr.with_self_loops().to_scipy()
+            elif kind == "sum":
+                # unnormalised neighbour sum (GIN aggregation; no self-loops —
+                # the (1+eps)·h term carries the self contribution)
+                mat = self.csr.to_scipy()
+            else:
+                raise KeyError(f"unknown operator kind {kind!r}")
+            self._operators[kind] = SparseAdj(mat)
+        return self._operators[kind]
+
+    def attention_structure(self) -> CSR:
+        """Self-looped CSR for GAT (cached via the operator mechanism)."""
+        key = "_attn_csr"
+        if key not in self._operators:
+            self._operators[key] = self.csr.with_self_loops()  # type: ignore[assignment]
+        return self._operators[key]  # type: ignore[return-value]
+
+    # -- subgraphs -----------------------------------------------------------------
+
+    def subgraph(self, nodes: np.ndarray, name: str | None = None) -> "Graph":
+        """Node-induced subgraph carrying features/labels/masks along.
+
+        Used by PLS: pass the union of the selected partitions' nodes and
+        the inter-partition (formerly cut) edges are preserved by the
+        induced-subgraph semantics.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        sub_csr, _ = self.csr.induced_subgraph(nodes)
+        return Graph(
+            sub_csr,
+            self.features[nodes],
+            self.labels[nodes],
+            self.train_mask[nodes],
+            self.val_mask[nodes],
+            self.test_mask[nodes],
+            self.num_classes,
+            name=name or f"{self.name}[sub:{len(nodes)}]",
+        )

@@ -1,0 +1,140 @@
+"""Subgraph construction and sampling.
+
+Two consumers:
+
+* **PLS** (Algorithm 4) — :func:`select_partitions` draws R of K partition
+  ids each epoch and :func:`partition_union_subgraph` materialises the
+  union as one induced subgraph. Because the subgraph is *node-induced*,
+  every edge between two selected partitions — i.e. an edge the
+  partitioner originally cut — is preserved, which is exactly the paper's
+  "preserving the edges cut during partitioning" semantics; with R=1 no
+  cut edge can appear, reproducing the information-loss corner case.
+* **Minibatch ingredient training** — :func:`khop_subgraph` and
+  :class:`NeighborSampler` give GraphSAGE-style fixed-fanout sampled
+  neighbourhoods around a seed batch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .csr import CSR
+from .graph import Graph
+
+__all__ = [
+    "select_partitions",
+    "partition_union_subgraph",
+    "num_possible_subgraphs",
+    "khop_subgraph",
+    "NeighborSampler",
+]
+
+
+def select_partitions(k: int, r: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw R distinct partition ids out of K (one PLS epoch's selection)."""
+    if not 1 <= r <= k:
+        raise ValueError(f"need 1 <= R <= K, got R={r}, K={k}")
+    return np.sort(rng.choice(k, size=r, replace=False))
+
+
+def num_possible_subgraphs(k: int, r: int) -> int:
+    """``C(K, R)`` — the subgraph-diversity count discussed in §VI-B."""
+    return math.comb(k, r)
+
+
+def partition_union_subgraph(
+    graph: Graph, part_labels: np.ndarray, selected: np.ndarray
+) -> tuple[Graph, np.ndarray]:
+    """Induced subgraph on the union of the selected partitions.
+
+    Returns ``(subgraph, node_ids)`` with ``node_ids`` in ascending order
+    (so masks/labels/features line up positionally).
+    """
+    part_labels = np.asarray(part_labels)
+    if part_labels.shape != (graph.num_nodes,):
+        raise ValueError("part_labels must assign every node")
+    mask = np.isin(part_labels, np.asarray(selected))
+    nodes = np.flatnonzero(mask)
+    if len(nodes) == 0:
+        raise ValueError("selected partitions contain no nodes")
+    return graph.subgraph(nodes), nodes
+
+
+def khop_subgraph(
+    csr: CSR, seeds: np.ndarray, hops: int, fanout: int | None, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Nodes reachable from ``seeds`` within ``hops`` in-edges.
+
+    With ``fanout`` set, at most ``fanout`` in-neighbours per node per hop
+    are kept (GraphSAGE sampling); ``None`` expands the full neighbourhood.
+    Returns the union node set (sorted, seeds included).
+    """
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    visited = np.zeros(csr.num_nodes, dtype=bool)
+    visited[seeds] = True
+    frontier = seeds
+    for _ in range(hops):
+        if len(frontier) == 0:
+            break
+        starts, ends = csr.indptr[frontier], csr.indptr[frontier + 1]
+        degs = ends - starts
+        if fanout is None:
+            idx = np.concatenate([np.arange(s, e) for s, e in zip(starts, ends)]) if len(frontier) else np.empty(0, np.int64)
+            neighbours = csr.indices[idx]
+        else:
+            if rng is None:
+                raise ValueError("fanout sampling requires an rng")
+            # sample min(deg, fanout) in-edges per frontier node, vectorised
+            # over a fanout-wide random offset matrix
+            capped = np.minimum(degs, fanout)
+            offsets = (rng.random((len(frontier), fanout)) * degs[:, None]).astype(np.int64)
+            take = np.arange(fanout)[None, :] < capped[:, None]
+            flat = (starts[:, None] + offsets)[take]
+            neighbours = csr.indices[flat]
+        fresh = np.unique(neighbours[~visited[neighbours]])
+        visited[fresh] = True
+        frontier = fresh
+    return np.flatnonzero(visited)
+
+
+class NeighborSampler:
+    """Iterator of seed-batch sampled subgraphs for minibatch training.
+
+    Each iteration yields ``(subgraph, seed_positions)`` where
+    ``seed_positions`` indexes the batch's seed nodes inside the subgraph;
+    the trainer computes loss only on those rows, mirroring DGL blocks.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        seeds: np.ndarray,
+        batch_size: int,
+        hops: int,
+        fanout: int | None,
+        rng: np.random.Generator,
+        shuffle: bool = True,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.graph = graph
+        self.seeds = np.asarray(seeds, dtype=np.int64)
+        self.batch_size = batch_size
+        self.hops = hops
+        self.fanout = fanout
+        self.rng = rng
+        self.shuffle = shuffle
+
+    def __len__(self) -> int:
+        return int(np.ceil(len(self.seeds) / self.batch_size))
+
+    def __iter__(self):
+        order = self.rng.permutation(len(self.seeds)) if self.shuffle else np.arange(len(self.seeds))
+        for start in range(0, len(order), self.batch_size):
+            batch = self.seeds[order[start : start + self.batch_size]]
+            nodes = khop_subgraph(self.graph.csr, batch, self.hops, self.fanout, self.rng)
+            sub = self.graph.subgraph(nodes)
+            positions = np.searchsorted(nodes, batch)
+            yield sub, positions

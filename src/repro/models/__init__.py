@@ -1,0 +1,23 @@
+"""GNN architectures: GCN, GraphSAGE, GAT (the paper's three) + GIN and MLP."""
+
+from .gcn import GCN, GCNConv
+from .sage import GraphSAGE, SAGEConv
+from .gat import GAT, GATConv
+from .gin import GIN, GINConv
+from .mlp import MLP
+from .registry import MODEL_REGISTRY, build_model, model_names
+
+__all__ = [
+    "GCN",
+    "GCNConv",
+    "GraphSAGE",
+    "SAGEConv",
+    "GAT",
+    "GATConv",
+    "GIN",
+    "GINConv",
+    "MLP",
+    "MODEL_REGISTRY",
+    "build_model",
+    "model_names",
+]

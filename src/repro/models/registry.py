@@ -1,0 +1,65 @@
+"""Model factory.
+
+Ingredient training (Phase 1) needs every worker to construct the *same*
+architecture with the *same* initial weights; :func:`build_model` makes
+that a pure function of ``(arch, dims, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module
+from .gcn import GCN
+from .sage import GraphSAGE
+from .gat import GAT
+from .gin import GIN
+from .mlp import MLP
+
+__all__ = ["MODEL_REGISTRY", "build_model", "model_names"]
+
+
+MODEL_REGISTRY: dict[str, type] = {
+    "gcn": GCN,
+    "sage": GraphSAGE,
+    "gat": GAT,
+    "gin": GIN,
+    "mlp": MLP,
+}
+
+
+def model_names() -> list[str]:
+    """The paper's three evaluated architectures plus GIN and the MLP baseline."""
+    return list(MODEL_REGISTRY.keys())
+
+
+def build_model(
+    arch: str,
+    in_dim: int,
+    out_dim: int,
+    hidden_dim: int = 64,
+    num_layers: int = 2,
+    dropout: float = 0.5,
+    num_heads: int = 4,
+    attn_dropout: float = 0.0,
+    seed: int = 0,
+) -> Module:
+    """Construct a model with seeded (hence shared-across-workers) init.
+
+    ``num_heads``/``attn_dropout`` apply to GAT only and are ignored
+    elsewhere, so one config dict can drive all architectures.
+    """
+    if arch not in MODEL_REGISTRY:
+        raise KeyError(f"unknown architecture {arch!r}; available: {model_names()}")
+    rng = np.random.default_rng(seed)
+    common = dict(
+        in_dim=in_dim,
+        hidden_dim=hidden_dim,
+        out_dim=out_dim,
+        num_layers=num_layers,
+        dropout=dropout,
+        rng=rng,
+    )
+    if arch == "gat":
+        return GAT(num_heads=num_heads, attn_dropout=attn_dropout, **common)
+    return MODEL_REGISTRY[arch](**common)

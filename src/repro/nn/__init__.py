@@ -1,0 +1,23 @@
+"""Neural-network building blocks: modules, layers, losses."""
+
+from .module import Module, ModuleList, Parameter, functional_params
+from .layers import Linear, Dropout, Sequential, ReLU, LeakyReLU, ELU, Tanh, Identity
+from .loss import cross_entropy, nll_loss, l2_penalty
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "functional_params",
+    "Linear",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "Tanh",
+    "Identity",
+    "cross_entropy",
+    "nll_loss",
+    "l2_penalty",
+]

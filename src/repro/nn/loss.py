@@ -1,0 +1,64 @@
+"""Loss functions for node classification.
+
+``cross_entropy`` is the objective for both ingredient training (on train
+nodes) and the LS/PLS alpha optimisation (on validation nodes — the paper
+minimises *validation* loss of the soup, Eq. 4/6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["cross_entropy", "nll_loss", "l2_penalty"]
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy over class logits.
+
+    Parameters
+    ----------
+    logits:
+        ``[n, C]`` unnormalised scores.
+    labels:
+        ``[n]`` integer class ids (constant, not differentiated).
+    reduction:
+        ``"mean"`` | ``"sum"`` | ``"none"``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected [n, C] logits, got shape {logits.shape}")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError(f"{logits.shape[0]} logit rows vs {labels.shape[0]} labels")
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[(np.arange(labels.shape[0]), labels)]
+    return _reduce(-picked, reduction)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood over pre-computed log-probabilities."""
+    labels = np.asarray(labels, dtype=np.int64)
+    picked = log_probs[(np.arange(labels.shape[0]), labels)]
+    return _reduce(-picked, reduction)
+
+
+def l2_penalty(params: list[Tensor]) -> Tensor:
+    """Sum of squared parameter norms (explicit weight decay)."""
+    total = None
+    for p in params:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("l2_penalty requires at least one parameter")
+    return total
+
+
+def _reduce(values: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return values.mean()
+    if reduction == "sum":
+        return values.sum()
+    if reduction == "none":
+        return values
+    raise ValueError(f"unknown reduction {reduction!r}")

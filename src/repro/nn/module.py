@@ -1,0 +1,228 @@
+"""Module / Parameter system with state-dict algebra and functional injection.
+
+Two requirements beyond a toy NN library drive this design, both imposed
+by the souping algorithms:
+
+1. **State-dict algebra** — souping operates on named parameter mappings
+   (``{"layers.0.weight": ndarray, ...}``); ``state_dict`` /
+   ``load_state_dict`` give stable, ordered names shared by all ingredient
+   replicas (they share one architecture).
+2. **Functional parameter injection** — Learned Souping needs the model's
+   weights to *be a differentiable function of the alphas*. ``inject_params``
+   temporarily rebinds named parameters to arbitrary (non-leaf) tensors, so
+   a forward pass backpropagates through the weighted-combine op into the
+   alpha vector. :class:`functional_params` restores the originals on exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList", "functional_params"]
+
+
+class Parameter(Tensor):
+    """A leaf tensor registered as learnable state of a Module."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and child :class:`Module` objects
+    as attributes; registration is automatic. ``training`` toggles dropout
+    and propagates through ``train()`` / ``eval()``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_params", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute routing -------------------------------------------------
+
+    def __setattr__(self, key: str, value) -> None:
+        params = self.__dict__.get("_params")
+        modules = self.__dict__.get("_modules")
+        if params is None:
+            raise RuntimeError("Module.__init__() must be called before assigning members")
+        if isinstance(value, Parameter):
+            params[key] = value
+            modules.pop(key, None)
+            self.__dict__.pop(key, None)
+        elif isinstance(value, Module):
+            modules[key] = value
+            params.pop(key, None)
+            self.__dict__.pop(key, None)
+        elif isinstance(value, Tensor) and key in params:
+            # functional injection: rebind an existing parameter slot to a
+            # (possibly non-leaf) tensor; used by learned souping
+            params[key] = value
+        else:
+            object.__setattr__(self, key, value)
+
+    def __getattr__(self, key: str):
+        params = self.__dict__.get("_params")
+        if params is not None and key in params:
+            return params[key]
+        modules = self.__dict__.get("_modules")
+        if modules is not None and key in modules:
+            return modules[key]
+        raise AttributeError(f"{type(self).__name__!s} has no attribute {key!r}")
+
+    # -- iteration ----------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(dotted_name, tensor)`` in stable registration order."""
+        for name, param in self._params.items():
+            yield (prefix + name, param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + mod_name + ".")
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable parameters, depth-first registration order."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(prefix, module)`` pairs, depth-first."""
+        yield (prefix.rstrip("."), self)
+        for mod_name, module in self._modules.items():
+            yield from module.named_modules(prefix + mod_name + ".")
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.data.size for _, p in self.named_parameters())
+
+    def parameter_nbytes(self) -> int:
+        """Total parameter storage in bytes (the paper's 'model size')."""
+        return sum(p.data.nbytes for _, p in self.named_parameters())
+
+    # -- state dict -----------------------------------------------------------
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of all parameters as a name → ndarray mapping."""
+        return OrderedDict((name, p.data.copy()) for name, p in self.named_parameters())
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameter values in place (shapes must match exactly)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            value = np.asarray(value, dtype=np.float64)
+            if own[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: model {own[name].data.shape} vs state {value.shape}"
+                )
+            own[name].data = value.copy()
+
+    # -- functional injection ----------------------------------------------------
+
+    def inject_params(self, mapping: dict) -> "OrderedDict[str, Tensor]":
+        """Rebind named parameter slots to the given tensors.
+
+        Returns the previous bindings so callers can restore them. Names
+        not present in ``mapping`` are left untouched.
+        """
+        previous: OrderedDict[str, Tensor] = OrderedDict()
+        for name, tensor in mapping.items():
+            module, attr = self._resolve(name)
+            if attr not in module._params:
+                raise KeyError(f"{name!r} is not a registered parameter")
+            previous[name] = module._params[attr]
+            if not isinstance(tensor, Tensor):
+                tensor = Tensor(np.asarray(tensor, dtype=np.float64))
+            module._params[attr] = tensor
+        return previous
+
+    def _resolve(self, dotted: str) -> tuple["Module", str]:
+        parts = dotted.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        return module, parts[-1]
+
+    # -- mode -----------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        """Enable training mode (dropout active) on the whole subtree."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Enable inference mode (dropout off) on the whole subtree."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every parameter."""
+        for _, p in self.named_parameters():
+            p.grad = None
+
+    # -- misc -----------------------------------------------------------------
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Subclass hook: compute the module's output."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}("]
+        for name, module in self._modules.items():
+            inner = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {inner}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}()"
+
+
+class ModuleList(Module):
+    """An indexable container of child modules (registered by position)."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        """Register one more child module."""
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        if idx < 0:
+            idx += len(self._modules)
+        return self._modules[str(idx)]
+
+
+@contextlib.contextmanager
+def functional_params(module: Module, mapping: dict):
+    """Context manager: run the module with injected parameter tensors.
+
+    This is the hinge of Learned Souping: inside the context the model's
+    weights are non-leaf tensors produced by ``weighted_combine`` of the
+    ingredient stack, so ``loss.backward()`` reaches the alphas.
+    """
+    previous = module.inject_params(mapping)
+    try:
+        yield module
+    finally:
+        module.inject_params(previous)

@@ -1,0 +1,16 @@
+"""Optimisers and learning-rate schedulers."""
+
+from .optimizers import Optimizer, SGD, Adam, AdamW
+from .schedulers import LRScheduler, ConstantLR, CosineAnnealingLR, StepLR, LinearWarmupLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "StepLR",
+    "LinearWarmupLR",
+]

@@ -1,0 +1,135 @@
+"""First-order optimizers.
+
+The paper's recipe (§III-B): ingredients are trained with Adam/AdamW-style
+optimisers, while the LS/PLS alpha parameters are optimised with **SGD**
+("we optimise alpha using SGD rather than AdamW commonly used in LLMs")
+under a cosine-annealed learning rate. All three optimisers here follow
+the PyTorch update rules so hyperparameters transfer mentally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW"]
+
+
+class Optimizer:
+    """Base class holding parameter references and the current lr."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        self.params: list[Tensor] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient buffer."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        """Subclass hook: apply one parameter update."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum, Nesterov and decoupled-from-loss weight decay.
+
+    Matches ``torch.optim.SGD``: weight decay is added to the gradient
+    (coupled L2), momentum buffers initialise to the first gradient.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        """One SGD update (momentum, optional Nesterov, L2 decay)."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity[i]
+                v = g.copy() if v is None else self.momentum * v + g
+                self._velocity[i] = v
+                g = g + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction; L2 coupled via weight_decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """One Adam update with bias-corrected moment estimates."""
+        self._step_count += 1
+        t = self._step_count
+        bc1 = 1.0 - self.beta1**t
+        bc2 = 1.0 - self.beta2**t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m, v = self._m[i], self._v[i]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with *decoupled* weight decay (Loshchilov & Hutter)."""
+
+    def step(self) -> None:
+        """One AdamW update (decoupled weight decay)."""
+        wd = self.weight_decay
+        if wd:
+            for p in self.params:
+                if p.grad is not None:
+                    p.data -= self.lr * wd * p.data
+        saved = self.weight_decay
+        self.weight_decay = 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = saved

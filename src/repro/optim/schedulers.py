@@ -1,0 +1,95 @@
+"""Learning-rate schedulers.
+
+Cosine annealing is the schedule the paper pairs with SGD for the alpha
+optimisation in Learned Souping (§III-B); the others support ingredient
+training recipes and the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optimizers import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "CosineAnnealingLR", "StepLR", "LinearWarmupLR"]
+
+
+class LRScheduler:
+    """Base scheduler: call ``step()`` once per epoch after ``optimizer.step()``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        """Subclass hook: the lr for the current step counter."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance the schedule and write the new lr to the optimizer."""
+        self.last_epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    @property
+    def current_lr(self) -> float:
+        """The learning rate most recently applied."""
+        return self.optimizer.lr
+
+
+class ConstantLR(LRScheduler):
+    """No-op schedule: the learning rate stays at its base value."""
+
+    def get_lr(self) -> float:
+        """The base lr, forever."""
+        return self.base_lr
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from base_lr to eta_min over T_max epochs.
+
+    ``lr(t) = eta_min + (base - eta_min) * (1 + cos(pi * t / T_max)) / 2``
+    """
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        """Half-cosine decay from base lr to ``eta_min`` over ``t_max`` steps."""
+        t = min(self.last_epoch, self.t_max)
+        return self.eta_min + (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * t / self.t_max)) / 2.0
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        """Base lr decayed by ``gamma`` every ``step_size`` steps."""
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class LinearWarmupLR(LRScheduler):
+    """Linear ramp to base_lr over ``warmup`` epochs, constant afterwards."""
+
+    def __init__(self, optimizer: Optimizer, warmup: int) -> None:
+        super().__init__(optimizer)
+        if warmup <= 0:
+            raise ValueError(f"warmup must be positive, got {warmup}")
+        self.warmup = warmup
+
+    def get_lr(self) -> float:
+        """Linear ramp up to the base lr over the warmup steps."""
+        if self.last_epoch >= self.warmup:
+            return self.base_lr
+        return self.base_lr * self.last_epoch / self.warmup

@@ -1,0 +1,7 @@
+"""Instrumentation: peak-memory meter, analytic memory model, timers."""
+
+from .memory import MemoryMeter
+from .model import MemoryModel, activation_bytes
+from .timer import Timer, time_callable
+
+__all__ = ["MemoryMeter", "MemoryModel", "activation_bytes", "Timer", "time_callable"]

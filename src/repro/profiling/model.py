@@ -1,0 +1,69 @@
+"""Analytic memory model for souping methods.
+
+Closed-form byte counts mirroring §V-C of the paper; the tests check the
+measured :class:`~repro.profiling.memory.MemoryMeter` peaks against these
+formulas (same ordering, same R/K scaling), giving an independent sanity
+check on the instrumentation.
+
+Notation: N ingredients, |theta| model bytes, G graph payload bytes,
+A(graph) activation bytes of one forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryModel", "activation_bytes"]
+
+_FLOAT = 8  # float64 payloads throughout the stack
+
+
+def activation_bytes(num_nodes: int, layer_widths: list[int], num_edges: int = 0, edge_width: int = 0) -> int:
+    """Rough forward-pass activation footprint.
+
+    Node activations per layer (``num_nodes * width``) plus optional
+    edge-level buffers (GAT attention: ``num_edges * heads``).
+    """
+    node = sum(num_nodes * w for w in layer_widths)
+    edge = num_edges * edge_width
+    return _FLOAT * (node + edge)
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-method peak-memory predictions (bytes)."""
+
+    n_ingredients: int
+    model_bytes: int
+    graph_bytes: int
+    activ_bytes: int  # one full-graph forward
+
+    def uniform(self) -> int:
+        """US: ingredient states + the averaged soup; no forward pass."""
+        return (self.n_ingredients + 1) * self.model_bytes
+
+    def greedy(self) -> int:
+        """Greedy/GIS: states + one candidate + full-graph eval activations."""
+        return (self.n_ingredients + 2) * self.model_bytes + self.graph_bytes + self.activ_bytes
+
+    def gis(self) -> int:
+        """Closed-form GIS peak-memory estimate in bytes."""
+        return self.greedy()
+
+    def learned(self) -> int:
+        """LS: the ingredient stack + soup + fwd AND bwd activations.
+
+        Backward roughly doubles the live activation set (tape keeps the
+        forward intermediates while gradients materialise) — this is why
+        the paper finds LS has the *highest* footprint of all methods.
+        """
+        return (self.n_ingredients + 1) * self.model_bytes + self.graph_bytes + 2 * self.activ_bytes
+
+    def partition_learned(self, r: int, k: int) -> int:
+        """PLS: like LS but graph + activations scale with ~R/K."""
+        frac = r / k
+        return (
+            (self.n_ingredients + 1) * self.model_bytes
+            + int(self.graph_bytes * frac)
+            + int(2 * self.activ_bytes * frac)
+        )

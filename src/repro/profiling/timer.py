@@ -1,0 +1,46 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable
+
+__all__ = ["Timer", "time_callable"]
+
+
+class Timer:
+    """Context manager recording elapsed wall time in ``.elapsed`` seconds."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+    def __repr__(self) -> str:
+        return f"Timer(label={self.label!r}, elapsed={self.elapsed:.4f}s)"
+
+
+def time_callable(fn: Callable, repeats: int = 3) -> tuple[float, float]:
+    """Run ``fn`` ``repeats`` times; return (mean, stdev) seconds.
+
+    stdev is 0.0 for a single repeat.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    mean = statistics.fmean(samples)
+    std = statistics.stdev(samples) if len(samples) > 1 else 0.0
+    return mean, std

@@ -1,0 +1,80 @@
+"""Classic model ensembles — the background baseline soups replace (§II-A).
+
+An ensemble keeps all N ingredients alive at inference: logit averaging or
+majority voting over N forward passes. Accuracy is typically at or above
+soup level, but inference cost and memory are N-fold — precisely the
+overhead model soups were invented to eliminate. These implementations
+exist so the benches can show that trade-off concretely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.ingredients import IngredientPool
+from ..graph.graph import Graph
+from ..train import accuracy, evaluate_logits
+from .base import SoupResult, instrumented
+
+__all__ = ["logit_ensemble", "vote_ensemble"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def _all_logits(pool: IngredientPool, graph: Graph) -> np.ndarray:
+    """``[N, n, C]`` logits of every ingredient (N full forward passes)."""
+    model = pool.make_model()
+    outs = []
+    for state in pool.states:
+        model.load_state_dict(state)
+        outs.append(evaluate_logits(model, graph))
+    return np.stack(outs)
+
+
+def logit_ensemble(pool: IngredientPool, graph: Graph) -> SoupResult:
+    """Average the ingredients' softmax probabilities (soft voting)."""
+    with instrumented("ensemble-logit", pool, graph) as probe:
+        logits = _all_logits(pool, graph)
+        probs = _softmax(logits).mean(axis=0)
+        probe.track_array(probs)
+    val, test = graph.val_idx, graph.test_idx
+    return SoupResult(
+        method="ensemble-logit",
+        state_dict={},  # an ensemble has no single parameter set
+        val_acc=accuracy(probs[val], graph.labels[val]),
+        test_acc=accuracy(probs[test], graph.labels[test]),
+        soup_time=probe.elapsed,
+        peak_memory=probe.peak,
+        extras={"n_ingredients": len(pool), "inference_passes": len(pool)},
+    )
+
+
+def vote_ensemble(pool: IngredientPool, graph: Graph) -> SoupResult:
+    """Majority vote over the ingredients' argmax predictions.
+
+    Ties resolve toward the lowest class id (deterministic, like
+    ``np.argmax`` over the vote histogram).
+    """
+    with instrumented("ensemble-vote", pool, graph) as probe:
+        logits = _all_logits(pool, graph)
+        preds = logits.argmax(axis=-1)  # [N, n]
+        n_nodes = preds.shape[1]
+        votes = np.zeros((n_nodes, graph.num_classes), dtype=np.int64)
+        for row in preds:
+            votes[np.arange(n_nodes), row] += 1
+        final = votes.argmax(axis=-1)
+        probe.track_array(votes)
+    val, test = graph.val_idx, graph.test_idx
+    return SoupResult(
+        method="ensemble-vote",
+        state_dict={},
+        val_acc=float(np.mean(final[val] == graph.labels[val])),
+        test_acc=float(np.mean(final[test] == graph.labels[test])),
+        soup_time=probe.elapsed,
+        peak_memory=probe.peak,
+        extras={"n_ingredients": len(pool), "inference_passes": len(pool)},
+    )

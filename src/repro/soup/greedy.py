@@ -1,0 +1,51 @@
+"""Greedy Souping — Algorithm 1 of the paper (after Wortsman et al.).
+
+Sort ingredients by validation accuracy; iterate best-first, adding an
+ingredient to the soup whenever the *uniform average of the tentative
+members* does not hurt validation accuracy. Unlike GIS there is no
+interpolation-ratio search — membership is all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.ingredients import IngredientPool
+from ..graph.graph import Graph
+from ..train import accuracy, evaluate_logits
+from .base import SoupResult, eval_state, instrumented
+from .state import average
+
+__all__ = ["greedy_soup"]
+
+
+def greedy_soup(pool: IngredientPool, graph: Graph) -> SoupResult:
+    """Algorithm 1: accuracy-ordered greedy membership with uniform mixing."""
+    model = pool.make_model()
+    val_idx, val_labels = graph.val_idx, graph.labels[graph.val_idx]
+
+    def val_acc_of(state: dict) -> float:
+        model.load_state_dict(state)
+        return accuracy(evaluate_logits(model, graph)[val_idx], val_labels)
+
+    with instrumented("greedy", pool, graph) as probe:
+        order = pool.order_by_val()
+        members: list[int] = [int(order[0])]
+        best_val = val_acc_of(average([pool.states[i] for i in members]))
+        for idx in order[1:]:
+            candidate = members + [int(idx)]
+            cand_val = val_acc_of(average([pool.states[i] for i in candidate]))
+            if cand_val >= best_val:
+                members, best_val = candidate, cand_val
+        soup_state = average([pool.states[i] for i in members])
+        probe.track_state_dict(soup_state)
+
+    return SoupResult(
+        method="greedy",
+        state_dict=soup_state,
+        val_acc=best_val,
+        test_acc=eval_state(model, soup_state, graph, "test"),
+        soup_time=probe.elapsed,
+        peak_memory=probe.peak,
+        extras={"members": members, "n_ingredients": len(pool)},
+    )

@@ -1,0 +1,212 @@
+"""Partition Learned Souping (PLS) — Algorithm 4, the paper's second contribution.
+
+LS must hold the whole graph (plus forward/backward activations) on the
+device; PLS bounds that footprint. As preprocessing, the graph is split
+into K partitions with a METIS-style partitioner **balancing validation
+nodes** (§III-C). Then each alpha-descent epoch:
+
+1. draw R of the K partitions at random (Eq. 5),
+2. assemble their union into one subgraph — node-induced, so every edge
+   between two selected partitions (an edge the partitioner cut) is
+   preserved, retaining structural integrity;
+3. run the LS step (build soup via Eq. 3, validation loss on the
+   subgraph's validation nodes, backprop into the alphas — Eq. 6).
+
+Memory then scales with roughly R/K of the graph (§VI-B), while the
+subgraph lottery acts like minibatching and regularises the alphas — the
+mechanism the paper credits for PLS beating LS on several cells of
+Table II. With R = 1 no cut edge can appear and only K distinct subgraphs
+exist (``C(K,1)``), the degradation corner §VI-B quantifies at 2–3%.
+
+The partitioning itself is preprocessing (paper Fig. 2 step 1) and is
+therefore *excluded* from the souping wall-time, but reported in extras.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distributed.ingredients import IngredientPool
+from ..graph.graph import Graph
+from ..graph.partition import PartitionResult, partition_graph
+from ..graph.sampling import num_possible_subgraphs, partition_union_subgraph, select_partitions
+from ..nn import cross_entropy, functional_params
+from ..optim import SGD, ConstantLR, CosineAnnealingLR
+from ..profiling import Timer
+from ..tensor import Tensor
+from ..train import accuracy
+from .base import SoupResult, eval_state, instrumented
+from .learned import (
+    SoupConfig,
+    alpha_weights,
+    build_alpha,
+    combine_with_alphas,
+    entropy_penalty,
+    split_validation,
+)
+from .state import layer_groups
+
+__all__ = ["PLSConfig", "partition_learned_soup"]
+
+
+@dataclass(frozen=True)
+class PLSConfig(SoupConfig):
+    """LS hyperparameters plus the partition budget.
+
+    The paper's practical recommendation is ``(K, R) = (32, 8)`` — over
+    ten million possible subgraphs, so a few hundred epochs never repeat
+    one — with memory scaling ≈ R/K.
+    """
+
+    num_partitions: int = 32  # K
+    partition_budget: int = 8  # R
+    partition_method: str = "metis"
+    partition_seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 1 <= self.partition_budget <= self.num_partitions:
+            raise ValueError(
+                f"need 1 <= R <= K, got R={self.partition_budget}, K={self.num_partitions}"
+            )
+
+    @property
+    def partition_ratio(self) -> float:
+        """R/K — the §VI-B memory/diversity control knob."""
+        return self.partition_budget / self.num_partitions
+
+    @property
+    def subgraph_diversity(self) -> int:
+        """C(K, R) — how many distinct epoch subgraphs exist."""
+        return num_possible_subgraphs(self.num_partitions, self.partition_budget)
+
+
+def partition_learned_soup(
+    pool: IngredientPool,
+    graph: Graph,
+    cfg: PLSConfig | None = None,
+    partition: PartitionResult | None = None,
+) -> SoupResult:
+    """Algorithm 4: gradient-descent souping on random partition unions.
+
+    Parameters
+    ----------
+    partition:
+        A precomputed :class:`PartitionResult` (e.g. shared across souping
+        seeds); computed here — outside the timed mixing region — if absent.
+    """
+    cfg = cfg or PLSConfig()
+    rng = np.random.default_rng(cfg.seed)
+    model = pool.make_model()
+    model.eval()
+    names = pool.param_names()
+    group_ids, group_names = layer_groups(names, cfg.granularity)
+    group_of = {name: int(g) for name, g in zip(names, group_ids)}
+
+    # --- preprocessing: partition with validation balancing (untimed) ---
+    with Timer("partition") as part_timer:
+        if partition is None:
+            partition = partition_graph(
+                graph,
+                cfg.num_partitions,
+                method=cfg.partition_method,
+                node_weights="val",
+                seed=cfg.partition_seed,
+            )
+    if partition.k != cfg.num_partitions:
+        raise ValueError(f"partition has K={partition.k}, config wants {cfg.num_partitions}")
+
+    # the alpha-train/holdout split is defined on *global* node ids so the
+    # objective is consistent across epoch subgraphs
+    alpha_train_idx, holdout_idx = split_validation(graph, cfg.holdout_fraction, rng)
+    alpha_train_mask = np.zeros(graph.num_nodes, dtype=bool)
+    alpha_train_mask[alpha_train_idx] = True
+    holdout_mask = np.zeros(graph.num_nodes, dtype=bool)
+    holdout_mask[holdout_idx] = True
+
+    history: list[tuple[int, float, float]] = []
+    skipped_epochs = 0
+    with instrumented("pls", pool) as probe:  # note: full graph payload NOT resident
+        stacks = pool.stacked_params()
+        for stack in stacks.values():
+            probe.track_array(stack)
+        alphas = build_alpha(len(pool), len(group_names), cfg, rng)
+        optimizer = SGD([alphas], lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+        scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine else ConstantLR(optimizer)
+
+        best_holdout, best_alpha = -1.0, alphas.data.copy()
+        patience_left = cfg.early_stopping if cfg.early_stopping else None
+        for epoch in range(1, cfg.epochs + 1):
+            selected = select_partitions(cfg.num_partitions, cfg.partition_budget, rng)
+            sub, nodes = partition_union_subgraph(graph, partition.labels, selected)
+            sub_train = np.flatnonzero(alpha_train_mask[nodes])
+            sub_holdout = np.flatnonzero(holdout_mask[nodes])
+            if len(sub_train) == 0:
+                skipped_epochs += 1
+                scheduler.step()
+                continue
+            if 0 < cfg.val_batch_size < len(sub_train):
+                # composes with partition sampling: cap the per-epoch alpha
+                # objective at val_batch_size nodes (§VI-A minibatching)
+                sub_train = rng.choice(sub_train, size=cfg.val_batch_size, replace=False)
+            with probe.meter.transient(sub.nbytes):
+                weights = alpha_weights(alphas, cfg)
+                soup_params = combine_with_alphas(weights, stacks, group_of)
+                with functional_params(model, soup_params):
+                    logits = model(sub, Tensor(sub.features))
+                loss = cross_entropy(logits[sub_train], sub.labels[sub_train])
+                if cfg.alpha_entropy_coef:
+                    loss = loss + entropy_penalty(weights) * cfg.alpha_entropy_coef
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                scheduler.step()
+                holdout_acc = (
+                    accuracy(logits.data[sub_holdout], sub.labels[sub_holdout]) if len(sub_holdout) else -1.0
+                )
+            history.append((epoch, float(loss.data), holdout_acc))
+            if cfg.select_best and holdout_acc > best_holdout:
+                best_holdout, best_alpha = holdout_acc, alphas.data.copy()
+                if patience_left is not None:
+                    patience_left = cfg.early_stopping
+            elif patience_left is not None and holdout_acc >= 0:
+                patience_left -= 1
+                if patience_left <= 0:
+                    break
+            # free the epoch subgraph before the next draw
+            del logits, loss, soup_params, sub
+        if not cfg.select_best or best_holdout < 0:
+            best_alpha = alphas.data.copy()
+
+        final_weights = alpha_weights(Tensor(best_alpha), cfg).data
+        soup_state = OrderedDict(
+            (name, np.tensordot(final_weights[:, group_of[name]], stacks[name], axes=(0, 0)))
+            for name in names
+        )
+        probe.track_state_dict(soup_state)
+
+    return SoupResult(
+        method="pls",
+        state_dict=soup_state,
+        val_acc=eval_state(model, soup_state, graph, "val"),
+        test_acc=eval_state(model, soup_state, graph, "test"),
+        soup_time=probe.elapsed,
+        peak_memory=probe.peak,
+        extras={
+            "alphas": best_alpha,
+            "weights": final_weights,
+            "group_names": group_names,
+            "history": history,
+            "n_ingredients": len(pool),
+            "config": cfg,
+            "partition_time": part_timer.elapsed,
+            "partition_cut_edges": partition.cut_edges,
+            "partition_imbalance": partition.imbalance,
+            "partition_ratio": cfg.partition_ratio,
+            "subgraph_diversity": cfg.subgraph_diversity,
+            "skipped_epochs": skipped_epochs,
+        },
+    )

@@ -1,0 +1,127 @@
+"""Sparse model soups (§II-B, ref [41]): prune-then-soup with a shared mask.
+
+Zimmer et al. (2024) show weight averaging and magnitude pruning compose:
+if every ingredient is pruned to the *same* sparsity pattern, their
+average inherits the pattern, giving a soup that keeps the pruned model's
+inference economy. (Their full pipeline interleaves prune→retrain cycles;
+with our zero-communication pools we reproduce the souping half: a shared
+mask derived post-training, applied to every ingredient, then averaged —
+DESIGN.md lists this simplification.)
+
+Two mask sources:
+
+* ``"soup"`` — magnitudes of the uniform soup itself pick the survivors
+  (the natural consensus pattern: weights the ingredients agree are big);
+* ``"intersection"`` — a weight survives only if it is in *every*
+  ingredient's own top-(1-s) set; the realised sparsity is therefore at
+  least the requested one, and the gap measures ingredient mask
+  disagreement (a diversity signal — see ``extras["mask_agreement"]``).
+
+Biases and other 1-D parameters are never pruned (standard practice —
+they are few and load-bearing); sparsity targets refer to ≥2-D tensors.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..distributed.ingredients import IngredientPool
+from ..graph.graph import Graph
+from .base import SoupResult, eval_state, instrumented
+from .state import average
+
+__all__ = ["sparse_soup", "magnitude_mask"]
+
+
+def magnitude_mask(state: dict, sparsity: float, scope: str = "per_tensor") -> "OrderedDict[str, np.ndarray]":
+    """Boolean keep-masks zeroing the smallest-magnitude fraction ``sparsity``.
+
+    ``scope="per_tensor"`` thresholds each ≥2-D tensor independently;
+    ``"global"`` ranks all ≥2-D weights together (layers with small weights
+    lose more). 1-D tensors always get an all-True mask.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    if scope not in ("per_tensor", "global"):
+        raise ValueError(f"unknown scope {scope!r}")
+    prunable = {name: v for name, v in state.items() if v.ndim >= 2}
+    masks: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    if scope == "global" and prunable:
+        all_mags = np.concatenate([np.abs(v).ravel() for v in prunable.values()])
+        k = int(round(sparsity * all_mags.size))
+        threshold = np.partition(all_mags, k)[k] if k > 0 else -np.inf
+    for name, value in state.items():
+        if name not in prunable:
+            masks[name] = np.ones(value.shape, dtype=bool)
+            continue
+        mags = np.abs(value)
+        if scope == "per_tensor":
+            k = int(round(sparsity * value.size))
+            thr = np.partition(mags.ravel(), k)[k] if k > 0 else -np.inf
+        else:
+            thr = threshold
+        masks[name] = mags >= thr
+    return masks
+
+
+def sparse_soup(
+    pool: IngredientPool,
+    graph: Graph,
+    sparsity: float = 0.5,
+    mask_source: str = "soup",
+    scope: str = "per_tensor",
+) -> SoupResult:
+    """Prune every ingredient with one shared mask, then average.
+
+    Because the mask is shared, ``average(masked ingredients) ==
+    mask * average(ingredients)`` — the soup provably carries the target
+    sparsity pattern into inference.
+    """
+    if mask_source not in ("soup", "intersection"):
+        raise ValueError(f"unknown mask_source {mask_source!r}")
+    model = pool.make_model()
+
+    with instrumented("sparse", pool, graph) as probe:
+        avg = average(pool.states)
+        if mask_source == "soup":
+            mask = magnitude_mask(avg, sparsity, scope)
+            agreement = None
+        else:
+            per_ingredient = [magnitude_mask(sd, sparsity, scope) for sd in pool.states]
+            mask = OrderedDict(
+                (name, np.logical_and.reduce([m[name] for m in per_ingredient]))
+                for name in avg
+            )
+            # fraction of each ingredient's kept weights that survived the
+            # intersection — 1.0 means the pools agree perfectly on what matters
+            kept = sum(int(m.sum()) for m in mask.values())
+            per_kept = [sum(int(m[name].sum()) for name in m) for m in per_ingredient]
+            agreement = kept / float(np.mean(per_kept)) if per_kept else 1.0
+        soup_state = OrderedDict((name, avg[name] * mask[name]) for name in avg)
+        probe.track_state_dict(soup_state)
+
+    prunable_total = sum(v.size for v in soup_state.values() if v.ndim >= 2)
+    prunable_zeros = sum(
+        int((~mask[name]).sum()) for name, v in soup_state.items() if v.ndim >= 2
+    )
+    extras = {
+        "sparsity_target": sparsity,
+        "sparsity_achieved": prunable_zeros / prunable_total if prunable_total else 0.0,
+        "mask_source": mask_source,
+        "scope": scope,
+        "nnz": sum(int(m.sum()) for m in mask.values()),
+        "n_ingredients": len(pool),
+    }
+    if agreement is not None:
+        extras["mask_agreement"] = agreement
+    return SoupResult(
+        method="sparse",
+        state_dict=soup_state,
+        val_acc=eval_state(model, soup_state, graph, "val"),
+        test_acc=eval_state(model, soup_state, graph, "test"),
+        soup_time=probe.elapsed,
+        peak_memory=probe.peak,
+        extras=extras,
+    )

@@ -1,0 +1,145 @@
+"""State-dict algebra: the arithmetic all souping methods share.
+
+A "state" is an ordered ``{name: ndarray}`` mapping produced by
+``Module.state_dict()``. Because every ingredient shares one architecture,
+states are pointwise combinable; these helpers implement the three
+combination primitives of the paper:
+
+* :func:`average` — uniform soup (Wortsman et al.),
+* :func:`interpolate` — the two-model mix GIS line-searches over,
+* :func:`weighted_sum` — the general alpha-mix of Eq. (3).
+
+:func:`layer_groups` defines what "per-layer" means for the LS alphas: the
+paper learns one alpha per ingredient per *layer* ``l``; granularities from
+one-alpha-per-model down to one-alpha-per-tensor are provided for the
+ablation benches.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "average",
+    "interpolate",
+    "weighted_sum",
+    "flatten_state",
+    "unflatten_state",
+    "state_distance",
+    "layer_groups",
+    "GRANULARITIES",
+]
+
+GRANULARITIES = ("model", "layer", "module", "tensor")
+
+_LAYER_RE = re.compile(r"^((?:convs|layers)\.\d+)")
+
+
+def average(states: list[dict]) -> "OrderedDict[str, np.ndarray]":
+    """Uniform parameter mean over ingredient states."""
+    if not states:
+        raise ValueError("cannot average zero states")
+    names = list(states[0].keys())
+    _check_consistent(states, names)
+    return OrderedDict(
+        (name, np.mean([sd[name] for sd in states], axis=0)) for name in names
+    )
+
+
+def interpolate(a: dict, b: dict, alpha: float) -> "OrderedDict[str, np.ndarray]":
+    """``(1 - alpha) * a + alpha * b`` — alpha=0 keeps ``a``, alpha=1 gives ``b``."""
+    if set(a) != set(b):
+        raise KeyError("state dicts have different parameter names")
+    return OrderedDict((name, (1.0 - alpha) * a[name] + alpha * b[name]) for name in a)
+
+
+def weighted_sum(states: list[dict], weights: np.ndarray) -> "OrderedDict[str, np.ndarray]":
+    """Eq. (3): ``W_soup = sum_i w_i * W_i`` with one scalar per ingredient.
+
+    ``weights`` may also be a ``[N, G]`` matrix paired with per-name group
+    ids via :func:`layer_groups`-style mapping — that case is handled by
+    the LS implementation directly; here weights are ``[N]``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(states),):
+        raise ValueError(f"weights shape {weights.shape} != ({len(states)},)")
+    names = list(states[0].keys())
+    _check_consistent(states, names)
+    out: OrderedDict[str, np.ndarray] = OrderedDict()
+    for name in names:
+        stack = np.stack([sd[name] for sd in states])
+        out[name] = np.tensordot(weights, stack, axes=(0, 0))
+    return out
+
+
+def flatten_state(state: dict) -> tuple[np.ndarray, list[tuple[str, tuple]]]:
+    """Concatenate all parameters into one vector; return the shape spec."""
+    spec = [(name, np.asarray(v).shape) for name, v in state.items()]
+    vec = np.concatenate([np.asarray(v).ravel() for v in state.values()]) if state else np.empty(0)
+    return vec, spec
+
+
+def unflatten_state(vec: np.ndarray, spec: list[tuple[str, tuple]]) -> "OrderedDict[str, np.ndarray]":
+    """Inverse of :func:`flatten_state`."""
+    out: OrderedDict[str, np.ndarray] = OrderedDict()
+    offset = 0
+    for name, shape in spec:
+        size = int(np.prod(shape)) if shape else 1
+        out[name] = vec[offset : offset + size].reshape(shape)
+        offset += size
+    if offset != len(vec):
+        raise ValueError(f"vector length {len(vec)} != spec total {offset}")
+    return out
+
+
+def state_distance(a: dict, b: dict) -> float:
+    """L2 distance between two states in flattened parameter space."""
+    va, _ = flatten_state(a)
+    vb, _ = flatten_state(b)
+    return float(np.linalg.norm(va - vb))
+
+
+def layer_groups(names: list[str], granularity: str = "layer") -> tuple[np.ndarray, list[str]]:
+    """Map parameter names to alpha-group indices.
+
+    Returns ``(group_of_param, group_names)`` where ``group_of_param[j]``
+    is the group index of ``names[j]``.
+
+    Granularities
+    -------------
+    ``model``  one alpha per ingredient (GIS-style whole-model ratio);
+    ``layer``  one per GNN layer — parameters under ``convs.<i>`` /
+               ``layers.<i>`` share a group (the paper's ``alpha_i^l``);
+    ``module`` one per leaf module (finer for GAT: attention vectors split
+               from the projection);
+    ``tensor`` one per parameter tensor (the finest ablation point).
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(f"granularity must be one of {GRANULARITIES}, got {granularity!r}")
+    group_names: list[str] = []
+    index: dict[str, int] = {}
+    assignment = np.empty(len(names), dtype=np.int64)
+    for j, name in enumerate(names):
+        if granularity == "model":
+            key = "model"
+        elif granularity == "tensor":
+            key = name
+        elif granularity == "module":
+            key = name.rsplit(".", 1)[0] if "." in name else name
+        else:  # layer
+            match = _LAYER_RE.match(name)
+            key = match.group(1) if match else (name.rsplit(".", 1)[0] if "." in name else name)
+        if key not in index:
+            index[key] = len(group_names)
+            group_names.append(key)
+        assignment[j] = index[key]
+    return assignment, group_names
+
+
+def _check_consistent(states: list[dict], names: list[str]) -> None:
+    for sd in states[1:]:
+        if list(sd.keys()) != names:
+            raise KeyError("ingredient state dicts disagree on parameter names/order")

@@ -1,0 +1,33 @@
+"""Uniform Souping (US) — the 'uninformed' baseline.
+
+Wortsman et al.'s original uniform soup: average every ingredient's
+parameters with equal weight. No forward pass is needed, which is why the
+paper finds US nearly always fastest (Table III) yet usually least
+accurate (Table II) — it cannot down-weight bad ingredients.
+"""
+
+from __future__ import annotations
+
+from ..distributed.ingredients import IngredientPool
+from ..graph.graph import Graph
+from .base import SoupResult, eval_state, instrumented
+from .state import average
+
+__all__ = ["uniform_soup"]
+
+
+def uniform_soup(pool: IngredientPool, graph: Graph) -> SoupResult:
+    """Average all ingredients; evaluate the result on val/test."""
+    with instrumented("us", pool) as probe:
+        soup_state = average(pool.states)
+        probe.track_state_dict(soup_state)
+    model = pool.make_model()
+    return SoupResult(
+        method="us",
+        state_dict=soup_state,
+        val_acc=eval_state(model, soup_state, graph, "val"),
+        test_acc=eval_state(model, soup_state, graph, "test"),
+        soup_time=probe.elapsed,
+        peak_memory=probe.peak,
+        extras={"n_ingredients": len(pool)},
+    )

@@ -1,0 +1,74 @@
+"""Autograd substrate: NumPy tensors with reverse-mode differentiation.
+
+Public surface re-exported here; see submodules for details:
+
+* :mod:`repro.tensor.tensor` — the ``Tensor`` tape and dense ops,
+* :mod:`repro.tensor.sparse` — CSR SpMM (GCN/SAGE aggregation),
+* :mod:`repro.tensor.segment` — edge-segment ops (GAT attention),
+* :mod:`repro.tensor.ops` — composite ops incl. ``weighted_combine``
+  (the Learned-Souping mixing op),
+* :mod:`repro.tensor.init` — Xavier/Kaiming initialisers,
+* :mod:`repro.tensor.grad_utils` — finite-difference gradcheck.
+"""
+
+from .tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    tensor,
+    zeros,
+    ones,
+    concat,
+    stack,
+    where,
+    maximum,
+    minimum,
+    register_alloc_hook,
+    unregister_alloc_hook,
+)
+from .sparse import SparseAdj, spmm
+from .segment import (
+    segment_sum,
+    segment_mean,
+    segment_softmax,
+    segment_ids_from_indptr,
+    gather,
+    np_segment_sum,
+    np_segment_max,
+)
+from .ops import weighted_combine, dropout, linear, sparsemax, np_sparsemax
+from .grad_utils import gradcheck, numerical_gradient
+from . import init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "register_alloc_hook",
+    "unregister_alloc_hook",
+    "SparseAdj",
+    "spmm",
+    "segment_sum",
+    "segment_mean",
+    "segment_softmax",
+    "segment_ids_from_indptr",
+    "gather",
+    "np_segment_sum",
+    "np_segment_max",
+    "weighted_combine",
+    "dropout",
+    "linear",
+    "sparsemax",
+    "np_sparsemax",
+    "gradcheck",
+    "numerical_gradient",
+    "init",
+]

@@ -1,0 +1,78 @@
+"""Gradient verification utilities.
+
+``numerical_gradient`` and ``gradcheck`` compare analytic VJPs against
+central finite differences; the test suite runs them over every autograd
+op so the LS/PLS alpha gradients (the paper's core mechanism) are trusted
+end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int = 0,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. one input.
+
+    ``fn`` must return a scalar Tensor. The chosen input is perturbed one
+    element at a time, so keep test tensors small.
+    """
+    target = inputs[wrt]
+    base = target.data
+    grad = np.zeros_like(base)
+    flat = base.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(fn(*inputs).data)
+        flat[i] = orig - eps
+        minus = float(fn(*inputs).data)
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Assert analytic gradients match finite differences for all diff inputs.
+
+    Raises ``AssertionError`` with the offending input index and max error
+    on mismatch; returns True otherwise.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    if out.data.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    for i, t in enumerate(inputs):
+        if not (t.requires_grad and t.is_leaf):
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, inputs, wrt=i, eps=eps)
+        err = np.abs(analytic - numeric)
+        tol = atol + rtol * np.abs(numeric)
+        if not np.all(err <= tol):
+            worst = float(err.max())
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs error {worst:.3e} "
+                f"(atol={atol}, rtol={rtol})"
+            )
+    return True

@@ -1,0 +1,77 @@
+"""Parameter initialisers.
+
+The paper initialises both GNN ingredient weights and the LS interpolation
+parameters with Glorot/Xavier schemes (§III-B, citing Glorot & Bengio
+2010); Kaiming initialisation is provided for the ReLU stacks.
+All functions take an explicit ``numpy.random.Generator`` so ingredient
+training is exactly reproducible from a seed — a prerequisite for the
+paper's "shared initialisation" Phase 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "zeros",
+    "uniform",
+]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """fan_in / fan_out for a weight of ``shape`` (last two dims for >2-D)."""
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+    fan_in = shape[-2] * receptive
+    fan_out = shape[-1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(tuple(shape))
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, std^2) with std = gain * sqrt(2 / (fan_in + fan_out)).
+
+    This is the paper's initialiser for the LS alpha parameters.
+    """
+    fan_in, fan_out = _fans(tuple(shape))
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, a: float = math.sqrt(5.0)) -> np.ndarray:
+    """He uniform (PyTorch's Linear default): U(-b, b), b = sqrt(6/((1+a^2) fan_in))."""
+    fan_in, _ = _fans(tuple(shape))
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, 2/fan_in), suited to ReLU networks."""
+    fan_in, _ = _fans(tuple(shape))
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros array (the bias initialiser)."""
+    return np.zeros(shape)
+
+
+def uniform(shape, rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform array on ``[-scale, scale)``."""
+    return rng.uniform(low, high, size=shape)

@@ -1,0 +1,162 @@
+"""Vectorised segment operations over CSR-ordered edge data.
+
+GNN message passing repeatedly reduces *edge-aligned* arrays into
+*node-aligned* arrays: "for each destination node, combine the values on its
+incoming edges". When edges are stored in CSR order (all edges of
+destination 0, then destination 1, ...) every segment is a contiguous run
+delimited by ``indptr`` and the reductions vectorise:
+
+* ``segment_sum`` uses the exclusive-cumsum trick ``cs[end] - cs[start]``,
+  which — unlike ``np.add.reduceat`` — is exact for empty segments;
+* ``segment_max`` uses ``np.maximum.reduceat`` with clipped offsets; empty
+  segments produce garbage values that are provably never read because the
+  result is only consumed gathered back per-edge;
+* ``segment_softmax`` fuses max-shift / exp / normalise with an analytic
+  backward, the core of the GAT attention layer.
+
+All functions accept either 1-D ``[E]`` or 2-D ``[E, H]`` (multi-head)
+edge arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "np_segment_sum",
+    "np_segment_max",
+    "segment_ids_from_indptr",
+    "segment_sum",
+    "segment_mean",
+    "gather",
+    "segment_softmax",
+]
+
+
+# ---------------------------------------------------------------------------
+# raw NumPy kernels
+# ---------------------------------------------------------------------------
+
+
+def segment_ids_from_indptr(indptr: np.ndarray) -> np.ndarray:
+    """Expand CSR ``indptr`` into a per-edge segment-id array.
+
+    ``indptr = [0, 2, 2, 5]`` -> ``[0, 0, 2, 2, 2]``.
+    """
+    counts = np.diff(indptr)
+    return np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+
+
+def np_segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Sum contiguous segments of ``values`` delimited by ``indptr``.
+
+    Exact for empty segments (they sum to zero). Works on ``[E]`` and
+    ``[E, ...]`` arrays, reducing over axis 0.
+    """
+    if values.shape[0] == 0:
+        out_shape = (len(indptr) - 1,) + values.shape[1:]
+        return np.zeros(out_shape, dtype=values.dtype)
+    zero = np.zeros((1,) + values.shape[1:], dtype=values.dtype)
+    cs = np.concatenate([zero, np.cumsum(values, axis=0)], axis=0)
+    return cs[indptr[1:]] - cs[indptr[:-1]]
+
+
+def np_segment_max(values: np.ndarray, indptr: np.ndarray, empty_value: float = 0.0) -> np.ndarray:
+    """Max over contiguous segments; empty segments get ``empty_value``.
+
+    ``np.maximum.reduceat`` mishandles empty segments (it returns
+    ``values[start]`` and shifts neighbours), so the reduction runs only
+    over the *non-empty* segment starts: consecutive non-empty starts
+    bracket exactly one segment's data (empty segments contribute no
+    elements in between), making the compressed reduceat exact.
+    """
+    counts = np.diff(indptr)
+    n_seg = len(counts)
+    dtype = values.dtype if values.dtype.kind == "f" else np.float64
+    out = np.full((n_seg,) + values.shape[1:], empty_value, dtype=dtype)
+    nonempty = counts > 0
+    if values.shape[0] == 0 or not nonempty.any():
+        return out
+    starts = indptr[:-1][nonempty]
+    out[nonempty] = np.maximum.reduceat(values, starts, axis=0)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# autograd ops
+# ---------------------------------------------------------------------------
+
+
+def segment_sum(values: Tensor, indptr: np.ndarray) -> Tensor:
+    """Differentiable per-segment sum: ``out[s] = sum(values[indptr[s]:indptr[s+1]])``.
+
+    Backward broadcasts the segment gradient back to each member edge.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    seg_ids = segment_ids_from_indptr(indptr)
+    out_data = np_segment_sum(values.data, indptr)
+
+    def vjp(g):
+        return (g[seg_ids],)
+
+    return Tensor._make(out_data, (values,), vjp)
+
+
+def segment_mean(values: Tensor, indptr: np.ndarray) -> Tensor:
+    """Differentiable per-segment mean; empty segments yield zero."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    counts = np.diff(indptr).astype(np.float64)
+    inv = np.zeros_like(counts)
+    nonzero = counts > 0
+    inv[nonzero] = 1.0 / counts[nonzero]
+    inv = inv.reshape((-1,) + (1,) * (values.ndim - 1))
+    return segment_sum(values, indptr) * inv
+
+
+def gather(values: Tensor, index: np.ndarray) -> Tensor:
+    """Differentiable row gather ``values[index]`` (index is constant).
+
+    Backward scatter-adds, so repeated indices accumulate — exactly the
+    adjoint of message broadcast in message passing.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    a = values.data
+    out_data = a[index]
+
+    def vjp(g):
+        ga = np.zeros_like(a)
+        np.add.at(ga, index, g)
+        return (ga,)
+
+    return Tensor._make(out_data, (values,), vjp)
+
+
+def segment_softmax(scores: Tensor, indptr: np.ndarray) -> Tensor:
+    """Softmax of edge scores within each destination segment.
+
+    For every segment ``s`` (the incoming edges of one node):
+
+    ``out[e] = exp(scores[e] - max_s) / sum_{e' in s} exp(scores[e'] - max_s)``
+
+    This is the edge-attention normalisation of GAT. The backward pass is
+    the standard softmax VJP restricted to segments:
+    ``d/ds = y * (g - seg_sum(g * y)[seg_ids])``.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    seg_ids = segment_ids_from_indptr(indptr)
+    a = scores.data
+    seg_max = np_segment_max(a, indptr, empty_value=0.0)
+    shifted = a - seg_max[seg_ids]
+    e = np.exp(shifted)
+    denom = np_segment_sum(e, indptr)
+    # guard empty segments: no edges reference them, value is irrelevant
+    denom = np.where(denom == 0.0, 1.0, denom)
+    out_data = e / denom[seg_ids]
+
+    def vjp(g):
+        weighted = np_segment_sum(g * out_data, indptr)
+        return (out_data * (g - weighted[seg_ids]),)
+
+    return Tensor._make(out_data, (scores,), vjp)

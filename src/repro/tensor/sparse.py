@@ -1,0 +1,68 @@
+"""Sparse-dense products with autograd, wrapping ``scipy.sparse``.
+
+GCN and GraphSAGE aggregation are a single SpMM against a fixed,
+pre-normalised adjacency. The adjacency never requires gradients, so the
+only VJP needed is ``dX = A^T @ dY``; :class:`SparseAdj` pre-transposes the
+matrix once so neither forward nor backward pays a conversion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor
+
+__all__ = ["SparseAdj", "spmm"]
+
+
+class SparseAdj:
+    """An immutable CSR operator with its transpose cached.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix; stored as CSR.  Rows index message
+        *destinations*, columns message *sources*, so ``A @ H`` aggregates
+        each node's in-neighbourhood.
+    """
+
+    __slots__ = ("csr", "csr_t")
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        self.csr = sp.csr_matrix(matrix)
+        self.csr.sum_duplicates()
+        self.csr_t = sp.csr_matrix(self.csr.T)
+
+    @property
+    def shape(self) -> tuple:
+        """``(rows, cols)`` of the operator."""
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        """Stored entry (edge) count."""
+        return self.csr.nnz
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the operator (both orientations)."""
+        total = 0
+        for m in (self.csr, self.csr_t):
+            total += m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return f"SparseAdj(shape={self.shape}, nnz={self.nnz})"
+
+
+def spmm(adj: SparseAdj, dense: Tensor) -> Tensor:
+    """Differentiable sparse @ dense: ``out = A @ X``; ``dX = A^T @ dY``."""
+    if not isinstance(adj, SparseAdj):
+        adj = SparseAdj(adj)
+    out_data = adj.csr @ dense.data
+
+    def vjp(g):
+        return (adj.csr_t @ g,)
+
+    return Tensor._make(out_data, (dense,), vjp)

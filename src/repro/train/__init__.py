@@ -1,0 +1,16 @@
+"""Training substrate: single-model loops and metrics."""
+
+from .metrics import predictions, accuracy, macro_f1, confusion_matrix
+from .trainer import TrainConfig, TrainResult, train_model, evaluate, evaluate_logits
+
+__all__ = [
+    "predictions",
+    "accuracy",
+    "macro_f1",
+    "confusion_matrix",
+    "TrainConfig",
+    "TrainResult",
+    "train_model",
+    "evaluate",
+    "evaluate_logits",
+]

@@ -1,0 +1,47 @@
+"""Classification metrics (accuracy is the paper's reported score)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["predictions", "accuracy", "macro_f1", "confusion_matrix"]
+
+
+def predictions(logits) -> np.ndarray:
+    """Argmax class predictions from logits (Tensor or ndarray)."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    return np.argmax(data, axis=-1)
+
+
+def accuracy(logits, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(predictions(logits) == labels))
+
+
+def confusion_matrix(preds: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense ``[C, C]`` count matrix: rows true class, columns predicted."""
+    preds = np.asarray(preds, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    flat = labels * num_classes + preds
+    return np.bincount(flat, minlength=num_classes * num_classes).reshape(num_classes, num_classes)
+
+
+def macro_f1(logits, labels: np.ndarray, num_classes: int) -> float:
+    """Unweighted mean of per-class F1 (classes absent from both sides skipped)."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return 0.0
+    cm = confusion_matrix(predictions(logits), labels, num_classes)
+    tp = np.diag(cm).astype(np.float64)
+    fp = cm.sum(axis=0) - tp
+    fn = cm.sum(axis=1) - tp
+    denom = 2 * tp + fp + fn
+    present = denom > 0
+    f1 = np.zeros(num_classes)
+    f1[present] = 2 * tp[present] / denom[present]
+    return float(f1[present].mean()) if present.any() else 0.0

@@ -1,0 +1,155 @@
+"""Single-model training loops (the per-worker workload of Phase 1).
+
+``train_model`` trains one ingredient: full-batch or neighbour-sampled
+minibatch, Adam/AdamW/SGD, optional early stopping, best-validation-epoch
+checkpointing. The returned :class:`TrainResult` carries the trained state
+dict plus val/test accuracy — the inputs the souping algorithms consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.sampling import NeighborSampler
+from ..nn import Module, cross_entropy
+from ..optim import Adam, AdamW, SGD, ConstantLR, CosineAnnealingLR
+from ..tensor import Tensor, no_grad
+from .metrics import accuracy
+
+__all__ = ["TrainConfig", "TrainResult", "train_model", "evaluate", "evaluate_logits"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters of one ingredient-training run."""
+
+    epochs: int = 100
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    optimizer: str = "adam"  # adam | adamw | sgd
+    momentum: float = 0.9  # sgd only
+    cosine_schedule: bool = False
+    early_stopping: int = 0  # patience in epochs; 0 disables
+    minibatch: bool = False
+    batch_size: int = 512
+    fanout: int | None = 10  # per-hop neighbour cap when minibatching
+    eval_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.optimizer not in ("adam", "adamw", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run (one soup ingredient)."""
+
+    state_dict: dict
+    val_acc: float
+    test_acc: float
+    train_time: float
+    epochs_run: int
+    history: list = field(default_factory=list, repr=False)  # (epoch, loss, val_acc)
+
+
+def _make_optimizer(model: Module, cfg: TrainConfig):
+    params = model.parameters()
+    if cfg.optimizer == "adam":
+        return Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+    if cfg.optimizer == "adamw":
+        return AdamW(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+    return SGD(params, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+
+
+def evaluate_logits(model: Module, graph: Graph) -> np.ndarray:
+    """Inference-mode full-graph logits as a raw ndarray."""
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            logits = model(graph, Tensor(graph.features))
+    finally:
+        model.train(was_training)
+    return logits.data
+
+
+def evaluate(model: Module, graph: Graph, idx: np.ndarray) -> float:
+    """Accuracy of the model on the given node indices."""
+    logits = evaluate_logits(model, graph)
+    return accuracy(logits[idx], graph.labels[idx])
+
+
+def train_model(model: Module, graph: Graph, cfg: TrainConfig, seed: int = 0) -> TrainResult:
+    """Train ``model`` on ``graph`` per ``cfg``; restores the best-val epoch.
+
+    ``seed`` drives dropout masks, shuffling and sampling — with a shared
+    initial state dict, distinct seeds produce the paper's "ingredients":
+    same architecture and starting point, different SGD trajectories.
+    """
+    rng = np.random.default_rng(seed)
+    optimizer = _make_optimizer(model, cfg)
+    scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine_schedule else ConstantLR(optimizer)
+    train_idx, val_idx = graph.train_idx, graph.val_idx
+    features = Tensor(graph.features)
+
+    best_val, best_state, best_epoch = -1.0, model.state_dict(), 0
+    history: list[tuple[int, float, float]] = []
+    patience_left = cfg.early_stopping if cfg.early_stopping > 0 else None
+    start = time.perf_counter()
+    epochs_run = 0
+
+    for epoch in range(1, cfg.epochs + 1):
+        epochs_run = epoch
+        model.train()
+        if cfg.minibatch:
+            sampler = NeighborSampler(
+                graph, train_idx, cfg.batch_size, hops=getattr(model, "num_layers", 2), fanout=cfg.fanout, rng=rng
+            )
+            epoch_loss, n_batches = 0.0, 0
+            for sub, seed_pos in sampler:
+                logits = model(sub, Tensor(sub.features), rng)
+                loss = cross_entropy(logits[seed_pos], sub.labels[seed_pos])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                n_batches += 1
+            mean_loss = epoch_loss / max(n_batches, 1)
+        else:
+            logits = model(graph, features, rng)
+            loss = cross_entropy(logits[train_idx], graph.labels[train_idx])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            mean_loss = float(loss.data)
+        scheduler.step()
+
+        if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
+            val_acc = evaluate(model, graph, val_idx)
+            history.append((epoch, mean_loss, val_acc))
+            if val_acc > best_val:
+                best_val, best_state, best_epoch = val_acc, model.state_dict(), epoch
+                if patience_left is not None:
+                    patience_left = cfg.early_stopping
+            elif patience_left is not None:
+                patience_left -= cfg.eval_every
+                if patience_left <= 0:
+                    break
+
+    elapsed = time.perf_counter() - start
+    model.load_state_dict(best_state)
+    test_acc = evaluate(model, graph, graph.test_idx)
+    return TrainResult(
+        state_dict=best_state,
+        val_acc=best_val,
+        test_acc=test_acc,
+        train_time=elapsed,
+        epochs_run=epochs_run,
+        history=history,
+    )

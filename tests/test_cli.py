@@ -1,0 +1,49 @@
+"""The `python -m repro.experiments` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import _parse_args, _selected_cells, main
+
+
+class TestArgParsing:
+    def test_artefact_required(self):
+        with pytest.raises(SystemExit):
+            _parse_args([])
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_args(["table9"])
+
+    def test_defaults(self):
+        args = _parse_args(["table2"])
+        assert args.scale == 1.0 and args.soups is None and args.cells == ""
+
+    def test_cells_and_scale(self):
+        args = _parse_args(["fig4a", "--cells", "gcn-flickr", "--scale", "0.3"])
+        assert args.cells == "gcn-flickr" and args.scale == 0.3
+
+
+class TestCellSelection:
+    def test_default_full_grid(self):
+        assert len(_selected_cells("")) == 12
+
+    def test_filter(self):
+        cells = _selected_cells("gcn-flickr,sage-reddit")
+        assert set(cells) == {("gcn", "flickr"), ("sage", "reddit")}
+
+    def test_bad_filter_exits(self):
+        with pytest.raises(SystemExit):
+            _selected_cells("gin-cora")
+
+
+class TestMain:
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+
+    def test_table1_writes_artefact(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1_datasets.txt").exists()

@@ -1,0 +1,99 @@
+"""The top-level ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["brew"])
+
+    def test_soup_defaults(self):
+        args = build_parser().parse_args(["soup", "ls", "gcn", "flickr"])
+        assert args.epochs == 40 and args.lr == 1.0 and args.normalize == "softmax"
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "gcn", "cora"])
+
+    def test_bad_normalize_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soup", "ls", "gcn", "flickr", "--normalize", "entmax"])
+
+
+class TestInformationalCommands:
+    def test_datasets_lists_all_four(self, capsys):
+        assert main(["datasets", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        for name in ("flickr", "ogbn-arxiv", "reddit", "ogbn-products"):
+            assert name in out
+
+    def test_methods_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("us", "gis", "ls", "pls", "radin", "sparse"):
+            assert name in out
+
+
+class TestSimulate:
+    def test_clean_simulation(self, capsys):
+        assert main(["simulate", "-n", "8", "-w", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "utilisation" in out
+        assert "dead workers" not in out
+
+    def test_fault_injection_reported(self, capsys):
+        assert main(["simulate", "-n", "8", "-w", "4", "--fail-at", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "dead workers: [0]" in out
+
+    def test_straggler_flag(self, capsys):
+        assert main(["simulate", "-n", "8", "-w", "2", "--straggler", "0.25"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+
+class TestPipelineCommands:
+    """train/soup/partition on a tiny scaled dataset (cache-backed)."""
+
+    SCALE = ["--scale", "0.25"]
+
+    def test_train_then_soup_uses_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["train", "gcn", "flickr", "-n", "3"] + self.SCALE) == 0
+        out = capsys.readouterr().out
+        assert "pool: 3 x gcn" in out
+        cached = list(tmp_path.glob("*.npz"))
+        assert len(cached) == 1
+        # souping afterwards must reuse the cached pool (no new files)
+        assert main(["soup", "us", "gcn", "flickr", "-n", "3"] + self.SCALE) == 0
+        out = capsys.readouterr().out
+        assert "test acc" in out
+        assert list(tmp_path.glob("*.npz")) == cached
+
+    def test_soup_unknown_method_exits_nonzero(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["soup", "gazpacho", "gcn", "flickr"] + self.SCALE) == 2
+
+    def test_soup_sparsemax_ls(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert (
+            main(
+                ["soup", "ls", "gcn", "flickr", "-n", "3", "--epochs", "5",
+                 "--normalize", "sparsemax"] + self.SCALE
+            )
+            == 0
+        )
+        assert "val acc" in capsys.readouterr().out
+
+    def test_partition_reports_stats(self, capsys):
+        assert main(["partition", "flickr", "-k", "8"] + self.SCALE) == 0
+        out = capsys.readouterr().out
+        assert "cut edges" in out and "imbalance" in out

@@ -1,0 +1,365 @@
+"""Unit + property tests for the MPI-style communicator substrate.
+
+Covers point-to-point semantics (tag/source matching, ordering, wildcard
+receive), every collective against its NumPy reference, the uppercase
+buffer path, the SelfComm degenerate world, and failure modes (bad ranks,
+size mismatches, deadlock timeout, rank exceptions aborting the world).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    CommError,
+    SelfComm,
+    ThreadWorld,
+    run_world,
+)
+
+
+# ---------------------------------------------------------------------------
+# point-to-point
+# ---------------------------------------------------------------------------
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_world(2, main)
+        assert results[1] == {"a": 7, "b": 3.14}
+
+    def test_fifo_order_same_source_same_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(5)]
+
+        assert run_world(2, main)[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_matching_out_of_order(self):
+        """A receive for tag B skips an earlier tag-A message in the inbox."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("first-tagA", dest=1, tag=1)
+                comm.send("then-tagB", dest=1, tag=2)
+                return None
+            b = comm.recv(source=0, tag=2)
+            a = comm.recv(source=0, tag=1)
+            return (a, b)
+
+        assert run_world(2, main)[1] == ("first-tagA", "then-tagB")
+
+    def test_any_source_reports_actual_source(self):
+        def main(comm):
+            if comm.rank == 0:
+                seen = set()
+                for _ in range(2):
+                    obj, src, tag = comm.recv_status(source=ANY_SOURCE, tag=ANY_TAG)
+                    assert obj == f"hello-from-{src}"
+                    seen.add(src)
+                return seen
+            comm.send(f"hello-from-{comm.rank}", dest=0)
+            return None
+
+        assert run_world(3, main)[0] == {1, 2}
+
+    def test_specific_source_filters(self):
+        def main(comm):
+            if comm.rank == 0:
+                got2 = comm.recv(source=2)
+                got1 = comm.recv(source=1)
+                return (got1, got2)
+            comm.send(comm.rank * 10, dest=0)
+            return None
+
+        assert run_world(3, main)[0] == (10, 20)
+
+    def test_send_to_bad_rank_raises(self):
+        def main(comm):
+            with pytest.raises(CommError, match="out of range"):
+                comm.send(1, dest=5)
+            return True
+
+        assert run_world(2, main) == [True, True]
+
+    def test_recv_timeout_surfaces_deadlock(self):
+        def main(comm):
+            if comm.rank == 1:
+                with pytest.raises(CommError, match="timed out"):
+                    comm.recv(source=0)
+            return True
+
+        assert run_world(2, main, timeout=0.2) == [True, True]
+
+    def test_rank_exception_propagates_to_caller(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(CommError, match="rank 1 failed"):
+            run_world(2, main)
+
+
+# ---------------------------------------------------------------------------
+# object collectives
+# ---------------------------------------------------------------------------
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_bcast_from_any_root(self, root):
+        def main(comm):
+            payload = {"init": [1, 2, 3]} if comm.rank == root else None
+            return comm.bcast(payload, root=root)
+
+        results = run_world(4, main)
+        assert all(r == {"init": [1, 2, 3]} for r in results)
+
+    def test_scatter_distributes_in_rank_order(self):
+        def main(comm):
+            seq = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(seq, root=0)
+
+        assert run_world(3, main) == ["item0", "item1", "item2"]
+
+    def test_scatter_wrong_length_raises(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommError, match="exactly"):
+                    comm.scatter([1], root=0)
+            return True
+
+        assert all(run_world(3, main, timeout=1.0))
+
+    def test_gather_rank_order_at_root(self):
+        def main(comm):
+            return comm.gather((comm.rank + 1) ** 2, root=0)
+
+        results = run_world(4, main)
+        assert results[0] == [1, 4, 9, 16]
+        assert results[1] is None and results[3] is None
+
+    def test_allgather_everyone_sees_everything(self):
+        results = run_world(4, lambda comm: comm.allgather(comm.rank * 2))
+        assert results == [[0, 2, 4, 6]] * 4
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [(SUM, 0 + 1 + 2 + 3), (PROD, 0), (MAX, 3), (MIN, 0)],
+    )
+    def test_reduce_ops(self, op, expected):
+        results = run_world(4, lambda comm: comm.reduce(comm.rank, op=op, root=0))
+        assert results[0] == expected
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_sum_matches_closed_form(self):
+        n = 5
+        results = run_world(n, lambda comm: comm.allreduce(comm.rank))
+        assert results == [n * (n - 1) // 2] * n
+
+    def test_reduce_arrays_elementwise(self):
+        def main(comm):
+            return comm.allreduce(np.full(3, float(comm.rank + 1)), op=PROD)
+
+        for r in run_world(3, main):
+            np.testing.assert_allclose(r, [6.0, 6.0, 6.0])
+
+    def test_bad_root_raises(self):
+        def main(comm):
+            with pytest.raises(CommError, match="root"):
+                comm.bcast(1, root=9)
+            return True
+
+        assert all(run_world(2, main, timeout=1.0))
+
+    def test_barrier_synchronises(self):
+        """No rank passes the barrier before every rank has reached it."""
+        import threading
+
+        arrived = []
+        lock = threading.Lock()
+
+        def main(comm):
+            with lock:
+                arrived.append(comm.rank)
+            comm.barrier()
+            with lock:
+                return len(arrived)
+
+        counts = run_world(4, main)
+        assert all(c == 4 for c in counts)
+
+
+# ---------------------------------------------------------------------------
+# buffer (uppercase) API
+# ---------------------------------------------------------------------------
+
+
+class TestBufferAPI:
+    def test_Send_Recv_into_preallocated_buffer(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(6, dtype=np.float64), dest=1, tag=77)
+                return None
+            buf = np.empty(6, dtype=np.float64)
+            comm.Recv(buf, source=0, tag=77)
+            return buf
+
+        np.testing.assert_array_equal(run_world(2, main)[1], np.arange(6.0))
+
+    def test_Send_copies_payload(self):
+        """Mutating the source array after Send must not corrupt the message."""
+
+        def main(comm):
+            if comm.rank == 0:
+                arr = np.ones(4)
+                comm.Send(arr, dest=1)
+                arr[:] = -1.0
+                return None
+            buf = np.empty(4)
+            comm.Recv(buf, source=0)
+            return buf
+
+        np.testing.assert_array_equal(run_world(2, main)[1], np.ones(4))
+
+    def test_Recv_shape_mismatch_raises(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(3), dest=1)
+                return True
+            buf = np.empty(5)
+            with pytest.raises(CommError, match="shape"):
+                comm.Recv(buf, source=0)
+            return True
+
+        assert all(run_world(2, main))
+
+    def test_Bcast_in_place(self):
+        def main(comm):
+            buf = np.arange(4.0) if comm.rank == 0 else np.zeros(4)
+            comm.Bcast(buf, root=0)
+            return buf
+
+        for arr in run_world(3, main):
+            np.testing.assert_array_equal(arr, np.arange(4.0))
+
+    def test_Allreduce_matches_numpy_sum(self):
+        def main(comm):
+            send = np.full(4, float(comm.rank))
+            recv = np.empty(4)
+            comm.Allreduce(send, recv, op=SUM)
+            return recv
+
+        for arr in run_world(4, main):
+            np.testing.assert_allclose(arr, np.full(4, 6.0))
+
+    def test_Allreduce_shape_mismatch_raises(self):
+        def main(comm):
+            with pytest.raises(CommError, match="shapes differ"):
+                comm.Allreduce(np.zeros(3), np.zeros(4))
+            return True
+
+        assert all(run_world(2, main, timeout=1.0))
+
+
+# ---------------------------------------------------------------------------
+# SelfComm (world of one)
+# ---------------------------------------------------------------------------
+
+
+class TestSelfComm:
+    def test_collectives_are_identity(self):
+        comm = SelfComm()
+        assert comm.bcast({"x": 1}) == {"x": 1}
+        assert comm.scatter(["only"]) == "only"
+        assert comm.gather(42) == [42]
+        assert comm.allgather("a") == ["a"]
+        assert comm.reduce(5, op=SUM) == 5
+        assert comm.allreduce(5, op=MAX) == 5
+        comm.barrier()
+
+    def test_self_send_then_recv(self):
+        comm = SelfComm()
+        comm.send("note", dest=0, tag=4)
+        assert comm.recv(tag=4) == "note"
+
+    def test_recv_without_send_raises_not_hangs(self):
+        with pytest.raises(CommError, match="deadlock"):
+            SelfComm().recv()
+
+    def test_run_world_size_one_uses_selfcomm(self):
+        results = run_world(1, lambda comm: (comm.size, comm.allreduce(3)))
+        assert results == [(1, 3)]
+
+    def test_world_size_zero_rejected(self):
+        with pytest.raises(CommError, match="size"):
+            ThreadWorld(0)
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+
+class TestCommProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=2, max_size=6
+        )
+    )
+    def test_allreduce_sum_equals_numpy_sum(self, values):
+        results = run_world(len(values), lambda comm: comm.allreduce(values[comm.rank], op=SUM))
+        expected = float(np.sum(values))
+        for r in results:
+            assert r == pytest.approx(expected, rel=1e-12, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=-50, max_value=50), min_size=2, max_size=6),
+        op_idx=st.integers(min_value=0, max_value=2),
+    )
+    def test_reduce_matches_reference_fold(self, values, op_idx):
+        op, ref = [(SUM, np.sum), (MAX, np.max), (MIN, np.min)][op_idx]
+        results = run_world(len(values), lambda comm: comm.reduce(values[comm.rank], op=op, root=0))
+        assert results[0] == ref(values)
+
+    @settings(max_examples=15, deadline=None)
+    @given(size=st.integers(min_value=2, max_value=6), root=st.integers(min_value=0, max_value=5))
+    def test_scatter_gather_roundtrip(self, size, root):
+        """gather(scatter(seq)) at the same root reconstructs seq."""
+        root = root % size
+        seq = [f"payload-{i}" for i in range(size)]
+
+        def main(comm):
+            mine = comm.scatter(seq if comm.rank == root else None, root=root)
+            return comm.gather(mine, root=root)
+
+        results = run_world(size, main)
+        assert results[root] == seq
+
+    @settings(max_examples=15, deadline=None)
+    @given(size=st.integers(min_value=1, max_value=6))
+    def test_allgather_is_rank_indexed(self, size):
+        results = run_world(size, lambda comm: comm.allgather(comm.rank))
+        for r in results:
+            assert r == list(range(size))

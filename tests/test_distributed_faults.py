@@ -1,0 +1,190 @@
+"""Resilient scheduler: stragglers, fail-stop workers, requeue semantics.
+
+Safety assertions only — list scheduling under heterogeneity has genuine
+anomalies (a straggler's death can *reduce* makespan), so the tests pin
+conservation laws and bounds rather than monotonicity folklore.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    ResilientPoolSimulator,
+    SchedulingError,
+    WorkerPoolSimulator,
+    WorkerSpec,
+)
+
+
+durations_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=20.0, allow_nan=False), min_size=1, max_size=20
+)
+
+
+class TestEquivalenceWithIdealScheduler:
+    @settings(max_examples=60, deadline=None)
+    @given(durations=durations_strategy, w=st.integers(min_value=1, max_value=6))
+    def test_unit_speed_no_failures_matches_ideal(self, durations, w):
+        """With reliable unit-speed workers the resilient simulator IS the
+        ideal list scheduler — same makespan, same assignment."""
+        ideal = WorkerPoolSimulator(w).schedule(durations)
+        resilient = ResilientPoolSimulator(w).schedule(durations)
+        assert resilient.makespan == pytest.approx(ideal.makespan)
+        np.testing.assert_array_equal(resilient.worker_of_task, ideal.worker_of_task)
+        np.testing.assert_allclose(resilient.worker_busy, ideal.worker_busy)
+        assert resilient.wasted_work == 0.0
+        assert np.all(resilient.attempts == 1)
+
+    def test_int_shorthand_builds_unit_workers(self):
+        sim = ResilientPoolSimulator(3)
+        assert all(ws.speed == 1.0 and ws.fail_at is None for ws in sim.workers)
+
+
+class TestHeterogeneousSpeeds:
+    def test_fast_worker_finishes_sooner(self):
+        sched = ResilientPoolSimulator([WorkerSpec(speed=2.0)]).schedule([10.0])
+        assert sched.makespan == pytest.approx(5.0)
+
+    def test_straggler_half_speed(self):
+        sched = ResilientPoolSimulator([WorkerSpec(speed=0.5)]).schedule([10.0])
+        assert sched.makespan == pytest.approx(20.0)
+
+    def test_dynamic_queue_feeds_fast_worker_more_tasks(self):
+        """Ten equal tasks on speeds (4, 1): the fast worker should complete
+        the lion's share — the dynamic queue's whole point."""
+        workers = [WorkerSpec(speed=4.0), WorkerSpec(speed=1.0)]
+        sched = ResilientPoolSimulator(workers).schedule(np.ones(10))
+        fast_count = int(np.sum(sched.worker_of_task == 0))
+        assert fast_count >= 7
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        durations=durations_strategy,
+        speeds=st.lists(st.floats(min_value=0.2, max_value=5.0), min_size=1, max_size=4),
+    )
+    def test_lower_bounds_hold(self, durations, speeds):
+        workers = [WorkerSpec(speed=s) for s in speeds]
+        sched = ResilientPoolSimulator(workers).schedule(durations)
+        total, fastest = float(np.sum(durations)), max(speeds)
+        assert sched.makespan >= total / sum(speeds) - 1e-9  # perfect-packing bound
+        assert sched.makespan >= max(durations) / fastest - 1e-9  # longest-task bound
+        assert sched.wasted_work == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(durations=durations_strategy, w=st.integers(min_value=1, max_value=6))
+    def test_graham_bound_unit_speeds(self, durations, w):
+        """List scheduling: makespan <= total/W + (1 - 1/W) * max duration."""
+        sched = ResilientPoolSimulator(w).schedule(durations)
+        total, longest = float(np.sum(durations)), float(np.max(durations))
+        assert sched.makespan <= total / w + (1 - 1 / w) * longest + 1e-9
+
+
+class TestFailStop:
+    def test_mid_task_failure_requeues_and_wastes(self):
+        """One worker dies at t=3 while running a 10s task; the survivor
+        retrains the lost ingredient after its own work."""
+        workers = [WorkerSpec(fail_at=3.0), WorkerSpec()]
+        sched = ResilientPoolSimulator(workers).schedule([10.0, 2.0])
+        assert sched.dead_workers == (0,)
+        assert sched.wasted_work == pytest.approx(3.0)
+        assert sched.attempts[0] == 2  # first attempt died
+        assert sched.worker_of_task[0] == 1  # survivor completed it
+        # survivor: task1 (0..2), idles until the death is observable at
+        # t=3, then retrains task0 (3..13)
+        assert sched.makespan == pytest.approx(13.0)
+        assert sched.start_times[0] == pytest.approx(3.0)
+
+    def test_idle_death_wastes_nothing(self):
+        """A worker that dies after finishing its last task wastes no work."""
+        workers = [WorkerSpec(fail_at=100.0), WorkerSpec()]
+        sched = ResilientPoolSimulator(workers).schedule([1.0, 1.0])
+        assert sched.wasted_work == 0.0
+        assert sched.makespan == pytest.approx(1.0)
+
+    def test_dead_at_zero_never_runs(self):
+        workers = [WorkerSpec(fail_at=0.0), WorkerSpec()]
+        sched = ResilientPoolSimulator(workers).schedule([4.0, 4.0])
+        assert sched.worker_busy[0] == 0.0
+        assert sched.dead_workers == (0,)
+        assert sched.makespan == pytest.approx(8.0)  # survivor runs both
+
+    def test_all_workers_dead_raises(self):
+        workers = [WorkerSpec(fail_at=1.0), WorkerSpec(fail_at=2.0)]
+        with pytest.raises(SchedulingError, match="dead"):
+            ResilientPoolSimulator(workers).schedule([10.0, 10.0, 10.0])
+
+    def test_repeated_failures_same_task(self):
+        """Two workers die on the same long task before a reliable one lands it."""
+        workers = [WorkerSpec(fail_at=1.0), WorkerSpec(fail_at=2.0), WorkerSpec(speed=1.0)]
+        sched = ResilientPoolSimulator(workers).schedule([100.0, 0.5, 0.5])
+        assert sched.attempts[0] >= 2
+        assert sched.worker_of_task[0] == 2
+        assert set(sched.dead_workers) == {0, 1}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        durations=durations_strategy,
+        fail_at=st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_conservation_laws_under_single_failure(self, durations, fail_at):
+        """Whatever the failure point: every task completes exactly once,
+        busy time = useful + wasted, and no task ran on the dead worker
+        after its death."""
+        workers = [WorkerSpec(fail_at=fail_at), WorkerSpec(), WorkerSpec()]
+        sched = ResilientPoolSimulator(workers).schedule(durations)
+        assert np.all(sched.worker_of_task >= 0)
+        assert np.all(np.isfinite(sched.end_times))
+        assert np.all(sched.attempts >= 1)
+        useful = float(np.sum(sched.durations))  # unit speeds: runtime == duration
+        assert float(sched.worker_busy.sum()) == pytest.approx(useful + sched.wasted_work)
+        # the dead worker never reports busy time past its failure
+        if 0 in sched.dead_workers:
+            assert sched.worker_busy[0] <= fail_at + 1e-9
+        # successful attempts on worker 0 all ended before the failure
+        on_dead = sched.worker_of_task == 0
+        if on_dead.any():
+            assert np.nanmax(sched.end_times[on_dead]) <= fail_at + 1e-9
+
+    def test_retries_counted(self):
+        workers = [WorkerSpec(fail_at=0.5), WorkerSpec()]
+        sched = ResilientPoolSimulator(workers).schedule([2.0, 2.0])
+        assert sched.total_retries == sched.attempts.sum() - len(sched.attempts)
+        assert sched.total_retries >= 1
+
+
+class TestValidation:
+    def test_bad_speed_rejected(self):
+        with pytest.raises(ValueError, match="speed"):
+            WorkerSpec(speed=0.0)
+
+    def test_bad_fail_at_rejected(self):
+        with pytest.raises(ValueError, match="fail_at"):
+            WorkerSpec(fail_at=-1.0)
+
+    def test_empty_worker_list_rejected(self):
+        with pytest.raises(ValueError, match="worker"):
+            ResilientPoolSimulator([])
+
+    def test_empty_durations_rejected(self):
+        with pytest.raises(ValueError, match="durations"):
+            ResilientPoolSimulator(2).schedule([])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ResilientPoolSimulator(2).schedule([1.0, -0.1])
+
+
+class TestUtilization:
+    def test_perfect_packing_is_full_utilization(self):
+        sched = ResilientPoolSimulator(2).schedule([3.0, 3.0])
+        assert sched.utilization == pytest.approx(1.0)
+
+    def test_dead_worker_horizon_clipped(self):
+        """Utilisation denominator counts a dead worker only until death."""
+        workers = [WorkerSpec(fail_at=1.0), WorkerSpec()]
+        sched = ResilientPoolSimulator(workers).schedule([1.0, 5.0])
+        assert 0.0 < sched.utilization <= 1.0

@@ -1,0 +1,114 @@
+"""Tests for the communicator-based Phase-1/2 pipeline.
+
+The load-bearing property is the determinism contract: the comm pipeline
+must produce the *same pool* as the serial executor for the same
+``(arch, graph, base_seed)`` regardless of world size — the paper's
+zero-communication training is reproducible across cluster layouts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import train_ingredients, train_ingredients_comm, uniform_soup_allreduce
+from repro.soup import uniform_soup
+from repro.soup.state import average
+from repro.train import TrainConfig
+
+
+FAST = TrainConfig(epochs=8, lr=0.02)
+
+
+@pytest.fixture(scope="module")
+def comm_report(tiny_graph):
+    """One comm-pipeline run shared by the equivalence tests below."""
+    return train_ingredients_comm(
+        "gcn", tiny_graph, n_ingredients=5, train_cfg=FAST, base_seed=3, num_workers=2, hidden_dim=16
+    )
+
+
+class TestPipelineDeterminism:
+    def test_pool_matches_serial_executor(self, tiny_graph, comm_report):
+        serial = train_ingredients(
+            "gcn", tiny_graph, n_ingredients=5, train_cfg=FAST, base_seed=3, hidden_dim=16
+        )
+        assert len(comm_report.pool) == len(serial)
+        assert comm_report.pool.val_accs == serial.val_accs
+        for sd_comm, sd_serial in zip(comm_report.pool.states, serial.states):
+            assert sd_comm.keys() == sd_serial.keys()
+            for name in sd_comm:
+                np.testing.assert_array_equal(sd_comm[name], sd_serial[name])
+
+    def test_world_size_does_not_change_pool(self, tiny_graph, comm_report):
+        wide = train_ingredients_comm(
+            "gcn", tiny_graph, n_ingredients=5, train_cfg=FAST, base_seed=3, num_workers=4, hidden_dim=16
+        )
+        for sd_a, sd_b in zip(comm_report.pool.states, wide.pool.states):
+            for name in sd_a:
+                np.testing.assert_array_equal(sd_a[name], sd_b[name])
+
+    def test_pool_order_is_ingredient_order(self, comm_report):
+        """results arrive tagged by task id, so pool index == ingredient index."""
+        assert len(comm_report.pool.states) == 5
+        # seeds differ per index, so adjacent ingredients cannot be identical
+        flat0 = np.concatenate([v.ravel() for v in comm_report.pool.states[0].values()])
+        flat1 = np.concatenate([v.ravel() for v in comm_report.pool.states[1].values()])
+        assert not np.array_equal(flat0, flat1)
+
+
+class TestPipelineScheduling:
+    def test_every_ingredient_trained_exactly_once(self, comm_report):
+        assert sum(comm_report.tasks_per_worker.values()) == 5
+
+    def test_coordinator_never_trains(self, comm_report):
+        assert 0 not in comm_report.tasks_per_worker
+
+    def test_dynamic_queue_uses_multiple_workers(self, tiny_graph):
+        """With more tasks than workers, no worker can be starved to zero
+        unless another worker absorbed everything (possible but both-zero
+        is impossible)."""
+        report = train_ingredients_comm(
+            "gcn", tiny_graph, n_ingredients=6, train_cfg=FAST, base_seed=1, num_workers=2, hidden_dim=8
+        )
+        counts = list(report.tasks_per_worker.values())
+        assert sum(counts) == 6
+        assert max(counts) >= 3  # pigeonhole on two workers
+
+    def test_schedule_attached_to_pool(self, comm_report):
+        assert comm_report.pool.schedule is not None
+        assert comm_report.pool.schedule.num_workers == comm_report.num_workers
+
+    def test_rejects_bad_arguments(self, tiny_graph):
+        with pytest.raises(ValueError, match="ingredient"):
+            train_ingredients_comm("gcn", tiny_graph, n_ingredients=0, num_workers=1)
+        with pytest.raises(ValueError, match="worker"):
+            train_ingredients_comm("gcn", tiny_graph, n_ingredients=1, num_workers=0)
+
+
+class TestUniformSoupAllreduce:
+    def test_matches_state_average(self, gcn_pool):
+        souped = uniform_soup_allreduce(gcn_pool, num_workers=2)
+        reference = average(gcn_pool.states)
+        assert souped.keys() == reference.keys()
+        for name in souped:
+            np.testing.assert_allclose(souped[name], reference[name], rtol=1e-12, atol=1e-12)
+
+    def test_matches_uniform_soup_method(self, gcn_pool, tiny_graph):
+        souped = uniform_soup_allreduce(gcn_pool, num_workers=3)
+        result = uniform_soup(gcn_pool, tiny_graph)
+        for name in souped:
+            np.testing.assert_allclose(souped[name], result.state_dict[name], atol=1e-12)
+
+    def test_world_size_capped_at_pool_size(self, gcn_pool):
+        """More workers than ingredients must not break the reduction."""
+        souped = uniform_soup_allreduce(gcn_pool, num_workers=64)
+        reference = average(gcn_pool.states)
+        for name in souped:
+            np.testing.assert_allclose(souped[name], reference[name], atol=1e-12)
+
+    def test_default_world_is_one_rank_per_ingredient(self, gcn_pool):
+        souped = uniform_soup_allreduce(gcn_pool)
+        reference = average(gcn_pool.states)
+        for name in souped:
+            np.testing.assert_allclose(souped[name], reference[name], atol=1e-12)

@@ -1,0 +1,193 @@
+"""Experiment harness: grid, cache, runner, renderers, paper references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_GRID,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    CellResult,
+    grid_cells,
+    load_pool,
+    make_spec,
+    paper_accuracy,
+    paper_time,
+    pool_cache_key,
+    render_fig3,
+    render_fig4a,
+    render_fig4b,
+    render_table1,
+    render_table2,
+    render_table3,
+    results_to_csv,
+    run_cell,
+    save_pool,
+)
+from repro.experiments.figures import fig3_series, fig4a_speedups, fig4b_memory
+
+
+@pytest.fixture(scope="module")
+def tiny_cell_result(small_graph, small_pool):
+    """One real (if miniature) cell execution shared by the render tests."""
+    spec = make_spec(
+        "flickr", "gcn",
+        n_ingredients=len(small_pool), n_soups=2,
+        ls_epochs=8, pls_epochs=8, pls_partitions=4, pls_budget=2, gis_granularity=5,
+    )
+    return run_cell(spec, graph=small_graph, pool=small_pool)
+
+
+class TestGrid:
+    def test_twelve_cells(self):
+        assert len(grid_cells()) == 12
+
+    def test_grid_covers_all_combinations(self):
+        keys = set(EXPERIMENT_GRID)
+        assert ("gcn", "flickr") in keys and ("gat", "ogbn-products") in keys
+        assert len(keys) == 12
+
+    def test_make_spec_overrides(self):
+        spec = make_spec("reddit", "sage", n_ingredients=3)
+        assert spec.n_ingredients == 3 and spec.dataset == "reddit"
+
+    def test_make_spec_unknown_cell(self):
+        with pytest.raises(KeyError):
+            make_spec("cora", "gcn")
+
+    def test_gat_products_trimmed(self):
+        spec = make_spec("ogbn-products", "gat")
+        assert spec.hidden_dim <= 16  # single-core tractability constraint
+
+    def test_derived_configs(self):
+        spec = make_spec("flickr", "gcn")
+        assert spec.train_config().epochs == spec.ingredient_epochs
+        assert spec.ls_config(seed=5).seed == 5
+        assert spec.pls_config().num_partitions == spec.pls_partitions
+        assert spec.cell_id == "gcn-flickr"
+
+
+class TestCache:
+    def test_key_stable(self):
+        spec = make_spec("flickr", "gcn")
+        assert pool_cache_key(spec, 0) == pool_cache_key(spec, 0)
+
+    def test_key_sensitive_to_spec(self):
+        a = pool_cache_key(make_spec("flickr", "gcn"), 0)
+        b = pool_cache_key(make_spec("flickr", "gcn", n_ingredients=9), 0)
+        c = pool_cache_key(make_spec("flickr", "gcn"), 1)
+        assert a != b and a != c
+
+    def test_pool_roundtrip(self, tmp_path, gcn_pool):
+        path = tmp_path / "pool.npz"
+        save_pool(gcn_pool, path)
+        loaded = load_pool(path)
+        assert len(loaded) == len(gcn_pool)
+        assert loaded.val_accs == pytest.approx(gcn_pool.val_accs)
+        assert loaded.model_config == gcn_pool.model_config
+        for a, b in zip(loaded.states, gcn_pool.states):
+            for name in a:
+                np.testing.assert_array_equal(a[name], b[name])
+
+    def test_loaded_pool_usable_for_souping(self, tmp_path, gcn_pool, tiny_graph):
+        from repro.soup import uniform_soup
+
+        path = tmp_path / "pool.npz"
+        save_pool(gcn_pool, path)
+        loaded = load_pool(path)
+        direct = uniform_soup(gcn_pool, tiny_graph)
+        via_cache = uniform_soup(loaded, tiny_graph)
+        assert direct.test_acc == via_cache.test_acc
+
+
+class TestRunner:
+    def test_cell_result_structure(self, tiny_cell_result):
+        assert isinstance(tiny_cell_result, CellResult)
+        assert set(tiny_cell_result.stats) == {"us", "gis", "ls", "pls"}
+        for stats in tiny_cell_result.stats.values():
+            assert len(stats.test_accs) == 2  # n_soups
+
+    def test_speedup_and_memory_helpers(self, tiny_cell_result):
+        assert tiny_cell_result.speedup_vs_gis("us") > 0
+        assert tiny_cell_result.memory_vs_gis("pls") > 0
+
+    def test_rotation_creates_variance(self, tiny_cell_result):
+        # leave-one-out rotation: the two GIS runs see different pools
+        gis = tiny_cell_result.stats["gis"]
+        assert len(gis.test_accs) == 2
+
+    def test_unknown_method_rejected(self, small_graph, small_pool):
+        spec = make_spec("flickr", "gcn")
+        with pytest.raises(KeyError):
+            run_cell(spec, methods=("us", "wok"), graph=small_graph, pool=small_pool)
+
+
+class TestRenderers:
+    def test_table1_mentions_all_datasets(self):
+        text = render_table1()
+        for name in ("flickr", "ogbn-arxiv", "reddit", "ogbn-products"):
+            assert name in text
+
+    def test_table2_contains_measured_and_paper(self, tiny_cell_result):
+        text = render_table2([tiny_cell_result])
+        assert "TABLE II" in text and "GCN" in text and "|" in text
+
+    def test_table3_structure(self, tiny_cell_result):
+        text = render_table3([tiny_cell_result])
+        assert "TABLE III" in text and "GIS" in text
+
+    def test_fig3_render_and_series(self, tiny_cell_result):
+        series = fig3_series([tiny_cell_result])
+        assert "gcn-flickr" in series
+        assert len(series["gcn-flickr"]["ingredients"]) == 5
+        text = render_fig3([tiny_cell_result])
+        assert "FIG 3" in text
+
+    def test_fig4a(self, tiny_cell_result):
+        data = fig4a_speedups([tiny_cell_result])
+        entry = data["gcn-flickr"]
+        assert entry["gis"] == 1.0
+        assert render_fig4a([tiny_cell_result]).startswith("FIG 4a")
+
+    def test_fig4b(self, tiny_cell_result):
+        data = fig4b_memory([tiny_cell_result])
+        entry = data["gcn-flickr"]
+        assert entry["gis"] == 1.0 and "ls" in entry and "pls" in entry
+        assert render_fig4b([tiny_cell_result]).startswith("FIG 4b")
+
+    def test_csv_rows(self, tiny_cell_result):
+        csv = results_to_csv([tiny_cell_result])
+        lines = csv.strip().split("\n")
+        assert lines[0].startswith("arch,dataset,method")
+        assert len(lines) == 1 + 1 + 4  # header + ingredients + 4 methods
+
+
+class TestPaperValues:
+    def test_all_twelve_cells_present(self):
+        assert len(PAPER_TABLE2) == 12 and len(PAPER_TABLE3) == 12
+
+    def test_lookup_helpers(self):
+        mean, std = paper_accuracy("gat", "reddit", "pls")
+        assert mean == 96.82 and std == 0.02
+        mean, std = paper_time("sage", "ogbn-products", "gis")
+        assert mean == 522.97
+
+    def test_headline_claims_encoded_in_values(self):
+        """The 24.5x PLS speedup headline must be derivable from Table III."""
+        gis, _ = paper_time("sage", "ogbn-products", "gis")
+        pls, _ = paper_time("sage", "ogbn-products", "pls")
+        assert gis / pls == pytest.approx(24.5, abs=0.3)
+
+    def test_ls_reddit_gat_speedup(self):
+        gis, _ = paper_time("gat", "reddit", "gis")
+        ls, _ = paper_time("gat", "reddit", "ls")
+        assert gis / ls == pytest.approx(2.1, abs=0.1)
+
+    def test_us_least_accurate_on_average(self):
+        """Across the 12 cells, US mean accuracy is the lowest of the four
+        souping methods (Table II's qualitative claim)."""
+        methods = ("us", "gis", "ls", "pls")
+        means = {m: np.mean([PAPER_TABLE2[c][m][0] for c in PAPER_TABLE2]) for m in methods}
+        assert min(means, key=means.get) == "us"

@@ -1,0 +1,201 @@
+"""CSR structure: construction, transformations, normalised operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import CSR, build_csr, edges_to_csr
+
+
+@pytest.fixture
+def triangle():
+    """3-cycle, symmetric: 0-1, 1-2, 2-0."""
+    return build_csr([(0, 1), (1, 2), (2, 0)], 3, symmetrize=True)
+
+
+class TestConstruction:
+    def test_edge_count_symmetrized(self, triangle):
+        assert triangle.num_edges == 6
+
+    def test_indptr_shape(self, triangle):
+        assert triangle.indptr.shape == (4,)
+
+    def test_dedup(self):
+        csr = edges_to_csr(np.array([0, 0, 0]), np.array([1, 1, 1]), 2, dedup=True)
+        assert csr.num_edges == 1
+
+    def test_no_dedup_keeps_multiplicity(self):
+        csr = edges_to_csr(np.array([0, 0]), np.array([1, 1]), 2, dedup=False)
+        assert csr.num_edges == 2
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            edges_to_csr(np.array([0]), np.array([5]), 2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            edges_to_csr(np.array([0, 1]), np.array([1]), 2)
+
+    def test_empty_graph(self):
+        csr = edges_to_csr(np.empty(0, np.int64), np.empty(0, np.int64), 4)
+        assert csr.num_nodes == 4 and csr.num_edges == 0
+
+    def test_indices_sorted_within_rows(self, rng):
+        src = rng.integers(0, 20, size=100)
+        dst = rng.integers(0, 20, size=100)
+        csr = edges_to_csr(src, dst, 20)
+        for i in range(20):
+            row = csr.row(i)
+            assert np.all(np.diff(row) > 0)  # sorted and deduped
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSR(np.array([0, 2, 1]), np.array([0, 1]), 2)
+
+    def test_edge_list_roundtrip(self, rng):
+        src = rng.integers(0, 15, size=60)
+        dst = rng.integers(0, 15, size=60)
+        csr = edges_to_csr(src, dst, 15, dedup=False)
+        s2, d2 = csr.edge_list()
+        a = set(zip(src.tolist(), dst.tolist()))
+        b = set(zip(s2.tolist(), d2.tolist()))
+        assert a == b
+
+
+class TestDegreesAndTransforms:
+    def test_in_degrees(self, triangle):
+        np.testing.assert_array_equal(triangle.in_degrees(), [2, 2, 2])
+
+    def test_out_degrees_symmetric_graph(self, triangle):
+        np.testing.assert_array_equal(triangle.out_degrees(), triangle.in_degrees())
+
+    def test_self_loops_added_once(self, triangle):
+        looped = triangle.with_self_loops()
+        assert looped.num_edges == 9
+        assert looped.with_self_loops().num_edges == 9  # idempotent
+
+    def test_without_self_loops(self, triangle):
+        looped = triangle.with_self_loops()
+        assert looped.without_self_loops().num_edges == 6
+
+    def test_has_self_loops(self, triangle):
+        assert not triangle.has_self_loops()
+        assert triangle.with_self_loops().has_self_loops()
+
+    def test_symmetrized_directed_edge(self):
+        csr = build_csr([(0, 1)], 2, symmetrize=False)
+        assert not csr.is_symmetric()
+        assert csr.symmetrized().is_symmetric()
+
+    def test_reverse(self):
+        csr = build_csr([(0, 1)], 2, symmetrize=False)
+        src, dst = csr.reverse().edge_list()
+        assert (src[0], dst[0]) == (1, 0)
+
+    def test_to_scipy_matches(self, triangle):
+        mat = triangle.to_scipy().toarray()
+        expected = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float)
+        np.testing.assert_array_equal(mat, expected)
+
+
+class TestNormalisedOperators:
+    def test_gcn_matrix_symmetric_normalisation(self, triangle):
+        mat = triangle.gcn_matrix().toarray()
+        # triangle + self loops: every node has degree 3 -> all entries 1/3
+        np.testing.assert_allclose(mat, np.full((3, 3), 1.0 / 3.0))
+
+    def test_gcn_matrix_spectrum_bounded(self, rng):
+        # the symmetric normalisation bounds the spectral radius by 1
+        src = rng.integers(0, 30, 200)
+        dst = rng.integers(0, 30, 200)
+        csr = edges_to_csr(np.concatenate([src, dst]), np.concatenate([dst, src]), 30)
+        mat = csr.gcn_matrix().toarray()
+        np.testing.assert_allclose(mat, mat.T, atol=1e-12)
+        eigvals = np.linalg.eigvalsh(mat)
+        assert np.abs(eigvals).max() <= 1.0 + 1e-9
+
+    def test_gcn_handles_isolated_nodes(self):
+        csr = build_csr([(0, 1)], 4, symmetrize=True)  # nodes 2,3 isolated
+        mat = csr.gcn_matrix().toarray()
+        assert np.isfinite(mat).all()
+        np.testing.assert_allclose(mat[2, 2], 1.0)  # self loop only
+
+    def test_mean_matrix_rows_sum_to_one(self, triangle):
+        rows = np.asarray(triangle.mean_matrix().sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, np.ones(3))
+
+    def test_mean_matrix_isolated_row_zero(self):
+        csr = build_csr([(0, 1)], 3, symmetrize=True)
+        rows = np.asarray(csr.mean_matrix().sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, [1.0, 1.0, 0.0])
+
+    def test_mean_matrix_with_loops_never_zero(self):
+        csr = build_csr([(0, 1)], 3, symmetrize=True)
+        rows = np.asarray(csr.mean_matrix(add_self_loops=True).sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, np.ones(3))
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, triangle):
+        sub, nodes = triangle.induced_subgraph(np.array([0, 1]))
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 2  # 0-1 both directions
+
+    def test_drops_external_edges(self):
+        path = build_csr([(0, 1), (1, 2), (2, 3)], 4, symmetrize=True)
+        sub, _ = path.induced_subgraph(np.array([0, 3]))
+        assert sub.num_edges == 0
+
+    def test_relabelling_order(self):
+        path = build_csr([(0, 1), (1, 2)], 3, symmetrize=True)
+        sub, _ = path.induced_subgraph(np.array([2, 1]))  # note the order
+        src, dst = sub.edge_list()
+        # edge between new ids 0 (=old 2) and 1 (=old 1), both directions
+        assert set(zip(src.tolist(), dst.tolist())) == {(0, 1), (1, 0)}
+
+    def test_duplicate_nodes_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.induced_subgraph(np.array([0, 0]))
+
+    def test_full_subgraph_identity(self, triangle):
+        sub, _ = triangle.induced_subgraph(np.arange(3))
+        np.testing.assert_array_equal(sub.indptr, triangle.indptr)
+        np.testing.assert_array_equal(sub.indices, triangle.indices)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 25),
+    m=st.integers(0, 80),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_csr_invariants(n, m, seed):
+    """Hypothesis: any random edge set yields a structurally valid CSR."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    csr = edges_to_csr(src, dst, n)
+    assert csr.indptr[0] == 0 and csr.indptr[-1] == csr.num_edges
+    assert np.all(np.diff(csr.indptr) >= 0)
+    assert csr.in_degrees().sum() == csr.num_edges
+    assert csr.out_degrees().sum() == csr.num_edges
+    sym = csr.symmetrized()
+    assert sym.is_symmetric()
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(3, 20), seed=st.integers(0, 2**31 - 1))
+def test_property_subgraph_edge_subset(n, seed):
+    """Hypothesis: induced subgraph edges map to edges of the parent."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=4 * n)
+    dst = rng.integers(0, n, size=4 * n)
+    csr = edges_to_csr(src, dst, n)
+    keep = rng.choice(n, size=max(1, n // 2), replace=False)
+    sub, nodes = csr.induced_subgraph(keep)
+    parent_edges = set(zip(*[a.tolist() for a in csr.edge_list()]))
+    for s, d in zip(*sub.edge_list()):
+        assert (nodes[s], nodes[d]) in parent_edges

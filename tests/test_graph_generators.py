@@ -1,0 +1,118 @@
+"""Synthetic dataset generators: determinism, homophily, splits, features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import GeneratorConfig, Graph, homophilous_graph, random_split_masks
+
+
+def cfg(**overrides):
+    base = dict(
+        num_nodes=300,
+        num_classes=5,
+        avg_degree=8.0,
+        homophily=0.7,
+        feature_dim=16,
+        feature_noise=1.0,
+        name="t",
+    )
+    base.update(overrides)
+    return GeneratorConfig(**base)
+
+
+class TestConfigValidation:
+    def test_bad_homophily(self):
+        with pytest.raises(ValueError):
+            cfg(homophily=1.5)
+
+    def test_too_few_classes(self):
+        with pytest.raises(ValueError):
+            cfg(num_classes=1)
+
+    def test_bad_split(self):
+        with pytest.raises(ValueError):
+            cfg(split=(0.5, 0.5, 0.5))
+
+
+class TestGeneratedGraph:
+    def test_returns_valid_graph(self):
+        g = homophilous_graph(cfg(), seed=0)
+        assert isinstance(g, Graph)
+        g.validate()
+
+    def test_determinism(self):
+        a = homophilous_graph(cfg(), seed=5)
+        b = homophilous_graph(cfg(), seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.csr.indices, b.csr.indices)
+
+    def test_different_seeds_differ(self):
+        a = homophilous_graph(cfg(), seed=1)
+        b = homophilous_graph(cfg(), seed=2)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_symmetric(self):
+        assert homophilous_graph(cfg(), seed=0).csr.is_symmetric()
+
+    def test_no_self_loops(self):
+        assert not homophilous_graph(cfg(), seed=0).csr.has_self_loops()
+
+    def test_every_class_present(self):
+        g = homophilous_graph(cfg(num_classes=12, class_skew=2.0), seed=0)
+        assert len(np.unique(g.labels)) == 12
+
+    def test_average_degree_close_to_target(self):
+        g = homophilous_graph(cfg(num_nodes=2000, avg_degree=12.0), seed=0)
+        # dedup/self-edge removal shaves a bit; expect within 25%
+        measured = g.num_edges / g.num_nodes
+        assert 0.75 * 12.0 <= measured <= 1.05 * 12.0
+
+    def test_high_homophily_vs_low(self):
+        def edge_homophily(g):
+            src, dst = g.csr.edge_list()
+            return float(np.mean(g.labels[src] == g.labels[dst]))
+
+        high = edge_homophily(homophilous_graph(cfg(homophily=0.9), seed=3))
+        low = edge_homophily(homophilous_graph(cfg(homophily=0.1), seed=3))
+        assert high > low + 0.3
+
+    def test_features_carry_class_signal(self):
+        g = homophilous_graph(cfg(feature_noise=0.3), seed=0)
+        # class centroids must be farther apart than within-class scatter
+        centroids = np.stack([g.features[g.labels == c].mean(axis=0) for c in range(5)])
+        between = np.linalg.norm(centroids - centroids.mean(axis=0), axis=1).mean()
+        within = np.mean(
+            [np.linalg.norm(g.features[g.labels == c] - centroids[c], axis=1).mean() for c in range(5)]
+        )
+        assert between > within * 0.15
+
+    def test_degree_heterogeneity(self):
+        g = homophilous_graph(cfg(num_nodes=1500, degree_sigma=1.2), seed=0)
+        deg = g.csr.in_degrees()
+        assert deg.max() >= 5 * max(deg.mean(), 1.0)  # heavy tail exists
+
+
+class TestSplits:
+    def test_split_ratios(self):
+        g = homophilous_graph(cfg(split=(0.5, 0.25, 0.25)), seed=0)
+        tr, va, te = g.split_counts()
+        assert tr == 150 and va == 75 and te == 75
+
+    def test_masks_partition_nodes(self):
+        g = homophilous_graph(cfg(), seed=0)
+        total = g.train_mask.astype(int) + g.val_mask.astype(int) + g.test_mask.astype(int)
+        np.testing.assert_array_equal(total, np.ones(g.num_nodes, dtype=int))
+
+    def test_random_split_masks_deterministic(self):
+        a = random_split_masks(100, (0.6, 0.2, 0.2), np.random.default_rng(7))
+        b = random_split_masks(100, (0.6, 0.2, 0.2), np.random.default_rng(7))
+        for ma, mb in zip(a, b):
+            np.testing.assert_array_equal(ma, mb)
+
+    def test_random_split_sizes(self):
+        train, val, test = random_split_masks(200, (0.54, 0.18, 0.28), np.random.default_rng(0))
+        assert train.sum() == 108 and val.sum() == 36
+        assert train.sum() + val.sum() + test.sum() == 200

@@ -1,0 +1,167 @@
+"""Sampling: partition-union subgraphs (PLS semantics), k-hop, minibatches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    NeighborSampler,
+    khop_subgraph,
+    num_possible_subgraphs,
+    partition_graph,
+    partition_union_subgraph,
+    select_partitions,
+)
+
+
+@pytest.fixture(scope="module")
+def partitioned(small_graph):
+    result = partition_graph(small_graph, 8, method="metis", node_weights="val", seed=0)
+    return small_graph, result
+
+
+class TestSelectPartitions:
+    def test_r_distinct_ids(self, rng):
+        sel = select_partitions(10, 4, rng)
+        assert len(sel) == 4 and len(np.unique(sel)) == 4
+        assert sel.min() >= 0 and sel.max() < 10
+
+    def test_sorted_output(self, rng):
+        sel = select_partitions(10, 5, rng)
+        assert np.all(np.diff(sel) > 0)
+
+    def test_r_equals_k_selects_all(self, rng):
+        np.testing.assert_array_equal(select_partitions(6, 6, rng), np.arange(6))
+
+    def test_invalid_r(self, rng):
+        with pytest.raises(ValueError):
+            select_partitions(5, 0, rng)
+        with pytest.raises(ValueError):
+            select_partitions(5, 6, rng)
+
+    def test_diversity_count(self):
+        # §VI-B: (K, R) = (32, 8) gives > 10M possible subgraphs
+        assert num_possible_subgraphs(32, 8) > 10_000_000
+        assert num_possible_subgraphs(5, 1) == 5
+
+
+class TestPartitionUnionSubgraph:
+    def test_contains_exactly_selected_nodes(self, partitioned):
+        graph, result = partitioned
+        sub, nodes = partition_union_subgraph(graph, result.labels, np.array([0, 3]))
+        expected = np.flatnonzero(np.isin(result.labels, [0, 3]))
+        np.testing.assert_array_equal(nodes, expected)
+        assert sub.num_nodes == len(expected)
+
+    def test_preserves_cut_edges_between_selected(self, partitioned):
+        """The paper's key subtlety: edges cut between two *selected*
+        partitions reappear in the union subgraph."""
+        graph, result = partitioned
+        src, dst = graph.csr.edge_list()
+        pair = None
+        for a in range(result.k):
+            for b in range(a + 1, result.k):
+                crossing = (result.labels[src] == a) & (result.labels[dst] == b)
+                if crossing.any():
+                    pair = (a, b, int(crossing.sum()))
+                    break
+            if pair:
+                break
+        assert pair is not None, "partition should cut at least one edge somewhere"
+        a, b, _ = pair
+        sub, nodes = partition_union_subgraph(graph, result.labels, np.array([a, b]))
+        sub_src, sub_dst = sub.csr.edge_list()
+        global_src, global_dst = nodes[sub_src], nodes[sub_dst]
+        cross_in_sub = (result.labels[global_src] == a) & (result.labels[global_dst] == b)
+        assert cross_in_sub.sum() > 0
+
+    def test_r1_has_no_cut_edges(self, partitioned):
+        """R=1 corner: the subgraph is one partition; every cut edge is lost."""
+        graph, result = partitioned
+        sub, nodes = partition_union_subgraph(graph, result.labels, np.array([0]))
+        sub_src, sub_dst = sub.csr.edge_list()
+        assert np.all(result.labels[nodes[sub_src]] == 0)
+        assert np.all(result.labels[nodes[sub_dst]] == 0)
+
+    def test_all_partitions_is_whole_graph(self, partitioned):
+        graph, result = partitioned
+        sub, nodes = partition_union_subgraph(graph, result.labels, np.arange(result.k))
+        assert sub.num_nodes == graph.num_nodes
+        assert sub.num_edges == graph.num_edges
+
+    def test_masks_carried_along(self, partitioned):
+        graph, result = partitioned
+        sub, nodes = partition_union_subgraph(graph, result.labels, np.array([1]))
+        np.testing.assert_array_equal(sub.val_mask, graph.val_mask[nodes])
+        np.testing.assert_array_equal(sub.labels, graph.labels[nodes])
+
+    def test_bad_labels_shape(self, partitioned):
+        graph, _ = partitioned
+        with pytest.raises(ValueError):
+            partition_union_subgraph(graph, np.zeros(3), np.array([0]))
+
+    def test_empty_selection_raises(self, partitioned):
+        graph, result = partitioned
+        with pytest.raises(ValueError):
+            partition_union_subgraph(graph, result.labels, np.array([99]))
+
+
+class TestKhopSubgraph:
+    def test_zero_hops_returns_seeds(self, small_graph, rng):
+        seeds = np.array([5, 1, 5])
+        out = khop_subgraph(small_graph.csr, seeds, hops=0, fanout=None)
+        np.testing.assert_array_equal(out, [1, 5])
+
+    def test_one_hop_includes_neighbours(self, small_graph):
+        seed = 7
+        out = khop_subgraph(small_graph.csr, np.array([seed]), hops=1, fanout=None)
+        neighbours = small_graph.csr.row(seed)
+        assert np.all(np.isin(neighbours, out))
+
+    def test_hops_monotone(self, small_graph):
+        seeds = np.array([0])
+        one = khop_subgraph(small_graph.csr, seeds, hops=1, fanout=None)
+        two = khop_subgraph(small_graph.csr, seeds, hops=2, fanout=None)
+        assert np.all(np.isin(one, two))
+
+    def test_fanout_caps_expansion(self, small_graph, rng):
+        seeds = small_graph.train_idx[:8]
+        capped = khop_subgraph(small_graph.csr, seeds, hops=2, fanout=2, rng=rng)
+        full = khop_subgraph(small_graph.csr, seeds, hops=2, fanout=None)
+        assert len(capped) <= len(full)
+
+    def test_fanout_requires_rng(self, small_graph):
+        with pytest.raises(ValueError):
+            khop_subgraph(small_graph.csr, np.array([0]), hops=1, fanout=3, rng=None)
+
+    def test_sampled_neighbours_are_real(self, small_graph, rng):
+        seeds = np.array([3])
+        out = khop_subgraph(small_graph.csr, seeds, hops=1, fanout=3, rng=rng)
+        extras = np.setdiff1d(out, seeds)
+        real = small_graph.csr.row(3)
+        assert np.all(np.isin(extras, real))
+
+
+class TestNeighborSampler:
+    def test_batches_cover_all_seeds(self, small_graph, rng):
+        seeds = small_graph.train_idx
+        sampler = NeighborSampler(small_graph, seeds, batch_size=32, hops=2, fanout=4, rng=rng)
+        seen = []
+        for sub, pos in sampler:
+            seen.extend(sub.labels[pos].tolist())
+        assert len(seen) == len(seeds)
+
+    def test_len(self, small_graph, rng):
+        sampler = NeighborSampler(small_graph, np.arange(100), batch_size=32, hops=1, fanout=4, rng=rng)
+        assert len(sampler) == 4
+
+    def test_positions_index_seed_labels(self, small_graph, rng):
+        seeds = small_graph.train_idx[:16]
+        sampler = NeighborSampler(small_graph, seeds, batch_size=16, hops=1, fanout=4, rng=rng, shuffle=False)
+        sub, pos = next(iter(sampler))
+        np.testing.assert_array_equal(np.sort(sub.labels[pos]), np.sort(small_graph.labels[seeds]))
+
+    def test_invalid_batch_size(self, small_graph, rng):
+        with pytest.raises(ValueError):
+            NeighborSampler(small_graph, np.arange(10), batch_size=0, hops=1, fanout=2, rng=rng)

@@ -1,0 +1,156 @@
+"""GNN architectures: shapes, learning ability, gradients, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import GAT, GCN, GraphSAGE, MLP, build_model, model_names
+from repro.nn import cross_entropy
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+ARCHS = ["gcn", "sage", "gat", "gin", "mlp"]
+
+
+def fresh(arch, graph, hidden=16, seed=0, **kw):
+    return build_model(arch, graph.feature_dim, graph.num_classes, hidden_dim=hidden, seed=seed, **kw)
+
+
+class TestConstruction:
+    def test_registry_names(self):
+        assert set(model_names()) == {"gcn", "sage", "gat", "gin", "mlp"}
+
+    def test_unknown_arch(self, tiny_graph):
+        with pytest.raises(KeyError):
+            build_model("transformer", 8, 4)
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_seeded_init_identical(self, tiny_graph, arch):
+        a = fresh(arch, tiny_graph, seed=7)
+        b = fresh(arch, tiny_graph, seed=7)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_different_seed_differs(self, tiny_graph, arch):
+        a = fresh(arch, tiny_graph, seed=1)
+        b = fresh(arch, tiny_graph, seed=2)
+        flat_a = np.concatenate([p.data.ravel() for _, p in a.named_parameters()])
+        flat_b = np.concatenate([p.data.ravel() for _, p in b.named_parameters()])
+        assert not np.array_equal(flat_a, flat_b)
+
+    def test_invalid_layers(self):
+        rng = np.random.default_rng(0)
+        for cls in (GCN, GraphSAGE, GAT, MLP):
+            with pytest.raises(ValueError):
+                cls(4, 8, 2, num_layers=0, rng=rng)
+
+    def test_three_layer_models(self, tiny_graph):
+        for arch in ARCHS:
+            m = build_model(arch, tiny_graph.feature_dim, tiny_graph.num_classes, num_layers=3, seed=0)
+            out = m(tiny_graph)
+            assert out.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+
+class TestForward:
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_output_shape(self, tiny_graph, arch):
+        out = fresh(arch, tiny_graph)(tiny_graph)
+        assert out.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_output_finite(self, tiny_graph, arch):
+        out = fresh(arch, tiny_graph)(tiny_graph)
+        assert np.isfinite(out.data).all()
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_eval_forward_deterministic(self, tiny_graph, arch):
+        m = fresh(arch, tiny_graph)
+        m.eval()
+        a = m(tiny_graph).data
+        b = m(tiny_graph).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_dropout_changes_training_forward(self, tiny_graph):
+        m = fresh("gcn", tiny_graph)
+        m.train()
+        a = m(tiny_graph, rng=np.random.default_rng(1)).data
+        b = m(tiny_graph, rng=np.random.default_rng(2)).data
+        assert not np.array_equal(a, b)
+
+    def test_gcn_uses_structure(self, tiny_graph):
+        """Shuffling features must change a GCN's output (it aggregates)."""
+        m = fresh("gcn", tiny_graph)
+        m.eval()
+        base = m(tiny_graph).data
+        perm = np.random.default_rng(0).permutation(tiny_graph.num_nodes)
+        shuffled = m(tiny_graph, Tensor(tiny_graph.features[perm])).data
+        assert not np.allclose(base, shuffled)
+
+    def test_mlp_ignores_structure(self, tiny_graph, small_graph):
+        """An MLP's per-node output depends only on that node's features."""
+        m = build_model("mlp", tiny_graph.feature_dim, tiny_graph.num_classes, seed=0)
+        m.eval()
+        out1 = m(tiny_graph).data
+        # same features, completely different graph container
+        out2 = m(tiny_graph, Tensor(tiny_graph.features)).data
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_gat_heads_shape_internals(self, tiny_graph):
+        m = build_model("gat", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, num_heads=3, seed=0)
+        out = m(tiny_graph)
+        assert out.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+        # hidden layer concatenates heads: second conv consumes 8*3 features
+        assert m.convs[1].linear.in_features == 24
+
+
+class TestGradients:
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_all_parameters_receive_grad(self, tiny_graph, arch):
+        m = fresh(arch, tiny_graph)
+        m.eval()  # no dropout: every path active
+        loss = cross_entropy(m(tiny_graph)[tiny_graph.train_idx], tiny_graph.labels[tiny_graph.train_idx])
+        loss.backward()
+        for name, p in m.named_parameters():
+            assert p.grad is not None, f"no grad for {name}"
+            assert np.isfinite(p.grad).all(), f"non-finite grad for {name}"
+
+    @pytest.mark.parametrize("arch", ["gcn", "sage", "gat"])
+    def test_can_overfit_tiny_graph(self, tiny_graph, arch):
+        """A 2-layer GNN must drive training accuracy far above chance."""
+        m = fresh(arch, tiny_graph, hidden=16)
+        m.eval()  # disable dropout for pure capacity check
+        opt = Adam(m.parameters(), lr=0.02)
+        idx = tiny_graph.train_idx
+        labels = tiny_graph.labels[idx]
+        for _ in range(60):
+            loss = cross_entropy(m(tiny_graph)[idx], labels)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        preds = m(tiny_graph).data[idx].argmax(axis=1)
+        acc = float(np.mean(preds == labels))
+        assert acc > 0.8, f"{arch} failed to fit: {acc}"
+
+
+class TestStateDicts:
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_state_roundtrip_preserves_output(self, tiny_graph, arch):
+        m = fresh(arch, tiny_graph, seed=3)
+        m.eval()
+        out = m(tiny_graph).data.copy()
+        sd = m.state_dict()
+        m2 = fresh(arch, tiny_graph, seed=99)
+        m2.eval()
+        m2.load_state_dict(sd)
+        np.testing.assert_allclose(m2(tiny_graph).data, out)
+
+    def test_gcn_param_names_layer_prefixed(self, tiny_graph):
+        names = [n for n, _ in fresh("gcn", tiny_graph).named_parameters()]
+        assert all(n.startswith("convs.") for n in names)
+
+    def test_gat_extra_attention_params(self, tiny_graph):
+        names = [n for n, _ in fresh("gat", tiny_graph).named_parameters()]
+        assert any("attn_src" in n for n in names)
+        assert any("attn_dst" in n for n in names)

@@ -1,0 +1,106 @@
+"""GIN-specific behaviour: sum aggregation, learnable eps, soupability.
+
+The generic architecture contract (shapes, gradients, determinism,
+state-dict round trips) is covered by the parametrised suite in
+``test_models.py``; here we pin what is unique to GIN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import train_ingredients
+from repro.models import build_model
+from repro.nn import cross_entropy
+from repro.optim import Adam
+from repro.soup import SoupConfig, gis_soup, learned_soup, uniform_soup
+from repro.tensor import Tensor
+from repro.train import TrainConfig
+
+
+def fresh(graph, hidden=16, seed=0):
+    return build_model("gin", graph.feature_dim, graph.num_classes, hidden_dim=hidden, seed=seed)
+
+
+class TestGINAggregation:
+    def test_sum_operator_is_raw_adjacency(self, tiny_graph):
+        """The 'sum' operator must aggregate unnormalised neighbour features
+        with no self-loop contribution."""
+        op = tiny_graph.operator("sum")
+        x = np.eye(tiny_graph.num_nodes)[:, :8]  # indicator features
+        agg = op.csr @ x
+        indptr, indices = tiny_graph.csr.indptr, tiny_graph.csr.indices
+        for node in (0, 1, 5):
+            neigh = indices[indptr[node] : indptr[node + 1]]
+            np.testing.assert_allclose(agg[node], x[neigh].sum(axis=0))
+
+    def test_eps_zero_init_means_plain_self_term(self, tiny_graph):
+        """At init eps=0, so the conv computes MLP(h + A h) exactly."""
+        model = fresh(tiny_graph)
+        model.eval()
+        conv = model.convs[0]
+        x = Tensor(tiny_graph.features)
+        manual = conv.fc2(
+            conv.fc1(x + Tensor(tiny_graph.operator("sum").csr @ tiny_graph.features)).relu()
+        )
+        np.testing.assert_allclose(conv(tiny_graph, x).data, manual.data, atol=1e-12)
+
+    def test_eps_changes_forward(self, tiny_graph):
+        model = fresh(tiny_graph)
+        model.eval()
+        base = model(tiny_graph).data.copy()
+        model.convs[0].eps.data[:] = 2.0
+        assert not np.allclose(model(tiny_graph).data, base)
+
+
+class TestGINEpsLearning:
+    def test_eps_in_state_dict(self, tiny_graph):
+        state = fresh(tiny_graph).state_dict()
+        eps_keys = [k for k in state if "eps" in k]
+        assert len(eps_keys) == 2  # one per conv
+        for k in eps_keys:
+            assert state[k].shape == (1,)
+
+    def test_eps_receives_gradient_and_moves(self, tiny_graph):
+        model = fresh(tiny_graph)
+        opt = Adam(model.parameters(), lr=0.05)
+        before = float(model.convs[0].eps.data[0])
+        for _ in range(5):
+            logits = model(tiny_graph, rng=np.random.default_rng(0))
+            loss = cross_entropy(logits[tiny_graph.train_idx], tiny_graph.labels[tiny_graph.train_idx])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert model.convs[0].eps.grad is not None or float(model.convs[0].eps.data[0]) != before
+
+
+class TestGINSoupability:
+    @pytest.fixture(scope="class")
+    def gin_pool(self, tiny_graph):
+        return train_ingredients(
+            "gin",
+            tiny_graph,
+            n_ingredients=3,
+            train_cfg=TrainConfig(epochs=15, lr=0.02),
+            base_seed=2,
+            hidden_dim=8,
+        )
+
+    def test_uniform_soup_runs(self, gin_pool, tiny_graph):
+        result = uniform_soup(gin_pool, tiny_graph)
+        assert 0.0 <= result.test_acc <= 1.0
+
+    def test_gis_soup_runs(self, gin_pool, tiny_graph):
+        result = gis_soup(gin_pool, tiny_graph, granularity=5)
+        assert result.val_acc >= max(gin_pool.val_accs) - 0.15
+
+    def test_learned_soup_mixes_eps_like_any_layer(self, gin_pool, tiny_graph):
+        result = learned_soup(gin_pool, tiny_graph, SoupConfig(epochs=8, seed=0))
+        # the souped eps must be the alpha-weighted mix of ingredient epses
+        eps_key = next(k for k in result.state_dict if "eps" in k)
+        mixed = result.state_dict[eps_key]
+        lo = min(sd[eps_key][0] for sd in gin_pool.states)
+        hi = max(sd[eps_key][0] for sd in gin_pool.states)
+        assert lo - 1e-9 <= mixed[0] <= hi + 1e-9  # convex combination
+        assert 0.0 <= result.test_acc <= 1.0

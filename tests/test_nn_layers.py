@@ -1,0 +1,110 @@
+"""Generic layers: Linear, Dropout, Sequential, activations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, ELU, Identity, LeakyReLU, Linear, ReLU, Sequential, Tanh
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        assert layer(Tensor(rng.normal(size=(7, 5)))).shape == (7, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, rng, bias=False)
+        names = [n for n, _ in layer.named_parameters()]
+        assert names == ["weight"]
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x @ layer.weight.data)
+
+    def test_bias_starts_zero(self, rng):
+        np.testing.assert_array_equal(Linear(4, 2, rng).bias.data, np.zeros(2))
+
+    def test_seeded_init_reproducible(self):
+        a = Linear(4, 4, np.random.default_rng(5))
+        b = Linear(4, 4, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_repr(self, rng):
+        assert "in=3" in repr(Linear(3, 7, rng))
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(3, 2, rng)
+        layer(Tensor(rng.normal(size=(4, 3)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        d = Dropout(0.5)
+        d.eval()
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert d(x, rng) is x
+
+    def test_identity_without_rng(self, rng):
+        d = Dropout(0.5)
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert d(x) is x  # no RNG supplied -> deterministic passthrough
+
+    def test_training_mode_drops(self):
+        d = Dropout(0.5)
+        rng = np.random.default_rng(0)
+        out = d(Tensor(np.ones(1000)), rng)
+        assert np.any(out.data == 0.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_zero_probability_identity(self, rng):
+        d = Dropout(0.0)
+        x = Tensor(rng.normal(size=3))
+        assert d(x, rng) is x
+
+
+class TestActivationsAndSequential:
+    def test_relu_module(self, rng):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_leaky_relu_module(self):
+        out = LeakyReLU(0.5)(Tensor(np.array([-2.0])))
+        np.testing.assert_allclose(out.data, [-1.0])
+
+    def test_elu_module(self):
+        out = ELU(1.0)(Tensor(np.array([0.0])))
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_tanh_module(self):
+        out = Tanh()(Tensor(np.array([100.0])))
+        np.testing.assert_allclose(out.data, [1.0], atol=1e-12)
+
+    def test_identity_module(self, rng):
+        x = Tensor(rng.normal(size=4))
+        assert Identity()(x) is x
+
+    def test_sequential_chains(self, rng):
+        seq = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng))
+        assert seq(Tensor(rng.normal(size=(5, 4)))).shape == (5, 2)
+
+    def test_sequential_len_and_index(self, rng):
+        seq = Sequential(Linear(2, 2, rng), ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], ReLU)
+
+    def test_sequential_params_from_children(self, rng):
+        seq = Sequential(Linear(2, 3, rng), ReLU(), Linear(3, 1, rng))
+        names = [n for n, _ in seq.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]

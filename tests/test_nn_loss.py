@@ -1,0 +1,92 @@
+"""Loss functions: numerical correctness and gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import cross_entropy, l2_penalty, nll_loss
+from repro.tensor import Tensor, gradcheck
+
+
+def manual_ce(logits: np.ndarray, labels: np.ndarray) -> float:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return float(-log_probs[np.arange(len(labels)), labels].mean())
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        loss = cross_entropy(Tensor(logits), labels)
+        np.testing.assert_allclose(loss.item(), manual_ce(logits, labels))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 4), -100.0)
+        labels = np.array([0, 1, 2])
+        logits[np.arange(3), labels] = 100.0
+        assert cross_entropy(Tensor(logits), labels).item() < 1e-6
+
+    def test_uniform_logits_log_c(self):
+        loss = cross_entropy(Tensor(np.zeros((5, 8))), np.zeros(5, dtype=int))
+        np.testing.assert_allclose(loss.item(), np.log(8.0))
+
+    def test_sum_reduction(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 3, size=4)
+        s = cross_entropy(Tensor(logits), labels, reduction="sum").item()
+        m = cross_entropy(Tensor(logits), labels, reduction="mean").item()
+        np.testing.assert_allclose(s, 4 * m)
+
+    def test_none_reduction_shape(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 3, size=4)
+        out = cross_entropy(Tensor(logits), labels, reduction="none")
+        assert out.shape == (4,)
+
+    def test_unknown_reduction_raises(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 2))), np.array([0, 1]), reduction="avg")
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=4)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(3, 2))), np.array([0, 1]))
+
+    def test_gradcheck(self, rng):
+        labels = rng.integers(0, 3, size=5)
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        gradcheck(lambda x: cross_entropy(x, labels), [x])
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        labels = np.array([0, 2, 1, 0])
+        cross_entropy(logits, labels).backward()
+        probs = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        onehot = np.eye(3)[labels]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 4.0, atol=1e-10)
+
+
+class TestNLLAndPenalty:
+    def test_nll_matches_ce(self, rng):
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        ce = cross_entropy(Tensor(logits), labels).item()
+        nll = nll_loss(Tensor(logits).log_softmax(axis=-1), labels).item()
+        np.testing.assert_allclose(ce, nll)
+
+    def test_l2_penalty_value(self, rng):
+        a = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        np.testing.assert_allclose(l2_penalty([a]).item(), 25.0)
+
+    def test_l2_penalty_empty_raises(self):
+        with pytest.raises(ValueError):
+            l2_penalty([])
+
+    def test_l2_penalty_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        gradcheck(lambda a, b: l2_penalty([a, b]), [a, b])

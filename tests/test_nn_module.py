@@ -1,0 +1,194 @@
+"""Module system: registration, state dicts, functional injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Parameter, functional_params
+from repro.tensor import Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng)
+        self.fc2 = Linear(8, 2, rng)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_parameter_registered(self, rng):
+        m = TwoLayer(rng)
+        names = [n for n, _ in m.named_parameters()]
+        assert "scale" in names and "fc1.weight" in names and "fc2.bias" in names
+
+    def test_registration_order_stable(self, rng):
+        names = [n for n, _ in TwoLayer(rng).named_parameters()]
+        assert names == ["scale", "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self, rng):
+        m = TwoLayer(rng)
+        assert m.num_parameters() == 1 + 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_parameter_nbytes(self, rng):
+        m = TwoLayer(rng)
+        assert m.parameter_nbytes() == m.num_parameters() * 8
+
+    def test_named_modules(self, rng):
+        names = [n for n, _ in TwoLayer(rng).named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_missing_attribute_raises(self, rng):
+        with pytest.raises(AttributeError):
+            TwoLayer(rng).nonexistent
+
+    def test_assignment_before_init_raises(self):
+        class Bad(Module):
+            def __init__(self):
+                self.weight = Parameter(np.ones(2))  # no super().__init__()
+
+        with pytest.raises(RuntimeError):
+            Bad()
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        m = TwoLayer(rng)
+        sd = m.state_dict()
+        m2 = TwoLayer(np.random.default_rng(99))
+        m2.load_state_dict(sd)
+        for (_, a), (_, b) in zip(m.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_is_copy(self, rng):
+        m = TwoLayer(rng)
+        sd = m.state_dict()
+        sd["scale"][0] = 42.0
+        assert m.scale.data[0] == 1.0
+
+    def test_load_missing_key_raises(self, rng):
+        m = TwoLayer(rng)
+        sd = m.state_dict()
+        del sd["scale"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_load_unexpected_key_raises(self, rng):
+        m = TwoLayer(rng)
+        sd = m.state_dict()
+        sd["ghost"] = np.ones(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_load_shape_mismatch_raises(self, rng):
+        m = TwoLayer(rng)
+        sd = m.state_dict()
+        sd["scale"] = np.ones(3)
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+    def test_load_copies_values(self, rng):
+        m = TwoLayer(rng)
+        sd = m.state_dict()
+        m.load_state_dict(sd)
+        sd["scale"][0] = -1.0
+        assert m.scale.data[0] == 1.0
+
+
+class TestFunctionalInjection:
+    """The mechanism Learned Souping uses to differentiate through weights."""
+
+    def test_injection_changes_forward(self, rng):
+        m = TwoLayer(rng)
+        x = Tensor(rng.normal(size=(3, 4)))
+        base = m(x).data.copy()
+        with functional_params(m, {"scale": Tensor(np.array([2.0]))}):
+            doubled = m(x).data
+        np.testing.assert_allclose(doubled, 2.0 * base)
+
+    def test_injection_restores_on_exit(self, rng):
+        m = TwoLayer(rng)
+        original = m.scale
+        with functional_params(m, {"scale": Tensor(np.array([5.0]))}):
+            pass
+        assert m.scale is original
+
+    def test_injection_restores_on_exception(self, rng):
+        m = TwoLayer(rng)
+        original = m.fc1.weight
+        with pytest.raises(RuntimeError):
+            with functional_params(m, {"fc1.weight": Tensor(np.zeros((4, 8)))}):
+                raise RuntimeError("boom")
+        assert m.fc1.weight is original
+
+    def test_gradient_flows_to_injected_tensor(self, rng):
+        m = TwoLayer(rng)
+        alpha = Tensor(np.array([1.5]), requires_grad=True)
+        x = Tensor(rng.normal(size=(3, 4)))
+        with functional_params(m, {"scale": alpha * 2.0}):
+            loss = m(x).sum()
+        loss.backward()
+        assert alpha.grad is not None and np.isfinite(alpha.grad).all()
+
+    def test_unknown_name_raises(self, rng):
+        with pytest.raises(KeyError):
+            TwoLayer(rng).inject_params({"nope": Tensor(np.ones(1))})
+
+    def test_nested_path_injection(self, rng):
+        m = TwoLayer(rng)
+        new_w = Tensor(np.zeros((4, 8)))
+        with functional_params(m, {"fc1.weight": new_w}):
+            assert m.fc1.weight is new_w
+
+
+class TestTrainEvalMode:
+    def test_default_training(self, rng):
+        assert TwoLayer(rng).training
+
+    def test_eval_propagates(self, rng):
+        m = TwoLayer(rng)
+        m.eval()
+        assert not m.training and not m.fc1.training
+
+    def test_train_restores(self, rng):
+        m = TwoLayer(rng)
+        m.eval().train()
+        assert m.training and m.fc2.training
+
+    def test_zero_grad_clears(self, rng):
+        m = TwoLayer(rng)
+        x = Tensor(rng.normal(size=(2, 4)))
+        m(x).sum().backward()
+        assert m.fc1.weight.grad is not None
+        m.zero_grad()
+        assert m.fc1.weight.grad is None
+
+
+class TestModuleList:
+    def test_iteration_order(self, rng):
+        ml = ModuleList([Linear(2, 2, rng) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(list(ml)) == 3
+
+    def test_indexing(self, rng):
+        layers = [Linear(2, 2, rng) for _ in range(3)]
+        ml = ModuleList(layers)
+        assert ml[0] is layers[0] and ml[-1] is layers[2]
+
+    def test_append(self, rng):
+        ml = ModuleList()
+        ml.append(Linear(2, 2, rng))
+        assert len(ml) == 1
+
+    def test_parameters_visible_through_list(self, rng):
+        ml = ModuleList([Linear(2, 3, rng)])
+        names = [n for n, _ in ml.named_parameters()]
+        assert names == ["0.weight", "0.bias"]
+
+    def test_repr_contains_children(self, rng):
+        text = repr(ModuleList([Linear(2, 2, rng)]))
+        assert "Linear" in text

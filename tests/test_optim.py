@@ -1,0 +1,161 @@
+"""Optimizers: update-rule exactness and convergence behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim import SGD, Adam, AdamW
+from repro.tensor import Tensor
+
+
+def param(value):
+    return Tensor(np.asarray(value, dtype=np.float64), requires_grad=True)
+
+
+def quadratic_step(p):
+    """Set p.grad for loss = 0.5 * ||p||^2 (gradient = p)."""
+    p.grad = p.data.copy()
+
+
+class TestSGD:
+    def test_vanilla_update(self):
+        p = param([1.0, -2.0])
+        p.grad = np.array([0.5, 0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, -2.05])
+
+    def test_weight_decay_coupled(self):
+        p = param([2.0])
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_momentum_accumulates(self):
+        p = param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        np.testing.assert_allclose(p.data, [-1.0])
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_nesterov_differs_from_plain_momentum(self):
+        p1, p2 = param([0.0]), param([0.0])
+        o1 = SGD([p1], lr=1.0, momentum=0.9)
+        o2 = SGD([p2], lr=1.0, momentum=0.9, nesterov=True)
+        for o, p in ((o1, p1), (o2, p2)):
+            p.grad = np.array([1.0])
+            o.step()
+            p.grad = np.array([1.0])
+            o.step()
+        assert p1.data[0] != p2.data[0]
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([param([1.0])], lr=0.1, nesterov=True)
+
+    def test_none_grad_skipped(self):
+        p = param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = param([1.0])
+        p.grad = np.ones(1)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_converges_on_quadratic(self):
+        p = param([5.0, -3.0])
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(200):
+            quadratic_step(p)
+            opt.step()
+        assert np.abs(p.data).max() < 1e-6
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([param([1.0])], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        # with bias correction the first Adam step is ~lr regardless of grad scale
+        p = param([0.0])
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        np.testing.assert_allclose(np.abs(p.data), [0.01], rtol=1e-5)
+
+    def test_matches_reference_two_steps(self):
+        # hand-computed Adam trace: lr=0.1, grads 1 then 2
+        p = param([0.0])
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        x1 = p.data[0]
+        p.grad = np.array([2.0])
+        opt.step()
+        m = 0.9 * 0.1 + 0.1 * 2.0
+        v = 0.999 * 0.001 + 0.001 * 4.0
+        mhat = m / (1 - 0.9**2)
+        vhat = v / (1 - 0.999**2)
+        expected = x1 - 0.1 * mhat / (np.sqrt(vhat) + 1e-8)
+        np.testing.assert_allclose(p.data, [expected], rtol=1e-10)
+
+    def test_converges_on_quadratic(self):
+        p = param([4.0, -4.0])
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            quadratic_step(p)
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_weight_decay_coupled_affects_grad(self):
+        p1, p2 = param([1.0]), param([1.0])
+        o1, o2 = Adam([p1], lr=0.1), Adam([p2], lr=0.1, weight_decay=1.0)
+        for o, p in ((o1, p1), (o2, p2)):
+            p.grad = np.array([0.5])
+            o.step()
+        assert p2.data[0] != p1.data[0]
+
+
+class TestAdamW:
+    def test_decay_is_decoupled(self):
+        # with zero gradient, AdamW still shrinks weights by lr*wd*w exactly
+        p = param([2.0])
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_differs_from_adam_with_same_settings(self):
+        pa, pw = param([1.0]), param([1.0])
+        oa = Adam([pa], lr=0.1, weight_decay=0.5)
+        ow = AdamW([pw], lr=0.1, weight_decay=0.5)
+        for o, p in ((oa, pa), (ow, pw)):
+            p.grad = np.array([1.0])
+            o.step()
+        assert pa.data[0] != pw.data[0]
+
+    def test_weight_decay_setting_preserved_after_step(self):
+        p = param([1.0])
+        opt = AdamW([p], lr=0.1, weight_decay=0.3)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert opt.weight_decay == 0.3
+
+    def test_converges_on_quadratic(self):
+        p = param([3.0])
+        opt = AdamW([p], lr=0.2, weight_decay=0.01)
+        for _ in range(300):
+            quadratic_step(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-2

@@ -1,0 +1,127 @@
+"""Instrumentation: memory meter, analytic model, timers."""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+import pytest
+
+from repro.profiling import MemoryMeter, MemoryModel, Timer, activation_bytes, time_callable
+from repro.tensor import Tensor
+
+
+class TestMemoryMeter:
+    def test_counts_tensor_allocations(self):
+        with MemoryMeter() as meter:
+            _x = Tensor(np.zeros(1000))  # 8 kB
+        assert meter.peak >= 8000
+
+    def test_views_not_double_counted(self):
+        with MemoryMeter() as meter:
+            base = np.zeros(1000)
+            _a = Tensor(base)
+            _b = Tensor(base[:500])  # view over the same buffer
+        assert meter.peak < 16000
+
+    def test_release_on_gc(self):
+        with MemoryMeter() as meter:
+            x = Tensor(np.zeros(100_000))
+            peak_with = meter.current
+            del x
+            gc.collect()
+            after = meter.current
+        assert peak_with >= 800_000
+        assert after < peak_with
+
+    def test_peak_survives_release(self):
+        with MemoryMeter() as meter:
+            x = Tensor(np.zeros(50_000))
+            del x
+            gc.collect()
+        assert meter.peak >= 400_000
+
+    def test_no_tracking_outside_context(self):
+        meter = MemoryMeter()
+        _x = Tensor(np.zeros(1000))
+        assert meter.peak == 0
+
+    def test_track_bytes_and_array(self):
+        with MemoryMeter() as meter:
+            meter.track_bytes(500)
+            meter.track_array(np.zeros(10))
+        assert meter.peak == 500 + 80
+
+    def test_track_state_dict(self):
+        with MemoryMeter() as meter:
+            meter.track_state_dict({"w": np.zeros((10, 10)), "b": np.zeros(10)})
+        assert meter.peak == 800 + 80
+
+    def test_transient_released_after_block(self):
+        with MemoryMeter() as meter:
+            with meter.transient(10_000):
+                inside = meter.current
+            outside = meter.current
+        assert inside >= 10_000 and outside == inside - 10_000
+        assert meter.peak >= 10_000
+
+    def test_nested_meters_both_observe(self):
+        with MemoryMeter() as outer:
+            with MemoryMeter() as inner:
+                _x = Tensor(np.zeros(1000))
+            assert inner.peak >= 8000
+        assert outer.peak >= 8000
+
+    def test_reentry_resets(self):
+        meter = MemoryMeter()
+        with meter:
+            meter.track_bytes(100)
+        with meter:
+            pass
+        assert meter.peak == 0
+
+
+class TestMemoryModel:
+    def test_method_ordering_matches_paper(self):
+        """US < GIS < LS on memory; PLS between US and GIS (§V-C)."""
+        model = MemoryModel(n_ingredients=8, model_bytes=10_000, graph_bytes=1_000_000, activ_bytes=500_000)
+        assert model.uniform() < model.gis() < model.learned()
+        assert model.partition_learned(8, 32) < model.gis()
+
+    def test_pls_scales_with_ratio(self):
+        model = MemoryModel(4, 10_000, 1_000_000, 500_000)
+        quarter = model.partition_learned(8, 32)
+        half = model.partition_learned(16, 32)
+        full = model.partition_learned(32, 32)
+        assert quarter < half < full
+        assert full == model.learned()
+
+    def test_activation_bytes(self):
+        out = activation_bytes(num_nodes=100, layer_widths=[64, 32], num_edges=500, edge_width=4)
+        assert out == 8 * (100 * 96 + 2000)
+
+
+class TestTimer:
+    def test_elapsed_positive(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_repr(self):
+        with Timer("x") as t:
+            pass
+        assert "x" in repr(t)
+
+    def test_time_callable_stats(self):
+        mean, std = time_callable(lambda: time.sleep(0.002), repeats=3)
+        assert mean >= 0.0015
+        assert std >= 0.0
+
+    def test_time_callable_single_repeat(self):
+        mean, std = time_callable(lambda: None, repeats=1)
+        assert std == 0.0
+
+    def test_time_callable_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)

@@ -1,0 +1,117 @@
+"""Learning-rate schedulers (cosine annealing is the paper's LS schedule)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    LinearWarmupLR,
+    SGD,
+    StepLR,
+)
+from repro.tensor import Tensor
+
+
+def make_opt(lr=1.0):
+    return SGD([Tensor(np.ones(1), requires_grad=True)], lr=lr)
+
+
+class TestCosineAnnealing:
+    def test_starts_at_base(self):
+        opt = make_opt(lr=2.0)
+        CosineAnnealingLR(opt, t_max=10)
+        assert opt.lr == 2.0
+
+    def test_half_period_half_lr(self):
+        opt = make_opt(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 0.5, atol=1e-12)
+
+    def test_ends_at_eta_min(self):
+        opt = make_opt(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=8, eta_min=0.1)
+        for _ in range(8):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 0.1, atol=1e-12)
+
+    def test_clamps_after_t_max(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=4)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_monotone_decreasing(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=20)
+        values = []
+        for _ in range(20):
+            sched.step()
+            values.append(opt.lr)
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_matches_formula(self):
+        opt = make_opt(lr=0.8)
+        sched = CosineAnnealingLR(opt, t_max=7, eta_min=0.05)
+        for t in range(1, 8):
+            sched.step()
+            expected = 0.05 + (0.8 - 0.05) * (1 + math.cos(math.pi * t / 7)) / 2
+            np.testing.assert_allclose(opt.lr, expected, atol=1e-12)
+
+    def test_invalid_tmax(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), t_max=0)
+
+
+class TestOtherSchedulers:
+    def test_constant(self):
+        opt = make_opt(lr=0.3)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 0.3
+
+    def test_step_lr_decays(self):
+        opt = make_opt(lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25, 0.25, 0.125])
+
+    def test_step_lr_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+    def test_linear_warmup_ramp(self):
+        opt = make_opt(lr=1.0)
+        sched = LinearWarmupLR(opt, warmup=4)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [0.25, 0.5, 0.75, 1.0, 1.0, 1.0])
+
+    def test_linear_warmup_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmupLR(make_opt(), warmup=0)
+
+    def test_scheduler_drives_real_optimizer(self):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = Adam([p], lr=0.5)
+        sched = CosineAnnealingLR(opt, t_max=50)
+        for _ in range(50):
+            p.grad = p.data.copy()
+            opt.step()
+            sched.step()
+        assert abs(p.data[0]) < 1.0  # converged under the decaying schedule
+        np.testing.assert_allclose(opt.lr, 0.0, atol=1e-12)

@@ -1,0 +1,149 @@
+"""Related-work souping baselines: RADIN budget souping and sparse soups.
+
+These exercise the §II-B references the paper positions itself against —
+[40] (ensemble-approximated greedy selection under an evaluation budget)
+and [41] (prune-then-soup with a shared sparsity pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soup import (
+    greedy_soup,
+    magnitude_mask,
+    radin_greedy_soup,
+    soup,
+    sparse_soup,
+    uniform_soup,
+)
+
+
+class TestRadinBudgetSoup:
+    def test_pure_proxy_costs_exactly_n_forward_passes(self, gcn_pool, tiny_graph):
+        result = radin_greedy_soup(gcn_pool, tiny_graph, eval_budget=0)
+        assert result.extras["forward_passes"] == len(gcn_pool)
+
+    def test_budget_is_respected(self, gcn_pool, tiny_graph):
+        for budget in (1, 2, 5):
+            result = radin_greedy_soup(gcn_pool, tiny_graph, eval_budget=budget)
+            extra_passes = result.extras["forward_passes"] - len(gcn_pool)
+            assert 0 <= extra_passes <= budget
+
+    def test_negative_budget_rejected(self, gcn_pool, tiny_graph):
+        with pytest.raises(ValueError, match="budget"):
+            radin_greedy_soup(gcn_pool, tiny_graph, eval_budget=-1)
+
+    def test_best_ingredient_always_member(self, gcn_pool, tiny_graph):
+        result = radin_greedy_soup(gcn_pool, tiny_graph)
+        assert gcn_pool.best_index in result.extras["members"]
+
+    def test_proxy_soup_is_competitive_with_true_greedy(self, gcn_pool, tiny_graph):
+        """The ensemble approximation should land within a few points of the
+        fully-evaluated greedy soup on validation accuracy."""
+        cheap = radin_greedy_soup(gcn_pool, tiny_graph, eval_budget=0)
+        true = greedy_soup(gcn_pool, tiny_graph)
+        assert cheap.val_acc >= true.val_acc - 0.05
+
+    def test_forward_pass_savings_vs_gis_bill(self, gcn_pool, tiny_graph):
+        """GIS pays N*g forward passes; RADIN pays N + budget."""
+        result = radin_greedy_soup(gcn_pool, tiny_graph, eval_budget=2)
+        gis_bill = len(gcn_pool) * 20  # granularity 20, the bench default
+        assert result.extras["forward_passes"] < gis_bill / 5
+
+    def test_vetoes_only_when_confirming(self, gcn_pool, tiny_graph):
+        no_confirm = radin_greedy_soup(gcn_pool, tiny_graph, eval_budget=0)
+        assert no_confirm.extras["vetoes"] == 0
+        assert no_confirm.extras["confirmations"] == 0
+
+    def test_registered_in_method_registry(self, gcn_pool, tiny_graph):
+        result = soup("radin", gcn_pool, tiny_graph, eval_budget=1)
+        assert result.method == "radin"
+
+
+class TestMagnitudeMask:
+    def test_per_tensor_sparsity_hits_target(self, gcn_pool):
+        masks = magnitude_mask(gcn_pool.states[0], sparsity=0.5, scope="per_tensor")
+        for name, value in gcn_pool.states[0].items():
+            if value.ndim >= 2:
+                density = masks[name].mean()
+                assert density == pytest.approx(0.5, abs=2.0 / value.size)
+
+    def test_biases_never_pruned(self, gcn_pool):
+        masks = magnitude_mask(gcn_pool.states[0], sparsity=0.9)
+        for name, value in gcn_pool.states[0].items():
+            if value.ndim < 2:
+                assert masks[name].all()
+
+    def test_global_scope_matches_overall_target(self, gcn_pool):
+        state = gcn_pool.states[0]
+        masks = magnitude_mask(state, sparsity=0.6, scope="global")
+        total = sum(v.size for v in state.values() if v.ndim >= 2)
+        zeros = sum(int((~masks[n]).sum()) for n, v in state.items() if v.ndim >= 2)
+        assert zeros / total == pytest.approx(0.6, abs=0.02)
+
+    def test_keeps_largest_magnitudes(self, gcn_pool):
+        state = gcn_pool.states[0]
+        masks = magnitude_mask(state, sparsity=0.5)
+        for name, value in state.items():
+            if value.ndim < 2:
+                continue
+            kept = np.abs(value[masks[name]])
+            dropped = np.abs(value[~masks[name]])
+            if kept.size and dropped.size:
+                assert kept.min() >= dropped.max() - 1e-12
+
+    def test_zero_sparsity_keeps_everything(self, gcn_pool):
+        masks = magnitude_mask(gcn_pool.states[0], sparsity=0.0)
+        assert all(m.all() for m in masks.values())
+
+    def test_invalid_inputs_rejected(self, gcn_pool):
+        with pytest.raises(ValueError, match="sparsity"):
+            magnitude_mask(gcn_pool.states[0], sparsity=1.0)
+        with pytest.raises(ValueError, match="scope"):
+            magnitude_mask(gcn_pool.states[0], sparsity=0.5, scope="blocky")
+
+
+class TestSparseSoup:
+    def test_soup_carries_sparsity_pattern(self, gcn_pool, tiny_graph):
+        result = sparse_soup(gcn_pool, tiny_graph, sparsity=0.5)
+        assert result.extras["sparsity_achieved"] == pytest.approx(0.5, abs=0.02)
+        for name, value in result.state_dict.items():
+            if value.ndim >= 2:
+                assert np.mean(value == 0.0) >= 0.45
+
+    def test_intersection_mask_is_sparser(self, gcn_pool, tiny_graph):
+        consensus = sparse_soup(gcn_pool, tiny_graph, sparsity=0.5, mask_source="soup")
+        strict = sparse_soup(gcn_pool, tiny_graph, sparsity=0.5, mask_source="intersection")
+        assert strict.extras["sparsity_achieved"] >= consensus.extras["sparsity_achieved"] - 1e-9
+        assert 0.0 < strict.extras["mask_agreement"] <= 1.0
+
+    def test_sparse_soup_equals_masked_uniform_soup(self, gcn_pool, tiny_graph):
+        """With a shared mask, pruning and averaging commute."""
+        result = sparse_soup(gcn_pool, tiny_graph, sparsity=0.3)
+        us = uniform_soup(gcn_pool, tiny_graph)
+        for name, value in result.state_dict.items():
+            nz = value != 0.0
+            np.testing.assert_allclose(value[nz], us.state_dict[name][nz], atol=1e-12)
+
+    def test_mild_sparsity_keeps_accuracy_near_uniform(self, gcn_pool, tiny_graph):
+        us = uniform_soup(gcn_pool, tiny_graph)
+        sp = sparse_soup(gcn_pool, tiny_graph, sparsity=0.2)
+        assert sp.test_acc >= us.test_acc - 0.1
+
+    def test_extreme_sparsity_degrades(self, gcn_pool, tiny_graph):
+        """90%+ pruning of a 16-hidden GCN must hurt — sanity that the mask
+        actually bites."""
+        mild = sparse_soup(gcn_pool, tiny_graph, sparsity=0.1)
+        brutal = sparse_soup(gcn_pool, tiny_graph, sparsity=0.95)
+        assert brutal.extras["sparsity_achieved"] > mild.extras["sparsity_achieved"]
+        assert brutal.test_acc <= mild.test_acc + 0.02
+
+    def test_bad_mask_source_rejected(self, gcn_pool, tiny_graph):
+        with pytest.raises(ValueError, match="mask_source"):
+            sparse_soup(gcn_pool, tiny_graph, mask_source="union")
+
+    def test_registered_in_method_registry(self, gcn_pool, tiny_graph):
+        result = soup("sparse", gcn_pool, tiny_graph, sparsity=0.4)
+        assert result.method == "sparse"

@@ -1,0 +1,117 @@
+"""§VIII extensions: entropy-regularised alphas and soup fine-tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soup import PLSConfig, SoupConfig, finetuned_soup, learned_soup, partition_learned_soup, soup
+from repro.soup.learned import entropy_penalty
+from repro.tensor import Tensor
+
+
+class TestEntropyPenalty:
+    def test_uniform_mixture_has_maximal_entropy(self):
+        uniform = Tensor(np.full((4, 2), 0.25))
+        peaked = Tensor(np.array([[0.97], [0.01], [0.01], [0.01]]) * np.ones((1, 2)))
+        assert float(entropy_penalty(uniform).data) > float(entropy_penalty(peaked).data)
+
+    def test_uniform_entropy_closed_form(self):
+        n = 5
+        w = Tensor(np.full((n, 3), 1.0 / n))
+        # mean per-group entropy of uniform over n = ln(n)
+        assert float(entropy_penalty(w).data) == pytest.approx(3 * np.log(n) / 3, rel=1e-9)
+
+    def test_safe_at_exact_zeros(self):
+        w = Tensor(np.array([[1.0], [0.0], [0.0]]))
+        assert float(entropy_penalty(w).data) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_pushes_toward_concentration(self):
+        """Descending the entropy from a near-uniform softmax mixture must
+        reduce entropy (concentrate mass)."""
+        alphas = Tensor(np.array([[0.1], [0.0], [-0.1]]), requires_grad=True)
+        before = float(entropy_penalty(alphas.softmax(axis=0)).data)
+        for _ in range(50):
+            alphas.zero_grad()
+            pen = entropy_penalty(alphas.softmax(axis=0))
+            pen.backward()
+            alphas.data -= 0.5 * alphas.grad
+        after = float(entropy_penalty(alphas.softmax(axis=0)).data)
+        assert after < before
+
+
+class TestEntropyRegularisedLS:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="entropy"):
+            SoupConfig(alpha_entropy_coef=-0.1)
+        with pytest.raises(ValueError, match="simplex"):
+            SoupConfig(alpha_entropy_coef=0.1, normalize="none")
+
+    def test_regularised_weights_are_more_concentrated(self, gcn_pool, tiny_graph):
+        common = dict(epochs=25, lr=1.0, seed=0, holdout_fraction=0.0, select_best=False)
+        plain = learned_soup(gcn_pool, tiny_graph, SoupConfig(**common))
+        reg = learned_soup(gcn_pool, tiny_graph, SoupConfig(alpha_entropy_coef=0.5, **common))
+
+        def mean_entropy(w):
+            w = np.clip(w, 1e-12, None)
+            return float(-(w * np.log(w)).sum(axis=0).mean())
+
+        assert mean_entropy(reg.extras["weights"]) < mean_entropy(plain.extras["weights"])
+        assert 0.0 <= reg.test_acc <= 1.0
+
+    def test_zero_coef_is_exactly_vanilla(self, gcn_pool, tiny_graph):
+        a = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=6, seed=3))
+        b = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=6, seed=3, alpha_entropy_coef=0.0))
+        np.testing.assert_array_equal(a.extras["alphas"], b.extras["alphas"])
+
+    def test_pls_honours_entropy_coef(self, small_pool, small_graph):
+        base = dict(epochs=8, seed=2, num_partitions=8, partition_budget=4, holdout_fraction=0.0)
+        plain = partition_learned_soup(small_pool, small_graph, PLSConfig(**base))
+        reg = partition_learned_soup(
+            small_pool, small_graph, PLSConfig(alpha_entropy_coef=1.0, **base)
+        )
+        assert not np.array_equal(plain.extras["alphas"], reg.extras["alphas"])
+
+
+class TestFinetunedSoup:
+    def test_runs_and_reports_both_scores(self, gcn_pool, tiny_graph):
+        result = finetuned_soup(
+            gcn_pool, tiny_graph, SoupConfig(epochs=8, seed=0), finetune_epochs=5
+        )
+        assert result.method == "ls-finetune"
+        assert 0.0 <= result.extras["ls_test_acc"] <= 1.0
+        assert 0.0 <= result.test_acc <= 1.0
+
+    def test_zero_epochs_is_plain_ls(self, gcn_pool, tiny_graph):
+        cfg = SoupConfig(epochs=8, seed=0)
+        ft = finetuned_soup(gcn_pool, tiny_graph, cfg, finetune_epochs=0)
+        ls = learned_soup(gcn_pool, tiny_graph, cfg)
+        for name in ft.state_dict:
+            np.testing.assert_array_equal(ft.state_dict[name], ls.state_dict[name])
+
+    def test_finetuning_moves_weights(self, gcn_pool, tiny_graph):
+        cfg = SoupConfig(epochs=8, seed=0)
+        ft = finetuned_soup(gcn_pool, tiny_graph, cfg, finetune_epochs=5)
+        ls = learned_soup(gcn_pool, tiny_graph, cfg)
+        moved = any(
+            not np.array_equal(ft.state_dict[name], ls.state_dict[name]) for name in ft.state_dict
+        )
+        assert moved
+
+    def test_finetuning_does_not_collapse(self, gcn_pool, tiny_graph):
+        """A few gentle epochs from the soup must stay in the working band
+        (train_model restores its best-val epoch, so this is near-monotone)."""
+        result = finetuned_soup(
+            gcn_pool, tiny_graph, SoupConfig(epochs=8, seed=0), finetune_epochs=5
+        )
+        assert result.test_acc >= result.extras["ls_test_acc"] - 0.08
+
+    def test_negative_epochs_rejected(self, gcn_pool, tiny_graph):
+        with pytest.raises(ValueError, match="finetune_epochs"):
+            finetuned_soup(gcn_pool, tiny_graph, finetune_epochs=-1)
+
+    def test_registered_in_method_registry(self, gcn_pool, tiny_graph):
+        result = soup(
+            "ls-finetune", gcn_pool, tiny_graph, cfg=SoupConfig(epochs=4, seed=0), finetune_epochs=2
+        )
+        assert result.method == "ls-finetune"

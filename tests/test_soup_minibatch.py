@@ -1,0 +1,66 @@
+"""Minibatched alpha objectives (§VI-A: "techniques like minibatching to
+stabilize training") for LS and PLS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soup import PLSConfig, SoupConfig, learned_soup, partition_learned_soup
+
+
+class TestMinibatchedLS:
+    def test_zero_batch_is_exact_full_batch(self, gcn_pool, tiny_graph):
+        """val_batch_size=0 must take the historical full-batch code path."""
+        a = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=6, seed=4))
+        b = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=6, seed=4, val_batch_size=0))
+        np.testing.assert_array_equal(a.extras["alphas"], b.extras["alphas"])
+
+    def test_oversized_batch_equals_full_batch(self, gcn_pool, tiny_graph):
+        """A batch larger than the alpha-train slice degenerates to full batch."""
+        full = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=6, seed=4))
+        over = learned_soup(
+            gcn_pool, tiny_graph, SoupConfig(epochs=6, seed=4, val_batch_size=10_000)
+        )
+        np.testing.assert_array_equal(full.extras["alphas"], over.extras["alphas"])
+
+    def test_small_batch_changes_trajectory(self, gcn_pool, tiny_graph):
+        full = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=6, seed=4))
+        mini = learned_soup(gcn_pool, tiny_graph, SoupConfig(epochs=6, seed=4, val_batch_size=8))
+        assert not np.array_equal(full.extras["alphas"], mini.extras["alphas"])
+
+    def test_minibatched_run_is_deterministic(self, gcn_pool, tiny_graph):
+        cfg = SoupConfig(epochs=6, seed=4, val_batch_size=8)
+        a = learned_soup(gcn_pool, tiny_graph, cfg)
+        b = learned_soup(gcn_pool, tiny_graph, cfg)
+        np.testing.assert_array_equal(a.extras["alphas"], b.extras["alphas"])
+
+    def test_minibatched_weights_stay_on_simplex(self, gcn_pool, tiny_graph):
+        result = learned_soup(
+            gcn_pool, tiny_graph, SoupConfig(epochs=10, seed=0, val_batch_size=4)
+        )
+        w = result.extras["weights"]
+        assert np.all(w >= 0.0)
+        np.testing.assert_allclose(w.sum(axis=0), np.ones(w.shape[1]), atol=1e-9)
+        assert 0.0 <= result.test_acc <= 1.0
+
+    def test_negative_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="val_batch_size"):
+            SoupConfig(val_batch_size=-1)
+
+
+class TestMinibatchedPLS:
+    def test_pls_honours_batch_cap(self, small_pool, small_graph):
+        cfg = PLSConfig(
+            epochs=8, seed=2, num_partitions=8, partition_budget=4, val_batch_size=5
+        )
+        result = partition_learned_soup(small_pool, small_graph, cfg)
+        assert 0.0 <= result.test_acc <= 1.0
+        w = result.extras["weights"]
+        np.testing.assert_allclose(w.sum(axis=0), np.ones(w.shape[1]), atol=1e-9)
+
+    def test_pls_batched_vs_unbatched_differ(self, small_pool, small_graph):
+        base = dict(epochs=8, seed=2, num_partitions=8, partition_budget=4)
+        a = partition_learned_soup(small_pool, small_graph, PLSConfig(**base))
+        b = partition_learned_soup(small_pool, small_graph, PLSConfig(val_batch_size=3, **base))
+        assert not np.array_equal(a.extras["alphas"], b.extras["alphas"])

@@ -1,0 +1,158 @@
+"""Partition Learned Souping (Algorithm 4): mechanics and §VI-B properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import partition_graph
+from repro.soup import PLSConfig, learned_soup, partition_learned_soup, SoupConfig
+
+
+FAST = dict(epochs=12, lr=0.5)
+
+
+@pytest.fixture(scope="module")
+def partition8(small_graph):
+    return partition_graph(small_graph, 8, method="metis", node_weights="val", seed=0)
+
+
+class TestPLSConfig:
+    def test_defaults(self):
+        cfg = PLSConfig()
+        assert cfg.num_partitions == 32 and cfg.partition_budget == 8
+        assert cfg.partition_ratio == 0.25
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            PLSConfig(num_partitions=8, partition_budget=9)
+        with pytest.raises(ValueError):
+            PLSConfig(num_partitions=8, partition_budget=0)
+
+    def test_subgraph_diversity(self):
+        cfg = PLSConfig(num_partitions=32, partition_budget=8)
+        assert cfg.subgraph_diversity > 10_000_000  # §VI-B claim
+
+    def test_inherits_ls_validation(self):
+        with pytest.raises(ValueError):
+            PLSConfig(epochs=0)
+
+
+class TestPartitionLearnedSoup:
+    def test_result_structure(self, small_pool, small_graph, partition8):
+        cfg = PLSConfig(**FAST, num_partitions=8, partition_budget=3)
+        result = partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        assert result.method == "pls"
+        assert set(result.state_dict) == set(small_pool.states[0])
+        assert result.extras["partition_ratio"] == 3 / 8
+        assert result.extras["partition_cut_edges"] == partition8.cut_edges
+
+    def test_weights_simplex(self, small_pool, small_graph, partition8):
+        cfg = PLSConfig(**FAST, num_partitions=8, partition_budget=3)
+        result = partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        w = result.extras["weights"]
+        np.testing.assert_allclose(w.sum(axis=0), np.ones(w.shape[1]), atol=1e-9)
+
+    def test_computes_partition_when_absent(self, small_pool, small_graph):
+        cfg = PLSConfig(**FAST, num_partitions=4, partition_budget=2)
+        result = partition_learned_soup(small_pool, small_graph, cfg)
+        assert result.extras["partition_time"] > 0
+
+    def test_partition_k_mismatch_rejected(self, small_pool, small_graph, partition8):
+        cfg = PLSConfig(**FAST, num_partitions=16, partition_budget=4)
+        with pytest.raises(ValueError):
+            partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+
+    def test_seed_determinism(self, small_pool, small_graph, partition8):
+        cfg = PLSConfig(**FAST, num_partitions=8, partition_budget=3, seed=7)
+        a = partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        b = partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        np.testing.assert_array_equal(a.extras["alphas"], b.extras["alphas"])
+
+    def test_seed_determinism_without_precomputed_partition(self, small_pool, small_graph):
+        """Regression: with the partition computed inside the call, PLS was
+        nondeterministic because the METIS spectral seed consumed numpy's
+        global RandomState (see test_graph_partition)."""
+        cfg = PLSConfig(**FAST, num_partitions=8, partition_budget=3, seed=7)
+        a = partition_learned_soup(small_pool, small_graph, cfg)
+        b = partition_learned_soup(small_pool, small_graph, cfg)
+        np.testing.assert_array_equal(a.extras["alphas"], b.extras["alphas"])
+        assert a.test_acc == b.test_acc
+
+    def test_memory_below_ls(self, small_pool, small_graph, partition8):
+        """The paper's RQ2 core claim: PLS peak memory << LS peak memory."""
+        ls = learned_soup(small_pool, small_graph, SoupConfig(**FAST))
+        pls = partition_learned_soup(
+            small_pool,
+            small_graph,
+            PLSConfig(**FAST, num_partitions=8, partition_budget=2),
+            partition=partition8,
+        )
+        assert pls.peak_memory < ls.peak_memory
+
+    def test_memory_scales_with_ratio(self, small_pool, small_graph, partition8):
+        """§VI-B: memory reduction tracks R/K (R=2 uses less than R=6)."""
+        small_r = partition_learned_soup(
+            small_pool, small_graph,
+            PLSConfig(**FAST, num_partitions=8, partition_budget=2), partition=partition8,
+        )
+        large_r = partition_learned_soup(
+            small_pool, small_graph,
+            PLSConfig(**FAST, num_partitions=8, partition_budget=6), partition=partition8,
+        )
+        assert small_r.peak_memory < large_r.peak_memory
+
+    def test_r_equals_k_trains_on_full_graph(self, small_pool, small_graph, partition8):
+        """With R=K every epoch subgraph is the whole graph, so PLS degrades
+        to LS on the full graph (same node set every epoch)."""
+        cfg = PLSConfig(**FAST, num_partitions=8, partition_budget=8, seed=0)
+        result = partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        assert result.extras["subgraph_diversity"] == 1
+        # every epoch should have found validation nodes (no skipped epochs)
+        assert result.extras["skipped_epochs"] == 0
+
+    def test_r1_runs_without_cut_edges(self, small_pool, small_graph, partition8):
+        """R=1 (the degradation corner): still functional, just weaker."""
+        cfg = PLSConfig(epochs=16, lr=0.5, num_partitions=8, partition_budget=1, seed=0)
+        result = partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        assert 0.0 <= result.test_acc <= 1.0
+
+    def test_history_tracks_epochs(self, small_pool, small_graph, partition8):
+        cfg = PLSConfig(**FAST, num_partitions=8, partition_budget=3)
+        result = partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        assert len(result.extras["history"]) + result.extras["skipped_epochs"] == cfg.epochs
+
+    def test_gat_pool(self, gat_pool, tiny_graph):
+        """PLS through GAT on a small graph (attention + subgraphs)."""
+        cfg = PLSConfig(epochs=6, lr=0.5, num_partitions=4, partition_budget=2)
+        result = partition_learned_soup(gat_pool, tiny_graph, cfg)
+        assert np.isfinite(result.test_acc)
+
+    def test_pool_states_untouched(self, small_pool, small_graph, partition8):
+        before = [sd["convs.0.linear.weight"].copy() for sd in small_pool.states]
+        cfg = PLSConfig(**FAST, num_partitions=8, partition_budget=3)
+        partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        for sd, prev in zip(small_pool.states, before):
+            np.testing.assert_array_equal(sd["convs.0.linear.weight"], prev)
+
+    def test_accuracy_comparable_to_ls(self, small_pool, small_graph, partition8):
+        """Headline: PLS achieves LS-level accuracy at a fraction of memory.
+        Allow a modest tolerance — the paper itself reports parity, not wins,
+        on most cells."""
+        ls = learned_soup(small_pool, small_graph, SoupConfig(epochs=30, lr=0.5, seed=0))
+        pls = partition_learned_soup(
+            small_pool, small_graph,
+            PLSConfig(epochs=30, lr=0.5, num_partitions=8, partition_budget=4, seed=0),
+            partition=partition8,
+        )
+        assert pls.test_acc >= ls.test_acc - 0.08
+
+
+class TestPLSEarlyStopping:
+    def test_patience_cuts_epochs(self, small_pool, small_graph, partition8):
+        cfg = PLSConfig(
+            epochs=200, lr=0.5, num_partitions=8, partition_budget=4,
+            early_stopping=3, seed=0,
+        )
+        result = partition_learned_soup(small_pool, small_graph, cfg, partition=partition8)
+        assert len(result.extras["history"]) < 200

@@ -1,0 +1,169 @@
+"""Cross-cutting souping invariants, property-tested on synthetic pools.
+
+These tests build ingredient pools from *random* states (no training), so
+they probe the algorithms' structural guarantees independently of learning
+dynamics: simplex weights, equivalences between methods at degenerate
+settings, metric properties of the state algebra.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import IngredientPool
+from repro.soup import (
+    SoupConfig,
+    average,
+    gis_soup,
+    interpolate,
+    learned_soup,
+    state_distance,
+    uniform_soup,
+    weighted_sum,
+)
+from repro.soup.learned import alpha_weights, build_alpha
+
+
+def synthetic_pool(tiny_graph, rng, n=4, scale=0.3):
+    """A pool of random GCN-shaped states around a common centre."""
+    from repro.models import build_model
+
+    config = dict(
+        arch="gcn",
+        in_dim=tiny_graph.feature_dim,
+        out_dim=tiny_graph.num_classes,
+        hidden_dim=8,
+        num_layers=2,
+        dropout=0.0,
+        num_heads=2,
+        attn_dropout=0.0,
+        seed=0,
+    )
+    centre = build_model(**config).state_dict()
+    states = []
+    for _ in range(n):
+        states.append(
+            OrderedDict((k, v + rng.normal(0, scale, size=v.shape)) for k, v in centre.items())
+        )
+    accs = list(rng.uniform(0.2, 0.8, size=n))
+    return IngredientPool(
+        model_config=config,
+        states=states,
+        val_accs=accs,
+        test_accs=accs,
+        train_times=[1.0] * n,
+        graph_name=tiny_graph.name,
+    )
+
+
+class TestDegenerateEquivalences:
+    def test_gis_alpha_half_reachable(self, tiny_graph, rng):
+        """With granularity 3 the ratio grid is {0, .5, 1}: any GIS output
+        must be expressible as a chain of such interpolations (sanity via
+        re-evaluating its recorded ratio chain)."""
+        pool = synthetic_pool(tiny_graph, rng)
+        result = gis_soup(pool, tiny_graph, granularity=3)
+        order = pool.order_by_val()
+        soup = dict(pool.states[int(order[0])])
+        for idx, alpha in zip(order[1:], result.extras["chosen_ratios"]):
+            soup = interpolate(soup, pool.states[int(idx)], alpha)
+        for name in soup:
+            np.testing.assert_allclose(soup[name], result.state_dict[name], atol=1e-10)
+
+    def test_ls_single_ingredient_returns_it(self, tiny_graph, rng):
+        """With N=1 the softmax weight is exactly 1: LS must return the
+        lone ingredient unchanged."""
+        pool = synthetic_pool(tiny_graph, rng, n=1)
+        result = learned_soup(pool, tiny_graph, SoupConfig(epochs=3, lr=0.5))
+        for name, v in result.state_dict.items():
+            np.testing.assert_allclose(v, pool.states[0][name], atol=1e-12)
+
+    def test_uniform_equals_weighted_equal(self, tiny_graph, rng):
+        pool = synthetic_pool(tiny_graph, rng, n=5)
+        us = uniform_soup(pool, tiny_graph)
+        manual = weighted_sum(pool.states, np.full(5, 0.2))
+        for name in manual:
+            np.testing.assert_allclose(us.state_dict[name], manual[name], atol=1e-12)
+
+    def test_identical_ingredients_fixpoint(self, tiny_graph, rng):
+        """If all ingredients are the same state, every souping method must
+        return exactly that state (mixing is affine with weights summing
+        to 1)."""
+        pool = synthetic_pool(tiny_graph, rng, n=3, scale=0.0)
+        us = uniform_soup(pool, tiny_graph)
+        gis = gis_soup(pool, tiny_graph, granularity=4)
+        ls = learned_soup(pool, tiny_graph, SoupConfig(epochs=4, lr=0.5))
+        for result in (us, gis, ls):
+            for name, v in result.state_dict.items():
+                np.testing.assert_allclose(v, pool.states[0][name], atol=1e-10)
+
+
+class TestAlphaWeightProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 8), g=st.integers(1, 5), seed=st.integers(0, 2**31 - 1))
+    def test_property_softmax_weights_simplex(self, n, g, seed):
+        rng = np.random.default_rng(seed)
+        cfg = SoupConfig()
+        alphas = build_alpha(n, g, cfg, rng)
+        w = alpha_weights(alphas, cfg).data
+        assert w.shape == (n, g)
+        np.testing.assert_allclose(w.sum(axis=0), np.ones(g), atol=1e-9)
+        assert np.all(w > 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 8), seed=st.integers(0, 2**31 - 1))
+    def test_property_weighted_sum_convexity(self, n, seed):
+        """A convex combination of states lies within the extremes
+        coordinate-wise bounds."""
+        rng = np.random.default_rng(seed)
+        states = [OrderedDict(w=rng.normal(size=(3, 3))) for _ in range(n)]
+        raw = rng.random(n)
+        weights = raw / raw.sum()
+        out = weighted_sum(states, weights)["w"]
+        stack = np.stack([s["w"] for s in states])
+        assert np.all(out <= stack.max(axis=0) + 1e-12)
+        assert np.all(out >= stack.min(axis=0) - 1e-12)
+
+
+class TestStateMetric:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_property_triangle_inequality(self, seed):
+        rng = np.random.default_rng(seed)
+        mk = lambda: OrderedDict(a=rng.normal(size=(4,)), b=rng.normal(size=(2, 2)))
+        x, y, z = mk(), mk(), mk()
+        assert state_distance(x, z) <= state_distance(x, y) + state_distance(y, z) + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=st.floats(0.0, 1.0), seed=st.integers(0, 2**31 - 1))
+    def test_property_interpolation_on_segment(self, alpha, seed):
+        """interpolate(a,b,t) lies on the segment: d(a,m) + d(m,b) == d(a,b)."""
+        rng = np.random.default_rng(seed)
+        a = OrderedDict(w=rng.normal(size=(3, 2)))
+        b = OrderedDict(w=rng.normal(size=(3, 2)))
+        m = interpolate(a, b, alpha)
+        total = state_distance(a, b)
+        np.testing.assert_allclose(
+            state_distance(a, m) + state_distance(m, b), total, atol=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 6), seed=st.integers(0, 2**31 - 1))
+    def test_property_average_minimises_sum_sq_distance(self, n, seed):
+        """The uniform soup is the Fréchet mean: perturbing it in any
+        direction increases the summed squared distance to ingredients."""
+        rng = np.random.default_rng(seed)
+        states = [OrderedDict(w=rng.normal(size=(3,))) for _ in range(n)]
+        centre = average(states)
+
+        def cost(candidate):
+            return sum(state_distance(candidate, s) ** 2 for s in states)
+
+        base = cost(centre)
+        for _ in range(3):
+            nudged = OrderedDict(w=centre["w"] + rng.normal(0, 0.1, size=3))
+            assert cost(nudged) >= base - 1e-9

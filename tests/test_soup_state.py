@@ -1,0 +1,216 @@
+"""State-dict algebra: the arithmetic underneath every souping method."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soup import (
+    GRANULARITIES,
+    average,
+    flatten_state,
+    interpolate,
+    layer_groups,
+    state_distance,
+    unflatten_state,
+    weighted_sum,
+)
+
+
+def make_state(rng, scale=1.0):
+    return OrderedDict(
+        [
+            ("convs.0.linear.weight", rng.normal(size=(4, 8)) * scale),
+            ("convs.0.linear.bias", rng.normal(size=8) * scale),
+            ("convs.1.linear.weight", rng.normal(size=(8, 3)) * scale),
+            ("convs.1.linear.bias", rng.normal(size=3) * scale),
+        ]
+    )
+
+
+class TestAverage:
+    def test_average_of_identical_is_identity(self, rng):
+        sd = make_state(rng)
+        out = average([sd, sd, sd])
+        for name in sd:
+            np.testing.assert_allclose(out[name], sd[name])
+
+    def test_average_two(self, rng):
+        a, b = make_state(rng), make_state(rng)
+        out = average([a, b])
+        for name in a:
+            np.testing.assert_allclose(out[name], (a[name] + b[name]) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average([])
+
+    def test_mismatched_names_rejected(self, rng):
+        a, b = make_state(rng), make_state(rng)
+        b["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            average([a, b])
+
+
+class TestInterpolate:
+    def test_alpha_zero_keeps_first(self, rng):
+        a, b = make_state(rng), make_state(rng)
+        out = interpolate(a, b, 0.0)
+        for name in a:
+            np.testing.assert_allclose(out[name], a[name])
+
+    def test_alpha_one_gives_second(self, rng):
+        a, b = make_state(rng), make_state(rng)
+        out = interpolate(a, b, 1.0)
+        for name in a:
+            np.testing.assert_allclose(out[name], b[name])
+
+    def test_midpoint_equals_average(self, rng):
+        a, b = make_state(rng), make_state(rng)
+        mid = interpolate(a, b, 0.5)
+        avg = average([a, b])
+        for name in a:
+            np.testing.assert_allclose(mid[name], avg[name])
+
+    def test_mismatched_keys_rejected(self, rng):
+        a, b = make_state(rng), make_state(rng)
+        del b["convs.0.linear.bias"]
+        with pytest.raises(KeyError):
+            interpolate(a, b, 0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=st.floats(0.0, 1.0), seed=st.integers(0, 2**31 - 1))
+    def test_property_self_interpolation_identity(self, alpha, seed):
+        """interpolate(a, a, t) == a for any t."""
+        rng = np.random.default_rng(seed)
+        a = make_state(rng)
+        out = interpolate(a, a, alpha)
+        for name in a:
+            np.testing.assert_allclose(out[name], a[name], atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=st.floats(0.0, 1.0), seed=st.integers(0, 2**31 - 1))
+    def test_property_interpolation_symmetry(self, alpha, seed):
+        """interpolate(a, b, t) == interpolate(b, a, 1-t)."""
+        rng = np.random.default_rng(seed)
+        a, b = make_state(rng), make_state(rng)
+        x = interpolate(a, b, alpha)
+        y = interpolate(b, a, 1.0 - alpha)
+        for name in a:
+            np.testing.assert_allclose(x[name], y[name], atol=1e-10)
+
+
+class TestWeightedSum:
+    def test_uniform_weights_equal_average(self, rng):
+        states = [make_state(rng) for _ in range(4)]
+        ws = weighted_sum(states, np.full(4, 0.25))
+        avg = average(states)
+        for name in avg:
+            np.testing.assert_allclose(ws[name], avg[name])
+
+    def test_one_hot_selects(self, rng):
+        states = [make_state(rng) for _ in range(3)]
+        out = weighted_sum(states, np.array([0.0, 1.0, 0.0]))
+        for name in out:
+            np.testing.assert_allclose(out[name], states[1][name])
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            weighted_sum([make_state(rng)], np.ones(2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_property_linearity(self, seed):
+        """weighted_sum is linear: w1+w2 combination == sum of parts."""
+        rng = np.random.default_rng(seed)
+        states = [make_state(rng) for _ in range(3)]
+        w1 = rng.random(3)
+        w2 = rng.random(3)
+        combined = weighted_sum(states, w1 + w2)
+        separate_1 = weighted_sum(states, w1)
+        separate_2 = weighted_sum(states, w2)
+        for name in combined:
+            np.testing.assert_allclose(combined[name], separate_1[name] + separate_2[name], atol=1e-10)
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        sd = make_state(rng)
+        vec, spec = flatten_state(sd)
+        back = unflatten_state(vec, spec)
+        for name in sd:
+            np.testing.assert_array_equal(back[name], sd[name])
+
+    def test_vector_length(self, rng):
+        sd = make_state(rng)
+        vec, _ = flatten_state(sd)
+        assert len(vec) == sum(v.size for v in sd.values())
+
+    def test_wrong_length_rejected(self, rng):
+        _, spec = flatten_state(make_state(rng))
+        with pytest.raises(ValueError):
+            unflatten_state(np.zeros(3), spec)
+
+    def test_state_distance_zero_for_self(self, rng):
+        sd = make_state(rng)
+        assert state_distance(sd, sd) == 0.0
+
+    def test_state_distance_symmetric(self, rng):
+        a, b = make_state(rng), make_state(rng)
+        assert state_distance(a, b) == pytest.approx(state_distance(b, a))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_property_flatten_preserves_norm(self, seed):
+        rng = np.random.default_rng(seed)
+        sd = make_state(rng)
+        vec, _ = flatten_state(sd)
+        direct = np.sqrt(sum(np.sum(v**2) for v in sd.values()))
+        np.testing.assert_allclose(np.linalg.norm(vec), direct)
+
+
+class TestLayerGroups:
+    NAMES = [
+        "convs.0.linear.weight",
+        "convs.0.linear.bias",
+        "convs.0.attn_src",
+        "convs.1.linear.weight",
+        "convs.1.linear.bias",
+    ]
+
+    def test_model_granularity_single_group(self):
+        groups, names = layer_groups(self.NAMES, "model")
+        assert len(names) == 1
+        assert np.all(groups == 0)
+
+    def test_layer_granularity_groups_by_conv(self):
+        groups, names = layer_groups(self.NAMES, "layer")
+        assert names == ["convs.0", "convs.1"]
+        np.testing.assert_array_equal(groups, [0, 0, 0, 1, 1])
+
+    def test_module_granularity_splits_attention(self):
+        groups, names = layer_groups(self.NAMES, "module")
+        # attn_src lives directly on convs.0, not under .linear
+        assert "convs.0.linear" in names and "convs.0" in names
+
+    def test_tensor_granularity_one_per_name(self):
+        groups, names = layer_groups(self.NAMES, "tensor")
+        assert len(names) == len(self.NAMES)
+        assert len(set(groups.tolist())) == len(self.NAMES)
+
+    def test_unknown_granularity(self):
+        with pytest.raises(ValueError):
+            layer_groups(self.NAMES, "per-neuron")
+
+    def test_all_granularities_cover_all_params(self):
+        for g in GRANULARITIES:
+            groups, names = layer_groups(self.NAMES, g)
+            assert len(groups) == len(self.NAMES)
+            assert groups.max() == len(names) - 1
+
+    def test_non_conv_names_fall_back(self):
+        groups, names = layer_groups(["layers.0.weight", "head.weight", "scale"], "layer")
+        assert "layers.0" in names and "head" in names and "scale" in names

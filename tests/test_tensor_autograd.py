@@ -1,0 +1,155 @@
+"""Autograd engine mechanics: tape construction, backward traversal, modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=grad)
+
+
+class TestTapeConstruction:
+    def test_leaf_properties(self):
+        x = t([1.0])
+        assert x.is_leaf and x.requires_grad and x.grad is None
+
+    def test_result_requires_grad_propagates(self):
+        x, c = t([1.0]), t([2.0], grad=False)
+        assert (x + c).requires_grad
+        assert not (c + c).requires_grad
+
+    def test_constant_graph_has_no_parents(self):
+        c = t([2.0], grad=False)
+        out = c * c
+        assert out.is_leaf  # no tape recorded
+
+    def test_no_grad_blocks_tape(self):
+        x = t([3.0])
+        with no_grad():
+            out = x * x
+        assert not out.requires_grad and out.is_leaf
+
+    def test_no_grad_restores_flag(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = t([2.0])
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+        out = y * y
+        assert not out.requires_grad
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = t([2.0])
+        ((x * 3.0) + 1.0).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [3.0])
+
+    def test_scalar_backward_no_arg(self):
+        x = t([1.0, 2.0])
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 4.0])
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        x = t([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = t([1.0], grad=False)
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_fanout_accumulates(self):
+        x = t([2.0])
+        y = x * 3.0
+        (y + y).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_shared_subexpression_visited_once(self):
+        # diamond: x -> a -> (b, c) -> d ; grads must accumulate, not double
+        x = t([1.0])
+        a = x * 2.0
+        d = a * 3.0 + a * 5.0
+        d.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [16.0])
+
+    def test_two_backward_calls_accumulate_on_leaf(self):
+        x = t([1.0])
+        (x * 2.0).backward(np.array([1.0]))
+        (x * 2.0).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad_resets(self):
+        x = t([1.0])
+        (x * 2.0).backward(np.array([1.0]))
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_grad_flows_only_to_requires_grad(self):
+        x, c = t([1.0]), t([5.0], grad=False)
+        (x * c).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [5.0])
+        assert c.grad is None
+
+    def test_deep_chain(self):
+        x = t([1.0])
+        y = x
+        for _ in range(200):
+            y = y + 1.0
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_deep_chain_iterative_topo_no_recursion_limit(self):
+        # 5000-deep graph would blow Python's default recursion limit if the
+        # topo sort were recursive
+        x = t([0.5])
+        y = x
+        for _ in range(5000):
+            y = y * 1.0
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_branching_graph_gradients(self):
+        x = t([2.0])
+        y = t([3.0])
+        out = (x * y) + (x * x)
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [3.0 + 4.0])
+        np.testing.assert_allclose(y.grad, [2.0])
+
+
+class TestDtypeAndCoercion:
+    def test_int_input_promoted_to_float(self):
+        x = Tensor(np.array([1, 2, 3]))
+        assert x.dtype == np.float64
+
+    def test_bool_input_promoted(self):
+        x = Tensor(np.array([True, False]))
+        assert x.dtype == np.float64
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(t([1.0, 2.0]))
+
+    def test_item_scalar(self):
+        assert t([42.0]).item() == 42.0
+
+    def test_len(self):
+        assert len(t([1.0, 2.0, 3.0])) == 3
+
+    def test_copy_independent(self):
+        x = t([1.0])
+        y = x.copy()
+        y.data[0] = 99.0
+        assert x.data[0] == 1.0

@@ -1,0 +1,144 @@
+"""Initialisers: shape, scale, and reproducibility guarantees."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tensor import init
+from repro.tensor.ops import weighted_combine, dropout, linear
+from repro.tensor import Tensor, gradcheck
+
+
+class TestInitializers:
+    def test_xavier_uniform_bound(self, rng):
+        w = init.xavier_uniform((50, 80), rng)
+        bound = math.sqrt(6.0 / 130)
+        assert w.shape == (50, 80)
+        assert np.all(np.abs(w) <= bound + 1e-12)
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((400, 400), rng)
+        expected = math.sqrt(2.0 / 800)
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_xavier_gain_scales(self):
+        a = init.xavier_uniform((30, 30), np.random.default_rng(0), gain=1.0)
+        b = init.xavier_uniform((30, 30), np.random.default_rng(0), gain=2.0)
+        np.testing.assert_allclose(b, 2.0 * a)
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = init.kaiming_uniform((64, 32), rng)
+        assert w.shape == (64, 32)
+        assert np.isfinite(w).all()
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(1)
+        w = init.kaiming_normal((500, 100), rng)
+        expected = math.sqrt(2.0 / 500)
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_seeded_reproducibility(self):
+        a = init.xavier_normal((10, 10), np.random.default_rng(42))
+        b = init.xavier_normal((10, 10), np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_1d_shape(self, rng):
+        assert init.xavier_uniform((16,), rng).shape == (16,)
+
+    def test_3d_shape_fans(self, rng):
+        w = init.xavier_normal((4, 8, 16), rng)
+        assert w.shape == (4, 8, 16)
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_uniform_range(self, rng):
+        w = init.uniform((100,), rng, low=-0.5, high=0.5)
+        assert np.all(w >= -0.5) and np.all(w <= 0.5)
+
+
+class TestWeightedCombine:
+    """The op Learned Souping differentiates through (Eq. 3)."""
+
+    def test_forward_is_weighted_sum(self, rng):
+        stack = rng.normal(size=(3, 4, 5))
+        w = np.array([0.2, 0.3, 0.5])
+        out = weighted_combine(Tensor(w), stack)
+        np.testing.assert_allclose(out.data, np.tensordot(w, stack, axes=(0, 0)))
+
+    def test_unit_weight_selects_ingredient(self, rng):
+        stack = rng.normal(size=(4, 3))
+        out = weighted_combine(Tensor(np.array([0.0, 0.0, 1.0, 0.0])), stack)
+        np.testing.assert_allclose(out.data, stack[2])
+
+    def test_gradient_is_inner_product(self, rng):
+        stack = rng.normal(size=(3, 2, 2))
+        w = Tensor(rng.normal(size=3), requires_grad=True)
+        out = weighted_combine(w, stack)
+        g = rng.normal(size=(2, 2))
+        out.backward(g)
+        expected = np.array([np.sum(stack[i] * g) for i in range(3)])
+        np.testing.assert_allclose(w.grad, expected)
+
+    def test_gradcheck(self, rng):
+        stack = rng.normal(size=(4, 3, 2))
+        w = Tensor(rng.normal(size=4), requires_grad=True)
+        gradcheck(lambda w: (weighted_combine(w, stack) ** 2).sum(), [w])
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            weighted_combine(Tensor(np.ones(3)), rng.normal(size=(4, 2)))
+
+    def test_matrix_weights_rejected(self, rng):
+        with pytest.raises(ValueError):
+            weighted_combine(Tensor(np.ones((3, 2))), rng.normal(size=(3, 2)))
+
+
+class TestDropoutOp:
+    def test_eval_mode_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        out = dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_zero_p_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        assert dropout(x, 0.0, rng) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.4, rng)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_invalid_p_raises(self, rng):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.0, rng)
+
+    def test_mask_zeroes_fraction(self):
+        rng = np.random.default_rng(3)
+        out = dropout(Tensor(np.ones(10_000)), 0.3, rng)
+        frac_zero = np.mean(out.data == 0.0)
+        assert abs(frac_zero - 0.3) < 0.03
+
+    def test_grad_passes_through_mask(self):
+        rng = np.random.default_rng(5)
+        x = Tensor(np.ones(100), requires_grad=True)
+        out = dropout(x, 0.5, rng)
+        out.sum().backward()
+        # gradient is exactly the mask (0 or 1/keep)
+        assert set(np.round(np.unique(x.grad), 6)) <= {0.0, 2.0}
+
+
+class TestLinearOp:
+    def test_linear_with_bias(self, rng):
+        x, w, b = rng.normal(size=(4, 3)), rng.normal(size=(3, 2)), rng.normal(size=2)
+        out = linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w + b)
+
+    def test_linear_no_bias(self, rng):
+        x, w = rng.normal(size=(4, 3)), rng.normal(size=(3, 2))
+        np.testing.assert_allclose(linear(Tensor(x), Tensor(w)).data, x @ w)

@@ -1,0 +1,326 @@
+"""Dense tensor operations: forward correctness + gradcheck for every op."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, concat, gradcheck, maximum, minimum, stack, where
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=grad)
+
+
+def rand(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestForward:
+    def test_add(self):
+        out = t([1.0, 2.0]) + t([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = t([1.0, 2.0]) + 1.5
+        np.testing.assert_allclose(out.data, [2.5, 3.5])
+
+    def test_radd(self):
+        out = 2.0 + t([1.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_sub(self):
+        np.testing.assert_allclose((t([5.0]) - t([2.0])).data, [3.0])
+
+    def test_rsub(self):
+        np.testing.assert_allclose((10.0 - t([4.0])).data, [6.0])
+
+    def test_mul(self):
+        np.testing.assert_allclose((t([2.0, 3.0]) * t([4.0, 5.0])).data, [8.0, 15.0])
+
+    def test_div(self):
+        np.testing.assert_allclose((t([8.0]) / t([2.0])).data, [4.0])
+
+    def test_rdiv(self):
+        np.testing.assert_allclose((1.0 / t([4.0])).data, [0.25])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-t([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((t([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            t([2.0]) ** t([2.0])
+
+    def test_matmul_2d(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        np.testing.assert_allclose((t(a) @ t(b)).data, a @ b)
+
+    def test_matmul_vec(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        np.testing.assert_allclose((t(a) @ t(b)).data, a @ b)
+
+    def test_broadcast_add(self):
+        out = t([[1.0, 2.0], [3.0, 4.0]]) + t([10.0, 20.0])
+        np.testing.assert_allclose(out.data, [[11.0, 22.0], [13.0, 24.0]])
+
+    def test_sum_all(self):
+        assert (t([[1.0, 2.0], [3.0, 4.0]]).sum()).item() == 10.0
+
+    def test_sum_axis(self):
+        np.testing.assert_allclose(t([[1.0, 2.0], [3.0, 4.0]]).sum(axis=0).data, [4.0, 6.0])
+
+    def test_sum_keepdims(self):
+        assert t([[1.0, 2.0]]).sum(axis=1, keepdims=True).shape == (1, 1)
+
+    def test_mean(self):
+        assert t([2.0, 4.0]).mean().item() == 3.0
+
+    def test_max_axis(self):
+        np.testing.assert_allclose(t([[1.0, 5.0], [3.0, 2.0]]).max(axis=1).data, [5.0, 3.0])
+
+    def test_min(self):
+        assert t([3.0, -1.0, 2.0]).min().item() == -1.0
+
+    def test_reshape(self):
+        assert t(np.arange(6.0)).reshape(2, 3).shape == (2, 3)
+
+    def test_transpose(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        assert t(a).transpose(2, 0, 1).shape == (4, 2, 3)
+
+    def test_T(self, rng):
+        a = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(t(a).T.data, a.T)
+
+    def test_getitem_slice(self, rng):
+        a = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(t(a)[1:3].data, a[1:3])
+
+    def test_getitem_int_array(self, rng):
+        a = rng.normal(size=(5, 3))
+        idx = np.array([4, 0, 4])
+        np.testing.assert_allclose(t(a)[idx].data, a[idx])
+
+    def test_exp_log_roundtrip(self, rng):
+        a = np.abs(rng.normal(size=4)) + 0.5
+        np.testing.assert_allclose(t(a).log().exp().data, a)
+
+    def test_relu(self):
+        np.testing.assert_allclose(t([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_leaky_relu(self):
+        np.testing.assert_allclose(t([-2.0, 3.0]).leaky_relu(0.1).data, [-0.2, 3.0])
+
+    def test_elu_positive_identity(self):
+        np.testing.assert_allclose(t([1.5]).elu().data, [1.5])
+
+    def test_elu_negative(self):
+        np.testing.assert_allclose(t([-1.0]).elu(alpha=2.0).data, [2.0 * (np.exp(-1.0) - 1.0)])
+
+    def test_sigmoid_bounds(self, rng):
+        out = t(rng.normal(size=50) * 10).sigmoid().data
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_tanh(self):
+        np.testing.assert_allclose(t([0.0]).tanh().data, [0.0])
+
+    def test_abs(self):
+        np.testing.assert_allclose(t([-3.0, 2.0]).abs().data, [3.0, 2.0])
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(t([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+    def test_clip(self):
+        np.testing.assert_allclose(t([-5.0, 0.5, 5.0]).clip(-1.0, 1.0).data, [-1.0, 0.5, 1.0])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = t(rng.normal(size=(6, 4))).softmax(axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(6))
+
+    def test_log_softmax_matches_softmax(self, rng):
+        a = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(np.exp(t(a).log_softmax(axis=-1).data), t(a).softmax(axis=-1).data)
+
+    def test_softmax_shift_invariance(self, rng):
+        a = rng.normal(size=(2, 4))
+        np.testing.assert_allclose(
+            t(a).softmax(axis=-1).data, t(a + 100.0).softmax(axis=-1).data, atol=1e-12
+        )
+
+    def test_concat(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        np.testing.assert_allclose(concat([t(a), t(b)], axis=0).data, np.concatenate([a, b]))
+
+    def test_stack(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        np.testing.assert_allclose(stack([t(a), t(b)]).data, np.stack([a, b]))
+
+    def test_where(self, rng):
+        cond = np.array([True, False, True])
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        np.testing.assert_allclose(where(cond, t(a), t(b)).data, np.where(cond, a, b))
+
+    def test_maximum_minimum(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        np.testing.assert_allclose(maximum(t(a), t(b)).data, np.maximum(a, b))
+        np.testing.assert_allclose(minimum(t(a), t(b)).data, np.minimum(a, b))
+
+
+class TestGradcheck:
+    """Every differentiable op verified against central finite differences."""
+
+    def test_add(self, rng):
+        gradcheck(lambda a, b: (a + b).sum(), [rand(rng, 3, 4), rand(rng, 3, 4)])
+
+    def test_add_broadcast(self, rng):
+        gradcheck(lambda a, b: (a + b).sum(), [rand(rng, 3, 4), rand(rng, 4)])
+
+    def test_sub(self, rng):
+        gradcheck(lambda a, b: (a - b).sum(), [rand(rng, 2, 3), rand(rng, 2, 3)])
+
+    def test_mul_broadcast(self, rng):
+        gradcheck(lambda a, b: (a * b).sum(), [rand(rng, 2, 3), rand(rng, 3)])
+
+    def test_div(self, rng):
+        b = Tensor(np.abs(rng.normal(size=(2, 3))) + 1.0, requires_grad=True)
+        gradcheck(lambda a, b: (a / b).sum(), [rand(rng, 2, 3), b])
+
+    def test_pow(self, rng):
+        a = Tensor(np.abs(rng.normal(size=4)) + 0.5, requires_grad=True)
+        gradcheck(lambda a: (a**3).sum(), [a])
+
+    def test_matmul(self, rng):
+        gradcheck(lambda a, b: (a @ b).sum(), [rand(rng, 3, 4), rand(rng, 4, 2)])
+
+    def test_matmul_vector_rhs(self, rng):
+        gradcheck(lambda a, b: (a @ b).sum(), [rand(rng, 3, 4), rand(rng, 4)])
+
+    def test_matmul_vector_lhs(self, rng):
+        gradcheck(lambda a, b: (a @ b).sum(), [rand(rng, 4), rand(rng, 4, 3)])
+
+    def test_dot(self, rng):
+        gradcheck(lambda a, b: (a @ b), [rand(rng, 5), rand(rng, 5)])
+
+    def test_sum_axis(self, rng):
+        gradcheck(lambda a: (a.sum(axis=1) ** 2).sum(), [rand(rng, 3, 4)])
+
+    def test_mean_axis(self, rng):
+        gradcheck(lambda a: (a.mean(axis=0) ** 2).sum(), [rand(rng, 3, 4)])
+
+    def test_max_axis(self, rng):
+        # offset avoids exact ties where the subgradient is ambiguous
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(float), requires_grad=True)
+        gradcheck(lambda a: a.max(axis=1).sum(), [a])
+
+    def test_reshape(self, rng):
+        gradcheck(lambda a: (a.reshape(6) ** 2).sum(), [rand(rng, 2, 3)])
+
+    def test_transpose(self, rng):
+        gradcheck(lambda a: (a.transpose(1, 0) ** 2).sum(), [rand(rng, 2, 3)])
+
+    def test_getitem_gather(self, rng):
+        idx = np.array([0, 2, 2, 1])
+        gradcheck(lambda a: (a[idx] ** 2).sum(), [rand(rng, 4, 3)])
+
+    def test_getitem_tuple(self, rng):
+        rows, cols = np.array([0, 1, 2]), np.array([2, 0, 1])
+        gradcheck(lambda a: (a[(rows, cols)] ** 2).sum(), [rand(rng, 3, 3)])
+
+    def test_exp(self, rng):
+        gradcheck(lambda a: a.exp().sum(), [rand(rng, 3, 2)])
+
+    def test_log(self, rng):
+        a = Tensor(np.abs(rng.normal(size=5)) + 0.5, requires_grad=True)
+        gradcheck(lambda a: a.log().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(np.abs(rng.normal(size=5)) + 0.5, requires_grad=True)
+        gradcheck(lambda a: a.sqrt().sum(), [a])
+
+    def test_relu(self, rng):
+        a = Tensor(rng.normal(size=(4, 4)) + 0.05, requires_grad=True)
+        gradcheck(lambda a: a.relu().sum(), [a])
+
+    def test_leaky_relu(self, rng):
+        gradcheck(lambda a: a.leaky_relu(0.2).sum(), [rand(rng, 4, 3)])
+
+    def test_elu(self, rng):
+        gradcheck(lambda a: a.elu(1.3).sum(), [rand(rng, 3, 3)])
+
+    def test_sigmoid(self, rng):
+        gradcheck(lambda a: a.sigmoid().sum(), [rand(rng, 4)])
+
+    def test_tanh(self, rng):
+        gradcheck(lambda a: a.tanh().sum(), [rand(rng, 4)])
+
+    def test_softmax(self, rng):
+        w = Tensor(rng.normal(size=(3, 4)), requires_grad=False)
+        gradcheck(lambda a: (a.softmax(axis=-1) * w).sum(), [rand(rng, 3, 4)])
+
+    def test_log_softmax(self, rng):
+        w = Tensor(rng.normal(size=(3, 4)), requires_grad=False)
+        gradcheck(lambda a: (a.log_softmax(axis=-1) * w).sum(), [rand(rng, 3, 4)])
+
+    def test_softmax_axis0(self, rng):
+        w = Tensor(rng.normal(size=(4, 2)), requires_grad=False)
+        gradcheck(lambda a: (a.softmax(axis=0) * w).sum(), [rand(rng, 4, 2)])
+
+    def test_concat(self, rng):
+        gradcheck(lambda a, b: (concat([a, b], axis=1) ** 2).sum(), [rand(rng, 2, 3), rand(rng, 2, 2)])
+
+    def test_stack(self, rng):
+        gradcheck(lambda a, b: (stack([a, b]) ** 2).sum(), [rand(rng, 3), rand(rng, 3)])
+
+    def test_where(self, rng):
+        cond = rng.random(6) > 0.5
+        gradcheck(lambda a, b: where(cond, a, b).sum(), [rand(rng, 6), rand(rng, 6)])
+
+    def test_maximum(self, rng):
+        a = rand(rng, 6)
+        b = Tensor(a.data + rng.normal(size=6) + 0.05, requires_grad=True)
+        gradcheck(lambda a, b: maximum(a, b).sum(), [a, b])
+
+    def test_clip(self, rng):
+        a = Tensor(rng.normal(size=8) * 2, requires_grad=True)
+        a.data += np.sign(a.data) * 0.01  # stay off the clip boundaries
+        gradcheck(lambda a: a.clip(-1.0, 1.0).sum(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(rng.normal(size=6) + np.sign(rng.normal(size=6)) * 0.1, requires_grad=True)
+        gradcheck(lambda a: a.abs().sum(), [a])
+
+    def test_composite_expression(self, rng):
+        def f(a, b):
+            return ((a @ b).relu().softmax(axis=-1).log() * -1.0).mean()
+
+        gradcheck(f, [rand(rng, 3, 4), rand(rng, 4, 5)])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_add_mul_grads(rows, cols, seed):
+    """Hypothesis: d/da sum(a*b + a) == b + 1 exactly for random shapes."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    b = Tensor(rng.normal(size=(rows, cols)), requires_grad=False)
+    loss = (a * b + a).sum()
+    loss.backward()
+    np.testing.assert_allclose(a.grad, b.data + 1.0, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 6), seed=st.integers(0, 2**31 - 1))
+def test_property_softmax_simplex(n, seed):
+    """Hypothesis: softmax output lies on the probability simplex."""
+    rng = np.random.default_rng(seed)
+    out = Tensor(rng.normal(size=(n, n)) * 5).softmax(axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(n), atol=1e-12)

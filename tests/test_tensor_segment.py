@@ -1,0 +1,169 @@
+"""Segment operations (the GAT attention substrate) vs naive references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import (
+    Tensor,
+    gather,
+    gradcheck,
+    np_segment_max,
+    np_segment_sum,
+    segment_ids_from_indptr,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+
+
+def naive_segment_sum(vals: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    return np.stack([vals[s:e].sum(axis=0) for s, e in zip(indptr[:-1], indptr[1:])])
+
+
+def random_indptr(rng, n_segments: int, max_seg: int = 5) -> np.ndarray:
+    counts = rng.integers(0, max_seg + 1, size=n_segments)
+    return np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+
+class TestRawKernels:
+    def test_segment_ids(self):
+        np.testing.assert_array_equal(
+            segment_ids_from_indptr(np.array([0, 2, 2, 5])), [0, 0, 2, 2, 2]
+        )
+
+    def test_segment_sum_basic(self, rng):
+        vals = rng.normal(size=7)
+        indptr = np.array([0, 3, 3, 7])
+        out = np_segment_sum(vals, indptr)
+        np.testing.assert_allclose(out, [vals[:3].sum(), 0.0, vals[3:].sum()])
+
+    def test_segment_sum_2d(self, rng):
+        vals = rng.normal(size=(6, 3))
+        indptr = np.array([0, 2, 6])
+        np.testing.assert_allclose(np_segment_sum(vals, indptr), naive_segment_sum(vals, indptr))
+
+    def test_segment_sum_empty_input(self):
+        out = np_segment_sum(np.empty((0, 2)), np.array([0, 0, 0]))
+        assert out.shape == (2, 2)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_segment_max_basic(self):
+        vals = np.array([1.0, 5.0, -2.0, 3.0])
+        out = np_segment_max(vals, np.array([0, 2, 2, 4]), empty_value=-9.0)
+        np.testing.assert_allclose(out, [5.0, -9.0, 3.0])
+
+    def test_segment_max_trailing_empty(self):
+        vals = np.array([1.0, 2.0])
+        out = np_segment_max(vals, np.array([0, 2, 2, 2]), empty_value=0.0)
+        np.testing.assert_allclose(out, [2.0, 0.0, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_seg=st.integers(1, 8), seed=st.integers(0, 2**31 - 1))
+    def test_property_sum_matches_naive(self, n_seg, seed):
+        rng = np.random.default_rng(seed)
+        indptr = random_indptr(rng, n_seg)
+        vals = rng.normal(size=(indptr[-1], 2))
+        if indptr[-1] == 0:
+            return
+        np.testing.assert_allclose(
+            np_segment_sum(vals, indptr), naive_segment_sum(vals, indptr), atol=1e-12
+        )
+
+
+class TestAutogradSegmentOps:
+    def test_segment_sum_forward(self, rng):
+        vals = rng.normal(size=(5, 2))
+        indptr = np.array([0, 2, 5])
+        out = segment_sum(Tensor(vals), indptr)
+        np.testing.assert_allclose(out.data, naive_segment_sum(vals, indptr))
+
+    def test_segment_sum_gradcheck(self, rng):
+        indptr = np.array([0, 2, 2, 5])
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2)))
+        gradcheck(lambda x: (segment_sum(x, indptr) * w).sum(), [x])
+
+    def test_segment_mean_empty_segment_zero(self, rng):
+        vals = Tensor(rng.normal(size=(4, 2)))
+        out = segment_mean(vals, np.array([0, 4, 4]))
+        np.testing.assert_allclose(out.data[1], 0.0)
+
+    def test_segment_mean_gradcheck(self, rng):
+        indptr = np.array([0, 1, 4])
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        gradcheck(lambda x: (segment_mean(x, indptr) ** 2).sum(), [x])
+
+    def test_gather_forward(self, rng):
+        vals = rng.normal(size=(4, 3))
+        idx = np.array([3, 3, 0])
+        np.testing.assert_allclose(gather(Tensor(vals), idx).data, vals[idx])
+
+    def test_gather_gradcheck_repeated_indices(self, rng):
+        idx = np.array([0, 0, 2, 1, 0])
+        x = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        gradcheck(lambda x: (gather(x, idx) ** 2).sum(), [x])
+
+    def test_segment_softmax_normalises_per_segment(self, rng):
+        indptr = np.array([0, 3, 5, 9])
+        scores = Tensor(rng.normal(size=9))
+        out = segment_softmax(scores, indptr).data
+        for s, e in zip(indptr[:-1], indptr[1:]):
+            np.testing.assert_allclose(out[s:e].sum(), 1.0)
+
+    def test_segment_softmax_multihead(self, rng):
+        indptr = np.array([0, 2, 6])
+        scores = Tensor(rng.normal(size=(6, 3)))
+        out = segment_softmax(scores, indptr).data
+        np.testing.assert_allclose(out[:2].sum(axis=0), np.ones(3))
+        np.testing.assert_allclose(out[2:].sum(axis=0), np.ones(3))
+
+    def test_segment_softmax_empty_segments_harmless(self, rng):
+        indptr = np.array([0, 0, 4, 4])
+        scores = Tensor(rng.normal(size=4))
+        out = segment_softmax(scores, indptr).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_segment_softmax_matches_dense_softmax_single_segment(self, rng):
+        scores = rng.normal(size=6)
+        out = segment_softmax(Tensor(scores), np.array([0, 6])).data
+        ref = np.exp(scores - scores.max())
+        ref /= ref.sum()
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    def test_segment_softmax_shift_invariant_within_segment(self, rng):
+        indptr = np.array([0, 3, 6])
+        scores = rng.normal(size=6)
+        shifted = scores.copy()
+        shifted[:3] += 50.0  # shifting one whole segment must not change it
+        a = segment_softmax(Tensor(scores), indptr).data
+        b = segment_softmax(Tensor(shifted), indptr).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_segment_softmax_gradcheck_1d(self, rng):
+        indptr = np.array([0, 2, 5, 7])
+        w = Tensor(rng.normal(size=7))
+        x = Tensor(rng.normal(size=7), requires_grad=True)
+        gradcheck(lambda x: (segment_softmax(x, indptr) * w).sum(), [x])
+
+    def test_segment_softmax_gradcheck_multihead(self, rng):
+        indptr = np.array([0, 3, 5])
+        w = Tensor(rng.normal(size=(5, 2)))
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        gradcheck(lambda x: (segment_softmax(x, indptr) * w).sum(), [x])
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_seg=st.integers(1, 6), seed=st.integers(0, 2**31 - 1))
+    def test_property_softmax_segments_on_simplex(self, n_seg, seed):
+        rng = np.random.default_rng(seed)
+        indptr = random_indptr(rng, n_seg, max_seg=4)
+        if indptr[-1] == 0:
+            return
+        out = segment_softmax(Tensor(rng.normal(size=indptr[-1]) * 3), indptr).data
+        assert np.all(out >= 0) and np.all(out <= 1 + 1e-12)
+        for s, e in zip(indptr[:-1], indptr[1:]):
+            if e > s:
+                np.testing.assert_allclose(out[s:e].sum(), 1.0, atol=1e-9)

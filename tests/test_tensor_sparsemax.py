@@ -1,0 +1,198 @@
+"""Sparsemax op: simplex projection properties, closed forms, gradients.
+
+Sparsemax is the exact-zero alpha normaliser added for the paper's §VIII
+direction ("methods could be used to more easily drop-out poor performing
+ingredients"); its correctness underwrites the ``normalize="sparsemax"``
+souping mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, gradcheck, np_sparsemax, sparsemax
+
+
+finite_vec = st.lists(
+    st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), min_size=1, max_size=8
+)
+
+
+class TestSparsemaxForward:
+    def test_peaked_input_gives_one_hot(self):
+        out = np_sparsemax(np.array([3.0, 0.0, 0.0]))
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.0])
+
+    def test_uniform_input_gives_uniform_output(self):
+        out = np_sparsemax(np.zeros(5))
+        np.testing.assert_allclose(out, np.full(5, 0.2))
+
+    def test_two_element_closed_form_interior(self):
+        """For |t| < 1: sparsemax([t, 0]) = [(1+t)/2, (1-t)/2]."""
+        for t in (-0.8, -0.3, 0.0, 0.4, 0.99):
+            out = np_sparsemax(np.array([t, 0.0]))
+            np.testing.assert_allclose(out, [(1 + t) / 2, (1 - t) / 2], atol=1e-12)
+
+    def test_two_element_closed_form_saturated(self):
+        for t in (1.0, 1.5, 7.0):
+            np.testing.assert_allclose(np_sparsemax(np.array([t, 0.0])), [1.0, 0.0])
+
+    def test_shift_invariance(self):
+        z = np.array([0.3, -1.2, 0.8, 0.1])
+        np.testing.assert_allclose(np_sparsemax(z), np_sparsemax(z + 100.0), atol=1e-9)
+
+    def test_produces_exact_zeros_where_softmax_cannot(self):
+        z = np.array([2.0, 1.9, -3.0])
+        out = np_sparsemax(z)
+        assert out[2] == 0.0  # exact, not merely small
+        soft = np.exp(z) / np.exp(z).sum()
+        assert soft[2] > 0.0  # the paper's softmax floor
+
+    def test_axis_handling_matches_per_column(self):
+        z = np.array([[1.0, -2.0], [0.2, 0.5], [-1.0, 0.4]])
+        cols = np_sparsemax(z, axis=0)
+        for j in range(z.shape[1]):
+            np.testing.assert_allclose(cols[:, j], np_sparsemax(z[:, j]), atol=1e-12)
+
+    def test_single_element_axis(self):
+        np.testing.assert_allclose(np_sparsemax(np.array([[-4.2]]), axis=0), [[1.0]])
+
+    def test_order_preserving(self):
+        z = np.array([0.5, 2.0, -1.0, 1.0])
+        out = np_sparsemax(z)
+        assert np.all(np.diff(out[np.argsort(z)]) >= -1e-12)
+
+
+class TestSparsemaxProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(vec=finite_vec)
+    def test_output_on_simplex(self, vec):
+        out = np_sparsemax(np.asarray(vec))
+        assert np.all(out >= 0.0)
+        assert np.isclose(out.sum(), 1.0, atol=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(vec=finite_vec)
+    def test_idempotent_on_simplex_points(self, vec):
+        """sparsemax is a projection: applying it twice changes nothing."""
+        once = np_sparsemax(np.asarray(vec))
+        twice = np_sparsemax(once)
+        np.testing.assert_allclose(twice, once, atol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vec=finite_vec, boost=st.floats(min_value=0.1, max_value=20.0))
+    def test_boosting_a_logit_never_decreases_its_weight(self, vec, boost):
+        z = np.asarray(vec)
+        before = np_sparsemax(z)[0]
+        z2 = z.copy()
+        z2[0] += boost
+        after = np_sparsemax(z2)[0]
+        assert after >= before - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(vec=finite_vec)
+    def test_projection_is_closest_simplex_point_vs_softmax(self, vec):
+        """sparsemax(z) is the Euclidean projection, so no other candidate
+        (here: softmax(z)) can be strictly closer to z."""
+        z = np.asarray(vec)
+        sp = np_sparsemax(z)
+        soft = np.exp(z - z.max())
+        soft /= soft.sum()
+        assert np.linalg.norm(z - sp) <= np.linalg.norm(z - soft) + 1e-9
+
+
+class TestSparsemaxBackward:
+    def test_gradcheck_generic_point(self, rng):
+        # keep away from kinks: resample until no coordinate is near the
+        # support boundary under a small perturbation
+        z = Tensor(np.array([0.7, -0.2, 0.35, -1.4]), requires_grad=True)
+        coeff = Tensor(np.array([0.3, -0.5, 1.1, 0.2]))
+
+        def fn(t):
+            return (sparsemax(t, axis=0) * coeff).sum()
+
+        assert gradcheck(fn, [z], eps=1e-7)
+
+    def test_gradcheck_axis0_matrix(self):
+        z = Tensor(np.array([[0.9, -0.3], [0.1, 0.45], [-2.0, 0.2]]), requires_grad=True)
+        coeff = Tensor(np.arange(6, dtype=np.float64).reshape(3, 2) / 3.0)
+
+        def fn(t):
+            return (sparsemax(t, axis=0) * coeff).sum()
+
+        assert gradcheck(fn, [z], eps=1e-7)
+
+    def test_off_support_gets_zero_gradient(self):
+        z = Tensor(np.array([2.0, 1.9, -5.0]), requires_grad=True)
+        out = sparsemax(z, axis=0)
+        assert out.data[2] == 0.0
+        (out * Tensor(np.array([1.0, 2.0, 3.0]))).sum().backward()
+        assert z.grad[2] == 0.0
+        assert np.any(z.grad[:2] != 0.0)
+
+    def test_gradient_sums_to_zero_within_support(self):
+        """The Jacobian's rows live in the simplex tangent space: for a
+        uniform upstream gradient the input gradient vanishes."""
+        z = Tensor(np.array([0.4, 0.1, -0.2, 0.05]), requires_grad=True)
+        sparsemax(z, axis=0).sum().backward()
+        np.testing.assert_allclose(z.grad, np.zeros(4), atol=1e-12)
+
+
+class TestSparsemaxInSoup:
+    def test_alpha_weights_sparsemax_mode(self):
+        from repro.soup import SoupConfig
+        from repro.soup.learned import alpha_weights
+
+        cfg = SoupConfig(normalize="sparsemax")
+        alphas = Tensor(np.array([[2.0], [0.1], [-3.0]]), requires_grad=True)
+        w = alpha_weights(alphas, cfg)
+        assert w.data[2, 0] == 0.0
+        assert np.isclose(w.data[:, 0].sum(), 1.0)
+
+    def test_soupconfig_accepts_sparsemax(self):
+        from repro.soup import SoupConfig
+
+        cfg = SoupConfig(normalize="sparsemax")
+        assert cfg.normalize == "sparsemax"
+        with pytest.raises(ValueError):
+            SoupConfig(normalize="entmax")
+
+    def test_learned_soup_with_sparsemax_runs_and_is_simplex(self, gcn_pool, tiny_graph):
+        from repro.soup import SoupConfig, learned_soup
+
+        cfg = SoupConfig(epochs=8, lr=0.5, normalize="sparsemax", alpha_init="uniform", seed=0)
+        result = learned_soup(gcn_pool, tiny_graph, cfg)
+        w = result.extras["weights"]
+        assert np.all(w >= 0.0)
+        np.testing.assert_allclose(w.sum(axis=0), np.ones(w.shape[1]), atol=1e-9)
+        assert 0.0 <= result.test_acc <= 1.0
+
+    def test_sparsemax_drops_poisoned_ingredient_softmax_cannot(self, gcn_pool, tiny_graph):
+        """Poison one ingredient with noise: sparsemax-LS assigns it exact
+        zeros while softmax-LS keeps strictly positive mass — the §V-A
+        softmax floor versus the §VIII drop-out wish, side by side."""
+        from repro.soup import SoupConfig, learned_soup
+
+        poison_rng = np.random.default_rng(99)
+        poisoned_states = [dict(sd) for sd in gcn_pool.states]
+        for name, value in poisoned_states[0].items():
+            poisoned_states[0][name] = poison_rng.normal(0.0, 5.0, size=value.shape)
+        pool = type(gcn_pool)(
+            model_config=gcn_pool.model_config,
+            states=poisoned_states,
+            val_accs=[0.01] + list(gcn_pool.val_accs[1:]),
+            test_accs=list(gcn_pool.test_accs),
+            train_times=list(gcn_pool.train_times),
+            graph_name=gcn_pool.graph_name,
+        )
+        common = dict(epochs=30, lr=2.0, seed=1, holdout_fraction=0.0)
+        sparse = learned_soup(
+            pool, tiny_graph, SoupConfig(normalize="sparsemax", alpha_init="uniform", **common)
+        )
+        soft = learned_soup(pool, tiny_graph, SoupConfig(normalize="softmax", **common))
+        assert np.all(soft.extras["weights"] > 0.0)  # softmax floor
+        assert np.all(sparse.extras["weights"][0] == 0.0)  # poison fully dropped
+        np.testing.assert_allclose(sparse.extras["weights"].sum(axis=0), 1.0, atol=1e-9)

@@ -1,0 +1,147 @@
+"""Training loop and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.train import (
+    TrainConfig,
+    accuracy,
+    confusion_matrix,
+    evaluate,
+    evaluate_logits,
+    macro_f1,
+    predictions,
+    train_model,
+)
+
+
+class TestMetrics:
+    def test_accuracy_perfect(self):
+        logits = np.eye(4) * 10
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_accuracy_zero(self):
+        logits = np.eye(2)[[0, 0]] * 10
+        assert accuracy(logits, np.array([1, 1])) == 0.0
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.empty((0, 3)), np.empty(0)) == 0.0
+
+    def test_predictions_argmax(self, rng):
+        logits = rng.normal(size=(5, 3))
+        np.testing.assert_array_equal(predictions(logits), logits.argmax(axis=1))
+
+    def test_confusion_matrix(self):
+        preds = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        cm = confusion_matrix(preds, labels, 3)
+        assert cm[0, 0] == 1 and cm[1, 1] == 1 and cm[2, 1] == 1 and cm[2, 2] == 1
+        assert cm.sum() == 4
+
+    def test_macro_f1_perfect(self):
+        logits = np.eye(3) * 5
+        assert macro_f1(logits, np.arange(3), 3) == 1.0
+
+    def test_macro_f1_penalises_minority_errors(self, rng):
+        # 90 correct majority, minority all wrong -> macro f1 well below accuracy
+        logits = np.zeros((100, 2))
+        logits[:, 0] = 10.0
+        labels = np.concatenate([np.zeros(90), np.ones(10)]).astype(int)
+        acc = accuracy(logits, labels)
+        f1 = macro_f1(logits, labels, 2)
+        assert acc == 0.9 and f1 < 0.6
+
+
+class TestTrainConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="rmsprop")
+
+
+class TestTrainModel:
+    def test_training_beats_random(self, tiny_graph):
+        m = build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=16, seed=0)
+        res = train_model(m, tiny_graph, TrainConfig(epochs=30, lr=0.02), seed=1)
+        chance = 1.0 / tiny_graph.num_classes
+        assert res.val_acc > 2 * chance
+        assert res.test_acc > 2 * chance
+
+    def test_result_fields(self, tiny_graph):
+        m = build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0)
+        res = train_model(m, tiny_graph, TrainConfig(epochs=5, lr=0.01), seed=0)
+        assert res.epochs_run == 5
+        assert res.train_time > 0
+        assert len(res.history) == 5
+        assert set(res.state_dict) == set(m.state_dict())
+
+    def test_best_val_state_restored(self, tiny_graph):
+        m = build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0)
+        res = train_model(m, tiny_graph, TrainConfig(epochs=20, lr=0.05), seed=2)
+        # model must end loaded with the recorded best state
+        for name, p in m.named_parameters():
+            np.testing.assert_array_equal(p.data, res.state_dict[name])
+        best_hist = max(h[2] for h in res.history)
+        assert res.val_acc == pytest.approx(best_hist)
+
+    def test_early_stopping_cuts_epochs(self, tiny_graph):
+        m = build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0)
+        res = train_model(m, tiny_graph, TrainConfig(epochs=300, lr=0.05, early_stopping=5), seed=0)
+        assert res.epochs_run < 300
+
+    def test_seed_determinism(self, tiny_graph):
+        cfg = TrainConfig(epochs=10, lr=0.02)
+        r1 = train_model(
+            build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0),
+            tiny_graph, cfg, seed=5,
+        )
+        r2 = train_model(
+            build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0),
+            tiny_graph, cfg, seed=5,
+        )
+        for name in r1.state_dict:
+            np.testing.assert_array_equal(r1.state_dict[name], r2.state_dict[name])
+
+    def test_different_seeds_different_states(self, tiny_graph):
+        cfg = TrainConfig(epochs=10, lr=0.02)
+        r1 = train_model(
+            build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0),
+            tiny_graph, cfg, seed=1,
+        )
+        r2 = train_model(
+            build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0),
+            tiny_graph, cfg, seed=2,
+        )
+        diffs = [not np.array_equal(r1.state_dict[n], r2.state_dict[n]) for n in r1.state_dict]
+        assert any(diffs)
+
+    def test_minibatch_path(self, tiny_graph):
+        m = build_model("sage", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0)
+        cfg = TrainConfig(epochs=8, lr=0.02, minibatch=True, batch_size=32, fanout=4)
+        res = train_model(m, tiny_graph, cfg, seed=0)
+        chance = 1.0 / tiny_graph.num_classes
+        assert res.val_acc > chance
+
+    def test_sgd_with_cosine(self, tiny_graph):
+        m = build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0)
+        cfg = TrainConfig(epochs=10, lr=0.1, optimizer="sgd", cosine_schedule=True)
+        res = train_model(m, tiny_graph, cfg, seed=0)
+        assert res.val_acc > 0.0
+
+
+class TestEvaluate:
+    def test_evaluate_logits_inference_mode(self, tiny_graph):
+        m = build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0)
+        m.train()
+        logits = evaluate_logits(m, tiny_graph)
+        assert logits.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+        assert m.training  # mode restored
+
+    def test_evaluate_on_split(self, tiny_graph):
+        m = build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0)
+        acc = evaluate(m, tiny_graph, tiny_graph.test_idx)
+        assert 0.0 <= acc <= 1.0
