@@ -9,7 +9,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.soup import gis_soup, radin_greedy_soup, sparse_soup, uniform_soup

@@ -9,7 +9,6 @@ dataset — the background methods Fig 3's discussion references.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.experiments import fig3_series, render_fig3
 from repro.soup import (

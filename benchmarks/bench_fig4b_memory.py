@@ -12,8 +12,6 @@ no forward pass so its footprint is not comparable). Paper shape:
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.experiments import fig4b_memory, render_fig4b
 from repro.profiling import MemoryModel

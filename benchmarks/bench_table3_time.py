@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import render_table3
-from repro.soup import PLSConfig, SoupConfig, gis_soup, learned_soup, partition_learned_soup, uniform_soup
+from repro.soup import gis_soup, learned_soup, partition_learned_soup, uniform_soup
 
 from conftest import write_artifact
 

@@ -12,6 +12,8 @@ Demonstrates §III-A of the paper:
 Run:  python examples/distributed_ingredients.py
 """
 
+import tempfile
+
 import numpy as np
 
 from repro import load_dataset
@@ -70,6 +72,34 @@ def main() -> None:
         "\nnote: zero-communication training parallelises embarrassingly until "
         "W exceeds N — beyond that, extra workers idle (no way to split one "
         "ingredient), which is exactly why the paper trains many ingredients."
+    )
+
+    # -- real multi-core execution + determinism + fault recovery ------------
+    # The determinism contract: serial, thread and process executors produce
+    # bit-identical ingredients for the same base_seed. With a checkpoint
+    # directory, a run that dies mid-pool resumes without retraining.
+    small_kw = dict(
+        train_cfg=TrainConfig(epochs=10, lr=0.01), base_seed=0, num_workers=4,
+    )
+    reference = train_ingredients("gcn", graph, 4, executor="serial", **small_kw)
+    with tempfile.TemporaryDirectory() as ckpt:
+        # worker for task 2 dies once (injected fault); the retry recovers it
+        faulted = train_ingredients(
+            "gcn", graph, 4, executor="process",
+            checkpoint_dir=ckpt, fault_plan={2: 1}, **small_kw,
+        )
+        resumed = train_ingredients(
+            "gcn", graph, 4, executor="process",
+            checkpoint_dir=ckpt, resume=True, **small_kw,
+        )
+    identical = all(
+        np.array_equal(a[n], b[n]) and np.array_equal(a[n], c[n])
+        for a, b, c in zip(reference.states, faulted.states, resumed.states)
+        for n in a
+    )
+    print(
+        f"\nprocess executor with 1 injected fault + checkpoint resume: "
+        f"ingredients bit-identical to serial = {identical}"
     )
 
 

@@ -35,6 +35,7 @@ Quickstart::
 from .graph import load_dataset, dataset_names, Graph
 from .models import build_model, model_names
 from .train import TrainConfig, train_model, evaluate, accuracy
+from .distributed import IngredientPool, train_ingredients
 
 __version__ = "1.0.0"
 
@@ -48,5 +49,7 @@ __all__ = [
     "train_model",
     "evaluate",
     "accuracy",
+    "IngredientPool",
+    "train_ingredients",
     "__version__",
 ]

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro datasets                     # Table-I style statistics
     python -m repro methods                      # registered souping methods
     python -m repro train gcn flickr -n 8        # train (and cache) a pool
+    python -m repro train gcn flickr --executor process --workers 4 \
+        --checkpoint-dir ckpt/ --resume           # multi-core + resumable
     python -m repro soup ls gcn flickr           # soup a cached pool
     python -m repro partition reddit -k 32       # run the METIS-style partitioner
     python -m repro simulate -n 16 -w 4 --fail-at 2.0   # Phase-1 schedule
@@ -26,7 +28,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from .distributed import ResilientPoolSimulator, WorkerSpec, eq1_estimate
+from .distributed import EXECUTORS, ResilientPoolSimulator, WorkerSpec, eq1_estimate
 from .experiments.cache import get_or_train_pool
 from .experiments.config import EXPERIMENT_GRID, ExperimentSpec
 from .graph import dataset_names, load_dataset, partition_graph
@@ -47,15 +49,26 @@ def _spec_for(arch: str, dataset: str, args: argparse.Namespace) -> ExperimentSp
     overrides = {}
     if args.n_ingredients is not None:
         overrides["n_ingredients"] = args.n_ingredients
+    if getattr(args, "workers", None) is not None:
+        overrides["num_workers"] = args.workers
     if getattr(args, "epochs", None) is not None and hasattr(base, "ingredient_epochs"):
         pass  # 'epochs' belongs to souping; ingredient epochs use the spec
     return replace(base, **overrides) if overrides else base
 
 
 def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
+    if getattr(args, "resume", False) and getattr(args, "checkpoint_dir", None) is None:
+        raise SystemExit("error: --resume requires --checkpoint-dir")
     graph = load_dataset(dataset, seed=args.seed, scale=args.scale)
     spec = _spec_for(arch, dataset, args)
-    pool = get_or_train_pool(spec, graph, graph_seed=args.seed)
+    pool = get_or_train_pool(
+        spec,
+        graph,
+        graph_seed=args.seed,
+        executor=getattr(args, "executor", "serial"),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=getattr(args, "resume", False),
+    )
     return spec, graph, pool
 
 
@@ -174,6 +187,32 @@ def _common_data_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0, help="graph / souping seed")
 
 
+def _executor_args(p: argparse.ArgumentParser) -> None:
+    """Phase-1 execution flags shared by pool-training subcommands."""
+    p.add_argument(
+        "--executor",
+        default="serial",
+        choices=list(EXECUTORS),
+        help="how to run Phase-1 ingredient training (same pool either way)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="cluster width W (thread/process pool size and Eq.(1)/(2) simulation)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist each finished ingredient here (atomic per-task .npz)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip ingredients already checkpointed in --checkpoint-dir",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__.splitlines()[0])
@@ -191,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset", choices=dataset_names())
     p.add_argument("-n", "--n-ingredients", type=int, default=None)
     _common_data_args(p)
+    _executor_args(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("soup", help="soup a cached pool with one method")
@@ -207,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eval-budget", type=int, default=0, help="RADIN true-eval budget")
     p.add_argument("--sparsity", type=float, default=0.5, help="sparse-soup target sparsity")
     _common_data_args(p)
+    _executor_args(p)
     p.set_defaults(fn=cmd_soup)
 
     p = sub.add_parser("partition", help="partition a dataset and report balance/cut")

@@ -28,8 +28,22 @@ from .comm import (
     run_world,
 )
 from .scheduler import TaskSchedule, WorkerPoolSimulator, eq1_estimate, eq2_min_time
-from .faults import ResilientPoolSimulator, ResilientSchedule, SchedulingError, WorkerSpec
-from .ingredients import IngredientPool, train_ingredients
+from .faults import (
+    FaultPlan,
+    ResilientPoolSimulator,
+    ResilientSchedule,
+    SchedulingError,
+    SimulatedWorkerFault,
+    WorkerSpec,
+)
+from .checkpoint import CheckpointStore, run_fingerprint
+from .ingredients import (
+    EXECUTORS,
+    IngredientPool,
+    IngredientTask,
+    IngredientTrainingError,
+    train_ingredients,
+)
 from .pipeline import PipelineReport, train_ingredients_comm, uniform_soup_allreduce
 
 __all__ = [
@@ -54,7 +68,14 @@ __all__ = [
     "ResilientSchedule",
     "ResilientPoolSimulator",
     "SchedulingError",
+    "SimulatedWorkerFault",
+    "FaultPlan",
+    "CheckpointStore",
+    "run_fingerprint",
+    "EXECUTORS",
     "IngredientPool",
+    "IngredientTask",
+    "IngredientTrainingError",
     "train_ingredients",
     "PipelineReport",
     "train_ingredients_comm",

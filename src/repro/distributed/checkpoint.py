@@ -1,0 +1,163 @@
+"""Per-ingredient checkpoint store for resumable Phase-1 training.
+
+The pool cache in :mod:`repro.experiments.cache` persists *finished*
+pools; this module persists *individual ingredients* as they complete, so
+a Phase-1 run interrupted mid-pool (process killed, container preempted,
+injected fault that exhausts its retries) can resume without retraining
+the ingredients it already produced.
+
+Layout: one ``ingredient-NNNNN.npz`` per task under the checkpoint
+directory, holding the best-val state dict as raw float arrays plus a JSON
+metadata blob (accuracies, wall time, fingerprint). Writes are atomic
+(temp file + ``os.replace``) so a crash mid-write never leaves a corrupt
+entry that blocks resumption — unreadable files are simply retrained.
+
+Every entry is stamped with a **run fingerprint** hashed from the model
+config, a cheap graph signature and the per-task ``(seed, TrainConfig)``
+list. ``resume=True`` only trusts entries whose fingerprint matches the
+current run, so a stale directory from a different architecture, dataset
+scale or seed can never leak foreign weights into a pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..train import TrainConfig, TrainResult
+
+__all__ = ["CheckpointStore", "run_fingerprint"]
+
+_META_KEY = "meta"
+_PARAM_PREFIX = "param::"
+
+
+def run_fingerprint(
+    model_config: dict,
+    graph: Graph,
+    task_cfgs: list[TrainConfig],
+    seeds: list[int],
+) -> str:
+    """Hash identifying one Phase-1 run's task set.
+
+    Two runs share a fingerprint iff they would train bit-identical
+    ingredients: same architecture/config, same graph signature, same
+    per-task seeds and training recipes. The graph signature hashes the
+    labels and the train/val/test masks position-sensitively (two graphs
+    differing only in their split train different ingredients) and keeps
+    cheaper shape/checksum fields for the feature payload.
+    """
+
+    def digest(arr) -> str:
+        return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()[:12]
+
+    graph_sig = {
+        "name": graph.name,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "classes": graph.num_classes,
+        "feature_dim": graph.feature_dim,
+        "feature_sum": float(graph.features.sum()),
+        "labels": digest(graph.labels),
+        "splits": [digest(graph.train_mask), digest(graph.val_mask), digest(graph.test_mask)],
+    }
+    payload = {
+        "model_config": model_config,
+        "graph": graph_sig,
+        "tasks": [{"seed": int(s), "cfg": asdict(c)} for s, c in zip(seeds, task_cfgs)],
+    }
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
+
+
+class CheckpointStore:
+    """Atomic on-disk store of completed ingredients for one fingerprint.
+
+    Entries live under ``<directory>/<fingerprint>/`` so different runs
+    (grid cells, concurrent experiments) can share one user-facing
+    checkpoint directory without clobbering each other's files — the
+    per-file fingerprint stamp then only has to catch entries copied in
+    from elsewhere.
+    """
+
+    def __init__(self, directory: str | Path, fingerprint: str) -> None:
+        self.directory = Path(directory) / fingerprint
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+
+    def path(self, index: int) -> Path:
+        """Checkpoint file of ingredient ``index``."""
+        return self.directory / f"ingredient-{index:05d}.npz"
+
+    # -- write -------------------------------------------------------------
+
+    def save(self, index: int, result: TrainResult) -> Path:
+        """Persist one completed ingredient atomically; returns its path."""
+        arrays: dict[str, np.ndarray] = {
+            f"{_PARAM_PREFIX}{name}": value for name, value in result.state_dict.items()
+        }
+        meta = {
+            "index": int(index),
+            "fingerprint": self.fingerprint,
+            "val_acc": float(result.val_acc),
+            "test_acc": float(result.test_acc),
+            "train_time": float(result.train_time),
+            "epochs_run": int(result.epochs_run),
+        }
+        arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        final = self.path(index)
+        tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}.npz")
+        try:
+            np.savez_compressed(tmp, **arrays)
+            os.replace(tmp, final)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return final
+
+    # -- read --------------------------------------------------------------
+
+    def load(self, index: int) -> TrainResult | None:
+        """The stored ingredient, or ``None`` if absent / corrupt / from a
+        different run (fingerprint mismatch). Per-epoch history is not
+        checkpointed — a resumed result carries an empty history."""
+        path = self.path(index)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data[_META_KEY]).decode())
+                if meta.get("fingerprint") != self.fingerprint:
+                    return None
+                state = {
+                    key[len(_PARAM_PREFIX):]: data[key]
+                    for key in data.files
+                    if key.startswith(_PARAM_PREFIX)
+                }
+        except (OSError, ValueError, KeyError, json.JSONDecodeError, zipfile.BadZipFile):
+            return None
+        return TrainResult(
+            state_dict=state,
+            val_acc=meta["val_acc"],
+            test_acc=meta["test_acc"],
+            train_time=meta["train_time"],
+            epochs_run=meta["epochs_run"],
+            history=[],
+        )
+
+    def completed(self, n_tasks: int) -> dict[int, TrainResult]:
+        """All loadable ingredients of this run among indices ``0..n-1``."""
+        results: dict[int, TrainResult] = {}
+        for index in range(n_tasks):
+            result = self.load(index)
+            if result is not None:
+                results[index] = result
+        return results
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("ingredient-*.npz"))

@@ -32,11 +32,71 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["WorkerSpec", "ResilientSchedule", "SchedulingError", "ResilientPoolSimulator"]
+from .scheduler import _validate_durations
+
+__all__ = [
+    "WorkerSpec",
+    "ResilientSchedule",
+    "SchedulingError",
+    "ResilientPoolSimulator",
+    "SimulatedWorkerFault",
+    "FaultPlan",
+]
 
 
 class SchedulingError(RuntimeError):
     """Raised when the schedule cannot complete (e.g. every worker died)."""
+
+
+class SimulatedWorkerFault(RuntimeError):
+    """A worker attempt killed by a :class:`FaultPlan` (fault injection).
+
+    Raised *inside* the worker executing an ingredient task, caught by the
+    executor's retry loop in :mod:`~repro.distributed.ingredients`. Plain
+    ``RuntimeError`` args keep it picklable across process boundaries.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault injection for real ingredient executors.
+
+    The simulators above model *when* a cluster loses work; a ``FaultPlan``
+    makes the real executors actually lose it: task ``i`` has its first
+    ``failures[i]`` attempts die (raising :class:`SimulatedWorkerFault`, or
+    hard-killing the worker process when ``kill=True`` under the
+    ``"process"`` executor), after which it succeeds. Because every
+    ingredient is a pure function of ``(config, graph, seed)``, the retried
+    attempt is bit-identical to the one that died — the property the
+    fail-stop/requeue simulation relies on, now exercised end to end.
+    """
+
+    failures: dict[int, int] = field(default_factory=dict)
+    kill: bool = False
+
+    def __post_init__(self) -> None:
+        normalized = {}
+        for index, count in self.failures.items():
+            if int(index) < 0 or int(count) < 0:
+                raise ValueError("FaultPlan entries must map task index >= 0 to failures >= 0")
+            normalized[int(index)] = int(count)
+        # normalise keys/values (e.g. a plan deserialised from JSON carries
+        # string keys) so lookups by int task index always hit
+        object.__setattr__(self, "failures", normalized)
+
+    def fail_attempts(self, index: int) -> int:
+        """Number of leading attempts of task ``index`` that must die."""
+        return int(self.failures.get(index, 0))
+
+    @classmethod
+    def from_schedule(cls, schedule: "ResilientSchedule", kill: bool = False) -> "FaultPlan":
+        """Replay a simulated fail-stop schedule against a real executor:
+        every task that needed ``k`` attempts in the simulation fails its
+        first ``k - 1`` real attempts."""
+        failures = {
+            int(i): int(a - 1) for i, a in enumerate(schedule.attempts) if int(a) > 1
+        }
+        return cls(failures=failures, kill=kill)
 
 
 @dataclass(frozen=True)
@@ -117,11 +177,7 @@ class ResilientPoolSimulator:
     def schedule(self, durations) -> ResilientSchedule:
         """Run the event-driven simulation over ``durations`` (nominal seconds
         per task) and return the completed :class:`ResilientSchedule`."""
-        durations = np.asarray(durations, dtype=np.float64)
-        if durations.ndim != 1 or len(durations) == 0:
-            raise ValueError("durations must be a non-empty 1-D sequence")
-        if np.any(durations < 0):
-            raise ValueError("durations must be non-negative")
+        durations = _validate_durations(durations)
         n = len(durations)
         w = len(self.workers)
 

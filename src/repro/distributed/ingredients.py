@@ -12,27 +12,64 @@ regardless of executor, because each task's RNG derives from
 ``base_seed + task index``, not from scheduling order — the property that
 makes zero-communication training reproducible across cluster layouts.
 
-Executors: ``"serial"`` (default; this container has one core) and
-``"thread"`` (a real ``ThreadPoolExecutor``, exercising the dynamic-queue
-path). Either way the measured per-ingredient durations feed the
+Executors:
+
+* ``"serial"`` — in-process loop (single-core default);
+* ``"thread"`` — ``ThreadPoolExecutor`` exercising the dynamic-queue path
+  (GIL-bound, but overlaps any BLAS releases);
+* ``"process"`` — ``ProcessPoolExecutor``: true multi-core fan-out. Tasks
+  cross the process boundary as picklable :class:`IngredientTask` specs
+  (arch config + derived seed); each worker rebuilds its model from the
+  shared-init seed and receives the graph once via the pool initializer,
+  so no live ``Module`` objects or per-task graph copies are shipped.
+  Trained weights return as raw ndarray state dicts and are merged in
+  deterministic task order.
+
+All three share a retry loop: a faulted attempt (injected via
+:class:`~repro.distributed.faults.FaultPlan`, or a worker process dying
+under ``"process"``) is retried up to ``max_retries`` times rather than
+poisoning the pool. With a ``checkpoint_dir``, every completed ingredient
+is persisted immediately and ``resume=True`` skips already-finished tasks
+(see :mod:`~repro.distributed.checkpoint`).
+
+The measured per-ingredient durations feed the
 :class:`~repro.distributed.scheduler.WorkerPoolSimulator`, which reports
 the makespan an actual W-worker cluster would achieve (Eq. 1/2).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing as mp
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from ..graph.csr import CSR
 from ..graph.graph import Graph
 from ..models import build_model
 from ..nn import Module
 from ..train import TrainConfig, TrainResult, train_model
-from .scheduler import TaskSchedule, WorkerPoolSimulator
+from .checkpoint import CheckpointStore, run_fingerprint
+from .faults import FaultPlan, SimulatedWorkerFault
+from .scheduler import TaskSchedule, WorkerPoolSimulator, _validate_num_workers
 
-__all__ = ["IngredientPool", "train_ingredients"]
+__all__ = [
+    "EXECUTORS",
+    "IngredientPool",
+    "IngredientTask",
+    "IngredientTrainingError",
+    "train_ingredients",
+]
+
+#: Executor names accepted by :func:`train_ingredients`.
+EXECUTORS = ("serial", "thread", "process")
+
+
+class IngredientTrainingError(RuntimeError):
+    """A task kept failing after exhausting its retry budget."""
 
 
 @dataclass
@@ -106,11 +143,244 @@ class IngredientPool:
         )
 
 
-def _train_one(model_config: dict, shared_init: dict, graph: Graph, cfg: TrainConfig, seed: int) -> TrainResult:
-    """One worker task: fresh replica <- shared init, independent training."""
-    model = build_model(**model_config)
-    model.load_state_dict(shared_init)
-    return train_model(model, graph, cfg, seed=seed)
+# ---------------------------------------------------------------------------
+# task spec and worker entry points
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IngredientTask:
+    """Picklable spec of one ingredient-training task.
+
+    Carries only plain data (config dicts, seeds) — the worker rebuilds
+    both the shared-init model (``model_config`` embeds the init seed) and
+    the graph locally, so nothing live crosses the process boundary.
+
+    ``fail_attempts``/``kill`` are the fault-injection knobs: the task's
+    first ``fail_attempts`` attempts die — by raising
+    :class:`SimulatedWorkerFault`, or by hard-killing the worker process
+    when ``kill=True`` and the task runs in a pool worker.
+    """
+
+    index: int
+    model_config: dict
+    train_cfg: TrainConfig
+    seed: int
+    fail_attempts: int = 0
+    kill: bool = False
+
+
+def _graph_to_payload(graph: Graph) -> dict:
+    """Raw-array form of a graph for shipping to worker processes (the
+    cached message-passing operators deliberately stay behind)."""
+    return dict(
+        indptr=graph.csr.indptr,
+        indices=graph.csr.indices,
+        num_nodes=graph.csr.num_nodes,
+        features=graph.features,
+        labels=graph.labels,
+        train_mask=graph.train_mask,
+        val_mask=graph.val_mask,
+        test_mask=graph.test_mask,
+        num_classes=graph.num_classes,
+        name=graph.name,
+    )
+
+
+def _graph_from_payload(payload: dict) -> Graph:
+    """Inverse of :func:`_graph_to_payload`."""
+    return Graph(
+        CSR(payload["indptr"], payload["indices"], payload["num_nodes"]),
+        payload["features"],
+        payload["labels"],
+        payload["train_mask"],
+        payload["val_mask"],
+        payload["test_mask"],
+        payload["num_classes"],
+        name=payload["name"],
+    )
+
+
+def _run_task(task: IngredientTask, graph: Graph, inject_fault: bool) -> TrainResult:
+    """Execute one attempt of a task: rebuild the shared-init replica from
+    the config seed, train it under the task seed. Faults fire first."""
+    if inject_fault:
+        # _WORKER_GRAPH is set only by the pool-worker initializer, so this
+        # discriminates "I am a pool worker" (hard-kill is safe) from any
+        # other process — including a training driver that itself runs
+        # inside a multiprocessing child, which must never be exited
+        if task.kill and _WORKER_GRAPH is not None:
+            os._exit(43)  # fail-stop: no exception, no cleanup — a dead rank
+        raise SimulatedWorkerFault(f"task {task.index} attempt killed by fault plan")
+    model = build_model(**task.model_config)
+    return train_model(model, graph, task.train_cfg, seed=task.seed)
+
+
+# Worker-process state: the graph arrives once per worker via the pool
+# initializer instead of once per task (it dominates task payload size).
+_WORKER_GRAPH: Graph | None = None
+
+
+def _worker_init(graph_payload: dict) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = _graph_from_payload(graph_payload)
+
+
+def _worker_entry(task: IngredientTask, inject_fault: bool) -> TrainResult:
+    assert _WORKER_GRAPH is not None, "worker initializer did not run"
+    return _run_task(task, _WORKER_GRAPH, inject_fault)
+
+
+# ---------------------------------------------------------------------------
+# executor rounds
+# ---------------------------------------------------------------------------
+
+
+def _serial_round(pending, graph, attempts, faults_left, on_done):
+    done, failed = [], []
+    for task in pending:
+        attempts[task.index] += 1
+        inject = faults_left[task.index] > 0
+        try:
+            result = _run_task(task, graph, inject)
+        except SimulatedWorkerFault:
+            faults_left[task.index] -= 1
+            failed.append(task)
+        else:
+            on_done(task, result)
+            done.append((task, result))
+    return done, failed
+
+
+def _thread_round(pending, graph, num_workers, attempts, faults_left, on_done):
+    done, failed = [], []
+    with ThreadPoolExecutor(max_workers=num_workers) as pool:
+        future_to_task = {}
+        for task in pending:
+            attempts[task.index] += 1
+            inject = faults_left[task.index] > 0
+            future_to_task[pool.submit(_run_task, task, graph, inject)] = task
+        for future in as_completed(future_to_task):
+            task = future_to_task[future]
+            try:
+                result = future.result()
+            except SimulatedWorkerFault:
+                faults_left[task.index] -= 1
+                failed.append(task)
+            else:
+                on_done(task, result)
+                done.append((task, result))
+    return done, failed
+
+
+def _process_round(pending, graph_payload, num_workers, attempts, faults_left, on_done):
+    """One fan-out over a fresh ``ProcessPoolExecutor``.
+
+    A worker that hard-dies breaks the whole pool (every unfinished future
+    raises ``BrokenExecutor``, and further submits raise it synchronously),
+    so the pool is created per round: the affected tasks are simply
+    retried on the next round's fresh pool. Rounds beyond the first only
+    happen after a fault, so the cost of re-forking an (possibly healthy)
+    pool is bounded by ``max_retries`` spawns — accepted for the
+    simplicity of never reasoning about a half-broken executor.
+
+    Fault-budget accounting: an exception fault consumes budget only when
+    its ``SimulatedWorkerFault`` actually comes back. A kill fault's
+    budget is consumed when its attempt dies with the pool — a pool
+    collapse counts as the planned death for every in-flight kill-armed
+    attempt (concurrent kill faults may merge into one collapse); a
+    collateral loss of a task with no fault armed consumes nothing, so
+    its planned faults still fire on later attempts.
+    """
+    done, failed = [], []
+    # fork shares the parent's graph pages copy-on-write; spawn (macOS /
+    # Windows semantics) still works via the pickled initializer payload.
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    pool = ProcessPoolExecutor(
+        max_workers=min(num_workers, len(pending)),
+        mp_context=ctx,
+        initializer=_worker_init,
+        initargs=(graph_payload,),
+    )
+    try:
+        future_to_task = {}
+        injected = {}
+        for task in pending:
+            attempts[task.index] += 1
+            inject = faults_left[task.index] > 0
+            injected[task.index] = inject
+            try:
+                future_to_task[pool.submit(_worker_entry, task, inject)] = task
+            except BrokenExecutor:
+                failed.append(task)  # pool died mid-submission; retry next round
+        for future in as_completed(future_to_task):
+            task = future_to_task[future]
+            try:
+                result = future.result()
+            except SimulatedWorkerFault:
+                faults_left[task.index] -= 1
+                failed.append(task)
+            except BrokenExecutor:
+                if injected[task.index] and task.kill:
+                    faults_left[task.index] -= 1
+                failed.append(task)
+            else:
+                on_done(task, result)
+                done.append((task, result))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return done, failed
+
+
+def _execute_tasks(
+    tasks: list[IngredientTask],
+    graph: Graph,
+    executor: str,
+    num_workers: int,
+    max_retries: int,
+    store: CheckpointStore | None,
+) -> dict[int, TrainResult]:
+    """Run all tasks to completion with retries; returns results by index.
+
+    Checkpointing happens *inside* the rounds, the moment each task
+    completes — a parent killed mid-round loses only in-flight work, never
+    finished ingredients. The retry budget (``attempts``) counts every
+    submitted attempt, including ones lost collaterally to a pool
+    collapse; the fault-injection budget (``faults_left``) counts only
+    faults that actually fired (see :func:`_process_round`).
+    """
+    results: dict[int, TrainResult] = {}
+    attempts = {task.index: 0 for task in tasks}
+    faults_left = {task.index: task.fail_attempts for task in tasks}
+    pending = list(tasks)
+    payload = _graph_to_payload(graph) if executor == "process" else None
+
+    def on_done(task: IngredientTask, result: TrainResult) -> None:
+        if store is not None:
+            store.save(task.index, result)
+
+    while pending:
+        if executor == "process":
+            done, failed = _process_round(pending, payload, num_workers, attempts, faults_left, on_done)
+        elif executor == "thread":
+            done, failed = _thread_round(pending, graph, num_workers, attempts, faults_left, on_done)
+        else:
+            done, failed = _serial_round(pending, graph, attempts, faults_left, on_done)
+        for task, result in done:
+            results[task.index] = result
+        exhausted = sorted(t.index for t in failed if attempts[t.index] > max_retries)
+        if exhausted:
+            raise IngredientTrainingError(
+                f"task(s) {exhausted} still failing after {max_retries + 1} attempt(s)"
+            )
+        pending = failed
+    return results
+
+
+# ---------------------------------------------------------------------------
+# public entry point
+# ---------------------------------------------------------------------------
 
 
 def train_ingredients(
@@ -127,6 +397,10 @@ def train_ingredients(
     num_heads: int = 4,
     attn_dropout: float = 0.0,
     epoch_jitter: int = 0,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    fault_plan: FaultPlan | dict[int, int] | None = None,
 ) -> IngredientPool:
     """Train ``n_ingredients`` independent replicas from one shared init.
 
@@ -134,18 +408,50 @@ def train_ingredients(
     ----------
     num_workers:
         Cluster width W used for the makespan simulation (Eq. 1/2) and as
-        the thread count when ``executor="thread"``.
+        the pool width for the ``"thread"`` and ``"process"`` executors.
+    executor:
+        ``"serial"`` | ``"thread"`` | ``"process"`` — identical ingredients
+        for the same ``base_seed`` (the determinism contract).
     epoch_jitter:
         Optional ± range on each ingredient's epoch budget (drawn from its
         task seed). The paper notes "variability in ingredient complexity
         may lead to load imbalances"; jitter reproduces that heterogeneity
         and also widens the ingredient-quality spread that informed soups
         exploit.
+    checkpoint_dir:
+        Directory for per-ingredient checkpoints; every completed
+        ingredient is persisted immediately (atomic write).
+    resume:
+        Skip tasks already checkpointed under ``checkpoint_dir`` by a run
+        with the same fingerprint (config + graph + seeds). Requires
+        ``checkpoint_dir``.
+    max_retries:
+        Extra attempts granted per task after a faulted one; exceeding the
+        budget raises :class:`IngredientTrainingError`.
+    fault_plan:
+        :class:`~repro.distributed.faults.FaultPlan` (or a plain
+        ``{task_index: n_failing_attempts}`` mapping) injecting
+        deterministic worker faults.
     """
     if n_ingredients < 1:
         raise ValueError("need at least one ingredient")
-    if executor not in ("serial", "thread"):
-        raise ValueError(f"unknown executor {executor!r}")
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    # validate up-front with the scheduler's strict rule — a bad worker
+    # count must fail here, not after hours of training at the final
+    # makespan simulation
+    num_workers = _validate_num_workers(num_workers)
+    if max_retries < 0:
+        raise ValueError("max_retries cannot be negative")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
+    if fault_plan is None:
+        plan = FaultPlan()
+    elif isinstance(fault_plan, FaultPlan):
+        plan = fault_plan
+    else:
+        plan = FaultPlan(failures=dict(fault_plan))
+
     cfg = train_cfg or TrainConfig()
     model_config = dict(
         arch=arch,
@@ -158,7 +464,6 @@ def train_ingredients(
         attn_dropout=attn_dropout,
         seed=base_seed,  # the shared initialisation seed
     )
-    shared_init = build_model(**model_config).state_dict()
 
     # task configs are fixed up-front (not scheduling-dependent)
     task_cfgs: list[TrainConfig] = []
@@ -170,18 +475,29 @@ def train_ingredients(
             task_cfg = TrainConfig(**{**cfg.__dict__, "epochs": max(1, cfg.epochs + delta)})
         task_cfgs.append(task_cfg)
     seeds = [base_seed * 7_919 + 1 + i for i in range(n_ingredients)]
+    tasks = [
+        IngredientTask(
+            index=i,
+            model_config=model_config,
+            train_cfg=task_cfgs[i],
+            seed=seeds[i],
+            fail_attempts=plan.fail_attempts(i),
+            kill=plan.kill,
+        )
+        for i in range(n_ingredients)
+    ]
 
-    if executor == "thread":
-        with ThreadPoolExecutor(max_workers=num_workers) as pool:
-            futures = [
-                pool.submit(_train_one, model_config, shared_init, graph, task_cfgs[i], seeds[i])
-                for i in range(n_ingredients)
-            ]
-            results = [f.result() for f in futures]
-    else:
-        results = [
-            _train_one(model_config, shared_init, graph, task_cfgs[i], seeds[i]) for i in range(n_ingredients)
-        ]
+    store: CheckpointStore | None = None
+    preloaded: dict[int, TrainResult] = {}
+    if checkpoint_dir is not None:
+        fingerprint = run_fingerprint(model_config, graph, task_cfgs, seeds)
+        store = CheckpointStore(checkpoint_dir, fingerprint)
+        if resume:
+            preloaded = store.completed(n_ingredients)
+
+    todo = [task for task in tasks if task.index not in preloaded]
+    trained = _execute_tasks(todo, graph, executor, num_workers, max_retries, store)
+    results = [preloaded[i] if i in preloaded else trained[i] for i in range(n_ingredients)]
 
     durations = [r.train_time for r in results]
     schedule = WorkerPoolSimulator(num_workers).schedule(durations)

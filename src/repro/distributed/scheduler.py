@@ -15,7 +15,7 @@ identical scheduling semantics as a deterministic **list scheduler** (jobs
 pulled from the queue by the earliest-free worker), so the schedule,
 makespan, idle time and both equations are measurable exactly. The actual
 training computation runs through :mod:`repro.distributed.ingredients`,
-serially or on a thread pool.
+serially, on a thread pool, or on a process pool.
 """
 
 from __future__ import annotations
@@ -26,6 +26,33 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = ["TaskSchedule", "WorkerPoolSimulator", "eq1_estimate", "eq2_min_time"]
+
+
+def _validate_num_workers(num_workers) -> int:
+    """A worker count must be an integral value >= 1 (a ``2.5``-worker
+    cluster or a boolean would silently misbehave downstream)."""
+    if isinstance(num_workers, bool) or not isinstance(num_workers, (int, np.integer)):
+        raise ValueError(f"num_workers must be an integer, got {num_workers!r}")
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    return int(num_workers)
+
+
+def _validate_durations(durations) -> np.ndarray:
+    """Durations must be a non-empty 1-D sequence of finite values >= 0.
+
+    NaN would otherwise propagate through the heap comparisons and produce
+    a garbage (not an error) schedule; an empty input would previously hit
+    numpy identities like ``max([]) -> error`` far from the caller.
+    """
+    durations = np.asarray(durations, dtype=np.float64)
+    if durations.ndim != 1 or len(durations) == 0:
+        raise ValueError("durations must be a non-empty 1-D sequence")
+    if not np.all(np.isfinite(durations)):
+        raise ValueError("durations must be finite (no NaN/inf)")
+    if np.any(durations < 0):
+        raise ValueError("durations must be non-negative")
+    return durations
 
 
 @dataclass(frozen=True)
@@ -67,18 +94,12 @@ class WorkerPoolSimulator:
     """
 
     def __init__(self, num_workers: int) -> None:
-        if num_workers < 1:
-            raise ValueError("need at least one worker")
-        self.num_workers = num_workers
+        self.num_workers = _validate_num_workers(num_workers)
 
     def schedule(self, durations) -> TaskSchedule:
         """List-schedule ``durations`` onto the pool; returns the full
         :class:`TaskSchedule` (assignment, start/end times, makespan)."""
-        durations = np.asarray(durations, dtype=np.float64)
-        if durations.ndim != 1 or len(durations) == 0:
-            raise ValueError("durations must be a non-empty 1-D sequence")
-        if np.any(durations < 0):
-            raise ValueError("durations must be non-negative")
+        durations = _validate_durations(durations)
         n = len(durations)
         heap: list[tuple[float, int]] = [(0.0, w) for w in range(self.num_workers)]
         heapq.heapify(heap)
@@ -106,14 +127,15 @@ class WorkerPoolSimulator:
 
 def eq1_estimate(n_ingredients: int, num_workers: int, t_single: float) -> float:
     """Paper Eq. (1): ``T_total ≈ (N / W) · T_single``."""
-    if n_ingredients < 1 or num_workers < 1:
-        raise ValueError("N and W must be positive")
+    if n_ingredients < 1:
+        raise ValueError("N must be positive")
+    num_workers = _validate_num_workers(num_workers)
+    t_single = float(t_single)
+    if not np.isfinite(t_single) or t_single < 0:
+        raise ValueError("t_single must be finite and non-negative")
     return (n_ingredients / num_workers) * t_single
 
 
 def eq2_min_time(durations) -> float:
     """Paper Eq. (2): with N <= W the makespan is the slowest ingredient."""
-    durations = np.asarray(durations, dtype=np.float64)
-    if len(durations) == 0:
-        raise ValueError("durations must be non-empty")
-    return float(durations.max())
+    return float(_validate_durations(durations).max())

@@ -16,6 +16,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..distributed import EXECUTORS
 from ..graph import dataset_names, load_dataset
 from .cache import get_or_train_pool
 from .config import PAPER_ARCHS, make_spec
@@ -41,6 +42,22 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--soups", type=int, default=None, help="soup repetitions per cell")
     parser.add_argument("--seed", type=int, default=0, help="graph seed")
     parser.add_argument("--out", type=Path, default=None, help="directory for artefact files")
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        choices=list(EXECUTORS),
+        help="Phase-1 executor for uncached pools (serial/thread/process)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="per-ingredient checkpoint directory for uncached pools",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip ingredients already checkpointed in --checkpoint-dir",
+    )
     return parser.parse_args(argv)
 
 
@@ -63,7 +80,14 @@ def _run_grid(args: argparse.Namespace):
             graphs[dataset] = load_dataset(dataset, seed=args.seed, scale=args.scale)
         graph = graphs[dataset]
         spec = make_spec(dataset, arch)
-        pool = get_or_train_pool(spec, graph, graph_seed=args.seed)
+        pool = get_or_train_pool(
+            spec,
+            graph,
+            graph_seed=args.seed,
+            executor=args.executor,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
         results.append(run_cell(spec, graph=graph, pool=pool, n_soups=args.soups))
     return results
 

@@ -97,8 +97,21 @@ def load_pool(path: Path) -> IngredientPool:
         )
 
 
-def get_or_train_pool(spec: ExperimentSpec, graph: Graph, graph_seed: int = 0) -> IngredientPool:
-    """Load the spec's pool from cache, training and persisting on a miss."""
+def get_or_train_pool(
+    spec: ExperimentSpec,
+    graph: Graph,
+    graph_seed: int = 0,
+    executor: str = "serial",
+    checkpoint_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+) -> IngredientPool:
+    """Load the spec's pool from cache, training and persisting on a miss.
+
+    ``executor``/``checkpoint_dir``/``resume`` pass through to
+    :func:`repro.distributed.train_ingredients` on a miss; the executor
+    never enters the cache key because the determinism contract makes the
+    pool identical across executors.
+    """
     path = cache_dir() / (pool_cache_key(spec, graph_seed, graph.num_nodes) + ".npz")
     if path.exists():
         try:
@@ -106,7 +119,13 @@ def get_or_train_pool(spec: ExperimentSpec, graph: Graph, graph_seed: int = 0) -
         except Exception:
             path.unlink()  # corrupt cache entry; retrain
     pool = train_ingredients(
-        spec.arch, graph, n_ingredients=spec.n_ingredients, **spec.ingredient_kwargs()
+        spec.arch,
+        graph,
+        n_ingredients=spec.n_ingredients,
+        executor=executor,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        **spec.ingredient_kwargs(),
     )
     save_pool(pool, path)
     return pool

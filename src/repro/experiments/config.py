@@ -11,7 +11,7 @@ see :mod:`repro.experiments.runner`), with the counts scalable through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..graph.datasets import dataset_names
 from ..soup import PLSConfig, SoupConfig

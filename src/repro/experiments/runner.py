@@ -127,10 +127,23 @@ def run_cell(
     pool: IngredientPool | None = None,
     graph_seed: int = 0,
     n_soups: int | None = None,
+    executor: str = "serial",
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> CellResult:
-    """Execute one cell; ``graph``/``pool`` injectable for tests and benches."""
+    """Execute one cell; ``graph``/``pool`` injectable for tests and benches.
+
+    ``executor``/``checkpoint_dir``/``resume`` govern Phase-1 training on a
+    pool-cache miss (see :func:`repro.experiments.cache.get_or_train_pool`).
+    """
     graph = graph if graph is not None else load_dataset(spec.dataset, seed=graph_seed)
-    pool = pool if pool is not None else get_or_train_pool(spec, graph, graph_seed)
+    pool = (
+        pool
+        if pool is not None
+        else get_or_train_pool(
+            spec, graph, graph_seed, executor=executor, checkpoint_dir=checkpoint_dir, resume=resume
+        )
+    )
     n_soups = n_soups if n_soups is not None else spec.n_soups
     unknown = [m for m in methods if m not in SOUP_METHODS]
     if unknown:
@@ -179,11 +192,24 @@ def run_grid(
     graph_seed: int = 0,
     n_soups: int | None = None,
     verbose: bool = False,
+    executor: str = "serial",
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> list[CellResult]:
     """Run many cells (the full paper grid is 12)."""
     results = []
     for spec in specs:
         if verbose:
             print(f"[runner] {spec.cell_id} ...", flush=True)
-        results.append(run_cell(spec, methods=methods, graph_seed=graph_seed, n_soups=n_soups))
+        results.append(
+            run_cell(
+                spec,
+                methods=methods,
+                graph_seed=graph_seed,
+                n_soups=n_soups,
+                executor=executor,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
+        )
     return results

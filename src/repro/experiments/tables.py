@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import io
 
-import numpy as np
 
 from ..graph import load_dataset
 from ..graph.datasets import PAPER_STATS, dataset_names

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Dropout, Linear, Module, ModuleList, Parameter
-from ..tensor import Tensor, gather, init, ops, segment_ids_from_indptr, segment_softmax, segment_sum
+from ..tensor import Tensor, gather, init, segment_ids_from_indptr, segment_softmax, segment_sum
 from ..graph.graph import Graph
 
 __all__ = ["GATConv", "GAT"]

@@ -8,7 +8,6 @@ interpolation-ratio search — membership is all-or-nothing.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph

@@ -8,7 +8,6 @@ matrix once so neither forward nor backward pays a conversion.
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.sparse as sp
 
 from .tensor import Tensor

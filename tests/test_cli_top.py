@@ -28,6 +28,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["soup", "ls", "gcn", "flickr", "--normalize", "entmax"])
 
+    def test_executor_defaults(self):
+        args = build_parser().parse_args(["train", "gcn", "flickr"])
+        assert args.executor == "serial"
+        assert args.checkpoint_dir is None and args.resume is False and args.workers is None
+
+    def test_executor_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["train", "gcn", "flickr", "--executor", "process", "--workers", "4",
+             "--checkpoint-dir", "ckpt", "--resume"]
+        )
+        assert args.executor == "process" and args.workers == 4
+        assert args.checkpoint_dir == "ckpt" and args.resume is True
+
+    def test_soup_accepts_executor_flags(self):
+        args = build_parser().parse_args(["soup", "ls", "gcn", "flickr", "--executor", "thread"])
+        assert args.executor == "thread"
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "gcn", "flickr", "--executor", "mpi"])
+
 
 class TestInformationalCommands:
     def test_datasets_lists_all_four(self, capsys):
@@ -41,6 +62,30 @@ class TestInformationalCommands:
         out = capsys.readouterr().out
         for name in ("us", "gis", "ls", "pls", "radin", "sparse"):
             assert name in out
+
+
+class TestTrainExecutors:
+    def test_train_process_executor_with_checkpoint_and_resume(self, tmp_path, monkeypatch, capsys):
+        """End-to-end: `train --executor process --checkpoint-dir … --resume`
+        trains, checkpoints, and resumes from a fresh pool cache."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        ckpt = tmp_path / "ckpt"
+        argv = [
+            "train", "gcn", "flickr", "-n", "2", "--scale", "0.1",
+            "--executor", "process", "--workers", "2",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "pool: 2 x gcn" in first
+        assert sorted(p.name for p in ckpt.glob("*/*.npz")) == [
+            "ingredient-00000.npz",
+            "ingredient-00001.npz",
+        ]
+        # second run with a clean pool cache resumes from the checkpoints
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache2"))
+        assert main(argv + ["--resume"]) == 0
+        assert "pool: 2 x gcn" in capsys.readouterr().out
 
 
 class TestSimulate:

@@ -8,7 +8,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.distributed import (
     IngredientPool,
-    TaskSchedule,
     WorkerPoolSimulator,
     eq1_estimate,
     eq2_min_time,
@@ -65,6 +64,36 @@ class TestScheduler:
             eq1_estimate(0, 1, 1.0)
         with pytest.raises(ValueError):
             eq2_min_time([])
+
+    def test_non_integral_num_workers_rejected(self):
+        """A 2.5-worker cluster (or a bool) is a caller bug, not a layout."""
+        for bad in (2.5, "4", True, np.float64(3.0)):
+            with pytest.raises(ValueError):
+                WorkerPoolSimulator(bad)
+            with pytest.raises(ValueError):
+                eq1_estimate(4, bad, 1.0)
+        assert WorkerPoolSimulator(np.int64(3)).num_workers == 3
+
+    def test_nan_and_inf_durations_rejected(self):
+        """NaN previously flowed through the heap and produced a garbage
+        schedule instead of an error."""
+        for bad in ([1.0, np.nan], [np.inf, 1.0]):
+            with pytest.raises(ValueError):
+                WorkerPoolSimulator(2).schedule(bad)
+            with pytest.raises(ValueError):
+                eq2_min_time(bad)
+
+    def test_non_1d_durations_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSimulator(2).schedule(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            eq2_min_time(np.ones((2, 2)))
+
+    def test_eq1_invalid_t_single_rejected(self):
+        with pytest.raises(ValueError):
+            eq1_estimate(4, 2, -1.0)
+        with pytest.raises(ValueError):
+            eq1_estimate(4, 2, float("nan"))
 
     @settings(max_examples=30, deadline=None)
     @given(

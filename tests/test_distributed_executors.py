@@ -1,0 +1,362 @@
+"""Executor equivalence, fault injection and checkpoint/resume (Phase 1).
+
+The determinism contract under test: for a fixed ``base_seed`` the
+ingredient pool is a pure function of ``(arch config, graph, base_seed)``
+— identical across the ``serial``, ``thread`` and ``process`` executors,
+across injected faults (retries retrain bit-identical replicas), and
+across checkpoint-resumed runs.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    EXECUTORS,
+    CheckpointStore,
+    FaultPlan,
+    IngredientTrainingError,
+    ResilientPoolSimulator,
+    SimulatedWorkerFault,
+    WorkerSpec,
+    run_fingerprint,
+    train_ingredients,
+)
+from repro.train import TrainConfig, TrainResult
+
+
+KW = dict(train_cfg=TrainConfig(epochs=4, lr=0.05), base_seed=3, hidden_dim=8)
+
+
+def assert_pools_identical(a, b):
+    assert len(a) == len(b)
+    for s1, s2 in zip(a.states, b.states):
+        for name in s1:
+            np.testing.assert_array_equal(s1[name], s2[name])
+    assert a.val_accs == b.val_accs
+    assert a.test_accs == b.test_accs
+
+
+@pytest.fixture(scope="module")
+def serial_pool(tiny_graph):
+    return train_ingredients("gcn", tiny_graph, 3, executor="serial", **KW)
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("executor", [e for e in EXECUTORS if e != "serial"])
+    def test_bit_identical_to_serial(self, tiny_graph, serial_pool, executor):
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor=executor, num_workers=3, **KW
+        )
+        assert_pools_identical(serial_pool, pool)
+
+    def test_process_executor_with_jitter(self, tiny_graph):
+        kw = dict(train_cfg=TrainConfig(epochs=6, lr=0.05), base_seed=1, hidden_dim=8, epoch_jitter=3)
+        serial = train_ingredients("gcn", tiny_graph, 3, executor="serial", **kw)
+        proc = train_ingredients("gcn", tiny_graph, 3, executor="process", num_workers=2, **kw)
+        assert_pools_identical(serial, proc)
+
+    def test_unknown_executor_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            train_ingredients("gcn", tiny_graph, 1, executor="mpi", **KW)
+
+    def test_invalid_worker_count_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            train_ingredients("gcn", tiny_graph, 1, num_workers=0, **KW)
+
+    def test_non_integral_worker_count_rejected_before_training(self, tiny_graph):
+        """A float W (e.g. os.cpu_count()/2) must fail at the entry check,
+        not after training at the makespan simulation."""
+        with pytest.raises(ValueError, match="integer"):
+            train_ingredients("gcn", tiny_graph, 1, num_workers=2.5, **KW)
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("executor", list(EXECUTORS))
+    def test_faulted_attempt_is_retried(self, tiny_graph, serial_pool, executor):
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor=executor, num_workers=2,
+            fault_plan={1: 1}, **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+
+    def test_hard_killed_process_worker_is_retried(self, tiny_graph, serial_pool):
+        """kill=True fail-stops the worker process (BrokenProcessPool in the
+        parent); the next round's fresh pool retrains the lost task."""
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor="process", num_workers=2,
+            fault_plan=FaultPlan(failures={0: 1}, kill=True), **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+
+    def test_retry_budget_exhausted_raises(self, tiny_graph):
+        with pytest.raises(IngredientTrainingError, match=r"\[0\]"):
+            train_ingredients(
+                "gcn", tiny_graph, 2, executor="serial",
+                fault_plan={0: 99}, max_retries=1, **KW,
+            )
+
+    def test_negative_max_retries_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            train_ingredients("gcn", tiny_graph, 1, max_retries=-1, **KW)
+
+    def test_fault_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(failures={-1: 1})
+        with pytest.raises(ValueError):
+            FaultPlan(failures={0: -2})
+
+    def test_fault_plan_normalizes_keys(self):
+        """A plan deserialised from JSON carries string keys; lookups by
+        int task index must still hit."""
+        plan = FaultPlan(failures={"2": "1"})
+        assert plan.fail_attempts(2) == 1
+        assert plan.failures == {2: 1}
+
+    def test_concurrent_kill_faults_all_fire_and_converge(self, tiny_graph, serial_pool):
+        """Two kill faults in flight at once: collateral pool breakage must
+        not silently eat the second task's fault budget in a way that
+        leaves the run failing or the pool wrong."""
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor="process", num_workers=3,
+            fault_plan=FaultPlan(failures={0: 1, 1: 1, 2: 1}, kill=True),
+            max_retries=3, **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+
+    def test_fault_plan_from_schedule(self):
+        """Replaying a simulated fail-stop schedule: tasks that needed k
+        attempts in the simulation fail k-1 real attempts."""
+        workers = [WorkerSpec(fail_at=1.5), WorkerSpec()]
+        sched = ResilientPoolSimulator(workers).schedule([1.0, 1.0, 1.0, 1.0])
+        plan = FaultPlan.from_schedule(sched)
+        assert plan.failures == {
+            i: int(a - 1) for i, a in enumerate(sched.attempts) if a > 1
+        }
+        assert sum(plan.failures.values()) == sched.total_retries
+
+    def test_simulated_fault_is_runtime_error(self):
+        assert issubclass(SimulatedWorkerFault, RuntimeError)
+
+    def test_kill_plan_never_exits_a_non_worker_driver(self):
+        """A kill fault under the serial executor must raise (and be
+        retried/reported), not os._exit the driver — even when the driver
+        itself runs inside a multiprocessing child. Runs in a fresh
+        interpreter: forking from inside pytest is not fork-safe."""
+        script = """
+import multiprocessing as mp
+
+from repro.distributed import FaultPlan, IngredientTrainingError, train_ingredients
+from repro.graph import GeneratorConfig, homophilous_graph
+from repro.train import TrainConfig
+
+def driver():
+    graph = homophilous_graph(
+        GeneratorConfig(num_nodes=60, num_classes=3, avg_degree=6.0, homophily=0.7,
+                        feature_dim=8, feature_noise=1.0, split=(0.5, 0.25, 0.25), name="t"),
+        seed=0,
+    )
+    try:
+        train_ingredients(
+            "gcn", graph, 1, executor="serial", hidden_dim=4,
+            train_cfg=TrainConfig(epochs=2),
+            fault_plan=FaultPlan(failures={0: 9}, kill=True), max_retries=0,
+        )
+    except IngredientTrainingError:
+        print("fault-raised")
+
+if __name__ == "__main__":
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    proc = ctx.Process(target=driver)
+    proc.start()
+    proc.join(60)
+    print("exitcode", proc.exitcode)
+"""
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=str(Path(__file__).resolve().parents[1]),
+        )
+        assert "fault-raised" in out.stdout, out.stderr
+        assert "exitcode 0" in out.stdout  # not 43: the driver was never hard-killed
+
+
+class TestCheckpointStore:
+    def _result(self, rng):
+        return TrainResult(
+            state_dict={"w": rng.normal(size=(3, 2)), "b": rng.normal(size=3)},
+            val_acc=0.5, test_acc=0.4, train_time=1.25, epochs_run=7,
+        )
+
+    def test_round_trip(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, "fp-1")
+        result = self._result(rng)
+        path = store.save(2, result)
+        assert path.exists() and len(store) == 1
+        loaded = store.load(2)
+        np.testing.assert_array_equal(loaded.state_dict["w"], result.state_dict["w"])
+        np.testing.assert_array_equal(loaded.state_dict["b"], result.state_dict["b"])
+        assert loaded.val_acc == result.val_acc
+        assert loaded.test_acc == result.test_acc
+        assert loaded.train_time == result.train_time
+        assert loaded.epochs_run == result.epochs_run
+
+    def test_missing_index_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path, "fp").load(0) is None
+
+    def test_different_fingerprints_are_isolated(self, tmp_path, rng):
+        """Runs with different fingerprints share a directory without
+        seeing each other's entries (per-fingerprint subdirs)."""
+        CheckpointStore(tmp_path, "fp-a").save(0, self._result(rng))
+        other = CheckpointStore(tmp_path, "fp-b")
+        assert other.load(0) is None
+        assert other.completed(1) == {}
+
+    def test_foreign_stamp_rejected(self, tmp_path, rng):
+        """A file copied in from another run (fingerprint stamp mismatch)
+        must read as absent even when the filename matches."""
+        source = CheckpointStore(tmp_path, "fp-a")
+        source.save(0, self._result(rng))
+        target = CheckpointStore(tmp_path, "fp-b")
+        target.path(0).write_bytes(source.path(0).read_bytes())
+        assert target.load(0) is None
+
+    def test_corrupt_file_ignored(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, "fp")
+        store.save(0, self._result(rng))
+        store.path(0).write_bytes(b"not an npz archive")
+        assert store.load(0) is None
+
+    def test_truncated_file_ignored(self, tmp_path, rng):
+        """A checkpoint truncated mid-write (disk full, bad copy) raises
+        zipfile.BadZipFile inside np.load — must read as absent."""
+        store = CheckpointStore(tmp_path, "fp")
+        store.save(0, self._result(rng))
+        payload = store.path(0).read_bytes()
+        store.path(0).write_bytes(payload[: len(payload) // 2])
+        assert store.load(0) is None
+
+    def test_completed_subset(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, "fp")
+        store.save(0, self._result(rng))
+        store.save(2, self._result(rng))
+        assert sorted(store.completed(4)) == [0, 2]
+
+    def test_fingerprint_sensitivity(self, tiny_graph, small_graph):
+        cfgs = [TrainConfig(epochs=2)]
+        config = {"arch": "gcn", "seed": 0}
+        base = run_fingerprint(config, tiny_graph, cfgs, [1])
+        assert base == run_fingerprint(config, tiny_graph, cfgs, [1])
+        assert base != run_fingerprint(config, tiny_graph, cfgs, [2])
+        assert base != run_fingerprint({"arch": "gcn", "seed": 1}, tiny_graph, cfgs, [1])
+        assert base != run_fingerprint(config, small_graph, cfgs, [1])
+        assert base != run_fingerprint(config, tiny_graph, [TrainConfig(epochs=3)], [1])
+
+    def test_fingerprint_sensitive_to_split(self, tiny_graph):
+        """Same structure/features/labels but a different train/val/test
+        partition must fingerprint differently — otherwise resume could
+        serve weights trained on the wrong split."""
+        from repro.graph import Graph
+
+        swapped = Graph(
+            tiny_graph.csr,
+            tiny_graph.features,
+            tiny_graph.labels,
+            tiny_graph.val_mask,  # train and val swapped
+            tiny_graph.train_mask,
+            tiny_graph.test_mask,
+            tiny_graph.num_classes,
+            name=tiny_graph.name,
+        )
+        cfgs = [TrainConfig(epochs=2)]
+        config = {"arch": "gcn", "seed": 0}
+        assert run_fingerprint(config, tiny_graph, cfgs, [1]) != run_fingerprint(
+            config, swapped, cfgs, [1]
+        )
+
+
+class TestResume:
+    @pytest.mark.parametrize("executor", list(EXECUTORS))
+    def test_resume_after_mid_pool_fault(self, tiny_graph, serial_pool, tmp_path, executor):
+        """A run killed mid-pool leaves completed ingredients checkpointed;
+        the resumed run skips them and the final pool matches a clean run."""
+        with pytest.raises(IngredientTrainingError):
+            train_ingredients(
+                "gcn", tiny_graph, 3, executor=executor, num_workers=2,
+                checkpoint_dir=tmp_path, fault_plan={2: 99}, max_retries=0, **KW,
+            )
+        # entries land under a per-fingerprint subdirectory
+        store_files = sorted(p.name for p in tmp_path.glob("*/ingredient-*.npz"))
+        assert store_files == ["ingredient-00000.npz", "ingredient-00001.npz"]
+
+        resumed = train_ingredients(
+            "gcn", tiny_graph, 3, executor=executor, num_workers=2,
+            checkpoint_dir=tmp_path, resume=True, **KW,
+        )
+        assert_pools_identical(serial_pool, resumed)
+        # checkpointed train_times survive the resume verbatim
+        assert resumed.train_times[:2] != [0.0, 0.0]
+
+    def test_resume_with_full_checkpoint_retrains_nothing(self, tiny_graph, serial_pool, tmp_path):
+        first = train_ingredients(
+            "gcn", tiny_graph, 3, executor="serial", checkpoint_dir=tmp_path, **KW
+        )
+        resumed = train_ingredients(
+            "gcn", tiny_graph, 3, executor="serial", checkpoint_dir=tmp_path,
+            resume=True, fault_plan={0: 99, 1: 99, 2: 99}, max_retries=0, **KW,
+        )
+        # the poisonous fault plan proves no task actually ran
+        assert_pools_identical(first, resumed)
+        assert resumed.train_times == first.train_times
+
+    def test_resume_ignores_foreign_checkpoints(self, tiny_graph, tmp_path):
+        """A checkpoint dir written under different hyperparameters must not
+        leak into the pool (fingerprint mismatch => retrain)."""
+        other_kw = dict(train_cfg=TrainConfig(epochs=2, lr=0.1), base_seed=9, hidden_dim=8)
+        train_ingredients("gcn", tiny_graph, 3, checkpoint_dir=tmp_path, **other_kw)
+        clean = train_ingredients("gcn", tiny_graph, 3, **KW)
+        resumed = train_ingredients(
+            "gcn", tiny_graph, 3, checkpoint_dir=tmp_path, resume=True, **KW
+        )
+        assert_pools_identical(clean, resumed)
+
+    def test_checkpoints_written_per_task_not_per_round(self, tiny_graph, tmp_path, monkeypatch):
+        """Each finished ingredient must hit disk immediately: a crash that
+        aborts the round mid-way (here an unexpected error on task 2) must
+        leave tasks 0 and 1 checkpointed for resume."""
+        from repro.distributed import ingredients as ing
+
+        real_train_model = ing.train_model
+        calls = []
+
+        def crashing_train_model(model, graph, cfg, seed=0):
+            calls.append(seed)
+            if len(calls) == 3:
+                raise RuntimeError("simulated hard crash mid-pool")
+            return real_train_model(model, graph, cfg, seed=seed)
+
+        monkeypatch.setattr(ing, "train_model", crashing_train_model)
+        with pytest.raises(RuntimeError, match="mid-pool"):
+            train_ingredients(
+                "gcn", tiny_graph, 3, executor="serial", checkpoint_dir=tmp_path, **KW
+            )
+        saved = sorted(p.name for p in tmp_path.glob("*/ingredient-*.npz"))
+        assert saved == ["ingredient-00000.npz", "ingredient-00001.npz"]
+
+    def test_resume_requires_checkpoint_dir(self, tiny_graph):
+        with pytest.raises(ValueError):
+            train_ingredients("gcn", tiny_graph, 1, resume=True, **KW)
+
+    def test_schedule_present_after_resume(self, tiny_graph, tmp_path):
+        train_ingredients("gcn", tiny_graph, 2, checkpoint_dir=tmp_path, **KW)
+        pool = train_ingredients(
+            "gcn", tiny_graph, 2, checkpoint_dir=tmp_path, resume=True, **KW
+        )
+        assert pool.schedule is not None and pool.schedule.makespan > 0

@@ -177,6 +177,10 @@ class TestValidation:
         with pytest.raises(ValueError, match="non-negative"):
             ResilientPoolSimulator(2).schedule([1.0, -0.1])
 
+    def test_nan_duration_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ResilientPoolSimulator(2).schedule([1.0, np.nan])
+
 
 class TestUtilization:
     def test_perfect_packing_is_full_utilization(self):

@@ -5,9 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.soup import SoupConfig, eval_state, learned_soup, uniform_soup
+from repro.soup import SoupConfig, learned_soup, uniform_soup
 from repro.soup.learned import alpha_weights, build_alpha, split_validation
-from repro.tensor import Tensor
 
 
 FAST = dict(epochs=12, lr=0.5)

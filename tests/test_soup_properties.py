@@ -11,7 +11,6 @@ from __future__ import annotations
 from collections import OrderedDict
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.distributed import IngredientPool
@@ -134,7 +133,9 @@ class TestStateMetric:
     @given(seed=st.integers(0, 2**31 - 1))
     def test_property_triangle_inequality(self, seed):
         rng = np.random.default_rng(seed)
-        mk = lambda: OrderedDict(a=rng.normal(size=(4,)), b=rng.normal(size=(2, 2)))
+        def mk():
+            return OrderedDict(a=rng.normal(size=(4,)), b=rng.normal(size=(2, 2)))
+
         x, y, z = mk(), mk(), mk()
         assert state_distance(x, z) <= state_distance(x, y) + state_distance(y, z) + 1e-9
 
