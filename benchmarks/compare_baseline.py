@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate a benchmark JSON artifact against its committed baseline.
+
+The CI benchmark-smoke job runs ``bench_executor_scaling`` and then::
+
+    python benchmarks/compare_baseline.py \
+        results/executor_scaling.json benchmarks/baselines/executor_scaling.json
+
+Every executor (and process-variant) row's ``wall_clock_s`` must stay
+within ``tolerance`` × its baseline value — default 2.0, i.e. the job
+fails on a >2x wall-clock regression. The tolerance is deliberately
+loose: the baseline was recorded on one machine and CI runners vary, so
+this gate catches pathological regressions (an accidentally serialised
+pool, a graph pickled per task again), not percent-level drift. Override
+with ``--tolerance`` or ``REPRO_BENCH_BASELINE_TOL`` when a runner class
+is known to be slower.
+
+Rows present in the current results but absent from the baseline are
+reported as informational (new benchmarks shouldn't fail until their
+baseline is committed); rows missing from the current results fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _rows(report: dict) -> dict[str, dict]:
+    """Flatten the gated sections to ``name -> row``."""
+    rows: dict[str, dict] = {}
+    for section in ("executors", "process_variants"):
+        for name, row in report.get(section, {}).items():
+            rows[f"{section}/{name}"] = row
+    return rows
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Failure messages for every gated row out of tolerance (empty = pass)."""
+    failures: list[str] = []
+    current_rows, baseline_rows = _rows(current), _rows(baseline)
+    for name, base_row in baseline_rows.items():
+        row = current_rows.get(name)
+        if row is None:
+            failures.append(f"{name}: present in baseline but missing from current results")
+            continue
+        wall, base_wall = float(row["wall_clock_s"]), float(base_row["wall_clock_s"])
+        ratio = wall / base_wall if base_wall > 0 else float("inf")
+        status = "ok" if ratio <= tolerance else "FAIL"
+        print(f"  {status:>4}  {name:<32} {wall:8.3f}s vs baseline {base_wall:8.3f}s  ({ratio:.2f}x)")
+        if ratio > tolerance:
+            failures.append(
+                f"{name}: wall clock {wall:.3f}s is {ratio:.2f}x the baseline "
+                f"{base_wall:.3f}s (tolerance {tolerance:.2f}x)"
+            )
+    for name in sorted(set(current_rows) - set(baseline_rows)):
+        print(f"  new   {name:<32} {current_rows[name]['wall_clock_s']:8.3f}s (no baseline yet)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly produced benchmark JSON")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_BASELINE_TOL", "2.0")),
+        help="fail when wall_clock_s exceeds baseline * tolerance (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    print(f"comparing {args.current} against {args.baseline} (tolerance {args.tolerance:.2f}x)")
+    failures = compare(current, baseline, args.tolerance)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,11 +7,18 @@ Demonstrates §III-A of the paper:
 * dynamic task-queue scheduling when N > W (Eq. 1: T ≈ (N/W)·T_single),
 * the ideal N <= W regime (Eq. 2: T = max_i T_i),
 * a cluster-width sweep showing the embarrassingly-parallel speedup curve,
-* determinism: the ingredient set is identical regardless of executor.
+* determinism: the ingredient set is identical regardless of executor,
+  queue discipline (work-stealing dynamic vs rounds) or graph transport
+  (shared memory vs pickled payloads).
 
 Run:  python examples/distributed_ingredients.py
+
+Size knobs (the CI install-smoke job shrinks them): ``REPRO_EXAMPLE_SCALE``
+(dataset multiplier, default 0.5), ``REPRO_EXAMPLE_INGREDIENTS`` (default
+12), ``REPRO_EXAMPLE_EPOCHS`` (default 30).
 """
 
+import os
 import tempfile
 
 import numpy as np
@@ -20,19 +27,23 @@ from repro import load_dataset
 from repro.distributed import WorkerPoolSimulator, eq1_estimate, train_ingredients
 from repro.train import TrainConfig
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5"))
+N_INGREDIENTS = int(os.environ.get("REPRO_EXAMPLE_INGREDIENTS", "12"))
+EPOCHS = int(os.environ.get("REPRO_EXAMPLE_EPOCHS", "30"))
+
 
 def main() -> None:
-    graph = load_dataset("ogbn-arxiv", seed=0, scale=0.5)
+    graph = load_dataset("ogbn-arxiv", seed=0, scale=SCALE)
     print(f"dataset: {graph}")
 
-    n_ingredients = 12
+    n_ingredients = N_INGREDIENTS
     pool = train_ingredients(
         "gcn",
         graph,
         n_ingredients=n_ingredients,
-        train_cfg=TrainConfig(epochs=30, lr=0.01),
+        train_cfg=TrainConfig(epochs=EPOCHS, lr=0.01),
         base_seed=0,
-        epoch_jitter=12,  # heterogeneous task durations -> load imbalance
+        epoch_jitter=max(2, EPOCHS // 3),  # heterogeneous durations -> load imbalance
         num_workers=4,
     )
     durations = np.asarray(pool.train_times)
@@ -76,30 +87,39 @@ def main() -> None:
 
     # -- real multi-core execution + determinism + fault recovery ------------
     # The determinism contract: serial, thread and process executors produce
-    # bit-identical ingredients for the same base_seed. With a checkpoint
-    # directory, a run that dies mid-pool resumes without retraining.
+    # bit-identical ingredients for the same base_seed — under either queue
+    # discipline (work-stealing "dynamic" is the default; "rounds" is the
+    # legacy fan-out) and either graph transport (one shared-memory segment
+    # per pool by default, pickled payloads with shm=False). With a
+    # checkpoint directory, a run that dies mid-pool resumes without
+    # retraining finished ingredients, and checkpoint_every=N resumes even
+    # *interrupted* ingredients from their last epoch snapshot.
     small_kw = dict(
-        train_cfg=TrainConfig(epochs=10, lr=0.01), base_seed=0, num_workers=4,
+        train_cfg=TrainConfig(epochs=max(4, EPOCHS // 3), lr=0.01), base_seed=0, num_workers=4,
     )
     reference = train_ingredients("gcn", graph, 4, executor="serial", **small_kw)
+    rounds_pool = train_ingredients(
+        "gcn", graph, 4, executor="process", queue="rounds", shm=False, **small_kw,
+    )
     with tempfile.TemporaryDirectory() as ckpt:
-        # worker for task 2 dies once (injected fault); the retry recovers it
+        # worker for task 2 dies once (injected fault); the work-stealing
+        # queue slots the retry in while the other workers keep draining
         faulted = train_ingredients(
-            "gcn", graph, 4, executor="process",
-            checkpoint_dir=ckpt, fault_plan={2: 1}, **small_kw,
+            "gcn", graph, 4, executor="process", queue="dynamic",
+            checkpoint_dir=ckpt, checkpoint_every=2, fault_plan={2: 1}, **small_kw,
         )
         resumed = train_ingredients(
             "gcn", graph, 4, executor="process",
-            checkpoint_dir=ckpt, resume=True, **small_kw,
+            checkpoint_dir=ckpt, checkpoint_every=2, resume=True, **small_kw,
         )
     identical = all(
-        np.array_equal(a[n], b[n]) and np.array_equal(a[n], c[n])
-        for a, b, c in zip(reference.states, faulted.states, resumed.states)
+        np.array_equal(a[n], b[n]) and np.array_equal(a[n], c[n]) and np.array_equal(a[n], d[n])
+        for a, b, c, d in zip(reference.states, rounds_pool.states, faulted.states, resumed.states)
         for n in a
     )
     print(
-        f"\nprocess executor with 1 injected fault + checkpoint resume: "
-        f"ingredients bit-identical to serial = {identical}"
+        f"\nprocess executor (dynamic queue + shared-memory graph) with 1 injected "
+        f"fault + checkpoint resume: ingredients bit-identical to serial = {identical}"
     )
 
 

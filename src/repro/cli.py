@@ -10,7 +10,9 @@ Subcommands::
     python -m repro methods                      # registered souping methods
     python -m repro train gcn flickr -n 8        # train (and cache) a pool
     python -m repro train gcn flickr --executor process --workers 4 \
-        --checkpoint-dir ckpt/ --resume           # multi-core + resumable
+        --checkpoint-dir ckpt/ --checkpoint-every 10 --resume
+        # multi-core (work-stealing queue + shared-memory graph), resumable
+        # mid-ingredient; add --queue rounds / --no-shm for the legacy paths
     python -m repro soup ls gcn flickr           # soup a cached pool
     python -m repro partition reddit -k 32       # run the METIS-style partitioner
     python -m repro simulate -n 16 -w 4 --fail-at 2.0   # Phase-1 schedule
@@ -28,7 +30,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from .distributed import EXECUTORS, ResilientPoolSimulator, WorkerSpec, eq1_estimate
+from .distributed import EXECUTORS, QUEUES, ResilientPoolSimulator, WorkerSpec, eq1_estimate
 from .experiments.cache import get_or_train_pool
 from .experiments.config import EXPERIMENT_GRID, ExperimentSpec
 from .graph import dataset_names, load_dataset, partition_graph
@@ -59,6 +61,8 @@ def _spec_for(arch: str, dataset: str, args: argparse.Namespace) -> ExperimentSp
 def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
     if getattr(args, "resume", False) and getattr(args, "checkpoint_dir", None) is None:
         raise SystemExit("error: --resume requires --checkpoint-dir")
+    if getattr(args, "checkpoint_every", 0) and getattr(args, "checkpoint_dir", None) is None:
+        raise SystemExit("error: --checkpoint-every requires --checkpoint-dir")
     graph = load_dataset(dataset, seed=args.seed, scale=args.scale)
     spec = _spec_for(arch, dataset, args)
     pool = get_or_train_pool(
@@ -66,7 +70,10 @@ def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
         graph,
         graph_seed=args.seed,
         executor=getattr(args, "executor", "serial"),
+        queue=getattr(args, "queue", "dynamic"),
+        shm=getattr(args, "shm", True),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 0),
         resume=getattr(args, "resume", False),
     )
     return spec, graph, pool
@@ -202,14 +209,33 @@ def _executor_args(p: argparse.ArgumentParser) -> None:
         help="cluster width W (thread/process pool size and Eq.(1)/(2) simulation)",
     )
     p.add_argument(
+        "--queue",
+        default="dynamic",
+        choices=list(QUEUES),
+        help="task dispatch: work-stealing shared queue (dynamic) or legacy rounds",
+    )
+    p.add_argument(
+        "--no-shm",
+        dest="shm",
+        action="store_false",
+        help="ship the graph to process workers as pickled payloads instead of shared memory",
+    )
+    p.add_argument(
         "--checkpoint-dir",
         default=None,
         help="persist each finished ingredient here (atomic per-task .npz)",
     )
     p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also snapshot in-flight ingredients every N epochs (0 disables)",
+    )
+    p.add_argument(
         "--resume",
         action="store_true",
-        help="skip ingredients already checkpointed in --checkpoint-dir",
+        help="skip finished ingredients in --checkpoint-dir and continue interrupted ones",
     )
 
 

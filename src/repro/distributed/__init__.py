@@ -39,11 +39,13 @@ from .faults import (
 from .checkpoint import CheckpointStore, run_fingerprint
 from .ingredients import (
     EXECUTORS,
+    QUEUES,
     IngredientPool,
     IngredientTask,
     IngredientTrainingError,
     train_ingredients,
 )
+from .shm import SharedGraphBuffer, SharedGraphSpec, attach_graph
 from .pipeline import PipelineReport, train_ingredients_comm, uniform_soup_allreduce
 
 __all__ = [
@@ -72,7 +74,11 @@ __all__ = [
     "FaultPlan",
     "CheckpointStore",
     "run_fingerprint",
+    "SharedGraphBuffer",
+    "SharedGraphSpec",
+    "attach_graph",
     "EXECUTORS",
+    "QUEUES",
     "IngredientPool",
     "IngredientTask",
     "IngredientTrainingError",

@@ -1,4 +1,4 @@
-"""Per-ingredient checkpoint store for resumable Phase-1 training.
+"""Per-ingredient and per-epoch checkpoint store for resumable Phase-1 runs.
 
 The pool cache in :mod:`repro.experiments.cache` persists *finished*
 pools; this module persists *individual ingredients* as they complete, so
@@ -6,17 +6,33 @@ a Phase-1 run interrupted mid-pool (process killed, container preempted,
 injected fault that exhausts its retries) can resume without retraining
 the ingredients it already produced.
 
-Layout: one ``ingredient-NNNNN.npz`` per task under the checkpoint
-directory, holding the best-val state dict as raw float arrays plus a JSON
-metadata blob (accuracies, wall time, fingerprint). Writes are atomic
-(temp file + ``os.replace``) so a crash mid-write never leaves a corrupt
-entry that blocks resumption — unreadable files are simply retrained.
+Two granularities share one directory:
+
+* ``ingredient-NNNNN.npz`` — one file per *finished* task, holding the
+  best-val state dict as raw float arrays plus a JSON metadata blob
+  (accuracies, wall time, fingerprint);
+* ``ingredient-NNNNN.epoch.npz`` — one *rolling* file per in-flight task,
+  rewritten every ``checkpoint_every`` epochs with the full
+  :class:`~repro.train.EpochTrainState` (epoch cursor, current and
+  best-val parameters, optimizer buffers, RNG state), so a worker killed
+  mid-ingredient restarts from its last epoch snapshot instead of from
+  scratch. The epoch file is deleted once the final ingredient lands.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-write never
+leaves a corrupt entry that blocks resumption — unreadable files are
+simply retrained. A worker hard-killed *inside* the write leaves the temp
+file behind (``finally`` never runs under SIGKILL), so the store sweeps
+orphaned ``*.tmp-*`` files when it is (re)opened by the run driver;
+workers open their handle with ``sweep_stale=False`` because a sweep
+concurrent with live writers could race an in-flight temp file.
 
 Every entry is stamped with a **run fingerprint** hashed from the model
 config, a cheap graph signature and the per-task ``(seed, TrainConfig)``
-list. ``resume=True`` only trusts entries whose fingerprint matches the
-current run, so a stale directory from a different architecture, dataset
-scale or seed can never leak foreign weights into a pool.
+list; epoch entries additionally carry their epoch cursor and
+optimizer/RNG state in the stamped payload. Loads only trust entries
+whose fingerprint matches the current run, so a stale directory from a
+different architecture, dataset scale or seed can never leak foreign
+weights into a pool.
 """
 
 from __future__ import annotations
@@ -31,12 +47,14 @@ from pathlib import Path
 import numpy as np
 
 from ..graph.graph import Graph
-from ..train import TrainConfig, TrainResult
+from ..train import EpochTrainState, TrainConfig, TrainResult
 
 __all__ = ["CheckpointStore", "run_fingerprint"]
 
 _META_KEY = "meta"
 _PARAM_PREFIX = "param::"
+_BEST_PREFIX = "best::"
+_OPT_PREFIX = "opt::"
 
 
 def run_fingerprint(
@@ -86,16 +104,47 @@ class CheckpointStore:
     from elsewhere.
     """
 
-    def __init__(self, directory: str | Path, fingerprint: str) -> None:
+    def __init__(self, directory: str | Path, fingerprint: str, sweep_stale: bool = True) -> None:
         self.directory = Path(directory) / fingerprint
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fingerprint = fingerprint
+        if sweep_stale:
+            self.sweep_stale_tmp()
+
+    def sweep_stale_tmp(self) -> int:
+        """Remove temp files orphaned by hard-killed writers; returns count.
+
+        Safe only when no worker of this run is mid-write — the run driver
+        opens (and sweeps) the store before any worker starts; workers
+        attach with ``sweep_stale=False``.
+        """
+        removed = 0
+        for tmp in self.directory.glob(".*.tmp-*"):
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass  # another sweeper got there first
+        return removed
 
     def path(self, index: int) -> Path:
-        """Checkpoint file of ingredient ``index``."""
+        """Checkpoint file of finished ingredient ``index``."""
         return self.directory / f"ingredient-{index:05d}.npz"
 
+    def epoch_path(self, index: int) -> Path:
+        """Rolling per-epoch checkpoint file of in-flight ingredient ``index``."""
+        return self.directory / f"ingredient-{index:05d}.epoch.npz"
+
     # -- write -------------------------------------------------------------
+
+    def _write_atomic(self, final: Path, arrays: dict[str, np.ndarray]) -> Path:
+        tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}.npz")
+        try:
+            np.savez_compressed(tmp, **arrays)
+            os.replace(tmp, final)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return final
 
     def save(self, index: int, result: TrainResult) -> Path:
         """Persist one completed ingredient atomically; returns its path."""
@@ -111,14 +160,49 @@ class CheckpointStore:
             "epochs_run": int(result.epochs_run),
         }
         arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
-        final = self.path(index)
-        tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}.npz")
-        try:
-            np.savez_compressed(tmp, **arrays)
-            os.replace(tmp, final)
-        finally:
-            tmp.unlink(missing_ok=True)
-        return final
+        return self._write_atomic(self.path(index), arrays)
+
+    def save_epoch(self, index: int, state: EpochTrainState) -> Path:
+        """Persist one in-flight ingredient's epoch snapshot atomically.
+
+        The optimizer state dict is split into its ndarray buffers (stored
+        as npz members; a ``None`` slot — e.g. an untouched SGD velocity —
+        is recorded in the presence mask) and its scalars (stored in the
+        JSON metadata next to the epoch cursor and RNG state).
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for name, value in state.model_state.items():
+            arrays[f"{_PARAM_PREFIX}{name}"] = value
+        for name, value in state.best_state.items():
+            arrays[f"{_BEST_PREFIX}{name}"] = value
+        opt_meta: dict = {}
+        for key, value in state.optimizer_state.items():
+            if isinstance(value, list):
+                opt_meta[key] = [v is not None for v in value]
+                for i, buf in enumerate(value):
+                    if buf is not None:
+                        arrays[f"{_OPT_PREFIX}{key}::{i}"] = buf
+            else:
+                opt_meta[key] = value
+        meta = {
+            "index": int(index),
+            "fingerprint": self.fingerprint,
+            "epoch": int(state.epoch),
+            "scheduler_last_epoch": int(state.scheduler_last_epoch),
+            "rng_state": state.rng_state,
+            "optimizer": opt_meta,
+            "best_val": float(state.best_val),
+            "best_epoch": int(state.best_epoch),
+            "patience_left": state.patience_left,
+            "history": [list(entry) for entry in state.history],
+            "elapsed": float(state.elapsed),
+        }
+        arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        return self._write_atomic(self.epoch_path(index), arrays)
+
+    def clear_epoch(self, index: int) -> None:
+        """Drop the rolling epoch snapshot (the ingredient finished)."""
+        self.epoch_path(index).unlink(missing_ok=True)
 
     # -- read --------------------------------------------------------------
 
@@ -150,6 +234,48 @@ class CheckpointStore:
             history=[],
         )
 
+    def load_epoch(self, index: int) -> EpochTrainState | None:
+        """The stored epoch snapshot, or ``None`` if absent / corrupt /
+        from a different run (fingerprint mismatch)."""
+        path = self.epoch_path(index)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data[_META_KEY]).decode())
+                if meta.get("fingerprint") != self.fingerprint:
+                    return None
+                model_state, best_state = {}, {}
+                for key in data.files:
+                    if key.startswith(_PARAM_PREFIX):
+                        model_state[key[len(_PARAM_PREFIX):]] = data[key]
+                    elif key.startswith(_BEST_PREFIX):
+                        best_state[key[len(_BEST_PREFIX):]] = data[key]
+                optimizer_state: dict = {}
+                for key, value in meta["optimizer"].items():
+                    if isinstance(value, list):
+                        buffers: list = []
+                        for i, present in enumerate(value):
+                            buffers.append(data[f"{_OPT_PREFIX}{key}::{i}"] if present else None)
+                        optimizer_state[key] = buffers
+                    else:
+                        optimizer_state[key] = value
+        except (OSError, ValueError, KeyError, json.JSONDecodeError, zipfile.BadZipFile):
+            return None
+        return EpochTrainState(
+            epoch=int(meta["epoch"]),
+            model_state=model_state,
+            optimizer_state=optimizer_state,
+            scheduler_last_epoch=int(meta["scheduler_last_epoch"]),
+            rng_state=meta["rng_state"],
+            best_val=float(meta["best_val"]),
+            best_state=best_state,
+            best_epoch=int(meta["best_epoch"]),
+            patience_left=meta["patience_left"],
+            history=[tuple(entry) for entry in meta["history"]],
+            elapsed=float(meta["elapsed"]),
+        )
+
     def completed(self, n_tasks: int) -> dict[int, TrainResult]:
         """All loadable ingredients of this run among indices ``0..n-1``."""
         results: dict[int, TrainResult] = {}
@@ -160,4 +286,7 @@ class CheckpointStore:
         return results
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("ingredient-*.npz"))
+        # finished ingredients only (epoch snapshots share the name stem)
+        return sum(
+            1 for p in self.directory.glob("ingredient-*.npz") if not p.name.endswith(".epoch.npz")
+        )

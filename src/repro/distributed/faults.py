@@ -69,10 +69,17 @@ class FaultPlan:
     ingredient is a pure function of ``(config, graph, seed)``, the retried
     attempt is bit-identical to the one that died — the property the
     fail-stop/requeue simulation relies on, now exercised end to end.
+
+    ``after_epochs`` delays each planned fault until that many epochs of
+    the attempt have completed, i.e. the worker dies *mid-ingredient*
+    rather than at task pickup — the scenario per-epoch checkpointing
+    (``checkpoint_every``) exists for: the retried or resumed attempt
+    restarts from the last epoch snapshot instead of from scratch.
     """
 
     failures: dict[int, int] = field(default_factory=dict)
     kill: bool = False
+    after_epochs: int | None = None
 
     def __post_init__(self) -> None:
         normalized = {}
@@ -83,6 +90,8 @@ class FaultPlan:
         # normalise keys/values (e.g. a plan deserialised from JSON carries
         # string keys) so lookups by int task index always hit
         object.__setattr__(self, "failures", normalized)
+        if self.after_epochs is not None and int(self.after_epochs) < 1:
+            raise ValueError("after_epochs must be >= 1 (or None for faults at task pickup)")
 
     def fail_attempts(self, index: int) -> int:
         """Number of leading attempts of task ``index`` that must die."""

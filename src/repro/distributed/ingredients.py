@@ -8,29 +8,41 @@ are then gathered for Phase 2 souping.
 
 ``train_ingredients`` reproduces that pipeline. Determinism contract: the
 ingredient list is a pure function of ``(arch config, graph, base_seed)``
-regardless of executor, because each task's RNG derives from
-``base_seed + task index``, not from scheduling order — the property that
-makes zero-communication training reproducible across cluster layouts.
+regardless of executor, queue discipline or graph transport, because each
+task's RNG derives from ``base_seed + task index``, not from scheduling
+order — the property that makes zero-communication training reproducible
+across cluster layouts. Results are always merged in task-index order.
 
-Executors:
+Executors (× queue disciplines):
 
 * ``"serial"`` — in-process loop (single-core default);
-* ``"thread"`` — ``ThreadPoolExecutor`` exercising the dynamic-queue path
-  (GIL-bound, but overlaps any BLAS releases);
-* ``"process"`` — ``ProcessPoolExecutor``: true multi-core fan-out. Tasks
-  cross the process boundary as picklable :class:`IngredientTask` specs
-  (arch config + derived seed); each worker rebuilds its model from the
-  shared-init seed and receives the graph once via the pool initializer,
-  so no live ``Module`` objects or per-task graph copies are shipped.
-  Trained weights return as raw ndarray state dicts and are merged in
-  deterministic task order.
+* ``"thread"`` — ``ThreadPoolExecutor`` (GIL-bound, but overlaps any BLAS
+  releases);
+* ``"process"`` — true multi-core fan-out. Tasks cross the process
+  boundary as picklable :class:`IngredientTask` specs (arch config +
+  derived seed); each worker rebuilds its model from the shared-init seed
+  and receives the graph once — through a
+  :class:`~repro.distributed.shm.SharedGraphBuffer` segment by default
+  (``shm=True``; a few-hundred-byte descriptor per worker instead of a
+  per-worker array pickle), or as a pickled payload with ``shm=False``.
 
-All three share a retry loop: a faulted attempt (injected via
+Queue disciplines (``queue=``):
+
+* ``"dynamic"`` (default) — the paper's shared task queue, realised: a
+  persistent worker pool pulls task specs as workers free up, so a
+  straggling or retried task never stalls the rest of the pool, and a
+  hard-killed worker is replaced while its lost task re-enters the queue;
+* ``"rounds"`` — the legacy discipline: fan out everything, wait for the
+  round to finish, resubmit the failures on a fresh pool.
+
+All paths share a retry loop: a faulted attempt (injected via
 :class:`~repro.distributed.faults.FaultPlan`, or a worker process dying
 under ``"process"``) is retried up to ``max_retries`` times rather than
 poisoning the pool. With a ``checkpoint_dir``, every completed ingredient
-is persisted immediately and ``resume=True`` skips already-finished tasks
-(see :mod:`~repro.distributed.checkpoint`).
+is persisted immediately, ``checkpoint_every=N`` additionally snapshots
+each in-flight ingredient every N epochs, and ``resume=True`` skips
+finished tasks and restarts interrupted ones from their last epoch
+snapshot (see :mod:`~repro.distributed.checkpoint`).
 
 The measured per-ingredient durations feed the
 :class:`~repro.distributed.scheduler.WorkerPoolSimulator`, which reports
@@ -41,7 +53,17 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+import traceback
+import warnings
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -55,9 +77,11 @@ from ..train import TrainConfig, TrainResult, train_model
 from .checkpoint import CheckpointStore, run_fingerprint
 from .faults import FaultPlan, SimulatedWorkerFault
 from .scheduler import TaskSchedule, WorkerPoolSimulator, _validate_num_workers
+from .shm import SharedGraphBuffer, attach_graph
 
 __all__ = [
     "EXECUTORS",
+    "QUEUES",
     "IngredientPool",
     "IngredientTask",
     "IngredientTrainingError",
@@ -66,6 +90,9 @@ __all__ = [
 
 #: Executor names accepted by :func:`train_ingredients`.
 EXECUTORS = ("serial", "thread", "process")
+
+#: Queue disciplines accepted by :func:`train_ingredients`.
+QUEUES = ("dynamic", "rounds")
 
 
 class IngredientTrainingError(RuntimeError):
@@ -156,10 +183,12 @@ class IngredientTask:
     both the shared-init model (``model_config`` embeds the init seed) and
     the graph locally, so nothing live crosses the process boundary.
 
-    ``fail_attempts``/``kill`` are the fault-injection knobs: the task's
-    first ``fail_attempts`` attempts die — by raising
-    :class:`SimulatedWorkerFault`, or by hard-killing the worker process
-    when ``kill=True`` and the task runs in a pool worker.
+    ``fail_attempts``/``kill``/``fault_after_epochs`` are the
+    fault-injection knobs: the task's first ``fail_attempts`` attempts die
+    — by raising :class:`SimulatedWorkerFault`, or by hard-killing the
+    worker process when ``kill=True`` and the task runs in a pool worker —
+    either at task pickup, or after ``fault_after_epochs`` completed
+    epochs when that is positive (a mid-ingredient death).
     """
 
     index: int
@@ -168,6 +197,7 @@ class IngredientTask:
     seed: int
     fail_attempts: int = 0
     kill: bool = False
+    fault_after_epochs: int = 0
 
 
 def _graph_to_payload(graph: Graph) -> dict:
@@ -201,48 +231,124 @@ def _graph_from_payload(payload: dict) -> Graph:
     )
 
 
-def _run_task(task: IngredientTask, graph: Graph, inject_fault: bool) -> TrainResult:
+def _mp_context():
+    """Start-method context for worker processes.
+
+    ``MP_START_METHOD`` (e.g. the CI spawn job) overrides; otherwise fork
+    is preferred where available — it shares the parent's pages
+    copy-on-write — with spawn as the portable fallback (macOS/Windows
+    semantics). Under spawn the shared-memory transport matters most:
+    workers receive a few-hundred-byte segment descriptor instead of a
+    pickled copy of the graph.
+    """
+    forced = os.environ.get("MP_START_METHOD")
+    if forced:
+        return mp.get_context(forced)
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _run_task(
+    task: IngredientTask,
+    graph: Graph,
+    inject: bool,
+    store: CheckpointStore | None = None,
+    checkpoint_every: int = 0,
+    allow_epoch_resume: bool = False,
+) -> TrainResult:
     """Execute one attempt of a task: rebuild the shared-init replica from
-    the config seed, train it under the task seed. Faults fire first."""
-    if inject_fault:
-        # _WORKER_GRAPH is set only by the pool-worker initializer, so this
-        # discriminates "I am a pool worker" (hard-kill is safe) from any
-        # other process — including a training driver that itself runs
-        # inside a multiprocessing child, which must never be exited
-        if task.kill and _WORKER_GRAPH is not None:
+    the config seed, train it under the task seed.
+
+    Faults fire at task pickup, or — with ``fault_after_epochs`` — at that
+    epoch boundary, *after* the boundary's checkpoint write, so a
+    mid-ingredient death always leaves its latest snapshot behind. With
+    ``allow_epoch_resume`` the attempt continues from the task's stored
+    epoch snapshot (fingerprint-guarded) instead of starting at epoch 1.
+    """
+    # _WORKER_GRAPH is set only by the pool-worker initializer, so this
+    # discriminates "I am a pool worker" (hard-kill is safe) from any
+    # other process — including a training driver that itself runs
+    # inside a multiprocessing child, which must never be exited
+    in_pool_worker = _WORKER_GRAPH is not None
+    if inject and task.fault_after_epochs <= 0:
+        if task.kill and in_pool_worker:
             os._exit(43)  # fail-stop: no exception, no cleanup — a dead rank
         raise SimulatedWorkerFault(f"task {task.index} attempt killed by fault plan")
+
+    epoch_state = None
+    if store is not None and allow_epoch_resume:
+        epoch_state = store.load_epoch(task.index)
+
+    on_epoch_end = None
+    if (store is not None and checkpoint_every > 0) or (inject and task.fault_after_epochs > 0):
+
+        def on_epoch_end(epoch, snapshot):
+            if store is not None and checkpoint_every > 0 and epoch % checkpoint_every == 0:
+                store.save_epoch(task.index, snapshot())
+            # >= not ==: an attempt resumed from a snapshot taken at or
+            # past the fault epoch must still die on its first boundary,
+            # or planned faults beyond the first would silently evaporate
+            if inject and epoch >= task.fault_after_epochs:
+                if task.kill and in_pool_worker:
+                    os._exit(43)
+                raise SimulatedWorkerFault(
+                    f"task {task.index} attempt killed after epoch {epoch} by fault plan"
+                )
+
     model = build_model(**task.model_config)
-    return train_model(model, graph, task.train_cfg, seed=task.seed)
+    return train_model(
+        model,
+        graph,
+        task.train_cfg,
+        seed=task.seed,
+        epoch_state=epoch_state,
+        on_epoch_end=on_epoch_end,
+    )
 
 
-# Worker-process state: the graph arrives once per worker via the pool
-# initializer instead of once per task (it dominates task payload size).
+# Worker-process state, populated once per worker by the pool initializer:
+# the graph arrives through a shared-memory descriptor or a pickled payload
+# instead of once per task (it dominates task payload size), and the
+# checkpoint handle is opened without the stale-tmp sweep (the driver swept).
 _WORKER_GRAPH: Graph | None = None
+_WORKER_SHM = None  # keeps the shared segment mapped for _WORKER_GRAPH's views
+_WORKER_STORE: CheckpointStore | None = None
+_WORKER_CKPT_EVERY: int = 0
 
 
-def _worker_init(graph_payload: dict) -> None:
-    global _WORKER_GRAPH
-    _WORKER_GRAPH = _graph_from_payload(graph_payload)
+def _worker_init(graph_ref: dict, store_args: tuple[str, str] | None = None, checkpoint_every: int = 0) -> None:
+    global _WORKER_GRAPH, _WORKER_SHM, _WORKER_STORE, _WORKER_CKPT_EVERY
+    if graph_ref["kind"] == "shm":
+        _WORKER_SHM = attach_graph(graph_ref["spec"])
+        _WORKER_GRAPH = _WORKER_SHM.graph
+    else:
+        _WORKER_GRAPH = _graph_from_payload(graph_ref["payload"])
+    _WORKER_STORE = (
+        CheckpointStore(store_args[0], store_args[1], sweep_stale=False) if store_args else None
+    )
+    _WORKER_CKPT_EVERY = int(checkpoint_every)
 
 
-def _worker_entry(task: IngredientTask, inject_fault: bool) -> TrainResult:
+def _worker_entry(task: IngredientTask, inject: bool, allow_epoch_resume: bool = False) -> TrainResult:
     assert _WORKER_GRAPH is not None, "worker initializer did not run"
-    return _run_task(task, _WORKER_GRAPH, inject_fault)
+    return _run_task(
+        task, _WORKER_GRAPH, inject, _WORKER_STORE, _WORKER_CKPT_EVERY, allow_epoch_resume
+    )
 
 
 # ---------------------------------------------------------------------------
-# executor rounds
+# round-wise discipline (queue="rounds")
 # ---------------------------------------------------------------------------
 
 
-def _serial_round(pending, graph, attempts, faults_left, on_done):
+def _serial_round(pending, graph, attempts, faults_left, on_done, store, checkpoint_every, resume):
     done, failed = [], []
     for task in pending:
         attempts[task.index] += 1
         inject = faults_left[task.index] > 0
+        allow = resume or (attempts[task.index] > 1 and checkpoint_every > 0)
         try:
-            result = _run_task(task, graph, inject)
+            result = _run_task(task, graph, inject, store, checkpoint_every, allow)
         except SimulatedWorkerFault:
             faults_left[task.index] -= 1
             failed.append(task)
@@ -252,14 +358,17 @@ def _serial_round(pending, graph, attempts, faults_left, on_done):
     return done, failed
 
 
-def _thread_round(pending, graph, num_workers, attempts, faults_left, on_done):
+def _thread_round(pending, graph, num_workers, attempts, faults_left, on_done, store, checkpoint_every, resume):
     done, failed = [], []
     with ThreadPoolExecutor(max_workers=num_workers) as pool:
         future_to_task = {}
         for task in pending:
             attempts[task.index] += 1
             inject = faults_left[task.index] > 0
-            future_to_task[pool.submit(_run_task, task, graph, inject)] = task
+            allow = resume or (attempts[task.index] > 1 and checkpoint_every > 0)
+            future_to_task[
+                pool.submit(_run_task, task, graph, inject, store, checkpoint_every, allow)
+            ] = task
         for future in as_completed(future_to_task):
             task = future_to_task[future]
             try:
@@ -273,7 +382,9 @@ def _thread_round(pending, graph, num_workers, attempts, faults_left, on_done):
     return done, failed
 
 
-def _process_round(pending, graph_payload, num_workers, attempts, faults_left, on_done):
+def _process_round(
+    pending, graph_ref, num_workers, attempts, faults_left, on_done, store_args, checkpoint_every, resume
+):
     """One fan-out over a fresh ``ProcessPoolExecutor``.
 
     A worker that hard-dies breaks the whole pool (every unfinished future
@@ -282,7 +393,9 @@ def _process_round(pending, graph_payload, num_workers, attempts, faults_left, o
     retried on the next round's fresh pool. Rounds beyond the first only
     happen after a fault, so the cost of re-forking an (possibly healthy)
     pool is bounded by ``max_retries`` spawns — accepted for the
-    simplicity of never reasoning about a half-broken executor.
+    simplicity of never reasoning about a half-broken executor. (The
+    ``"dynamic"`` discipline replaces both costs: one persistent pool,
+    per-worker replacement.)
 
     Fault-budget accounting: an exception fault consumes budget only when
     its ``SimulatedWorkerFault`` actually comes back. A kill fault's
@@ -293,15 +406,11 @@ def _process_round(pending, graph_payload, num_workers, attempts, faults_left, o
     its planned faults still fire on later attempts.
     """
     done, failed = [], []
-    # fork shares the parent's graph pages copy-on-write; spawn (macOS /
-    # Windows semantics) still works via the pickled initializer payload.
-    methods = mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
     pool = ProcessPoolExecutor(
         max_workers=min(num_workers, len(pending)),
-        mp_context=ctx,
+        mp_context=_mp_context(),
         initializer=_worker_init,
-        initargs=(graph_payload,),
+        initargs=(graph_ref, store_args, checkpoint_every),
     )
     try:
         future_to_task = {}
@@ -309,9 +418,10 @@ def _process_round(pending, graph_payload, num_workers, attempts, faults_left, o
         for task in pending:
             attempts[task.index] += 1
             inject = faults_left[task.index] > 0
+            allow = resume or (attempts[task.index] > 1 and checkpoint_every > 0)
             injected[task.index] = inject
             try:
-                future_to_task[pool.submit(_worker_entry, task, inject)] = task
+                future_to_task[pool.submit(_worker_entry, task, inject, allow)] = task
             except BrokenExecutor:
                 failed.append(task)  # pool died mid-submission; retry next round
         for future in as_completed(future_to_task):
@@ -333,6 +443,261 @@ def _process_round(pending, graph_payload, num_workers, attempts, faults_left, o
     return done, failed
 
 
+# ---------------------------------------------------------------------------
+# work-stealing dynamic queue (queue="dynamic")
+# ---------------------------------------------------------------------------
+
+
+def _serial_dynamic(pending, graph, max_retries, attempts, faults_left, on_done, store, checkpoint_every, resume):
+    """In-process realisation of the shared queue: one worker, FIFO with
+    failed tasks re-entering at the back (matching the simulators)."""
+    results, exhausted = {}, []
+    queue = deque(pending)
+    while queue:
+        task = queue.popleft()
+        attempts[task.index] += 1
+        inject = faults_left[task.index] > 0
+        allow = resume or (attempts[task.index] > 1 and checkpoint_every > 0)
+        try:
+            result = _run_task(task, graph, inject, store, checkpoint_every, allow)
+        except SimulatedWorkerFault:
+            faults_left[task.index] -= 1
+            if attempts[task.index] > max_retries:
+                exhausted.append(task.index)
+            else:
+                queue.append(task)
+        else:
+            on_done(task, result)
+            results[task.index] = result
+    return results, sorted(exhausted)
+
+
+def _thread_dynamic(
+    pending, graph, num_workers, max_retries, attempts, faults_left, on_done, store, checkpoint_every, resume
+):
+    """Persistent thread pool; a faulted task is resubmitted immediately,
+    so a retry overlaps the still-running tasks instead of waiting for a
+    round boundary."""
+    results, exhausted = {}, []
+    with ThreadPoolExecutor(max_workers=min(num_workers, len(pending))) as pool:
+        future_to_task = {}
+
+        def submit(task):
+            attempts[task.index] += 1
+            inject = faults_left[task.index] > 0
+            allow = resume or (attempts[task.index] > 1 and checkpoint_every > 0)
+            future_to_task[
+                pool.submit(_run_task, task, graph, inject, store, checkpoint_every, allow)
+            ] = task
+
+        for task in pending:
+            submit(task)
+        while future_to_task:
+            finished, _ = wait(list(future_to_task), return_when=FIRST_COMPLETED)
+            for future in finished:
+                task = future_to_task.pop(future)
+                try:
+                    result = future.result()
+                except SimulatedWorkerFault:
+                    faults_left[task.index] -= 1
+                    if attempts[task.index] > max_retries:
+                        exhausted.append(task.index)
+                    else:
+                        submit(task)
+                else:
+                    on_done(task, result)
+                    results[task.index] = result
+    return results, sorted(exhausted)
+
+
+def _pool_worker_main(worker_id, task_queue, result_writer, result_lock, graph_ref, store_args, checkpoint_every):
+    """Body of one persistent dynamic-queue worker process.
+
+    Pulls task specs until the ``None`` sentinel. Every attempt is
+    bracketed by a ``claim`` message so the driver knows which task died
+    with the worker; completions, injected faults and unexpected errors
+    each report their own message kind.
+
+    Result messages go through a raw pipe guarded by a shared lock —
+    ``Connection.send`` is *synchronous*, so once it returns the message
+    is in the pipe even if the worker hard-dies on the very next
+    instruction. (A ``multiprocessing.Queue`` would buffer through a
+    feeder thread that ``os._exit`` silently kills, losing the claim that
+    the driver's requeue accounting depends on.)
+    """
+
+    def put(message):
+        with result_lock:
+            result_writer.send(message)
+
+    _worker_init(graph_ref, store_args, checkpoint_every)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task, inject, allow = item
+        put(("claim", worker_id, task.index))
+        try:
+            result = _run_task(
+                task, _WORKER_GRAPH, inject, _WORKER_STORE, _WORKER_CKPT_EVERY, allow
+            )
+        except SimulatedWorkerFault:
+            put(("fault", worker_id, task.index))
+        except BaseException:
+            put(("error", worker_id, task.index, traceback.format_exc()))
+        else:
+            put(("done", worker_id, task.index, result))
+
+
+def _process_dynamic(
+    pending, graph_ref, num_workers, max_retries, attempts, faults_left, on_done, store_args, checkpoint_every, resume
+):
+    """Work-stealing process pool over one shared task queue.
+
+    Workers are persistent: each pulls the next spec the moment it
+    finishes the last, so stragglers never idle the rest of the pool and
+    a retried task rides along with the still-draining queue instead of
+    forcing a fresh fan-out round. A worker that hard-dies (kill fault)
+    costs exactly one worker: its claimed task re-enters the queue and a
+    replacement process is spawned, while every other worker keeps its
+    warm graph attachment.
+    """
+    ctx = _mp_context()
+    task_queue = ctx.SimpleQueue()  # synchronous puts, no feeder thread
+    result_reader, result_writer = ctx.Pipe(duplex=False)
+    result_lock = ctx.Lock()
+    width = min(num_workers, len(pending))
+    results: dict[int, TrainResult] = {}
+    exhausted: set[int] = set()
+    tasks_by_index = {task.index: task for task in pending}
+    current_inject: dict[int, bool] = {}
+    in_flight: dict[int, tuple[IngredientTask, bool]] = {}  # worker_id -> claimed attempt
+    workers: dict[int, mp.process.BaseProcess] = {}
+    next_worker_id = 0
+    # the driver-side backlog feeds the shared pipe a few specs ahead of
+    # demand instead of all at once: SimpleQueue.put is a blocking pipe
+    # write, so queueing an unbounded task set up-front would fill the
+    # ~64KB pipe and wedge the driver where it can no longer drain
+    # results (a mutual deadlock with workers blocked on *their* sends)
+    backlog: deque[IngredientTask] = deque()
+    unclaimed = 0  # attempts written to the pipe but not yet claimed
+    # respawn budget: every legitimate death consumes a task attempt, so a
+    # pool that keeps dying without making progress is a bug, not a fault
+    spawn_budget = width + sum(max_retries + 1 for _ in pending)
+
+    def spawn_worker():
+        nonlocal next_worker_id, spawn_budget
+        if spawn_budget <= 0:
+            raise IngredientTrainingError(
+                "dynamic process pool kept losing workers without making progress"
+            )
+        spawn_budget -= 1
+        proc = ctx.Process(
+            target=_pool_worker_main,
+            args=(
+                next_worker_id, task_queue, result_writer, result_lock,
+                graph_ref, store_args, checkpoint_every,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        workers[next_worker_id] = proc
+        next_worker_id += 1
+
+    def top_up():
+        # keep the pipe a couple of specs ahead of the worker count — deep
+        # enough that a freed worker never waits on the driver, shallow
+        # enough that the pipe can't fill
+        nonlocal unclaimed
+        while backlog and unclaimed < width + 2:
+            task = backlog.popleft()
+            attempts[task.index] += 1
+            inject = faults_left[task.index] > 0
+            allow = resume or (attempts[task.index] > 1 and checkpoint_every > 0)
+            current_inject[task.index] = inject
+            task_queue.put((task, inject, allow))
+            unclaimed += 1
+
+    def retry_or_exhaust(task):
+        if attempts[task.index] > max_retries:
+            exhausted.add(task.index)
+        else:
+            backlog.append(task)
+            top_up()
+
+    def handle(message):
+        nonlocal unclaimed
+        kind = message[0]
+        if kind == "claim":
+            _, worker_id, index = message
+            in_flight[worker_id] = (tasks_by_index[index], current_inject[index])
+            unclaimed -= 1
+            top_up()
+        elif kind == "done":
+            _, worker_id, index, result = message
+            in_flight.pop(worker_id, None)
+            on_done(tasks_by_index[index], result)
+            results[index] = result
+        elif kind == "fault":
+            _, worker_id, index = message
+            in_flight.pop(worker_id, None)
+            faults_left[index] -= 1
+            retry_or_exhaust(tasks_by_index[index])
+        else:  # "error": an unexpected exception is a bug, not a fault
+            _, worker_id, index, tb = message
+            in_flight.pop(worker_id, None)
+            raise RuntimeError(f"worker task {index} raised unexpectedly:\n{tb}")
+
+    try:
+        for _ in range(width):
+            spawn_worker()
+        backlog.extend(pending)
+        top_up()
+        while len(results) + len(exhausted) < len(pending):
+            if result_reader.poll(0.2):
+                handle(result_reader.recv())
+                continue
+            dead = [worker_id for worker_id, proc in workers.items() if not proc.is_alive()]
+            if not dead:
+                continue
+            # a dead worker sent its messages synchronously before dying —
+            # apply them first so its claim table entry is authoritative
+            while result_reader.poll(0):
+                handle(result_reader.recv())
+            for worker_id in dead:
+                proc = workers.pop(worker_id, None)
+                if proc is None:
+                    continue
+                proc.join()
+                claim = in_flight.pop(worker_id, None)
+                if claim is not None:
+                    task, injected = claim
+                    if injected and task.kill:
+                        faults_left[task.index] -= 1  # the planned death fired
+                    retry_or_exhaust(task)
+            remaining = len(pending) - len(results) - len(exhausted)
+            while len(workers) < min(width, remaining):
+                spawn_worker()
+        for _ in workers:
+            task_queue.put(None)
+        for proc in workers.values():
+            proc.join(timeout=10)
+    finally:
+        for proc in workers.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        result_reader.close()
+        result_writer.close()
+        task_queue.close()
+    return results, sorted(exhausted)
+
+
+# ---------------------------------------------------------------------------
+# execution driver
+# ---------------------------------------------------------------------------
+
+
 def _execute_tasks(
     tasks: list[IngredientTask],
     graph: Graph,
@@ -340,41 +705,111 @@ def _execute_tasks(
     num_workers: int,
     max_retries: int,
     store: CheckpointStore | None,
+    queue: str,
+    shm: bool,
+    checkpoint_every: int,
+    resume: bool,
 ) -> dict[int, TrainResult]:
     """Run all tasks to completion with retries; returns results by index.
 
-    Checkpointing happens *inside* the rounds, the moment each task
-    completes — a parent killed mid-round loses only in-flight work, never
-    finished ingredients. The retry budget (``attempts``) counts every
-    submitted attempt, including ones lost collaterally to a pool
-    collapse; the fault-injection budget (``faults_left``) counts only
-    faults that actually fired (see :func:`_process_round`).
+    Checkpointing happens the moment each task completes — a parent killed
+    mid-run loses only in-flight work, never finished ingredients (and
+    with ``checkpoint_every`` not even whole in-flight ingredients). The
+    retry budget (``attempts``) counts every submitted attempt, including
+    ones lost collaterally to a round-mode pool collapse; the
+    fault-injection budget (``faults_left``) counts only faults that
+    actually fired.
+
+    For the process executor the graph ships once per pool: through a
+    shared-memory segment owned here (created before the first worker,
+    unlinked in ``finally`` — workers hold views, so the segment must
+    outlive them but never the driver), or as a pickled payload when
+    ``shm=False`` or the platform lacks shared memory.
     """
     results: dict[int, TrainResult] = {}
+    if not tasks:
+        return results
     attempts = {task.index: 0 for task in tasks}
     faults_left = {task.index: task.fail_attempts for task in tasks}
-    pending = list(tasks)
-    payload = _graph_to_payload(graph) if executor == "process" else None
 
     def on_done(task: IngredientTask, result: TrainResult) -> None:
         if store is not None:
+            # persist the finished ingredient *before* dropping its rolling
+            # epoch snapshot — clearing first would open a crash window
+            # where neither checkpoint exists and resume retrains from
+            # epoch 1
             store.save(task.index, result)
+            store.clear_epoch(task.index)
 
-    while pending:
-        if executor == "process":
-            done, failed = _process_round(pending, payload, num_workers, attempts, faults_left, on_done)
-        elif executor == "thread":
-            done, failed = _thread_round(pending, graph, num_workers, attempts, faults_left, on_done)
+    store_args = (str(store.directory.parent), store.fingerprint) if store is not None else None
+
+    shm_buffer = None
+    graph_ref: dict | None = None
+    if executor == "process":
+        if shm:
+            try:
+                shm_buffer = SharedGraphBuffer.create(graph)
+                graph_ref = {"kind": "shm", "spec": shm_buffer.spec}
+            except Exception as exc:  # pragma: no cover - platform-dependent
+                warnings.warn(
+                    f"shared-memory graph transport unavailable ({exc!r}); "
+                    "falling back to pickled payloads",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if graph_ref is None:
+            graph_ref = {"kind": "arrays", "payload": _graph_to_payload(graph)}
+
+    try:
+        if queue == "dynamic":
+            if executor == "process":
+                results, exhausted = _process_dynamic(
+                    tasks, graph_ref, num_workers, max_retries, attempts, faults_left,
+                    on_done, store_args, checkpoint_every, resume,
+                )
+            elif executor == "thread":
+                results, exhausted = _thread_dynamic(
+                    tasks, graph, num_workers, max_retries, attempts, faults_left,
+                    on_done, store, checkpoint_every, resume,
+                )
+            else:
+                results, exhausted = _serial_dynamic(
+                    tasks, graph, max_retries, attempts, faults_left,
+                    on_done, store, checkpoint_every, resume,
+                )
+            if exhausted:
+                raise IngredientTrainingError(
+                    f"task(s) {sorted(exhausted)} still failing after {max_retries + 1} attempt(s)"
+                )
         else:
-            done, failed = _serial_round(pending, graph, attempts, faults_left, on_done)
-        for task, result in done:
-            results[task.index] = result
-        exhausted = sorted(t.index for t in failed if attempts[t.index] > max_retries)
-        if exhausted:
-            raise IngredientTrainingError(
-                f"task(s) {exhausted} still failing after {max_retries + 1} attempt(s)"
-            )
-        pending = failed
+            pending = list(tasks)
+            while pending:
+                if executor == "process":
+                    done, failed = _process_round(
+                        pending, graph_ref, num_workers, attempts, faults_left,
+                        on_done, store_args, checkpoint_every, resume,
+                    )
+                elif executor == "thread":
+                    done, failed = _thread_round(
+                        pending, graph, num_workers, attempts, faults_left,
+                        on_done, store, checkpoint_every, resume,
+                    )
+                else:
+                    done, failed = _serial_round(
+                        pending, graph, attempts, faults_left,
+                        on_done, store, checkpoint_every, resume,
+                    )
+                for task, result in done:
+                    results[task.index] = result
+                exhausted = sorted(t.index for t in failed if attempts[t.index] > max_retries)
+                if exhausted:
+                    raise IngredientTrainingError(
+                        f"task(s) {exhausted} still failing after {max_retries + 1} attempt(s)"
+                    )
+                pending = failed
+    finally:
+        if shm_buffer is not None:
+            shm_buffer.unlink()
     return results
 
 
@@ -391,6 +826,8 @@ def train_ingredients(
     base_seed: int = 0,
     num_workers: int = 8,
     executor: str = "serial",
+    queue: str = "dynamic",
+    shm: bool = True,
     hidden_dim: int = 64,
     num_layers: int = 2,
     dropout: float = 0.5,
@@ -398,6 +835,7 @@ def train_ingredients(
     attn_dropout: float = 0.0,
     epoch_jitter: int = 0,
     checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 0,
     resume: bool = False,
     max_retries: int = 2,
     fault_plan: FaultPlan | dict[int, int] | None = None,
@@ -412,6 +850,15 @@ def train_ingredients(
     executor:
         ``"serial"`` | ``"thread"`` | ``"process"`` — identical ingredients
         for the same ``base_seed`` (the determinism contract).
+    queue:
+        ``"dynamic"`` (default) — persistent workers pull from one shared
+        task queue, so stragglers and retries never stall the pool;
+        ``"rounds"`` — legacy fan-out/retry rounds. Same pool either way.
+    shm:
+        Ship the graph to process workers through one
+        ``multiprocessing.shared_memory`` segment (default) instead of a
+        per-pool pickled payload; ignored by the in-process executors and
+        silently downgraded where shared memory is unavailable.
     epoch_jitter:
         Optional ± range on each ingredient's epoch budget (drawn from its
         task seed). The paper notes "variability in ingredient complexity
@@ -419,11 +866,17 @@ def train_ingredients(
         and also widens the ingredient-quality spread that informed soups
         exploit.
     checkpoint_dir:
-        Directory for per-ingredient checkpoints; every completed
-        ingredient is persisted immediately (atomic write).
+        Directory for checkpoints; every completed ingredient is persisted
+        immediately (atomic write).
+    checkpoint_every:
+        Additionally snapshot every in-flight ingredient's full training
+        state every N epochs (0 disables), so an interrupted task resumes
+        mid-ingredient instead of retraining from epoch 1. Requires
+        ``checkpoint_dir``.
     resume:
         Skip tasks already checkpointed under ``checkpoint_dir`` by a run
-        with the same fingerprint (config + graph + seeds). Requires
+        with the same fingerprint (config + graph + seeds), and restart
+        interrupted tasks from their last epoch snapshot. Requires
         ``checkpoint_dir``.
     max_retries:
         Extra attempts granted per task after a faulted one; exceeding the
@@ -431,20 +884,27 @@ def train_ingredients(
     fault_plan:
         :class:`~repro.distributed.faults.FaultPlan` (or a plain
         ``{task_index: n_failing_attempts}`` mapping) injecting
-        deterministic worker faults.
+        deterministic worker faults, at task pickup or — via
+        ``after_epochs`` — mid-ingredient.
     """
     if n_ingredients < 1:
         raise ValueError("need at least one ingredient")
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    if queue not in QUEUES:
+        raise ValueError(f"unknown queue discipline {queue!r}; choose from {QUEUES}")
     # validate up-front with the scheduler's strict rule — a bad worker
     # count must fail here, not after hours of training at the final
     # makespan simulation
     num_workers = _validate_num_workers(num_workers)
     if max_retries < 0:
         raise ValueError("max_retries cannot be negative")
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every cannot be negative")
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires a checkpoint_dir")
+    if checkpoint_every > 0 and checkpoint_dir is None:
+        raise ValueError("checkpoint_every requires a checkpoint_dir")
     if fault_plan is None:
         plan = FaultPlan()
     elif isinstance(fault_plan, FaultPlan):
@@ -483,6 +943,7 @@ def train_ingredients(
             seed=seeds[i],
             fail_attempts=plan.fail_attempts(i),
             kill=plan.kill,
+            fault_after_epochs=int(plan.after_epochs or 0),
         )
         for i in range(n_ingredients)
     ]
@@ -494,9 +955,16 @@ def train_ingredients(
         store = CheckpointStore(checkpoint_dir, fingerprint)
         if resume:
             preloaded = store.completed(n_ingredients)
+            for index in preloaded:
+                # a run killed between an ingredient's final save and its
+                # snapshot cleanup leaves an orphan epoch file behind
+                store.clear_epoch(index)
 
     todo = [task for task in tasks if task.index not in preloaded]
-    trained = _execute_tasks(todo, graph, executor, num_workers, max_retries, store)
+    trained = _execute_tasks(
+        todo, graph, executor, num_workers, max_retries, store,
+        queue, shm, checkpoint_every, resume,
+    )
     results = [preloaded[i] if i in preloaded else trained[i] for i in range(n_ingredients)]
 
     durations = [r.train_time for r in results]

@@ -16,7 +16,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from ..distributed import EXECUTORS
+from ..distributed import EXECUTORS, QUEUES
 from ..graph import dataset_names, load_dataset
 from .cache import get_or_train_pool
 from .config import PAPER_ARCHS, make_spec
@@ -49,14 +49,33 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         help="Phase-1 executor for uncached pools (serial/thread/process)",
     )
     parser.add_argument(
+        "--queue",
+        default="dynamic",
+        choices=list(QUEUES),
+        help="task dispatch for uncached pools (work-stealing dynamic or legacy rounds)",
+    )
+    parser.add_argument(
+        "--no-shm",
+        dest="shm",
+        action="store_false",
+        help="disable shared-memory graph transport for process workers",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
         help="per-ingredient checkpoint directory for uncached pools",
     )
     parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also snapshot in-flight ingredients every N epochs (0 disables)",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
-        help="skip ingredients already checkpointed in --checkpoint-dir",
+        help="skip finished ingredients in --checkpoint-dir and continue interrupted ones",
     )
     return parser.parse_args(argv)
 
@@ -85,7 +104,10 @@ def _run_grid(args: argparse.Namespace):
             graph,
             graph_seed=args.seed,
             executor=args.executor,
+            queue=args.queue,
+            shm=args.shm,
             checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
             resume=args.resume,
         )
         results.append(run_cell(spec, graph=graph, pool=pool, n_soups=args.soups))

@@ -102,15 +102,19 @@ def get_or_train_pool(
     graph: Graph,
     graph_seed: int = 0,
     executor: str = "serial",
+    queue: str = "dynamic",
+    shm: bool = True,
     checkpoint_dir: str | os.PathLike | None = None,
+    checkpoint_every: int = 0,
     resume: bool = False,
 ) -> IngredientPool:
     """Load the spec's pool from cache, training and persisting on a miss.
 
-    ``executor``/``checkpoint_dir``/``resume`` pass through to
-    :func:`repro.distributed.train_ingredients` on a miss; the executor
-    never enters the cache key because the determinism contract makes the
-    pool identical across executors.
+    ``executor``/``queue``/``shm``/``checkpoint_dir``/``checkpoint_every``/
+    ``resume`` pass through to :func:`repro.distributed.train_ingredients`
+    on a miss; none of them enter the cache key because the determinism
+    contract makes the pool identical across executors, queue disciplines
+    and graph transports.
     """
     path = cache_dir() / (pool_cache_key(spec, graph_seed, graph.num_nodes) + ".npz")
     if path.exists():
@@ -123,7 +127,10 @@ def get_or_train_pool(
         graph,
         n_ingredients=spec.n_ingredients,
         executor=executor,
+        queue=queue,
+        shm=shm,
         checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
         resume=resume,
         **spec.ingredient_kwargs(),
     )

@@ -128,20 +128,32 @@ def run_cell(
     graph_seed: int = 0,
     n_soups: int | None = None,
     executor: str = "serial",
+    queue: str = "dynamic",
+    shm: bool = True,
     checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
     resume: bool = False,
 ) -> CellResult:
     """Execute one cell; ``graph``/``pool`` injectable for tests and benches.
 
-    ``executor``/``checkpoint_dir``/``resume`` govern Phase-1 training on a
-    pool-cache miss (see :func:`repro.experiments.cache.get_or_train_pool`).
+    ``executor``/``queue``/``shm``/``checkpoint_dir``/``checkpoint_every``/
+    ``resume`` govern Phase-1 training on a pool-cache miss (see
+    :func:`repro.experiments.cache.get_or_train_pool`).
     """
     graph = graph if graph is not None else load_dataset(spec.dataset, seed=graph_seed)
     pool = (
         pool
         if pool is not None
         else get_or_train_pool(
-            spec, graph, graph_seed, executor=executor, checkpoint_dir=checkpoint_dir, resume=resume
+            spec,
+            graph,
+            graph_seed,
+            executor=executor,
+            queue=queue,
+            shm=shm,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
         )
     )
     n_soups = n_soups if n_soups is not None else spec.n_soups
@@ -193,7 +205,10 @@ def run_grid(
     n_soups: int | None = None,
     verbose: bool = False,
     executor: str = "serial",
+    queue: str = "dynamic",
+    shm: bool = True,
     checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
     resume: bool = False,
 ) -> list[CellResult]:
     """Run many cells (the full paper grid is 12)."""
@@ -208,7 +223,10 @@ def run_grid(
                 graph_seed=graph_seed,
                 n_soups=n_soups,
                 executor=executor,
+                queue=queue,
+                shm=shm,
                 checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
                 resume=resume,
             )
         )

@@ -38,6 +38,22 @@ class Optimizer:
         """Subclass hook: apply one parameter update."""
         raise NotImplementedError
 
+    # -- state (for per-epoch checkpoint/resume) ----------------------------
+
+    def state_dict(self) -> dict:
+        """Copy of the optimizer's mutable state (lr plus subclass buffers).
+
+        Buffer lists are positional: entry ``i`` belongs to ``params[i]``,
+        so a state dict only round-trips between optimizers built over the
+        same parameter list (the resume contract in
+        :mod:`repro.distributed.checkpoint`).
+        """
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` in place."""
+        self.lr = float(state["lr"])
+
 
 class SGD(Optimizer):
     """SGD with momentum, Nesterov and decoupled-from-loss weight decay.
@@ -61,6 +77,18 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [None if v is None else v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        velocity = state["velocity"]
+        if len(velocity) != len(self.params):
+            raise ValueError("velocity list does not match the parameter list")
+        self._velocity = [None if v is None else np.array(v, copy=True) for v in velocity]
 
     def step(self) -> None:
         """One SGD update (momentum, optional Nesterov, L2 decay)."""
@@ -96,6 +124,21 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["step_count"] = int(self._step_count)
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if len(state["m"]) != len(self.params) or len(state["v"]) != len(self.params):
+            raise ValueError("moment lists do not match the parameter list")
+        self._step_count = int(state["step_count"])
+        self._m = [np.array(m, copy=True) for m in state["m"]]
+        self._v = [np.array(v, copy=True) for v in state["v"]]
 
     def step(self) -> None:
         """One Adam update with bias-corrected moment estimates."""

@@ -1,13 +1,14 @@
 """Training substrate: single-model loops and metrics."""
 
 from .metrics import predictions, accuracy, macro_f1, confusion_matrix
-from .trainer import TrainConfig, TrainResult, train_model, evaluate, evaluate_logits
+from .trainer import EpochTrainState, TrainConfig, TrainResult, train_model, evaluate, evaluate_logits
 
 __all__ = [
     "predictions",
     "accuracy",
     "macro_f1",
     "confusion_matrix",
+    "EpochTrainState",
     "TrainConfig",
     "TrainResult",
     "train_model",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -20,7 +21,14 @@ from ..optim import Adam, AdamW, SGD, ConstantLR, CosineAnnealingLR
 from ..tensor import Tensor, no_grad
 from .metrics import accuracy
 
-__all__ = ["TrainConfig", "TrainResult", "train_model", "evaluate", "evaluate_logits"]
+__all__ = [
+    "EpochTrainState",
+    "TrainConfig",
+    "TrainResult",
+    "train_model",
+    "evaluate",
+    "evaluate_logits",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +66,32 @@ class TrainResult:
     history: list = field(default_factory=list, repr=False)  # (epoch, loss, val_acc)
 
 
+@dataclass
+class EpochTrainState:
+    """Everything needed to continue a run bit-identically mid-training.
+
+    Snapshotted at an epoch boundary by ``train_model``'s ``on_epoch_end``
+    hook and fed back through its ``epoch_state`` parameter: current
+    parameters, optimizer buffers (Adam moments / SGD velocity, step
+    count, lr), the scheduler cursor, the *exact* RNG state (dropout /
+    shuffling / sampling continue where they stopped), and the
+    best-validation bookkeeping. A resumed run produces the same final
+    :class:`TrainResult` state dict as an uninterrupted one.
+    """
+
+    epoch: int  # last completed epoch
+    model_state: dict
+    optimizer_state: dict
+    scheduler_last_epoch: int
+    rng_state: dict
+    best_val: float
+    best_state: dict
+    best_epoch: int
+    patience_left: int | None
+    history: list
+    elapsed: float  # training seconds accumulated before the snapshot
+
+
 def _make_optimizer(model: Module, cfg: TrainConfig):
     params = model.parameters()
     if cfg.optimizer == "adam":
@@ -85,12 +119,25 @@ def evaluate(model: Module, graph: Graph, idx: np.ndarray) -> float:
     return accuracy(logits[idx], graph.labels[idx])
 
 
-def train_model(model: Module, graph: Graph, cfg: TrainConfig, seed: int = 0) -> TrainResult:
+def train_model(
+    model: Module,
+    graph: Graph,
+    cfg: TrainConfig,
+    seed: int = 0,
+    epoch_state: EpochTrainState | None = None,
+    on_epoch_end: Callable[[int, Callable[[], EpochTrainState]], None] | None = None,
+) -> TrainResult:
     """Train ``model`` on ``graph`` per ``cfg``; restores the best-val epoch.
 
     ``seed`` drives dropout masks, shuffling and sampling — with a shared
     initial state dict, distinct seeds produce the paper's "ingredients":
     same architecture and starting point, different SGD trajectories.
+
+    ``epoch_state`` resumes a previously snapshotted run mid-training;
+    ``on_epoch_end(epoch, snapshot)`` fires after every completed epoch
+    with a zero-arg ``snapshot`` closure that materialises the
+    :class:`EpochTrainState` only when the caller decides to persist it
+    (building one copies every parameter and optimizer buffer).
     """
     rng = np.random.default_rng(seed)
     optimizer = _make_optimizer(model, cfg)
@@ -101,10 +148,42 @@ def train_model(model: Module, graph: Graph, cfg: TrainConfig, seed: int = 0) ->
     best_val, best_state, best_epoch = -1.0, model.state_dict(), 0
     history: list[tuple[int, float, float]] = []
     patience_left = cfg.early_stopping if cfg.early_stopping > 0 else None
+    start_epoch, epochs_run, prior_elapsed = 1, 0, 0.0
+    if epoch_state is not None:
+        model.load_state_dict(epoch_state.model_state)
+        optimizer.load_state_dict(epoch_state.optimizer_state)
+        scheduler.last_epoch = int(epoch_state.scheduler_last_epoch)
+        rng.bit_generator.state = epoch_state.rng_state
+        best_val = epoch_state.best_val
+        best_state = {k: np.array(v, copy=True) for k, v in epoch_state.best_state.items()}
+        best_epoch = epoch_state.best_epoch
+        patience_left = epoch_state.patience_left
+        history = [tuple(entry) for entry in epoch_state.history]
+        start_epoch = int(epoch_state.epoch) + 1
+        epochs_run = int(epoch_state.epoch)
+        prior_elapsed = float(epoch_state.elapsed)
     start = time.perf_counter()
-    epochs_run = 0
 
-    for epoch in range(1, cfg.epochs + 1):
+    def snapshot() -> EpochTrainState:
+        return EpochTrainState(
+            epoch=epochs_run,
+            model_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            scheduler_last_epoch=int(scheduler.last_epoch),
+            rng_state=rng.bit_generator.state,
+            best_val=best_val,
+            best_state={k: v.copy() for k, v in best_state.items()},
+            best_epoch=best_epoch,
+            patience_left=patience_left,
+            history=list(history),
+            elapsed=prior_elapsed + (time.perf_counter() - start),
+        )
+
+    # a snapshot taken on the early-stopping epoch resumes straight to the end
+    stop = patience_left is not None and patience_left <= 0
+    for epoch in range(start_epoch, cfg.epochs + 1):
+        if stop:
+            break
         epochs_run = epoch
         model.train()
         if cfg.minibatch:
@@ -139,10 +218,11 @@ def train_model(model: Module, graph: Graph, cfg: TrainConfig, seed: int = 0) ->
                     patience_left = cfg.early_stopping
             elif patience_left is not None:
                 patience_left -= cfg.eval_every
-                if patience_left <= 0:
-                    break
+                stop = patience_left <= 0
+        if on_epoch_end is not None:
+            on_epoch_end(epoch, snapshot)
 
-    elapsed = time.perf_counter() - start
+    elapsed = prior_elapsed + (time.perf_counter() - start)
     model.load_state_dict(best_state)
     test_acc = evaluate(model, graph, graph.test_idx)
     return TrainResult(

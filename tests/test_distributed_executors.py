@@ -19,6 +19,7 @@ import pytest
 
 from repro.distributed import (
     EXECUTORS,
+    QUEUES,
     CheckpointStore,
     FaultPlan,
     IngredientTrainingError,
@@ -77,6 +78,52 @@ class TestExecutorEquivalence:
             train_ingredients("gcn", tiny_graph, 1, num_workers=2.5, **KW)
 
 
+class TestExecutionMatrix:
+    """The full determinism matrix of the acceptance contract: the pool is
+    bit-identical across executor × queue discipline × graph transport."""
+
+    @pytest.mark.parametrize("shm", [True, False], ids=["shm", "noshm"])
+    @pytest.mark.parametrize("queue", list(QUEUES))
+    @pytest.mark.parametrize("executor", list(EXECUTORS))
+    def test_bit_identical_across_matrix(self, tiny_graph, serial_pool, executor, queue, shm):
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor=executor, queue=queue, shm=shm,
+            num_workers=3, **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+
+    def test_unknown_queue_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="queue"):
+            train_ingredients("gcn", tiny_graph, 1, queue="lifo", **KW)
+
+    def test_dynamic_pool_survives_task_sets_beyond_pipe_capacity(self, tiny_graph):
+        """The shared task pipe holds only ~64KB (~130 pickled specs); the
+        driver must feed it incrementally or a large pool wedges before the
+        first worker spawns. 150 one-epoch tasks regress exactly that."""
+        pool = train_ingredients(
+            "gcn", tiny_graph, 150, executor="process", num_workers=2,
+            train_cfg=TrainConfig(epochs=1, lr=0.05), base_seed=3, hidden_dim=4,
+        )
+        assert len(pool) == 150
+
+    @pytest.mark.parametrize("queue", list(QUEUES))
+    def test_dynamic_and_rounds_share_checkpoints(self, tiny_graph, tmp_path, queue):
+        """Same run fingerprint whatever the discipline: a rounds-mode
+        checkpoint directory resumes a dynamic-mode run and vice versa."""
+        other = "rounds" if queue == "dynamic" else "dynamic"
+        train_ingredients(
+            "gcn", tiny_graph, 2, executor="serial", queue=other,
+            checkpoint_dir=tmp_path, **KW,
+        )
+        poisoned = train_ingredients(
+            "gcn", tiny_graph, 2, executor="serial", queue=queue,
+            checkpoint_dir=tmp_path, resume=True,
+            fault_plan={0: 99, 1: 99}, max_retries=0, **KW,
+        )
+        clean = train_ingredients("gcn", tiny_graph, 2, executor="serial", **KW)
+        assert_pools_identical(clean, poisoned)  # nothing actually retrained
+
+
 class TestFaultInjection:
     @pytest.mark.parametrize("executor", list(EXECUTORS))
     def test_faulted_attempt_is_retried(self, tiny_graph, serial_pool, executor):
@@ -86,11 +133,13 @@ class TestFaultInjection:
         )
         assert_pools_identical(serial_pool, pool)
 
-    def test_hard_killed_process_worker_is_retried(self, tiny_graph, serial_pool):
-        """kill=True fail-stops the worker process (BrokenProcessPool in the
-        parent); the next round's fresh pool retrains the lost task."""
+    @pytest.mark.parametrize("queue", list(QUEUES))
+    def test_hard_killed_process_worker_is_retried(self, tiny_graph, serial_pool, queue):
+        """kill=True fail-stops the worker process; under "rounds" the next
+        round's fresh pool retrains the lost task, under "dynamic" the
+        task re-enters the shared queue and a replacement worker spawns."""
         pool = train_ingredients(
-            "gcn", tiny_graph, 3, executor="process", num_workers=2,
+            "gcn", tiny_graph, 3, executor="process", num_workers=2, queue=queue,
             fault_plan=FaultPlan(failures={0: 1}, kill=True), **KW,
         )
         assert_pools_identical(serial_pool, pool)
@@ -143,6 +192,20 @@ class TestFaultInjection:
 
     def test_simulated_fault_is_runtime_error(self):
         assert issubclass(SimulatedWorkerFault, RuntimeError)
+
+    def test_after_epochs_validation(self):
+        with pytest.raises(ValueError, match="after_epochs"):
+            FaultPlan(failures={0: 1}, after_epochs=0)
+
+    @pytest.mark.parametrize("executor", list(EXECUTORS))
+    def test_mid_epoch_fault_is_retried(self, tiny_graph, serial_pool, executor):
+        """An attempt dying after N completed epochs (not at pickup) is
+        retried and still converges to the bit-identical pool."""
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor=executor, num_workers=2,
+            fault_plan=FaultPlan(failures={1: 1}, after_epochs=2), **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
 
     def test_kill_plan_never_exits_a_non_worker_driver(self):
         """A kill fault under the serial executor must raise (and be
@@ -227,6 +290,28 @@ class TestCheckpointStore:
         target = CheckpointStore(tmp_path, "fp-b")
         target.path(0).write_bytes(source.path(0).read_bytes())
         assert target.load(0) is None
+
+    def test_stale_tmp_swept_on_open(self, tmp_path, rng):
+        """A worker hard-killed mid-write leaves its temp file behind
+        (``finally`` never runs under SIGKILL); reopening the store must
+        sweep it without touching finished checkpoints."""
+        store = CheckpointStore(tmp_path, "fp")
+        store.save(0, self._result(rng))
+        orphan = store.directory / ".ingredient-00003.npz.tmp-4242.npz"
+        orphan.write_bytes(b"half-written garbage")
+        reopened = CheckpointStore(tmp_path, "fp")
+        assert not orphan.exists()
+        assert reopened.load(0) is not None
+        assert len(reopened) == 1
+
+    def test_worker_handle_does_not_sweep(self, tmp_path, rng):
+        """Workers attach with sweep_stale=False — a sweep concurrent with
+        live writers could race an in-flight temp file."""
+        store = CheckpointStore(tmp_path, "fp")
+        inflight = store.directory / ".ingredient-00001.npz.tmp-77.npz"
+        inflight.write_bytes(b"another worker, mid-write")
+        CheckpointStore(tmp_path, "fp", sweep_stale=False)
+        assert inflight.exists()
 
     def test_corrupt_file_ignored(self, tmp_path, rng):
         store = CheckpointStore(tmp_path, "fp")
@@ -336,11 +421,11 @@ class TestResume:
         real_train_model = ing.train_model
         calls = []
 
-        def crashing_train_model(model, graph, cfg, seed=0):
+        def crashing_train_model(model, graph, cfg, seed=0, **kwargs):
             calls.append(seed)
             if len(calls) == 3:
                 raise RuntimeError("simulated hard crash mid-pool")
-            return real_train_model(model, graph, cfg, seed=seed)
+            return real_train_model(model, graph, cfg, seed=seed, **kwargs)
 
         monkeypatch.setattr(ing, "train_model", crashing_train_model)
         with pytest.raises(RuntimeError, match="mid-pool"):
@@ -360,3 +445,119 @@ class TestResume:
             "gcn", tiny_graph, 2, checkpoint_dir=tmp_path, resume=True, **KW
         )
         assert pool.schedule is not None and pool.schedule.makespan > 0
+
+
+class TestEpochCheckpoint:
+    """Per-epoch granularity: a worker killed mid-ingredient resumes from
+    its last epoch snapshot, never from epoch 1 — and the final pool stays
+    bit-identical to an uninterrupted run."""
+
+    def test_checkpoint_every_requires_dir(self, tiny_graph):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            train_ingredients("gcn", tiny_graph, 1, checkpoint_every=2, **KW)
+
+    def test_negative_checkpoint_every_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            train_ingredients(
+                "gcn", tiny_graph, 1, checkpoint_dir="unused", checkpoint_every=-1, **KW
+            )
+
+    def test_mid_epoch_kill_then_resume_bit_identical(self, tiny_graph, serial_pool, tmp_path):
+        """The acceptance scenario: a process worker hard-dies after 2 of 4
+        epochs (FaultPlan kill + after_epochs) with no retry budget; the
+        resumed run restarts that task from its epoch snapshot and the
+        final pool matches an uninterrupted serial run bit for bit."""
+        with pytest.raises(IngredientTrainingError, match=r"\[1\]"):
+            train_ingredients(
+                "gcn", tiny_graph, 3, executor="process", num_workers=2,
+                checkpoint_dir=tmp_path, checkpoint_every=1,
+                fault_plan=FaultPlan(failures={1: 99}, kill=True, after_epochs=2),
+                max_retries=0, **KW,
+            )
+        # the killed task left its rolling epoch snapshot behind
+        epoch_files = sorted(p.name for p in tmp_path.glob("*/ingredient-*.epoch.npz"))
+        assert epoch_files == ["ingredient-00001.epoch.npz"]
+
+        resumed = train_ingredients(
+            "gcn", tiny_graph, 3, executor="process", num_workers=2,
+            checkpoint_dir=tmp_path, checkpoint_every=1, resume=True, **KW,
+        )
+        assert_pools_identical(serial_pool, resumed)
+        # the snapshot is superseded by the finished ingredient
+        assert list(tmp_path.glob("*/ingredient-*.epoch.npz")) == []
+
+    def test_resume_restarts_from_snapshot_not_scratch(self, tiny_graph, serial_pool, tmp_path, monkeypatch):
+        """The resumed attempt must actually load the epoch snapshot (epoch
+        cursor advanced), not silently retrain from epoch 1."""
+        from repro.distributed import ingredients as ing
+
+        with pytest.raises(IngredientTrainingError):
+            train_ingredients(
+                "gcn", tiny_graph, 3, executor="serial",
+                checkpoint_dir=tmp_path, checkpoint_every=2,
+                fault_plan=FaultPlan(failures={0: 99}, after_epochs=3),
+                max_retries=0, **KW,
+            )
+
+        real_train_model = ing.train_model
+        seen_states = {}
+
+        def spying_train_model(model, graph, cfg, seed=0, epoch_state=None, **kwargs):
+            seen_states[seed] = epoch_state
+            return real_train_model(model, graph, cfg, seed=seed, epoch_state=epoch_state, **kwargs)
+
+        monkeypatch.setattr(ing, "train_model", spying_train_model)
+        resumed = train_ingredients(
+            "gcn", tiny_graph, 3, executor="serial",
+            checkpoint_dir=tmp_path, resume=True, **KW,
+        )
+        assert_pools_identical(serial_pool, resumed)
+        # task 0's seed is base_seed * 7919 + 1; its resume state carries
+        # the snapshot taken at epoch 2 (last multiple of checkpoint_every
+        # before the fault at epoch 3)
+        task0_state = seen_states[KW["base_seed"] * 7_919 + 1]
+        assert task0_state is not None and task0_state.epoch == 2
+
+    def test_multiple_planned_faults_all_fire_despite_epoch_resume(self, tiny_graph, serial_pool, tmp_path):
+        """A retried attempt resuming at/past the fault epoch must still
+        die (>= gate, not ==): with 2 planned mid-ingredient faults and
+        per-epoch snapshots, both fire and the third attempt finishes."""
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor="serial",
+            checkpoint_dir=tmp_path, checkpoint_every=1,
+            fault_plan=FaultPlan(failures={0: 2}, after_epochs=2),
+            max_retries=2, **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+
+    def test_within_run_retry_resumes_mid_ingredient(self, tiny_graph, serial_pool, tmp_path, monkeypatch):
+        """A retried attempt inside one run picks up the dead attempt's
+        snapshot instead of burning the epochs again."""
+        from repro.distributed import ingredients as ing
+
+        real_train_model = ing.train_model
+        resume_epochs = []
+
+        def spying_train_model(model, graph, cfg, seed=0, epoch_state=None, **kwargs):
+            if seed == KW["base_seed"] * 7_919 + 1:  # task 0
+                resume_epochs.append(None if epoch_state is None else epoch_state.epoch)
+            return real_train_model(model, graph, cfg, seed=seed, epoch_state=epoch_state, **kwargs)
+
+        monkeypatch.setattr(ing, "train_model", spying_train_model)
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor="serial",
+            checkpoint_dir=tmp_path, checkpoint_every=1,
+            fault_plan=FaultPlan(failures={0: 1}, after_epochs=2), **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+        assert resume_epochs == [None, 2]  # attempt 1 fresh, attempt 2 resumed
+
+    def test_no_epoch_files_left_after_clean_run(self, tiny_graph, serial_pool, tmp_path):
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor="serial",
+            checkpoint_dir=tmp_path, checkpoint_every=1, **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+        assert list(tmp_path.glob("*/ingredient-*.epoch.npz")) == []
+        finished = sorted(p.name for p in tmp_path.glob("*/ingredient-*.npz"))
+        assert finished == [f"ingredient-{i:05d}.npz" for i in range(3)]

@@ -159,3 +159,68 @@ class TestAdamW:
             quadratic_step(p)
             opt.step()
         assert abs(p.data[0]) < 1e-2
+
+
+class TestOptimizerState:
+    """state_dict / load_state_dict round-trips (the per-epoch checkpoint
+    contract: a restored optimizer continues bit-identically)."""
+
+    def _identical_trajectories(self, make_opt, steps_before=3, steps_after=4):
+        rng = np.random.default_rng(0)
+        grads = rng.normal(size=(steps_before + steps_after, 2))
+        p_ref, p_res = param([1.0, -2.0]), param([1.0, -2.0])
+        ref, res = make_opt(p_ref), make_opt(p_res)
+        for g in grads[:steps_before]:
+            for p, o in ((p_ref, ref), (p_res, res)):
+                p.grad = g.copy()
+                o.step()
+        # serialize / restore into a *fresh* optimizer over the same params
+        state = res.state_dict()
+        restored = make_opt(p_res)
+        restored.load_state_dict(state)
+        for g in grads[steps_before:]:
+            for p, o in ((p_ref, ref), (p_res, restored)):
+                p.grad = g.copy()
+                o.step()
+        np.testing.assert_array_equal(p_ref.data, p_res.data)
+
+    def test_sgd_round_trip(self):
+        self._identical_trajectories(lambda p: SGD([p], lr=0.1, momentum=0.9, weight_decay=0.01))
+
+    def test_sgd_round_trip_before_first_step(self):
+        """Velocity slots are still None before step(); the None mask must
+        survive the round trip."""
+        p = param([1.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        state = opt.state_dict()
+        assert state["velocity"] == [None]
+        SGD([p], lr=0.1, momentum=0.9).load_state_dict(state)
+
+    def test_adam_round_trip(self):
+        self._identical_trajectories(lambda p: Adam([p], lr=0.05, weight_decay=0.01))
+
+    def test_adamw_round_trip(self):
+        self._identical_trajectories(lambda p: AdamW([p], lr=0.05, weight_decay=0.1))
+
+    def test_state_dict_is_a_copy(self):
+        p = param([1.0])
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        state = opt.state_dict()
+        state["m"][0][:] = 99.0
+        assert opt._m[0][0] != 99.0
+
+    def test_lr_restored(self):
+        p = param([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.lr = 0.025  # a scheduler moved it
+        other = SGD([p], lr=0.1)
+        other.load_state_dict(opt.state_dict())
+        assert other.lr == 0.025
+
+    def test_mismatched_param_list_rejected(self):
+        p1, p2 = param([1.0]), param([1.0, 2.0])
+        state = Adam([p1], lr=0.1).state_dict()
+        with pytest.raises(ValueError):
+            Adam([p1, p2], lr=0.1).load_state_dict(state)

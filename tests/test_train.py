@@ -145,3 +145,94 @@ class TestEvaluate:
         m = build_model("gcn", tiny_graph.feature_dim, tiny_graph.num_classes, hidden_dim=8, seed=0)
         acc = evaluate(m, tiny_graph, tiny_graph.test_idx)
         assert 0.0 <= acc <= 1.0
+
+
+class TestEpochResume:
+    """Mid-training snapshot/resume (per-epoch checkpoint contract): a run
+    resumed from any epoch snapshot finishes bit-identical to an
+    uninterrupted one — parameters, optimizer moments, RNG stream, best-val
+    bookkeeping and early-stopping state all continue where they stopped."""
+
+    def _model(self, graph, seed=0):
+        return build_model("gcn", graph.feature_dim, graph.num_classes, hidden_dim=8, seed=seed)
+
+    def _assert_resumes_identically(self, graph, cfg, seed=3):
+        reference = train_model(self._model(graph), graph, cfg, seed=seed)
+        snapshots = {}
+        train_model(
+            self._model(graph), graph, cfg, seed=seed,
+            on_epoch_end=lambda epoch, snapshot: snapshots.__setitem__(epoch, snapshot()),
+        )
+        assert snapshots, "hook never fired"
+        for epoch, state in snapshots.items():
+            resumed = train_model(self._model(graph), graph, cfg, seed=seed, epoch_state=state)
+            for name in reference.state_dict:
+                np.testing.assert_array_equal(
+                    reference.state_dict[name], resumed.state_dict[name], err_msg=f"epoch {epoch}"
+                )
+            assert resumed.val_acc == reference.val_acc
+            assert resumed.test_acc == reference.test_acc
+            assert resumed.epochs_run == reference.epochs_run
+
+    def test_resume_bit_identical_adam(self, tiny_graph):
+        self._assert_resumes_identically(tiny_graph, TrainConfig(epochs=6, lr=0.02))
+
+    def test_resume_bit_identical_sgd_cosine(self, tiny_graph):
+        self._assert_resumes_identically(
+            tiny_graph,
+            TrainConfig(epochs=6, lr=0.05, optimizer="sgd", momentum=0.9, cosine_schedule=True),
+        )
+
+    def test_resume_bit_identical_minibatch(self, tiny_graph):
+        """The sampler consumes the RNG stream; resume must continue it."""
+        self._assert_resumes_identically(
+            tiny_graph, TrainConfig(epochs=4, lr=0.02, minibatch=True, batch_size=32)
+        )
+
+    def test_resume_bit_identical_early_stopping(self, tiny_graph):
+        self._assert_resumes_identically(
+            tiny_graph, TrainConfig(epochs=25, lr=0.02, early_stopping=3, eval_every=2)
+        )
+
+    def test_snapshot_is_lazy(self, tiny_graph):
+        """The hook receives a closure; not calling it must cost nothing
+        and train exactly as without a hook."""
+        cfg = TrainConfig(epochs=5, lr=0.02)
+        reference = train_model(self._model(tiny_graph), tiny_graph, cfg, seed=1)
+        epochs_seen = []
+        hooked = train_model(
+            self._model(tiny_graph), tiny_graph, cfg, seed=1,
+            on_epoch_end=lambda epoch, snapshot: epochs_seen.append(epoch),
+        )
+        assert epochs_seen == [1, 2, 3, 4, 5]
+        for name in reference.state_dict:
+            np.testing.assert_array_equal(reference.state_dict[name], hooked.state_dict[name])
+
+    def test_snapshot_fields(self, tiny_graph):
+        cfg = TrainConfig(epochs=4, lr=0.02)
+        snapshots = {}
+        train_model(
+            self._model(tiny_graph), tiny_graph, cfg, seed=2,
+            on_epoch_end=lambda epoch, snapshot: snapshots.__setitem__(epoch, snapshot()),
+        )
+        state = snapshots[3]
+        assert state.epoch == 3
+        assert state.scheduler_last_epoch == 3
+        assert state.rng_state["bit_generator"]
+        assert state.best_epoch <= 3
+        assert len(state.history) == 3
+        assert state.elapsed > 0
+        assert set(state.model_state) == set(state.best_state)
+
+    def test_accumulated_train_time(self, tiny_graph):
+        """A resumed run's train_time includes the pre-snapshot seconds."""
+        cfg = TrainConfig(epochs=6, lr=0.02)
+        snapshots = {}
+        train_model(
+            self._model(tiny_graph), tiny_graph, cfg, seed=4,
+            on_epoch_end=lambda epoch, snapshot: snapshots.__setitem__(epoch, snapshot()),
+        )
+        resumed = train_model(
+            self._model(tiny_graph), tiny_graph, cfg, seed=4, epoch_state=snapshots[3]
+        )
+        assert resumed.train_time >= snapshots[3].elapsed
