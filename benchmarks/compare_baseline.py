@@ -30,11 +30,21 @@ from pathlib import Path
 
 
 def _rows(report: dict) -> dict[str, dict]:
-    """Flatten the gated sections to ``name -> row``."""
+    """Flatten the gated sections to ``name -> row``.
+
+    A gated row is any ``section/name`` dict carrying ``wall_clock_s`` —
+    sections are auto-discovered so each bench (executor scaling, soup
+    scaling, ...) gates whatever it measures without touching this tool.
+    Only rows present in the *baseline* actually gate; current-only rows
+    print as informational.
+    """
     rows: dict[str, dict] = {}
-    for section in ("executors", "process_variants"):
-        for name, row in report.get(section, {}).items():
-            rows[f"{section}/{name}"] = row
+    for section, entries in report.items():
+        if not isinstance(entries, dict):
+            continue
+        for name, row in entries.items():
+            if isinstance(row, dict) and "wall_clock_s" in row:
+                rows[f"{section}/{name}"] = row
     return rows
 
 

@@ -34,7 +34,7 @@ from .distributed import EXECUTORS, QUEUES, ResilientPoolSimulator, WorkerSpec, 
 from .experiments.cache import get_or_train_pool
 from .experiments.config import EXPERIMENT_GRID, ExperimentSpec
 from .graph import dataset_names, load_dataset, partition_graph
-from .soup import PLSConfig, SOUP_METHODS, SoupConfig, soup
+from .soup import PLSConfig, SOUP_EXECUTORS, SOUP_METHODS, SoupConfig, make_evaluator, soup
 
 __all__ = ["main"]
 
@@ -74,6 +74,7 @@ def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
         shm=getattr(args, "shm", True),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         checkpoint_every=getattr(args, "checkpoint_every", 0),
+        checkpoint_keep=getattr(args, "checkpoint_keep", 1),
         resume=getattr(args, "resume", False),
     )
     return spec, graph, pool
@@ -143,7 +144,12 @@ def cmd_soup(args: argparse.Namespace) -> int:
         kwargs["eval_budget"] = args.eval_budget
     elif args.method == "sparse":
         kwargs["sparsity"] = args.sparsity
-    result = soup(args.method, pool, graph, **kwargs)
+    # one evaluator serves the whole run: candidate batches fan out over
+    # --soup-workers (process workers mix zero-copy from shared memory)
+    with make_evaluator(
+        pool, graph, backend=args.soup_executor, num_workers=args.soup_workers
+    ) as ev:
+        result = soup(args.method, pool, graph, evaluator=ev, **kwargs)
     print(f"method      : {result.method}")
     print(f"val acc     : {result.val_acc:.4f}")
     print(f"test acc    : {result.test_acc:.4f}  (best ingredient {max(pool.test_accs):.4f})")
@@ -233,6 +239,13 @@ def _executor_args(p: argparse.ArgumentParser) -> None:
         help="also snapshot in-flight ingredients every N epochs (0 disables)",
     )
     p.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=1,
+        metavar="K",
+        help="epoch snapshots kept per ingredient (history beyond K is GC'd on store open)",
+    )
+    p.add_argument(
         "--resume",
         action="store_true",
         help="skip finished ingredients in --checkpoint-dir and continue interrupted ones",
@@ -272,6 +285,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=8, help="PLS R")
     p.add_argument("--eval-budget", type=int, default=0, help="RADIN true-eval budget")
     p.add_argument("--sparsity", type=float, default=0.5, help="sparse-soup target sparsity")
+    p.add_argument(
+        "--soup-executor",
+        default="serial",
+        choices=list(SOUP_EXECUTORS),
+        help="Phase-2 candidate-evaluation backend (bit-identical results either way)",
+    )
+    p.add_argument(
+        "--soup-workers",
+        type=int,
+        default=4,
+        help="evaluation workers for --soup-executor thread/process",
+    )
     _common_data_args(p)
     _executor_args(p)
     p.set_defaults(fn=cmd_soup)

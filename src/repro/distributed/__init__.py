@@ -45,7 +45,22 @@ from .ingredients import (
     IngredientTrainingError,
     train_ingredients,
 )
-from .shm import SharedGraphBuffer, SharedGraphSpec, attach_graph
+from .shm import (
+    SharedGraphBuffer,
+    SharedGraphSpec,
+    SharedPoolBuffer,
+    SharedPoolSpec,
+    attach_graph,
+    attach_pool,
+)
+from .eval_service import (
+    EvalService,
+    EvalServiceError,
+    EvalTask,
+    mix_candidate,
+    score_candidate,
+    stack_flat_states,
+)
 from .pipeline import PipelineReport, train_ingredients_comm, uniform_soup_allreduce
 
 __all__ = [
@@ -76,7 +91,16 @@ __all__ = [
     "run_fingerprint",
     "SharedGraphBuffer",
     "SharedGraphSpec",
+    "SharedPoolBuffer",
+    "SharedPoolSpec",
     "attach_graph",
+    "attach_pool",
+    "EvalService",
+    "EvalServiceError",
+    "EvalTask",
+    "mix_candidate",
+    "score_candidate",
+    "stack_flat_states",
     "EXECUTORS",
     "QUEUES",
     "IngredientPool",

@@ -17,6 +17,12 @@ Two granularities share one directory:
   best-val parameters, optimizer buffers, RNG state), so a worker killed
   mid-ingredient restarts from its last epoch snapshot instead of from
   scratch. The epoch file is deleted once the final ingredient lands.
+  With ``keep_epochs > 1`` the store additionally retains the previous
+  ``keep_epochs - 1`` snapshots as epoch-stamped
+  ``ingredient-NNNNN.epoch-EEEEE.npz`` history (insurance against a
+  corrupt latest snapshot); :meth:`CheckpointStore.gc` compacts the
+  history — it runs automatically on every (driver-side) store open, so
+  a big grid of interrupted runs cannot accumulate stale snapshots.
 
 Writes are atomic (temp file + ``os.replace``) so a crash mid-write never
 leaves a corrupt entry that blocks resumption — unreadable files are
@@ -40,6 +46,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import zipfile
 from dataclasses import asdict
 from pathlib import Path
@@ -55,6 +62,9 @@ _META_KEY = "meta"
 _PARAM_PREFIX = "param::"
 _BEST_PREFIX = "best::"
 _OPT_PREFIX = "opt::"
+
+_FINAL_RE = re.compile(r"^ingredient-\d{5}\.npz$")
+_EPOCH_HISTORY_RE = re.compile(r"^ingredient-(\d{5})\.epoch-(\d+)\.npz$")
 
 
 def run_fingerprint(
@@ -104,12 +114,25 @@ class CheckpointStore:
     from elsewhere.
     """
 
-    def __init__(self, directory: str | Path, fingerprint: str, sweep_stale: bool = True) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        fingerprint: str,
+        sweep_stale: bool = True,
+        keep_epochs: int = 1,
+    ) -> None:
+        if keep_epochs < 1:
+            raise ValueError("keep_epochs must be >= 1 (the rolling snapshot always exists)")
         self.directory = Path(directory) / fingerprint
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fingerprint = fingerprint
+        self.keep_epochs = int(keep_epochs)
+        self._rolling_epochs: dict[int, int] = {}  # epoch held by each rolling file
         if sweep_stale:
+            # driver-side open: sweep orphan temp files AND compact any
+            # epoch-snapshot history beyond this run's retention policy
             self.sweep_stale_tmp()
+            self.gc(self.keep_epochs)
 
     def sweep_stale_tmp(self) -> int:
         """Remove temp files orphaned by hard-killed writers; returns count.
@@ -134,6 +157,49 @@ class CheckpointStore:
     def epoch_path(self, index: int) -> Path:
         """Rolling per-epoch checkpoint file of in-flight ingredient ``index``."""
         return self.directory / f"ingredient-{index:05d}.epoch.npz"
+
+    def epoch_history_path(self, index: int, epoch: int) -> Path:
+        """Epoch-stamped history snapshot (retained when ``keep_epochs > 1``)."""
+        return self.directory / f"ingredient-{index:05d}.epoch-{epoch:05d}.npz"
+
+    def _epoch_history(self, index: int | None = None) -> dict[int, list[tuple[int, Path]]]:
+        """``index -> [(epoch, path), ...]`` (newest first) of history files."""
+        pattern = (
+            f"ingredient-{index:05d}.epoch-*.npz" if index is not None else "ingredient-*.epoch-*.npz"
+        )
+        history: dict[int, list[tuple[int, Path]]] = {}
+        for path in self.directory.glob(pattern):
+            match = _EPOCH_HISTORY_RE.match(path.name)
+            if match is None:
+                continue
+            history.setdefault(int(match.group(1)), []).append((int(match.group(2)), path))
+        for entries in history.values():
+            entries.sort(reverse=True)
+        return history
+
+    def gc(self, keep_last: int | None = None) -> int:
+        """Prune epoch-snapshot history beyond ``keep_last`` per ingredient.
+
+        ``keep_last`` counts snapshots *including* the rolling latest one,
+        so ``keep_last=1`` (the default policy) removes all epoch-stamped
+        history; it never touches the rolling ``.epoch.npz`` file itself
+        (that is the resume point) nor finished-ingredient checkpoints.
+        Returns the number of files removed. Called automatically on every
+        driver-side store open.
+        """
+        keep_last = self.keep_epochs if keep_last is None else int(keep_last)
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        removed = 0
+        for index, entries in self._epoch_history().items():
+            budget = keep_last - 1 if self.epoch_path(index).exists() else keep_last
+            for _epoch, path in entries[budget:]:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass  # another sweeper got there first
+        return removed
 
     # -- write -------------------------------------------------------------
 
@@ -198,11 +264,39 @@ class CheckpointStore:
             "elapsed": float(state.elapsed),
         }
         arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
-        return self._write_atomic(self.epoch_path(index), arrays)
+        if self.keep_epochs > 1:
+            # rotate the superseded rolling snapshot into the epoch-stamped
+            # history (atomic rename), then compact to the retention window
+            self._rotate_rolling(index)
+        path = self._write_atomic(self.epoch_path(index), arrays)
+        self._rolling_epochs[index] = int(state.epoch)
+        if self.keep_epochs > 1:
+            for _epoch, stale in self._epoch_history(index).get(index, [])[self.keep_epochs - 1:]:
+                stale.unlink(missing_ok=True)
+        return path
+
+    def _rotate_rolling(self, index: int) -> None:
+        """Move the current rolling snapshot to its epoch-stamped name."""
+        rolling = self.epoch_path(index)
+        if not rolling.exists():
+            return
+        epoch = self._rolling_epochs.get(index)
+        if epoch is None:
+            # a store reopened mid-run does not know the rolling epoch;
+            # read it (a corrupt/foreign file is simply superseded)
+            state = self._load_epoch_file(rolling)
+            if state is None:
+                return
+            epoch = int(state.epoch)
+        os.replace(rolling, self.epoch_history_path(index, epoch))
 
     def clear_epoch(self, index: int) -> None:
-        """Drop the rolling epoch snapshot (the ingredient finished)."""
+        """Drop the rolling epoch snapshot and its history (the ingredient
+        finished — the final checkpoint supersedes them)."""
         self.epoch_path(index).unlink(missing_ok=True)
+        self._rolling_epochs.pop(index, None)
+        for _epoch, path in self._epoch_history(index).get(index, []):
+            path.unlink(missing_ok=True)
 
     # -- read --------------------------------------------------------------
 
@@ -235,9 +329,21 @@ class CheckpointStore:
         )
 
     def load_epoch(self, index: int) -> EpochTrainState | None:
-        """The stored epoch snapshot, or ``None`` if absent / corrupt /
-        from a different run (fingerprint mismatch)."""
-        path = self.epoch_path(index)
+        """The newest loadable epoch snapshot, or ``None``.
+
+        The rolling file is preferred; with ``keep_epochs > 1`` a corrupt
+        or foreign rolling snapshot falls back to the epoch-stamped
+        history, newest first — so one torn write costs ``checkpoint_every``
+        epochs instead of the whole ingredient."""
+        candidates = [self.epoch_path(index)]
+        candidates.extend(path for _epoch, path in self._epoch_history(index).get(index, []))
+        for path in candidates:
+            state = self._load_epoch_file(path)
+            if state is not None:
+                return state
+        return None
+
+    def _load_epoch_file(self, path: Path) -> EpochTrainState | None:
         if not path.exists():
             return None
         try:
@@ -288,5 +394,5 @@ class CheckpointStore:
     def __len__(self) -> int:
         # finished ingredients only (epoch snapshots share the name stem)
         return sum(
-            1 for p in self.directory.glob("ingredient-*.npz") if not p.name.endswith(".epoch.npz")
+            1 for p in self.directory.glob("ingredient-*.npz") if _FINAL_RE.match(p.name)
         )

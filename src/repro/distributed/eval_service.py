@@ -1,0 +1,487 @@
+"""Phase-2 candidate-evaluation service: parallel scoring of soup candidates.
+
+Phase 2 (souping) is dominated by repeated validation-set evaluations of
+candidate state dicts — the greedy/GIS membership loops and the LS/PLS
+restart selections all reduce to "score this mixed state on a node split".
+Those evaluations are embarrassingly parallel (each is one inference pass
+of an immutable candidate on an immutable graph), so this module provides
+the multiprocess half of the shared evaluator that
+:mod:`repro.soup.engine` exposes to every souping method.
+
+Design, mirroring the Phase-1 dynamic queue (:mod:`.ingredients`):
+
+* **flat-state candidates** — almost every soup candidate is a linear
+  combination of the ingredient pool, so a candidate crosses the process
+  boundary as a tiny ``[N]`` (or ``[N, G]`` per-group) weight vector. The
+  pool itself ships **once**, as a ``[N, D]`` stacked flat-state matrix in
+  a :class:`~repro.distributed.shm.SharedPoolBuffer` segment; workers mix
+  candidates zero-copy from views into it instead of unpickling N state
+  dicts per task. Non-linear candidates (e.g. sparse soups) fall back to
+  an explicit pickled state dict.
+* **shared-memory graph transport** — the evaluation graph ships through
+  a :class:`~repro.distributed.shm.SharedGraphBuffer` exactly like
+  Phase-1 training graphs (pickled-payload fallback when shared memory is
+  unavailable).
+* **persistent workers, claim/done protocol** — workers pull task specs
+  from one shared queue and report over a lock-guarded pipe with the same
+  synchronous ``claim``/``done``/``error`` messages as the work-stealing
+  Phase-1 pool, so a worker that dies mid-task is detected, replaced, and
+  its claimed task re-queued (evaluations are idempotent).
+
+Determinism contract: :func:`mix_candidate` is the *single* mixing kernel
+used by every backend (serial, thread, process), and worker-side flat
+stacks are bit-exact float64 copies of the driver's, so a candidate's
+mixed state — and therefore its accuracy — is bit-identical wherever it
+is evaluated.
+"""
+
+from __future__ import annotations
+
+import traceback
+import warnings
+from collections import OrderedDict, deque
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..models import build_model
+from ..tensor import clear_alloc_hooks
+from ..train import accuracy, evaluate_logits
+from .ingredients import _graph_from_payload, _graph_to_payload, _mp_context
+from .shm import SharedGraphBuffer, SharedPoolBuffer, attach_graph, attach_pool
+
+__all__ = [
+    "EVAL_KINDS",
+    "EvalServiceError",
+    "EvalTask",
+    "EvalService",
+    "mix_candidate",
+    "score_candidate",
+    "stack_flat_states",
+]
+
+#: Result kinds a task may request.
+EVAL_KINDS = ("acc", "logits")
+
+#: Named node splits a task may score on.
+SPLITS = ("train", "val", "test")
+
+
+class EvalServiceError(RuntimeError):
+    """The evaluation service lost workers without making progress."""
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """Picklable spec of one candidate evaluation.
+
+    Exactly one of ``weights`` (a mix over the shipped flat-state stack)
+    or ``state`` (an explicit ``(name, array)`` state tuple) is set.
+    ``split``/``indices`` select the nodes scored; ``kind`` chooses the
+    result: the scalar accuracy, or the logits at those nodes (full-graph
+    logits when neither is given).
+    """
+
+    req_id: int
+    weights: np.ndarray | None = None
+    groups: np.ndarray | None = None  # per-parameter group ids for [N, G] weights
+    state: tuple | None = None  # ((name, ndarray), ...) explicit candidate
+    split: str | None = "val"
+    indices: np.ndarray | None = None
+    kind: str = "acc"
+
+
+def stack_flat_states(states: list[dict]) -> tuple[np.ndarray, tuple[tuple[str, tuple[int, ...]], ...]]:
+    """``([N, D] float64 stack, ((name, shape), ...))`` of a pool's states.
+
+    Row ``i`` is ingredient ``i``'s parameters flattened in state-dict
+    order — the working representation both the shared-memory transport
+    and :func:`mix_candidate` operate on.
+    """
+    if not states:
+        raise ValueError("cannot stack zero states")
+    names = list(states[0].keys())
+    params = tuple(
+        (str(name), tuple(int(s) for s in np.asarray(states[0][name]).shape)) for name in names
+    )
+    flats = np.stack(
+        [
+            np.concatenate(
+                [np.ascontiguousarray(sd[name], dtype=np.float64).ravel() for name in names]
+            )
+            for sd in states
+        ]
+    )
+    return flats, params
+
+
+def mix_candidate(
+    flats: np.ndarray,
+    params: tuple[tuple[str, tuple[int, ...]], ...],
+    weights: np.ndarray,
+    groups: np.ndarray | None = None,
+) -> "OrderedDict[str, np.ndarray]":
+    """Materialise a candidate state dict from the flat-state stack.
+
+    ``weights`` is either ``[N]`` (one scalar per ingredient — Eq. (3)
+    with a single group) or ``[N, G]`` paired with ``groups``, the
+    per-parameter group-id vector (``len(params)`` entries), in which case
+    each parameter's slice is mixed with its group's weight column.
+
+    This is the one mixing kernel shared by every evaluator backend — the
+    determinism contract across serial/thread/process rides on it.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n, total = flats.shape
+    if weights.ndim == 1:
+        if weights.shape[0] != n:
+            raise ValueError(f"weights length {weights.shape[0]} != pool size {n}")
+        vec = weights @ flats
+    elif weights.ndim == 2:
+        if groups is None:
+            raise ValueError("[N, G] weights need the per-parameter groups vector")
+        groups = np.asarray(groups, dtype=np.int64)
+        if weights.shape[0] != n:
+            raise ValueError(f"weights rows {weights.shape[0]} != pool size {n}")
+        if len(groups) != len(params):
+            raise ValueError(f"groups length {len(groups)} != parameter count {len(params)}")
+        vec = np.empty(total, dtype=np.float64)
+        offset = 0
+        for (_name, shape), g in zip(params, groups):
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            vec[offset : offset + size] = weights[:, int(g)] @ flats[:, offset : offset + size]
+            offset += size
+    else:
+        raise ValueError(f"weights must be [N] or [N, G], got ndim={weights.ndim}")
+
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    offset = 0
+    for name, shape in params:
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        out[name] = vec[offset : offset + size].reshape(shape)
+        offset += size
+    if offset != total:
+        raise ValueError(f"parameter spec covers {offset} values, stack rows hold {total}")
+    return out
+
+
+def score_candidate(
+    model,
+    graph: Graph,
+    state: dict,
+    split: str | None = "val",
+    indices: np.ndarray | None = None,
+    kind: str = "acc",
+):
+    """Load ``state`` into ``model`` and score it on one node selection.
+
+    ``kind="acc"`` returns the accuracy at ``indices`` (or the named
+    ``split``); ``kind="logits"`` returns the logits there — the full
+    logits matrix when neither is given. The model is owned by the
+    evaluator, so no caller-visible state is mutated.
+    """
+    if kind not in EVAL_KINDS:
+        raise ValueError(f"unknown eval kind {kind!r}; choose from {EVAL_KINDS}")
+    model.load_state_dict(state)
+    logits = evaluate_logits(model, graph)
+    if indices is not None:
+        idx = np.asarray(indices)
+    elif split is not None:
+        if split not in SPLITS:
+            raise ValueError(f"unknown split {split!r}; choose from {SPLITS}")
+        idx = {"train": graph.train_idx, "val": graph.val_idx, "test": graph.test_idx}[split]
+    else:
+        idx = None
+    if kind == "logits":
+        return logits if idx is None else logits[idx]
+    if idx is None:
+        raise ValueError("accuracy scoring needs a split or an indices array")
+    return accuracy(logits[idx], graph.labels[idx])
+
+
+# ---------------------------------------------------------------------------
+# worker entry point
+# ---------------------------------------------------------------------------
+
+
+def _eval_worker_main(worker_id, task_queue, result_writer, result_lock, graph_ref, pool_ref, model_config):
+    """Body of one persistent evaluation worker process.
+
+    Attaches the graph and the flat-state stack once (shared memory when
+    available), builds its working model from the pool's architecture
+    config, then pulls :class:`EvalTask` specs until the ``None``
+    sentinel. Messages use the same synchronous lock-guarded pipe as the
+    Phase-1 dynamic queue, so a ``claim`` is durable even if the worker
+    hard-dies on the very next instruction.
+    """
+
+    def put(message):
+        with result_lock:
+            result_writer.send(message)
+
+    # a worker forked while the driver's MemoryMeter was active inherits
+    # its alloc hooks; worker allocations are not the driver's measurement
+    clear_alloc_hooks()
+    if graph_ref["kind"] == "shm":
+        attached_graph = attach_graph(graph_ref["spec"])
+        graph = attached_graph.graph
+    else:
+        graph = _graph_from_payload(graph_ref["payload"])
+    if pool_ref["kind"] == "shm":
+        attached_pool = attach_pool(pool_ref["spec"])
+        flats, params = attached_pool.flats, attached_pool.spec.params
+    else:
+        flats, params = pool_ref["flats"], pool_ref["params"]
+    model = build_model(**model_config)
+
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        put(("claim", worker_id, task.req_id))
+        try:
+            if task.state is not None:
+                state = dict(task.state)
+            else:
+                state = mix_candidate(flats, params, task.weights, task.groups)
+            value = score_candidate(model, graph, state, task.split, task.indices, task.kind)
+        except BaseException:
+            put(("error", worker_id, task.req_id, traceback.format_exc()))
+        else:
+            put(("done", worker_id, task.req_id, value))
+
+
+# ---------------------------------------------------------------------------
+# driver-side service
+# ---------------------------------------------------------------------------
+
+
+class EvalService:
+    """Persistent pool of candidate-evaluation worker processes.
+
+    One service is created per (pool, graph) pair and reused across every
+    batch — and, via the shared evaluator, across every souping method of
+    an experiment cell. ``run`` dispatches one batch of tasks and returns
+    results in request order; a worker that dies mid-batch is replaced
+    and its claimed task re-queued (bounded by a respawn budget so a pool
+    that keeps dying raises instead of spinning).
+    """
+
+    def __init__(
+        self,
+        model_config: dict,
+        graph: Graph,
+        flats: np.ndarray,
+        params: tuple[tuple[str, tuple[int, ...]], ...],
+        num_workers: int = 4,
+        shm: bool = True,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one evaluation worker")
+        self.num_workers = int(num_workers)
+        self._ctx = _mp_context()
+        self._graph_buffer = None
+        self._pool_buffer = None
+        graph_ref: dict | None = None
+        pool_ref: dict | None = None
+        if shm:
+            try:
+                self._graph_buffer = SharedGraphBuffer.create(graph)
+                graph_ref = {"kind": "shm", "spec": self._graph_buffer.spec}
+                self._pool_buffer = SharedPoolBuffer.create(flats, params)
+                pool_ref = {"kind": "shm", "spec": self._pool_buffer.spec}
+            except Exception as exc:  # pragma: no cover - platform-dependent
+                warnings.warn(
+                    f"shared-memory transport unavailable for the eval service ({exc!r}); "
+                    "falling back to pickled payloads",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._release_buffers()
+                graph_ref = pool_ref = None
+        if graph_ref is None:
+            graph_ref = {"kind": "arrays", "payload": _graph_to_payload(graph)}
+            pool_ref = {"kind": "arrays", "flats": flats, "params": params}
+        self._graph_ref, self._pool_ref = graph_ref, pool_ref
+        self._model_config = dict(model_config)
+        self._task_queue = self._ctx.SimpleQueue()
+        self._result_reader, self._result_writer = self._ctx.Pipe(duplex=False)
+        self._result_lock = self._ctx.Lock()
+        self._workers: dict[int, object] = {}
+        self._next_worker_id = 0
+        self._next_req = 0  # service-unique request ids (stale-message guard)
+        self._closed = False
+        for _ in range(self.num_workers):
+            self._spawn_worker()
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        proc = self._ctx.Process(
+            target=_eval_worker_main,
+            args=(
+                self._next_worker_id, self._task_queue, self._result_writer,
+                self._result_lock, self._graph_ref, self._pool_ref, self._model_config,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self._workers[self._next_worker_id] = proc
+        self._next_worker_id += 1
+
+    def _release_buffers(self) -> None:
+        if self._graph_buffer is not None:
+            self._graph_buffer.unlink()
+            self._graph_buffer = None
+        if self._pool_buffer is not None:
+            self._pool_buffer.unlink()
+            self._pool_buffer = None
+
+    # -- batch dispatch ------------------------------------------------------
+
+    def run(self, tasks: list[EvalTask]) -> list:
+        """Evaluate one batch; results come back in request order.
+
+        The task pipe is fed a few specs ahead of demand (explicit-state
+        candidates can be large, and ``SimpleQueue.put`` is a blocking
+        pipe write), mirroring the Phase-1 dynamic queue's backlog.
+
+        Robustness: request ids are rewritten to be unique across the
+        service's lifetime, so messages left over from an earlier batch
+        that aborted (a worker-side scoring error raises immediately,
+        possibly with siblings still in flight) are recognised as stale
+        and dropped instead of being mis-recorded as this batch's
+        results. A worker that dies *between* dequeuing a spec and
+        sending its ``claim`` swallows the spec with it; the recovery
+        path conservatively re-queues every unaccounted-for task —
+        evaluations are idempotent and results are keyed by request id,
+        so a duplicate execution wastes a forward pass, never correctness.
+        """
+        if self._closed:
+            raise RuntimeError("evaluation service is closed")
+        if not tasks:
+            return []
+        # service-unique ids: stale claim/done/error messages from an
+        # aborted earlier batch can never collide with this batch's
+        dispatch: list[EvalTask] = []
+        for task in tasks:
+            dispatch.append(replace(task, req_id=self._next_req))
+            self._next_req += 1
+        results: dict[int, object] = {}
+        in_flight: dict[int, EvalTask | None] = {}  # worker -> claimed (None = stale claim)
+        tasks_by_id = {task.req_id: task for task in dispatch}
+        backlog: deque[EvalTask] = deque(dispatch)
+        unclaimed = 0
+        # every legitimate death re-queues work; a pool dying more often
+        # than it completes work is a bug, not load
+        respawn_budget = self.num_workers + len(tasks)
+
+        def top_up():
+            nonlocal unclaimed
+            while backlog and unclaimed < self.num_workers + 2:
+                self._task_queue.put(backlog.popleft())
+                unclaimed += 1
+
+        def handle(message):
+            nonlocal unclaimed
+            kind, worker_id, req_id = message[0], message[1], message[2]
+            stale = req_id not in tasks_by_id
+            if kind == "claim":
+                in_flight[worker_id] = None if stale else tasks_by_id[req_id]
+                if not stale:
+                    unclaimed = max(0, unclaimed - 1)
+                top_up()
+            elif kind == "done":
+                in_flight.pop(worker_id, None)
+                if not stale:
+                    results[req_id] = message[3]
+            else:  # "error": an exception inside scoring is a bug, not a fault
+                in_flight.pop(worker_id, None)
+                if not stale:
+                    raise RuntimeError(
+                        f"evaluation task {req_id} raised in a worker:\n{message[3]}"
+                    )
+
+        top_up()
+        while len(results) < len(tasks):
+            if self._result_reader.poll(0.2):
+                handle(self._result_reader.recv())
+                continue
+            dead = [wid for wid, proc in self._workers.items() if not proc.is_alive()]
+            if not dead:
+                continue
+            # a dead worker sent its messages synchronously before dying —
+            # drain them first so its claim entry is authoritative
+            while self._result_reader.poll(0):
+                handle(self._result_reader.recv())
+            lost_unclaimed = False
+            for worker_id in dead:
+                proc = self._workers.pop(worker_id, None)
+                if proc is None:
+                    continue
+                proc.join()
+                if worker_id in in_flight:
+                    claimed = in_flight.pop(worker_id)
+                    if claimed is not None and claimed.req_id not in results:
+                        backlog.append(claimed)
+                else:
+                    # died with no claim on record: it may have dequeued a
+                    # spec it never acknowledged
+                    lost_unclaimed = True
+                if respawn_budget <= 0:
+                    raise EvalServiceError(
+                        "evaluation workers kept dying without making progress"
+                    )
+                respawn_budget -= 1
+                self._spawn_worker()
+            if lost_unclaimed:
+                # re-queue every task not finished, not claimed by a live
+                # worker and not already queued for re-dispatch; a task
+                # that was in fact still sitting in the shared queue runs
+                # twice (idempotent, results keyed by id), a swallowed one
+                # is recovered instead of hanging the batch forever
+                accounted = {t.req_id for t in in_flight.values() if t is not None}
+                accounted.update(t.req_id for t in backlog)
+                backlog.extend(
+                    t for t in dispatch
+                    if t.req_id not in results and t.req_id not in accounted
+                )
+                unclaimed = 0
+            top_up()
+        return [results[task.req_id] for task in dispatch]
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and release the shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for _ in self._workers:
+                self._task_queue.put(None)
+            for proc in self._workers.values():
+                proc.join(timeout=10)
+        finally:
+            for proc in self._workers.values():
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+            self._workers.clear()
+            self._result_reader.close()
+            self._result_writer.close()
+            self._task_queue.close()
+            self._release_buffers()
+
+    def __enter__(self) -> "EvalService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

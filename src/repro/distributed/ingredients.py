@@ -73,6 +73,7 @@ from ..graph.csr import CSR
 from ..graph.graph import Graph
 from ..models import build_model
 from ..nn import Module
+from ..tensor import clear_alloc_hooks
 from ..train import TrainConfig, TrainResult, train_model
 from .checkpoint import CheckpointStore, run_fingerprint
 from .faults import FaultPlan, SimulatedWorkerFault
@@ -316,15 +317,22 @@ _WORKER_STORE: CheckpointStore | None = None
 _WORKER_CKPT_EVERY: int = 0
 
 
-def _worker_init(graph_ref: dict, store_args: tuple[str, str] | None = None, checkpoint_every: int = 0) -> None:
+def _worker_init(graph_ref: dict, store_args: tuple | None = None, checkpoint_every: int = 0) -> None:
     global _WORKER_GRAPH, _WORKER_SHM, _WORKER_STORE, _WORKER_CKPT_EVERY
+    # a worker forked while a MemoryMeter was active inherits its alloc
+    # hooks; worker allocations are not the driver's measurement
+    clear_alloc_hooks()
     if graph_ref["kind"] == "shm":
         _WORKER_SHM = attach_graph(graph_ref["spec"])
         _WORKER_GRAPH = _WORKER_SHM.graph
     else:
         _WORKER_GRAPH = _graph_from_payload(graph_ref["payload"])
     _WORKER_STORE = (
-        CheckpointStore(store_args[0], store_args[1], sweep_stale=False) if store_args else None
+        CheckpointStore(
+            store_args[0], store_args[1], sweep_stale=False, keep_epochs=store_args[2]
+        )
+        if store_args
+        else None
     )
     _WORKER_CKPT_EVERY = int(checkpoint_every)
 
@@ -741,7 +749,11 @@ def _execute_tasks(
             store.save(task.index, result)
             store.clear_epoch(task.index)
 
-    store_args = (str(store.directory.parent), store.fingerprint) if store is not None else None
+    store_args = (
+        (str(store.directory.parent), store.fingerprint, store.keep_epochs)
+        if store is not None
+        else None
+    )
 
     shm_buffer = None
     graph_ref: dict | None = None
@@ -836,6 +848,7 @@ def train_ingredients(
     epoch_jitter: int = 0,
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int = 0,
+    checkpoint_keep: int = 1,
     resume: bool = False,
     max_retries: int = 2,
     fault_plan: FaultPlan | dict[int, int] | None = None,
@@ -873,6 +886,11 @@ def train_ingredients(
         state every N epochs (0 disables), so an interrupted task resumes
         mid-ingredient instead of retraining from epoch 1. Requires
         ``checkpoint_dir``.
+    checkpoint_keep:
+        Epoch snapshots retained per ingredient (default 1: only the
+        rolling latest). Values > 1 keep an epoch-stamped history as
+        insurance against a torn final write; the store GCs any history
+        beyond this budget on every open.
     resume:
         Skip tasks already checkpointed under ``checkpoint_dir`` by a run
         with the same fingerprint (config + graph + seeds), and restart
@@ -901,6 +919,8 @@ def train_ingredients(
         raise ValueError("max_retries cannot be negative")
     if checkpoint_every < 0:
         raise ValueError("checkpoint_every cannot be negative")
+    if checkpoint_keep < 1:
+        raise ValueError("checkpoint_keep must be >= 1")
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires a checkpoint_dir")
     if checkpoint_every > 0 and checkpoint_dir is None:
@@ -952,7 +972,7 @@ def train_ingredients(
     preloaded: dict[int, TrainResult] = {}
     if checkpoint_dir is not None:
         fingerprint = run_fingerprint(model_config, graph, task_cfgs, seeds)
-        store = CheckpointStore(checkpoint_dir, fingerprint)
+        store = CheckpointStore(checkpoint_dir, fingerprint, keep_epochs=checkpoint_keep)
         if resume:
             preloaded = store.completed(n_ingredients)
             for index in preloaded:

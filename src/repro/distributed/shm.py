@@ -38,7 +38,14 @@ import numpy as np
 from ..graph.csr import CSR
 from ..graph.graph import Graph
 
-__all__ = ["SharedGraphBuffer", "SharedGraphSpec", "attach_graph"]
+__all__ = [
+    "SharedGraphBuffer",
+    "SharedGraphSpec",
+    "SharedPoolBuffer",
+    "SharedPoolSpec",
+    "attach_graph",
+    "attach_pool",
+]
 
 # offsets are aligned so every ndarray view starts on a cache line
 _ALIGN = 64
@@ -190,6 +197,98 @@ def attach_graph(spec: SharedGraphSpec) -> _AttachedGraph:
         name=spec.graph_name,
     )
     return _AttachedGraph(shm, graph)
+
+
+@dataclass(frozen=True)
+class SharedPoolSpec:
+    """Picklable descriptor of an ingredient pool's stacked flat states.
+
+    The payload is one ``[N, D]`` float64 matrix — ingredient ``i``'s full
+    parameter vector flattened into row ``i`` — plus the ``(name, shape)``
+    spec needed to unflatten a mixed row back into a state dict. Workers
+    of the Phase-2 evaluation service mix candidates directly from views
+    into this matrix instead of unpickling N state dicts per task.
+    """
+
+    shm_name: str
+    shape: tuple[int, int]  # (n_ingredients, total_params)
+    params: tuple[tuple[str, tuple[int, ...]], ...]  # (name, shape) in state-dict order
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes of the stacked flat states."""
+        return int(np.dtype(np.float64).itemsize) * int(np.prod(self.shape, dtype=np.int64))
+
+
+class SharedPoolBuffer:
+    """Creator-side owner of one pool's shared flat-state segment.
+
+    Same lifecycle contract as :class:`SharedGraphBuffer`: the creator
+    (the evaluation-service driver) owns and eventually unlinks the
+    segment; workers attach untracked, zero-copy views and only close
+    their mapping.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: SharedPoolSpec) -> None:
+        self._shm = shm
+        self.spec = spec
+        self._released = False
+
+    @classmethod
+    def create(cls, flats: np.ndarray, params) -> "SharedPoolBuffer":
+        """Pack a ``[N, D]`` float64 flat-state stack into a fresh segment."""
+        flats = np.ascontiguousarray(flats, dtype=np.float64)
+        if flats.ndim != 2:
+            raise ValueError(f"flat-state stack must be [N, D], got shape {flats.shape}")
+        shm = shared_memory.SharedMemory(create=True, size=max(flats.nbytes, 1))
+        view = np.ndarray(flats.shape, dtype=np.float64, buffer=shm.buf)
+        view[...] = flats
+        spec = SharedPoolSpec(
+            shm_name=shm.name,
+            shape=(int(flats.shape[0]), int(flats.shape[1])),
+            params=tuple((str(name), tuple(int(s) for s in shape)) for name, shape in params),
+        )
+        return cls(shm, spec)
+
+    def unlink(self) -> None:
+        """Close and remove the segment (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked by a concurrent cleanup
+            pass
+
+    def __enter__(self) -> "SharedPoolBuffer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.unlink()
+
+
+class _AttachedPool:
+    """Worker-side handle: the flat-state view plus the segment reference."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, flats: np.ndarray, spec: SharedPoolSpec) -> None:
+        self._shm = shm
+        self.flats = flats
+        self.spec = spec
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.flats = None
+            self._shm.close()
+
+
+def attach_pool(spec: SharedPoolSpec) -> _AttachedPool:
+    """Attach to the segment named by ``spec``; ``.flats`` is a zero-copy view."""
+    shm = _attach_untracked(spec.shm_name)
+    flats = np.ndarray(spec.shape, dtype=np.float64, buffer=shm.buf)
+    return _AttachedPool(shm, flats, spec)
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:

@@ -18,6 +18,7 @@ from pathlib import Path
 
 from ..distributed import EXECUTORS, QUEUES
 from ..graph import dataset_names, load_dataset
+from ..soup import SOUP_EXECUTORS
 from .cache import get_or_train_pool
 from .config import PAPER_ARCHS, make_spec
 from .figures import render_fig3, render_fig4a, render_fig4b
@@ -77,6 +78,18 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         action="store_true",
         help="skip finished ingredients in --checkpoint-dir and continue interrupted ones",
     )
+    parser.add_argument(
+        "--soup-executor",
+        default="serial",
+        choices=list(SOUP_EXECUTORS),
+        help="Phase-2 candidate-evaluation backend shared by every method × rotation",
+    )
+    parser.add_argument(
+        "--soup-workers",
+        type=int,
+        default=4,
+        help="evaluation workers for --soup-executor thread/process",
+    )
     return parser.parse_args(argv)
 
 
@@ -110,7 +123,16 @@ def _run_grid(args: argparse.Namespace):
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
         )
-        results.append(run_cell(spec, graph=graph, pool=pool, n_soups=args.soups))
+        results.append(
+            run_cell(
+                spec,
+                graph=graph,
+                pool=pool,
+                n_soups=args.soups,
+                soup_executor=args.soup_executor,
+                soup_workers=args.soup_workers,
+            )
+        )
     return results
 
 

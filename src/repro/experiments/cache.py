@@ -106,15 +106,16 @@ def get_or_train_pool(
     shm: bool = True,
     checkpoint_dir: str | os.PathLike | None = None,
     checkpoint_every: int = 0,
+    checkpoint_keep: int = 1,
     resume: bool = False,
 ) -> IngredientPool:
     """Load the spec's pool from cache, training and persisting on a miss.
 
     ``executor``/``queue``/``shm``/``checkpoint_dir``/``checkpoint_every``/
-    ``resume`` pass through to :func:`repro.distributed.train_ingredients`
-    on a miss; none of them enter the cache key because the determinism
-    contract makes the pool identical across executors, queue disciplines
-    and graph transports.
+    ``checkpoint_keep``/``resume`` pass through to
+    :func:`repro.distributed.train_ingredients` on a miss; none of them
+    enter the cache key because the determinism contract makes the pool
+    identical across executors, queue disciplines and graph transports.
     """
     path = cache_dir() / (pool_cache_key(spec, graph_seed, graph.num_nodes) + ".npz")
     if path.exists():
@@ -131,6 +132,7 @@ def get_or_train_pool(
         shm=shm,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
+        checkpoint_keep=checkpoint_keep,
         resume=resume,
         **spec.ingredient_kwargs(),
     )

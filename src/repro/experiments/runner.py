@@ -14,6 +14,7 @@ One *cell* is an (architecture, dataset) pair. Running a cell means:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,7 +23,7 @@ from ..distributed.ingredients import IngredientPool
 from ..graph import load_dataset
 from ..graph.graph import Graph
 from ..graph.partition import partition_graph
-from ..soup import SoupResult, gis_soup, learned_soup, partition_learned_soup, uniform_soup
+from ..soup import SoupResult, gis_soup, learned_soup, make_evaluator, partition_learned_soup, uniform_soup
 from ..soup.api import SOUP_METHODS
 from .cache import get_or_train_pool
 from .config import ExperimentSpec
@@ -106,18 +107,23 @@ class CellResult:
         return self.stats[method].peak_mean / gis_peak if gis_peak > 0 else float("inf")
 
 
-def _rotated(pool: IngredientPool, soup_index: int) -> IngredientPool:
+def _rotation_indices(pool: IngredientPool, soup_index: int) -> list[int] | None:
     """Leave-one-out rotation: soup ``s`` drops ingredient ``s mod N``.
 
-    Soup 0 uses the full pool; later repetitions drop one ingredient each,
-    giving every method (including deterministic US/GIS) a distribution of
-    outcomes without retraining anything.
+    Soup 0 uses the full pool (``None``); later repetitions drop one
+    ingredient each, giving every method (including deterministic US/GIS)
+    a distribution of outcomes without retraining anything.
     """
     if soup_index == 0 or len(pool) <= 2:
-        return pool
+        return None
     drop = (soup_index - 1) % len(pool)
-    keep = [i for i in range(len(pool)) if i != drop]
-    return pool.subset(keep)
+    return [i for i in range(len(pool)) if i != drop]
+
+
+def _rotated(pool: IngredientPool, soup_index: int) -> IngredientPool:
+    """The rotated sub-pool itself (see :func:`_rotation_indices`)."""
+    keep = _rotation_indices(pool, soup_index)
+    return pool if keep is None else pool.subset(keep)
 
 
 def run_cell(
@@ -133,12 +139,26 @@ def run_cell(
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 0,
     resume: bool = False,
+    soup_executor: str = "serial",
+    soup_workers: int = 4,
 ) -> CellResult:
     """Execute one cell; ``graph``/``pool`` injectable for tests and benches.
 
     ``executor``/``queue``/``shm``/``checkpoint_dir``/``checkpoint_every``/
     ``resume`` govern Phase-1 training on a pool-cache miss (see
     :func:`repro.experiments.cache.get_or_train_pool`).
+
+    ``soup_executor``/``soup_workers`` govern Phase 2: one shared
+    candidate evaluator (see :func:`repro.soup.make_evaluator`) serves
+    every method × soup-rotation of the cell — its worker pool and
+    shared-memory segments are spawned once, rotations attach as sub-pool
+    views — and on a parallel backend the independent (method, rotation)
+    jobs are additionally dispatched concurrently. Results are
+    bit-identical to the serial path per the evaluator's determinism
+    contract. Measurements are not: a concurrently-dispatched job's
+    ``soup_time`` absorbs time spent waiting on the shared evaluator, and
+    peak-memory attribution counts only the job's own thread — use the
+    serial dispatch for paper-grade Table III / Fig. 4b numbers.
     """
     graph = graph if graph is not None else load_dataset(spec.dataset, seed=graph_seed)
     pool = (
@@ -172,23 +192,49 @@ def run_cell(
             seed=spec.base_seed,
         )
 
-    stats = {m: MethodStats(m) for m in methods}
-    for s in range(n_soups):
-        subpool = _rotated(pool, s)
-        for method in methods:
+    with make_evaluator(pool, graph, backend=soup_executor, num_workers=soup_workers) as shared_ev:
+        # per-rotation evaluator views (sub-pool weights zero-expand onto
+        # the shared backend); built once, reused by every method
+        rotations = []
+        for s in range(n_soups):
+            keep = _rotation_indices(pool, s)
+            subpool = pool if keep is None else pool.subset(keep)
+            ev = shared_ev if keep is None else shared_ev.subset(keep)
+            rotations.append((subpool, ev))
+
+        def run_one(s: int, method: str) -> SoupResult:
+            subpool, ev = rotations[s]
             if method == "us":
-                result = uniform_soup(subpool, graph)
-            elif method == "gis":
-                result = gis_soup(subpool, graph, granularity=spec.gis_granularity)
-            elif method == "ls":
-                result = learned_soup(subpool, graph, spec.ls_config(seed=spec.base_seed + s))
-            elif method == "pls":
-                result = partition_learned_soup(
-                    subpool, graph, spec.pls_config(seed=spec.base_seed + s), partition=partition
+                return uniform_soup(subpool, graph, evaluator=ev)
+            if method == "gis":
+                return gis_soup(subpool, graph, granularity=spec.gis_granularity, evaluator=ev)
+            if method == "ls":
+                return learned_soup(
+                    subpool, graph, spec.ls_config(seed=spec.base_seed + s), evaluator=ev
                 )
-            else:
-                result = SOUP_METHODS[method](subpool, graph)
-            stats[method].add(result)
+            if method == "pls":
+                return partition_learned_soup(
+                    subpool,
+                    graph,
+                    spec.pls_config(seed=spec.base_seed + s),
+                    partition=partition,
+                    evaluator=ev,
+                )
+            return SOUP_METHODS[method](subpool, graph, evaluator=ev)
+
+        jobs = [(s, method) for s in range(n_soups) for method in methods]
+        if soup_executor != "serial" and soup_workers > 1 and len(jobs) > 1:
+            # independent jobs drive the shared evaluator concurrently; the
+            # evaluator serialises batches, so candidate streams from
+            # different jobs interleave onto one warm worker pool
+            with ThreadPoolExecutor(max_workers=min(soup_workers, len(jobs))) as dispatch:
+                results = list(dispatch.map(lambda job: run_one(*job), jobs))
+        else:
+            results = [run_one(s, method) for s, method in jobs]
+
+    stats = {m: MethodStats(m) for m in methods}
+    for (s, method), result in zip(jobs, results):
+        stats[method].add(result)
 
     return CellResult(
         spec=spec,
@@ -210,6 +256,8 @@ def run_grid(
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 0,
     resume: bool = False,
+    soup_executor: str = "serial",
+    soup_workers: int = 4,
 ) -> list[CellResult]:
     """Run many cells (the full paper grid is 12)."""
     results = []
@@ -228,6 +276,8 @@ def run_grid(
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_every=checkpoint_every,
                 resume=resume,
+                soup_executor=soup_executor,
+                soup_workers=soup_workers,
             )
         )
     return results

@@ -20,6 +20,7 @@ testbed. An analytic cross-check model lives in
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 import numpy as np
@@ -31,6 +32,13 @@ __all__ = ["MemoryMeter"]
 
 class MemoryMeter:
     """Context manager measuring peak live bytes during a code region.
+
+    The alloc-hook registry is process-global, so a meter is **owned by
+    the thread that entered it**: tensor allocations from other threads
+    (e.g. a concurrently-running souping method in the runner's parallel
+    dispatch) are ignored, and the counters themselves are lock-guarded
+    because tensor finalizers run on whatever thread drops the last
+    reference.
 
     Examples
     --------
@@ -46,6 +54,8 @@ class MemoryMeter:
         self.peak = 0
         self._active = False
         self._seen_buffers: set[int] = set()
+        self._owner: int | None = None
+        self._lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -53,6 +63,7 @@ class MemoryMeter:
         self.current = 0
         self.peak = 0
         self._seen_buffers.clear()
+        self._owner = threading.get_ident()
         register_alloc_hook(self)
         self._active = True
         return self
@@ -66,20 +77,26 @@ class MemoryMeter:
 
     def on_alloc(self, tensor) -> None:
         """Called by Tensor.__init__ while this meter is registered."""
+        if self._owner is not None and threading.get_ident() != self._owner:
+            return  # another thread's souping run; not this measurement
         data = tensor.data
         base = data.base if data.base is not None else data
         key = id(base)
-        if key in self._seen_buffers:
-            return  # a view over an already-counted buffer
-        self._seen_buffers.add(key)
-        nbytes = int(base.nbytes)
-        self._add(nbytes)
+        with self._lock:
+            if key in self._seen_buffers:
+                return  # a view over an already-counted buffer
+            self._seen_buffers.add(key)
+            # the base of a shared-memory view is an mmap, not an ndarray —
+            # fall back to the view's own extent there
+            nbytes = int(base.nbytes) if isinstance(base, np.ndarray) else int(data.nbytes)
+            self._add_locked(nbytes)
         weakref.finalize(tensor, self._release_buffer, key, nbytes)
 
     def _release_buffer(self, key: int, nbytes: int) -> None:
-        if key in self._seen_buffers:
-            self._seen_buffers.discard(key)
-            self.current -= nbytes
+        with self._lock:
+            if key in self._seen_buffers:
+                self._seen_buffers.discard(key)
+                self.current -= nbytes
 
     # -- explicit registration ------------------------------------------------------
 
@@ -114,7 +131,8 @@ class MemoryMeter:
                 return self_inner
 
             def __exit__(self_inner, *exc):
-                meter.current -= int(nbytes)
+                with meter._lock:
+                    meter.current -= int(nbytes)
                 return False
 
         return _Transient()
@@ -122,6 +140,10 @@ class MemoryMeter:
     # -- internals --------------------------------------------------------------------
 
     def _add(self, nbytes: int) -> None:
+        with self._lock:
+            self._add_locked(nbytes)
+
+    def _add_locked(self, nbytes: int) -> None:
         self.current += nbytes
         if self.current > self.peak:
             self.peak = self.current

@@ -8,6 +8,15 @@ ensembles. Contributions: :func:`learned_soup` (LS, Algorithm 3) and
 """
 
 from .base import SoupResult, eval_state
+from .engine import (
+    SOUP_EXECUTORS,
+    Candidate,
+    Evaluator,
+    ProcessEvaluator,
+    SerialEvaluator,
+    ThreadEvaluator,
+    make_evaluator,
+)
 from .state import (
     average,
     interpolate,
@@ -38,6 +47,13 @@ from .api import SOUP_METHODS, soup, soup_method_names
 __all__ = [
     "SoupResult",
     "eval_state",
+    "SOUP_EXECUTORS",
+    "Candidate",
+    "Evaluator",
+    "SerialEvaluator",
+    "ThreadEvaluator",
+    "ProcessEvaluator",
+    "make_evaluator",
     "average",
     "interpolate",
     "weighted_sum",

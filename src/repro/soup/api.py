@@ -12,6 +12,7 @@ from typing import Callable
 from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph
 from .base import SoupResult
+from .engine import Evaluator
 from .budget import radin_greedy_soup
 from .ensemble import logit_ensemble, vote_ensemble
 from .extensions import diversity_weighted_soup, finetuned_soup, ingredient_dropout_soup
@@ -48,8 +49,19 @@ def soup_method_names(paper_only: bool = False) -> list[str]:
     return list(SOUP_METHODS.keys())
 
 
-def soup(method: str, pool: IngredientPool, graph: Graph, **kwargs) -> SoupResult:
-    """Run one souping method by name."""
+def soup(
+    method: str,
+    pool: IngredientPool,
+    graph: Graph,
+    evaluator: Evaluator | None = None,
+    **kwargs,
+) -> SoupResult:
+    """Run one souping method by name.
+
+    ``evaluator`` is the shared candidate-evaluation engine (see
+    :func:`repro.soup.engine.make_evaluator`); every registered method
+    accepts it, so one thread/process evaluator can serve a whole sweep.
+    """
     if method not in SOUP_METHODS:
         raise KeyError(f"unknown souping method {method!r}; available: {soup_method_names()}")
-    return SOUP_METHODS[method](pool, graph, **kwargs)
+    return SOUP_METHODS[method](pool, graph, evaluator=evaluator, **kwargs)

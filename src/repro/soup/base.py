@@ -37,15 +37,29 @@ class SoupResult:
     def __post_init__(self) -> None:
         if self.soup_time < 0:
             raise ValueError("soup_time cannot be negative")
+        if self.peak_memory < 0:
+            raise ValueError("peak_memory cannot be negative")
 
 
-def eval_state(model: Module, state: dict, graph: Graph, split: str = "test") -> float:
-    """Accuracy of a state dict on one split of the graph."""
+def eval_state(
+    model: Module, state: dict, graph: Graph, split: str = "test", restore: bool = True
+) -> float:
+    """Accuracy of a state dict on one split of the graph.
+
+    The model is only borrowed: its prior parameters are restored before
+    returning (``restore=False`` skips the snapshot/restore round-trip for
+    callers that own the model and do not care what it holds afterwards).
+    """
     if split not in ("train", "val", "test"):
         raise ValueError(f"unknown split {split!r}")
-    model.load_state_dict(state)
     idx = {"train": graph.train_idx, "val": graph.val_idx, "test": graph.test_idx}[split]
-    logits = evaluate_logits(model, graph)
+    previous = model.state_dict() if restore else None
+    model.load_state_dict(state)
+    try:
+        logits = evaluate_logits(model, graph)
+    finally:
+        if previous is not None:
+            model.load_state_dict(previous)
     return accuracy(logits[idx], graph.labels[idx])
 
 

@@ -12,7 +12,8 @@ first-order argument is the original Model Soups motivation).
 :func:`radin_greedy_soup` is Algorithm 1 with that substitution:
 
 * N cached forward passes up front (one per ingredient — the floor any
-  informed method pays),
+  informed method pays), issued as **one evaluator batch** of
+  logits-kind candidates so they parallelise across evaluation workers;
 * greedy membership scored on the **cached-logit ensemble** at zero
   additional forward passes,
 * an optional *true-evaluation budget*: up to ``eval_budget`` forward
@@ -31,9 +32,9 @@ import numpy as np
 
 from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph
-from ..train import accuracy, evaluate_logits
-from .base import SoupResult, eval_state, instrumented
-from .state import average
+from ..train import accuracy
+from .base import SoupResult, instrumented
+from .engine import Candidate, Evaluator, basis_weights, evaluation, member_weights
 
 __all__ = ["radin_greedy_soup"]
 
@@ -42,6 +43,7 @@ def radin_greedy_soup(
     pool: IngredientPool,
     graph: Graph,
     eval_budget: int = 0,
+    evaluator: Evaluator | None = None,
 ) -> SoupResult:
     """Greedy soup with ensemble-approximated candidate scoring.
 
@@ -55,68 +57,69 @@ def radin_greedy_soup(
     """
     if eval_budget < 0:
         raise ValueError("eval_budget cannot be negative")
-    model = pool.make_model()
-    val_idx = graph.val_idx
-    val_labels = graph.labels[val_idx]
+    n = len(pool)
+    val_labels = graph.labels[graph.val_idx]
     forward_passes = 0
 
-    with instrumented("radin", pool, graph) as probe:
-        # -- N caching passes: per-ingredient validation logits -------------
-        cached: list[np.ndarray] = []
-        for state in pool.states:
-            model.load_state_dict(state)
-            cached.append(evaluate_logits(model, graph)[val_idx])
-            forward_passes += 1
-        for arr in cached:
-            probe.track_array(arr)
+    with evaluation(evaluator, pool, graph) as ev:
+        with instrumented("radin", pool, graph) as probe:
+            # -- N caching passes: per-ingredient validation logits, as one
+            # parallel evaluator batch --------------------------------------
+            cached = ev.evaluate(
+                [Candidate(weights=basis_weights(n, i), split="val", kind="logits") for i in range(n)]
+            )
+            forward_passes += n
+            for arr in cached:
+                probe.track_array(arr)
 
-        def proxy_acc(members: list[int]) -> float:
-            """Accuracy of the cached-logit ensemble of ``members``."""
-            mean_logits = np.mean([cached[i] for i in members], axis=0)
-            return accuracy(mean_logits, val_labels)
+            def proxy_acc(members: list[int]) -> float:
+                """Accuracy of the cached-logit ensemble of ``members``."""
+                mean_logits = np.mean([cached[i] for i in members], axis=0)
+                return accuracy(mean_logits, val_labels)
 
-        def true_acc(members: list[int]) -> float:
-            nonlocal forward_passes
-            model.load_state_dict(average([pool.states[i] for i in members]))
-            forward_passes += 1
-            return accuracy(evaluate_logits(model, graph)[val_idx], val_labels)
+            def true_acc(members: list[int]) -> float:
+                nonlocal forward_passes
+                forward_passes += 1
+                return ev.accuracy_of(weights=member_weights(n, members), split="val")
 
-        order = pool.order_by_val()
-        members: list[int] = [int(order[0])]
-        best_proxy = proxy_acc(members)
-        best_true: float | None = None
-        budget_left = eval_budget
-        confirmations = vetoes = 0
-        for idx in order[1:]:
-            candidate = members + [int(idx)]
-            cand_proxy = proxy_acc(candidate)
-            if cand_proxy < best_proxy:
-                continue
-            if budget_left > 0:
-                # confirm on the real averaged model before committing
-                if best_true is None:
-                    best_true = true_acc(members)
-                    budget_left -= 1
-                if budget_left == 0:
-                    members, best_proxy = candidate, cand_proxy
+            order = pool.order_by_val()
+            members: list[int] = [int(order[0])]
+            best_proxy = proxy_acc(members)
+            best_true: float | None = None
+            budget_left = eval_budget
+            confirmations = vetoes = 0
+            for idx in order[1:]:
+                candidate = members + [int(idx)]
+                cand_proxy = proxy_acc(candidate)
+                if cand_proxy < best_proxy:
                     continue
-                cand_true = true_acc(candidate)
-                budget_left -= 1
-                confirmations += 1
-                if cand_true >= best_true:
-                    members, best_proxy, best_true = candidate, cand_proxy, cand_true
+                if budget_left > 0:
+                    # confirm on the real averaged model before committing
+                    if best_true is None:
+                        best_true = true_acc(members)
+                        budget_left -= 1
+                    if budget_left == 0:
+                        members, best_proxy = candidate, cand_proxy
+                        continue
+                    cand_true = true_acc(candidate)
+                    budget_left -= 1
+                    confirmations += 1
+                    if cand_true >= best_true:
+                        members, best_proxy, best_true = candidate, cand_proxy, cand_true
+                    else:
+                        vetoes += 1
                 else:
-                    vetoes += 1
-            else:
-                members, best_proxy = candidate, cand_proxy
-        soup_state = average([pool.states[i] for i in members])
-        probe.track_state_dict(soup_state)
+                    members, best_proxy = candidate, cand_proxy
+            soup_w = member_weights(n, members)
+            soup_state = ev.mix(soup_w)
+            probe.track_state_dict(soup_state)
+        val_acc, test_acc = ev.final_scores(weights=soup_w)
 
     return SoupResult(
         method="radin",
         state_dict=soup_state,
-        val_acc=eval_state(model, soup_state, graph, "val"),
-        test_acc=eval_state(model, soup_state, graph, "test"),
+        val_acc=val_acc,
+        test_acc=test_acc,
         soup_time=probe.elapsed,
         peak_memory=probe.peak,
         extras={
@@ -126,6 +129,6 @@ def radin_greedy_soup(
             "eval_budget": eval_budget,
             "confirmations": confirmations,
             "vetoes": vetoes,
-            "n_ingredients": len(pool),
+            "n_ingredients": n,
         },
     )

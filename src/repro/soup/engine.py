@@ -1,0 +1,455 @@
+"""Shared candidate-evaluation engine for every souping method (Phase 2).
+
+Every Phase-2 algorithm reduces its inner loop to "score this candidate
+on a node split": GIS line-searches an interpolation-ratio grid, greedy
+souping scores tentative member sets, RADIN confirms accepted candidates,
+LS/PLS select among restarts, the extensions score per-epoch mixtures.
+This module gives all of them one :class:`Evaluator` with three backends:
+
+* ``"serial"``  — one in-process model (the default; zero overhead);
+* ``"thread"``  — a thread pool over per-thread models (GIL-bound, but
+  overlaps BLAS releases);
+* ``"process"`` — the :class:`~repro.distributed.eval_service.EvalService`
+  worker pool: candidates cross the process boundary as tiny weight
+  vectors and are mixed zero-copy from the pool's shared-memory flat-state
+  stack.
+
+Candidates are preferentially expressed as **mix specs** — an ``[N]`` (or
+``[N, G]`` + groups) weight vector over the ingredient pool — because
+every linear soup is one; explicit state dicts are the fallback for
+non-linear candidates (masked sparse soups, fine-tuned states).
+
+Determinism contract: all backends share one mixing kernel
+(:func:`~repro.distributed.eval_service.mix_candidate`) and one scoring
+routine, so for a fixed seed every souping method returns bit-identical
+``SoupResult.state_dict`` / ``val_acc`` across serial × thread × process.
+Wall-time and peak-memory *measurements* naturally differ (that is the
+point); only the results are contractual.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue as queue_mod
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..distributed.eval_service import (
+    EVAL_KINDS,
+    EvalService,
+    EvalTask,
+    mix_candidate,
+    score_candidate,
+    stack_flat_states,
+)
+from ..distributed.ingredients import IngredientPool
+from ..graph.graph import Graph
+
+__all__ = [
+    "SOUP_EXECUTORS",
+    "Candidate",
+    "Evaluator",
+    "SerialEvaluator",
+    "ThreadEvaluator",
+    "ProcessEvaluator",
+    "make_evaluator",
+    "evaluation",
+    "basis_weights",
+    "member_weights",
+    "uniform_weights",
+]
+
+#: Evaluator backends accepted by :func:`make_evaluator` (and the
+#: ``--soup-executor`` CLI flag).
+SOUP_EXECUTORS = ("serial", "thread", "process")
+
+_SPLITS = ("train", "val", "test")
+
+
+def basis_weights(n: int, index: int) -> np.ndarray:
+    """Mix spec selecting exactly ingredient ``index`` (one-hot)."""
+    weights = np.zeros(n)
+    weights[index] = 1.0
+    return weights
+
+
+def uniform_weights(n: int) -> np.ndarray:
+    """Mix spec of the uniform soup: equal mass on every ingredient."""
+    return np.full(n, 1.0 / n)
+
+
+def member_weights(n: int, members: list[int]) -> np.ndarray:
+    """Mix spec of the uniform average over a member subset."""
+    weights = np.zeros(n)
+    weights[members] = 1.0 / len(members)
+    return weights
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluation request: a candidate state and a node selection.
+
+    Exactly one of ``weights`` (mix spec over the evaluator's pool) or
+    ``state`` (explicit state dict) must be given. ``[N, G]`` weights need
+    ``groups``, the per-parameter group-id vector. ``indices`` overrides
+    the named ``split``; ``kind="logits"`` returns logits at the selected
+    nodes instead of the scalar accuracy.
+    """
+
+    weights: np.ndarray | None = None
+    groups: np.ndarray | None = None
+    state: dict | None = None
+    split: str | None = "val"
+    indices: np.ndarray | None = None
+    kind: str = "acc"
+
+    def __post_init__(self) -> None:
+        if (self.weights is None) == (self.state is None):
+            raise ValueError("exactly one of weights/state must be set")
+        if self.weights is not None:
+            w = np.asarray(self.weights)
+            if w.ndim not in (1, 2):
+                raise ValueError(f"weights must be [N] or [N, G], got ndim={w.ndim}")
+            if w.ndim == 2 and self.groups is None:
+                raise ValueError("[N, G] weights need the per-parameter groups vector")
+        if self.kind not in EVAL_KINDS:
+            raise ValueError(f"unknown eval kind {self.kind!r}; choose from {EVAL_KINDS}")
+        if self.indices is None:
+            if self.split is None and self.kind == "acc":
+                raise ValueError("accuracy candidates need a split or an indices array")
+            if self.split is not None and self.split not in _SPLITS:
+                raise ValueError(f"unknown split {self.split!r}; choose from {_SPLITS}")
+
+
+class Evaluator:
+    """Base evaluator: owns the pool's flat-state stack and a scoring lock.
+
+    Subclasses implement ``_evaluate``; everything else — candidate
+    validation, mixing, the subset view used by leave-one-out rotations,
+    thread-safe batch submission — is shared. Evaluators own their models,
+    so no caller-held model is ever mutated by souping.
+    """
+
+    backend = "serial"
+
+    def __init__(self, pool: IngredientPool, graph: Graph) -> None:
+        self.pool = pool
+        self.graph = graph
+        self._flats: np.ndarray | None = None
+        self._params = None
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # -- pool views ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pool)
+
+    def _ensure_flats(self) -> None:
+        if self._flats is None:
+            self._flats, self._params = stack_flat_states(self.pool.states)
+
+    @property
+    def flats(self) -> np.ndarray:
+        """The pool's ``[N, D]`` stacked flat states (built lazily once)."""
+        self._ensure_flats()
+        return self._flats
+
+    @property
+    def param_spec(self):
+        """``((name, shape), ...)`` unflattening spec for :attr:`flats`."""
+        self._ensure_flats()
+        return self._params
+
+    @property
+    def batch_width(self) -> int:
+        """How many candidates the backend scores concurrently (speculation
+        hint for lookahead loops; 1 for the serial backend)."""
+        return 1
+
+    def subset(self, indices) -> "SubsetEvaluator":
+        """A view evaluating candidates over a sub-pool (e.g. a
+        leave-one-out rotation) on this evaluator's backend — sub-pool
+        weight vectors are zero-expanded to the full pool, so the shared
+        worker pool and shm segments are reused as-is."""
+        return SubsetEvaluator(self, indices)
+
+    # -- mixing --------------------------------------------------------------
+
+    def mix(self, weights: np.ndarray, groups: np.ndarray | None = None) -> dict:
+        """Materialise the state dict of a mix spec (driver-side)."""
+        return mix_candidate(self.flats, self.param_spec, weights, groups)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, candidates) -> list:
+        """Score a batch of :class:`Candidate`; results in request order.
+
+        Thread-safe: concurrent method drivers (the runner's method ×
+        rotation fan-out) serialise at the batch level and share the
+        backend's worker pool across batches.
+        """
+        candidates = list(candidates)
+        for cand in candidates:
+            if cand.weights is not None and np.asarray(cand.weights).shape[0] != len(self):
+                raise ValueError(
+                    f"candidate weights are over {np.asarray(cand.weights).shape[0]} "
+                    f"ingredients, evaluator pool holds {len(self)}"
+                )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("evaluator is closed")
+            if not candidates:
+                return []
+            return self._evaluate(candidates)
+
+    def _evaluate(self, candidates: list[Candidate]) -> list:
+        raise NotImplementedError
+
+    # -- conveniences --------------------------------------------------------
+
+    def accuracy_of(self, weights=None, state=None, groups=None, split="val", indices=None) -> float:
+        """Score one candidate (sugar around a single-element batch)."""
+        return self.evaluate(
+            [Candidate(weights=weights, state=state, groups=groups, split=split, indices=indices)]
+        )[0]
+
+    def final_scores(self, weights=None, state=None, groups=None) -> tuple[float, float]:
+        """``(val_acc, test_acc)`` of a finished soup, as one batch."""
+        return tuple(
+            self.evaluate(
+                [
+                    Candidate(weights=weights, state=state, groups=groups, split="val"),
+                    Candidate(weights=weights, state=state, groups=groups, split="test"),
+                ]
+            )
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; serial holds none)."""
+        self._closed = True
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SerialEvaluator(Evaluator):
+    """In-process evaluation on one lazily-built model — the default."""
+
+    backend = "serial"
+
+    def __init__(self, pool: IngredientPool, graph: Graph) -> None:
+        super().__init__(pool, graph)
+        self._model = None
+
+    def _evaluate(self, candidates: list[Candidate]) -> list:
+        if self._model is None:
+            self._model = self.pool.make_model()
+        out = []
+        for cand in candidates:
+            state = cand.state if cand.state is not None else self.mix(cand.weights, cand.groups)
+            out.append(
+                score_candidate(self._model, self.graph, state, cand.split, cand.indices, cand.kind)
+            )
+        return out
+
+
+class ThreadEvaluator(Evaluator):
+    """Thread-pool evaluation over a borrow-pool of per-thread models."""
+
+    backend = "thread"
+
+    def __init__(self, pool: IngredientPool, graph: Graph, num_workers: int = 4) -> None:
+        super().__init__(pool, graph)
+        if num_workers < 1:
+            raise ValueError("need at least one evaluation worker")
+        self.num_workers = int(num_workers)
+        self._executor: ThreadPoolExecutor | None = None
+        self._models: queue_mod.LifoQueue = queue_mod.LifoQueue()
+
+    @property
+    def batch_width(self) -> int:
+        return self.num_workers
+
+    def _score_one(self, cand: Candidate):
+        try:
+            model = self._models.get_nowait()
+        except queue_mod.Empty:
+            model = self.pool.make_model()
+        try:
+            state = cand.state if cand.state is not None else self.mix(cand.weights, cand.groups)
+            return score_candidate(model, self.graph, state, cand.split, cand.indices, cand.kind)
+        finally:
+            self._models.put(model)
+
+    def _evaluate(self, candidates: list[Candidate]) -> list:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.num_workers)
+        return list(self._executor.map(self._score_one, candidates))
+
+    def close(self) -> None:
+        super().close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ProcessEvaluator(Evaluator):
+    """Multiprocess evaluation through the shared-memory eval service."""
+
+    backend = "process"
+
+    def __init__(
+        self, pool: IngredientPool, graph: Graph, num_workers: int = 4, shm: bool = True
+    ) -> None:
+        super().__init__(pool, graph)
+        if num_workers < 1:
+            raise ValueError("need at least one evaluation worker")
+        self.num_workers = int(num_workers)
+        self.shm = bool(shm)
+        self._service: EvalService | None = None
+
+    @property
+    def batch_width(self) -> int:
+        return self.num_workers
+
+    def _ensure_service(self) -> EvalService:
+        if self._service is None:
+            self._service = EvalService(
+                self.pool.model_config,
+                self.graph,
+                self.flats,
+                self.param_spec,
+                num_workers=self.num_workers,
+                shm=self.shm,
+            )
+        return self._service
+
+    def _evaluate(self, candidates: list[Candidate]) -> list:
+        service = self._ensure_service()
+        tasks = [
+            EvalTask(
+                req_id=i,
+                weights=None if cand.weights is None else np.asarray(cand.weights, dtype=np.float64),
+                groups=None if cand.groups is None else np.asarray(cand.groups, dtype=np.int64),
+                state=None if cand.state is None else tuple(cand.state.items()),
+                split=cand.split,
+                indices=cand.indices,
+                kind=cand.kind,
+            )
+            for i, cand in enumerate(candidates)
+        ]
+        return service.run(tasks)
+
+    def close(self) -> None:
+        super().close()
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+
+
+class SubsetEvaluator(Evaluator):
+    """View over a base evaluator restricted to a sub-pool.
+
+    Weight vectors over the subset are zero-expanded to the base pool —
+    exact in floating point (adding ``0.0 * x`` terms is lossless for
+    finite values) — so rotations share the base backend's workers and
+    shared-memory segments instead of respawning per rotation.
+    """
+
+    def __init__(self, base: Evaluator, indices) -> None:
+        self._base = base
+        self._indices = np.asarray(list(indices), dtype=np.int64)
+        if len(np.unique(self._indices)) != len(self._indices):
+            raise ValueError("subset indices must be unique")
+        if self._indices.size and (
+            self._indices.min() < 0 or self._indices.max() >= len(base)
+        ):
+            raise ValueError("subset indices out of range for the base pool")
+        super().__init__(base.pool.subset(self._indices), base.graph)
+        self.backend = base.backend
+
+    @property
+    def batch_width(self) -> int:
+        return self._base.batch_width
+
+    def _expand_weights(self, weights) -> np.ndarray:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim == 1:
+            full = np.zeros(len(self._base), dtype=np.float64)
+        else:
+            full = np.zeros((len(self._base), w.shape[1]), dtype=np.float64)
+        full[self._indices] = w
+        return full
+
+    def _expand(self, cand: Candidate) -> Candidate:
+        if cand.weights is None:
+            return cand
+        return replace(cand, weights=self._expand_weights(cand.weights))
+
+    def evaluate(self, candidates) -> list:
+        candidates = list(candidates)
+        for cand in candidates:
+            if cand.weights is not None and np.asarray(cand.weights).shape[0] != len(self):
+                raise ValueError(
+                    f"candidate weights are over {np.asarray(cand.weights).shape[0]} "
+                    f"ingredients, subset holds {len(self)}"
+                )
+        return self._base.evaluate([self._expand(c) for c in candidates])
+
+    def mix(self, weights: np.ndarray, groups: np.ndarray | None = None) -> dict:
+        return self._base.mix(self._expand_weights(weights), groups)
+
+    def close(self) -> None:
+        # a view never owns the base backend; only mark itself closed
+        self._closed = True
+
+
+def make_evaluator(
+    pool: IngredientPool,
+    graph: Graph,
+    backend: str = "serial",
+    num_workers: int = 4,
+    shm: bool = True,
+) -> Evaluator:
+    """Construct an evaluator for ``(pool, graph)`` on the chosen backend."""
+    if backend not in SOUP_EXECUTORS:
+        raise ValueError(f"unknown soup executor {backend!r}; choose from {SOUP_EXECUTORS}")
+    if backend == "thread":
+        return ThreadEvaluator(pool, graph, num_workers=num_workers)
+    if backend == "process":
+        return ProcessEvaluator(pool, graph, num_workers=num_workers, shm=shm)
+    return SerialEvaluator(pool, graph)
+
+
+@contextlib.contextmanager
+def evaluation(evaluator: Evaluator | None, pool: IngredientPool, graph: Graph):
+    """Resolve the evaluator a souping method runs on.
+
+    ``None`` (the default everywhere) builds a throwaway serial evaluator
+    — the pre-engine behaviour. A caller-provided evaluator is validated
+    against the method's pool/graph and **not** closed here: its owner
+    (CLI, runner, benchmark) manages its lifetime across methods.
+    """
+    if evaluator is None:
+        ev = SerialEvaluator(pool, graph)
+        try:
+            yield ev
+        finally:
+            ev.close()
+        return
+    if len(evaluator) != len(pool):
+        raise ValueError(
+            f"evaluator pool holds {len(evaluator)} ingredients, method pool {len(pool)}"
+        )
+    if evaluator.graph is not graph:
+        raise ValueError("evaluator was built for a different graph object")
+    yield evaluator

@@ -13,8 +13,9 @@ import numpy as np
 
 from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph
-from ..train import accuracy, evaluate_logits
+from ..train import accuracy
 from .base import SoupResult, instrumented
+from .engine import Candidate, Evaluator, basis_weights, evaluation
 
 __all__ = ["logit_ensemble", "vote_ensemble"]
 
@@ -25,22 +26,25 @@ def _softmax(logits: np.ndarray) -> np.ndarray:
     return e / e.sum(axis=-1, keepdims=True)
 
 
-def _all_logits(pool: IngredientPool, graph: Graph) -> np.ndarray:
-    """``[N, n, C]`` logits of every ingredient (N full forward passes)."""
-    model = pool.make_model()
-    outs = []
-    for state in pool.states:
-        model.load_state_dict(state)
-        outs.append(evaluate_logits(model, graph))
+def _all_logits(ev, n: int) -> np.ndarray:
+    """``[N, n, C]`` logits of every ingredient (N full forward passes, as
+    one evaluator batch of basis-vector mix specs)."""
+
+    outs = ev.evaluate(
+        [Candidate(weights=basis_weights(n, i), split=None, kind="logits") for i in range(n)]
+    )
     return np.stack(outs)
 
 
-def logit_ensemble(pool: IngredientPool, graph: Graph) -> SoupResult:
+def logit_ensemble(
+    pool: IngredientPool, graph: Graph, evaluator: Evaluator | None = None
+) -> SoupResult:
     """Average the ingredients' softmax probabilities (soft voting)."""
-    with instrumented("ensemble-logit", pool, graph) as probe:
-        logits = _all_logits(pool, graph)
-        probs = _softmax(logits).mean(axis=0)
-        probe.track_array(probs)
+    with evaluation(evaluator, pool, graph) as ev:
+        with instrumented("ensemble-logit", pool, graph) as probe:
+            logits = _all_logits(ev, len(pool))
+            probs = _softmax(logits).mean(axis=0)
+            probe.track_array(probs)
     val, test = graph.val_idx, graph.test_idx
     return SoupResult(
         method="ensemble-logit",
@@ -53,14 +57,16 @@ def logit_ensemble(pool: IngredientPool, graph: Graph) -> SoupResult:
     )
 
 
-def vote_ensemble(pool: IngredientPool, graph: Graph) -> SoupResult:
+def vote_ensemble(
+    pool: IngredientPool, graph: Graph, evaluator: Evaluator | None = None
+) -> SoupResult:
     """Majority vote over the ingredients' argmax predictions.
 
     Ties resolve toward the lowest class id (deterministic, like
     ``np.argmax`` over the vote histogram).
     """
-    with instrumented("ensemble-vote", pool, graph) as probe:
-        logits = _all_logits(pool, graph)
+    with evaluation(evaluator, pool, graph) as ev, instrumented("ensemble-vote", pool, graph) as probe:
+        logits = _all_logits(ev, len(pool))
         preds = logits.argmax(axis=-1)  # [N, n]
         n_nodes = preds.shape[1]
         votes = np.zeros((n_nodes, graph.num_classes), dtype=np.int64)

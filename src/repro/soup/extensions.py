@@ -28,8 +28,8 @@ from ..graph.graph import Graph
 from ..nn import cross_entropy, functional_params
 from ..optim import SGD, ConstantLR, CosineAnnealingLR
 from ..tensor import Tensor
-from ..train import accuracy
-from .base import SoupResult, eval_state, instrumented
+from .base import SoupResult, instrumented
+from .engine import Candidate, Evaluator, evaluation
 from .learned import (
     SoupConfig,
     alpha_weights,
@@ -38,7 +38,7 @@ from .learned import (
     split_validation,
 )
 from .learned import learned_soup as learned_soup_fn
-from .state import flatten_state, layer_groups, weighted_sum
+from .state import layer_groups
 
 __all__ = [
     "DropoutSoupConfig",
@@ -80,7 +80,10 @@ def _prune_weights(weights: np.ndarray, threshold: float) -> np.ndarray:
 
 
 def ingredient_dropout_soup(
-    pool: IngredientPool, graph: Graph, cfg: DropoutSoupConfig | None = None
+    pool: IngredientPool,
+    graph: Graph,
+    cfg: DropoutSoupConfig | None = None,
+    evaluator: Evaluator | None = None,
 ) -> SoupResult:
     """LS with per-epoch ingredient masking and final alpha pruning.
 
@@ -88,6 +91,13 @@ def ingredient_dropout_soup(
     (their alpha column treated as -inf), forcing the survivors to carry
     the soup — the learned analogue of dropout, aimed at the paper's
     small-graph failure mode where bad ingredients cannot be zeroed.
+
+    The per-epoch holdout scores never feed back into the descent (they
+    only select the best epoch), so every epoch's *unmasked* deployment
+    mixture is recorded during the loop and scored afterwards as **one
+    evaluator batch** — the sampled mixtures parallelise across the
+    evaluation workers while the selection stays bit-identical to the
+    sequential loop (first strict maximum wins either way).
     """
     cfg = cfg or DropoutSoupConfig()
     rng = np.random.default_rng(cfg.seed)
@@ -96,70 +106,70 @@ def ingredient_dropout_soup(
     names = pool.param_names()
     group_ids, group_names = layer_groups(names, cfg.granularity)
     group_of = {name: int(g) for name, g in zip(names, group_ids)}
+    group_vec = np.asarray(group_ids, dtype=np.int64)
     alpha_train_idx, holdout_idx = split_validation(graph, cfg.holdout_fraction, rng)
     n = len(pool)
 
-    with instrumented("ls-dropout", pool, graph) as probe:
-        stacks = pool.stacked_params()
-        for stack in stacks.values():
-            probe.track_array(stack)
-        alphas = build_alpha(n, len(group_names), cfg, rng)
-        optimizer = SGD([alphas], lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
-        scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine else ConstantLR(optimizer)
-        features = Tensor(graph.features)
+    with evaluation(evaluator, pool, graph) as ev:
+        with instrumented("ls-dropout", pool, graph) as probe:
+            stacks = pool.stacked_params()
+            for stack in stacks.values():
+                probe.track_array(stack)
+            alphas = build_alpha(n, len(group_names), cfg, rng)
+            optimizer = SGD([alphas], lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+            scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine else ConstantLR(optimizer)
+            features = Tensor(graph.features)
 
-        best_holdout, best_alpha = -1.0, alphas.data.copy()
-        for _epoch in range(cfg.epochs):
-            keep = rng.random(n) >= cfg.ingredient_dropout
-            if not keep.any():
-                keep[rng.integers(n)] = True
-            # masked softmax: dropped ingredients get a -1e9 logit offset
-            if cfg.normalize == "none":
-                # unconstrained alphas: mask multiplicatively (an additive
-                # -inf offset only makes sense pre-normalisation)
-                weights = alphas * Tensor(keep.astype(np.float64)[:, None])
+            epoch_alphas: list[np.ndarray] = []
+            for _epoch in range(cfg.epochs):
+                keep = rng.random(n) >= cfg.ingredient_dropout
+                if not keep.any():
+                    keep[rng.integers(n)] = True
+                # masked softmax: dropped ingredients get a -1e9 logit offset
+                if cfg.normalize == "none":
+                    # unconstrained alphas: mask multiplicatively (an additive
+                    # -inf offset only makes sense pre-normalisation)
+                    weights = alphas * Tensor(keep.astype(np.float64)[:, None])
+                else:
+                    # masked normalisation: dropped ingredients get a -1e9
+                    # logit, which softmax sends to ~0 and sparsemax to exactly 0
+                    masked = alphas + Tensor(np.where(keep, 0.0, -1e9)[:, None])
+                    weights = alpha_weights(masked, cfg)
+                soup_params = combine_with_alphas(weights, stacks, group_of)
+                with functional_params(model, soup_params):
+                    logits = model(graph, features)
+                loss = cross_entropy(logits[alpha_train_idx], graph.labels[alpha_train_idx])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                scheduler.step()
+                epoch_alphas.append(alphas.data.copy())
+
+            if cfg.select_best:
+                # holdout uses the *unmasked* mixture (the deployment soup)
+                epoch_weights = [alpha_weights(Tensor(a), cfg).data for a in epoch_alphas]
+                holdout_accs = ev.evaluate(
+                    [
+                        Candidate(weights=w, groups=group_vec, indices=holdout_idx)
+                        for w in epoch_weights
+                    ]
+                )
+                best_alpha = epoch_alphas[int(np.argmax(holdout_accs))]
             else:
-                # masked normalisation: dropped ingredients get a -1e9
-                # logit, which softmax sends to ~0 and sparsemax to exactly 0
-                masked = alphas + Tensor(np.where(keep, 0.0, -1e9)[:, None])
-                weights = alpha_weights(masked, cfg)
-            soup_params = combine_with_alphas(weights, stacks, group_of)
-            with functional_params(model, soup_params):
-                logits = model(graph, features)
-            loss = cross_entropy(logits[alpha_train_idx], graph.labels[alpha_train_idx])
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            scheduler.step()
-            # holdout uses the *unmasked* mixture (the deployment soup)
-            eval_weights = alpha_weights(Tensor(alphas.data), cfg).data
-            eval_state_dict = {
-                name: np.tensordot(eval_weights[:, group_of[name]], stacks[name], axes=(0, 0))
-                for name in names
-            }
-            model.load_state_dict(eval_state_dict)
-            from ..train import evaluate_logits  # local import avoids cycle at module load
+                best_alpha = epoch_alphas[-1]
 
-            holdout_acc = accuracy(evaluate_logits(model, graph)[holdout_idx], graph.labels[holdout_idx])
-            if cfg.select_best and holdout_acc > best_holdout:
-                best_holdout, best_alpha = holdout_acc, alphas.data.copy()
-        if not cfg.select_best:
-            best_alpha = alphas.data.copy()
-
-        final_weights = alpha_weights(Tensor(best_alpha), cfg).data
-        if cfg.prune_threshold > 0.0:
-            final_weights = _prune_weights(final_weights, cfg.prune_threshold)
-        soup_state = OrderedDict(
-            (name, np.tensordot(final_weights[:, group_of[name]], stacks[name], axes=(0, 0)))
-            for name in names
-        )
-        probe.track_state_dict(soup_state)
+            final_weights = alpha_weights(Tensor(best_alpha), cfg).data
+            if cfg.prune_threshold > 0.0:
+                final_weights = _prune_weights(final_weights, cfg.prune_threshold)
+            soup_state = ev.mix(final_weights, groups=group_vec)
+            probe.track_state_dict(soup_state)
+        val_acc, test_acc = ev.final_scores(weights=final_weights, groups=group_vec)
 
     return SoupResult(
         method="ls-dropout",
         state_dict=soup_state,
-        val_acc=eval_state(model, soup_state, graph, "val"),
-        test_acc=eval_state(model, soup_state, graph, "test"),
+        val_acc=val_acc,
+        test_acc=test_acc,
         soup_time=probe.elapsed,
         peak_memory=probe.peak,
         extras={
@@ -173,7 +183,11 @@ def ingredient_dropout_soup(
 
 
 def diversity_weighted_soup(
-    pool: IngredientPool, graph: Graph, diversity_coef: float = 0.5, temperature: float = 0.05
+    pool: IngredientPool,
+    graph: Graph,
+    diversity_coef: float = 0.5,
+    temperature: float = 0.05,
+    evaluator: Evaluator | None = None,
 ) -> SoupResult:
     """Closed-form soup: weights from val accuracy *and* parameter diversity.
 
@@ -182,28 +196,30 @@ def diversity_weighted_soup(
     of ingredient i is ``softmax((acc_i + c * div_i) / T)`` where ``div_i``
     is its normalised L2 distance from the ingredient centroid — accurate
     *and* complementary ingredients get the most mass. One forward pass
-    per split to evaluate; no gradient descent.
+    per split to evaluate; no gradient descent. The evaluator's flat-state
+    stack doubles as the diversity workspace.
     """
     if temperature <= 0:
         raise ValueError("temperature must be positive")
-    model = pool.make_model()
-    with instrumented("diversity", pool, graph) as probe:
-        accs = np.asarray(pool.val_accs)
-        flats = np.stack([flatten_state(sd)[0] for sd in pool.states])
-        centroid = flats.mean(axis=0)
-        dists = np.linalg.norm(flats - centroid, axis=1)
-        div = dists / dists.max() if dists.max() > 0 else np.zeros_like(dists)
-        scores = accs + diversity_coef * div
-        logits = (scores - scores.max()) / temperature
-        weights = np.exp(logits)
-        weights /= weights.sum()
-        soup_state = weighted_sum(pool.states, weights)
-        probe.track_state_dict(soup_state)
+    with evaluation(evaluator, pool, graph) as ev:
+        with instrumented("diversity", pool, graph) as probe:
+            accs = np.asarray(pool.val_accs)
+            flats = ev.flats
+            centroid = flats.mean(axis=0)
+            dists = np.linalg.norm(flats - centroid, axis=1)
+            div = dists / dists.max() if dists.max() > 0 else np.zeros_like(dists)
+            scores = accs + diversity_coef * div
+            logits = (scores - scores.max()) / temperature
+            weights = np.exp(logits)
+            weights /= weights.sum()
+            soup_state = ev.mix(weights)
+            probe.track_state_dict(soup_state)
+        val_acc, test_acc = ev.final_scores(weights=weights)
     return SoupResult(
         method="diversity",
         state_dict=soup_state,
-        val_acc=eval_state(model, soup_state, graph, "val"),
-        test_acc=eval_state(model, soup_state, graph, "test"),
+        val_acc=val_acc,
+        test_acc=test_acc,
         soup_time=probe.elapsed,
         peak_memory=probe.peak,
         extras={"weights": weights, "diversity": div, "n_ingredients": len(pool)},
@@ -229,6 +245,7 @@ def finetuned_soup(
     finetune_epochs: int = 10,
     finetune_lr: float = 0.005,
     finetune_seed: int = 0,
+    evaluator: Evaluator | None = None,
 ) -> SoupResult:
     """LS followed by ordinary gradient descent on the *training* split.
 
@@ -246,26 +263,30 @@ def finetuned_soup(
 
     if finetune_epochs < 0:
         raise ValueError("finetune_epochs cannot be negative")
-    ls_result = learned_soup_fn(pool, graph, cfg)
-    model = pool.make_model()
-    model.load_state_dict(ls_result.state_dict)
-    with instrumented("ls-finetune", pool, graph) as probe:
-        if finetune_epochs:
-            ft = train_model(
-                model,
-                graph,
-                TrainConfig(epochs=finetune_epochs, lr=finetune_lr),
-                seed=finetune_seed,
-            )
-            soup_state = ft.state_dict
-        else:
-            soup_state = ls_result.state_dict
-        probe.track_state_dict(soup_state)
+    with evaluation(evaluator, pool, graph) as ev:
+        ls_result = learned_soup_fn(pool, graph, cfg, evaluator=ev)
+        model = pool.make_model()
+        model.load_state_dict(ls_result.state_dict)
+        with instrumented("ls-finetune", pool, graph) as probe:
+            if finetune_epochs:
+                ft = train_model(
+                    model,
+                    graph,
+                    TrainConfig(epochs=finetune_epochs, lr=finetune_lr),
+                    seed=finetune_seed,
+                )
+                soup_state = ft.state_dict
+            else:
+                soup_state = ls_result.state_dict
+            probe.track_state_dict(soup_state)
+        # the fine-tuned state is no longer a linear mix of the pool —
+        # it crosses to the evaluator as an explicit state candidate
+        val_acc, test_acc = ev.final_scores(state=soup_state)
     return SoupResult(
         method="ls-finetune",
         state_dict=soup_state,
-        val_acc=eval_state(model, soup_state, graph, "val"),
-        test_acc=eval_state(model, soup_state, graph, "test"),
+        val_acc=val_acc,
+        test_acc=test_acc,
         soup_time=ls_result.soup_time + probe.elapsed,
         peak_memory=max(ls_result.peak_memory, probe.peak),
         extras={

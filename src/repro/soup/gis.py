@@ -12,6 +12,13 @@ Cost: exactly ``(N - 1) * g`` full validation forward passes —
 eliminates. Since ``alpha = 0`` reproduces the current soup, validation
 accuracy is monotone non-decreasing across iterations (a property the
 test suite asserts).
+
+Because every GIS soup is a running linear combination of ingredients,
+the soup is tracked as a weight vector over the pool and each
+ingredient's whole ratio grid is scored as **one evaluator batch** of mix
+specs — on the process backend the ``g`` candidate states are mixed
+zero-copy inside the workers from the shared flat-state stack, so the
+line search (the paper's scaling bottleneck) parallelises freely.
 """
 
 from __future__ import annotations
@@ -21,9 +28,8 @@ import numpy as np
 from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph
 from ..graph.sampling import khop_subgraph
-from ..train import accuracy, evaluate_logits
-from .base import SoupResult, eval_state, instrumented
-from .state import interpolate
+from .base import SoupResult, instrumented
+from .engine import Candidate, Evaluator, basis_weights, evaluation
 
 __all__ = ["gis_soup"]
 
@@ -35,7 +41,8 @@ def _batched_val_evaluator(model, graph: Graph, batch_size: int):
     at the cost of extra time. Each validation batch is evaluated on its
     full L-hop induced neighbourhood, so accuracy is *identical* to the
     full-graph pass — only the peak activation footprint changes (and the
-    wall time grows, as the paper observes).
+    wall time grows, as the paper observes). This path stays in-process:
+    its point is the bounded-memory trade-off, not throughput.
     """
     val_idx = graph.val_idx
     hops = getattr(model, "num_layers", 2)
@@ -46,6 +53,8 @@ def _batched_val_evaluator(model, graph: Graph, batch_size: int):
         sub = graph.subgraph(nodes)
         positions = np.searchsorted(nodes, batch)
         blocks.append((sub, positions, graph.labels[batch]))
+
+    from ..train import evaluate_logits
 
     def val_acc_of(state: dict) -> float:
         model.load_state_dict(state)
@@ -60,7 +69,11 @@ def _batched_val_evaluator(model, graph: Graph, batch_size: int):
 
 
 def gis_soup(
-    pool: IngredientPool, graph: Graph, granularity: int = 20, val_batch_size: int | None = None
+    pool: IngredientPool,
+    graph: Graph,
+    granularity: int = 20,
+    val_batch_size: int | None = None,
+    evaluator: Evaluator | None = None,
 ) -> SoupResult:
     """Algorithm 2 with ``granularity`` interpolation ratios per ingredient.
 
@@ -71,52 +84,60 @@ def gis_soup(
         raise ValueError("granularity must be >= 2 (need at least {0, 1})")
     if val_batch_size is not None and val_batch_size < 1:
         raise ValueError("val_batch_size must be positive")
-    model = pool.make_model()
-    val_idx, val_labels = graph.val_idx, graph.labels[graph.val_idx]
+    n = len(pool)
     ratios = np.linspace(0.0, 1.0, granularity)
 
-    if val_batch_size is not None:
-        val_acc_of = _batched_val_evaluator(model, graph, val_batch_size)
-    else:
+    with evaluation(evaluator, pool, graph) as ev:
+        if val_batch_size is not None:
+            batched_scorer = _batched_val_evaluator(pool.make_model(), graph, val_batch_size)
 
-        def val_acc_of(state: dict) -> float:
-            model.load_state_dict(state)
-            return accuracy(evaluate_logits(model, graph)[val_idx], val_labels)
+            def eval_weight_batch(weight_list: list[np.ndarray]) -> list[float]:
+                return [batched_scorer(ev.mix(w)) for w in weight_list]
 
-    forward_passes = 0
-    with instrumented("gis", pool, graph) as probe:
-        order = pool.order_by_val()
-        soup = dict(pool.states[int(order[0])])
-        soup_val = val_acc_of(soup)
-        forward_passes += 1
-        chosen_ratios: list[float] = []
-        for idx in order[1:]:
-            ingredient = pool.states[int(idx)]
-            best_alpha = 0.0
-            best_val = soup_val
-            best_state = soup
-            for alpha in ratios:
-                candidate = interpolate(soup, ingredient, float(alpha))
-                cand_val = val_acc_of(candidate)
-                forward_passes += 1
-                if cand_val >= best_val:
-                    best_val, best_alpha, best_state = cand_val, float(alpha), candidate
-            soup, soup_val = best_state, best_val
-            chosen_ratios.append(best_alpha)
-        probe.track_state_dict(soup)
+        else:
+
+            def eval_weight_batch(weight_list: list[np.ndarray]) -> list[float]:
+                return ev.evaluate([Candidate(weights=w, split="val") for w in weight_list])
+
+        forward_passes = 0
+        with instrumented("gis", pool, graph) as probe:
+            order = pool.order_by_val()
+            soup_w = basis_weights(n, int(order[0]))
+            soup_val = eval_weight_batch([soup_w])[0]
+            forward_passes += 1
+            chosen_ratios: list[float] = []
+            for idx in order[1:]:
+                ingredient_w = basis_weights(n, int(idx))
+                grid = [(1.0 - alpha) * soup_w + alpha * ingredient_w for alpha in ratios]
+                accs = eval_weight_batch(grid)
+                forward_passes += granularity
+                best_alpha, best_val, best_w = 0.0, soup_val, soup_w
+                for alpha, cand_w, cand_val in zip(ratios, grid, accs):
+                    if cand_val >= best_val:
+                        best_val, best_alpha, best_w = cand_val, float(alpha), cand_w
+                soup_w, soup_val = best_w, best_val
+                chosen_ratios.append(best_alpha)
+            soup = ev.mix(soup_w)
+            probe.track_state_dict(soup)
+        test_acc = (
+            ev.accuracy_of(weights=soup_w, split="test")
+            if val_batch_size is None
+            else ev.accuracy_of(state=soup, split="test")
+        )
 
     return SoupResult(
         method="gis",
         state_dict=soup,
         val_acc=soup_val,
-        test_acc=eval_state(model, soup, graph, "test"),
+        test_acc=test_acc,
         soup_time=probe.elapsed,
         peak_memory=probe.peak,
         extras={
             "granularity": granularity,
             "chosen_ratios": chosen_ratios,
             "forward_passes": forward_passes,
-            "n_ingredients": len(pool),
+            "n_ingredients": n,
             "val_batch_size": val_batch_size,
+            "soup_weights": soup_w,
         },
     )

@@ -37,7 +37,8 @@ from ..nn import cross_entropy, functional_params
 from ..optim import SGD, ConstantLR, CosineAnnealingLR
 from ..tensor import Tensor, init as tensor_init, sparsemax, weighted_combine
 from ..train import accuracy
-from .base import SoupResult, eval_state, instrumented
+from .base import SoupResult, instrumented
+from .engine import Candidate, Evaluator, evaluation
 from .state import layer_groups
 
 __all__ = [
@@ -72,11 +73,14 @@ class SoupConfig:
     early_stopping: int = 0  # holdout patience in epochs; 0 disables (§VI-A suggestion)
     val_batch_size: int = 0  # nodes per alpha step; 0 = full validation slice (§VI-A)
     alpha_entropy_coef: float = 0.0  # penalise uniform mixtures; 0 disables (§VIII)
+    n_restarts: int = 1  # independent alpha-descent restarts (seeds seed..seed+R-1)
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if self.n_restarts < 1:
+            raise ValueError("n_restarts must be >= 1")
         if not 0.0 <= self.holdout_fraction < 1.0:
             raise ValueError("holdout_fraction must be in [0, 1)")
         if self.normalize not in ("softmax", "sparsemax", "none"):
@@ -168,85 +172,129 @@ def split_validation(
     return val_idx[perm[n_holdout:]], val_idx[perm[:n_holdout]]
 
 
-def learned_soup(pool: IngredientPool, graph: Graph, cfg: SoupConfig | None = None) -> SoupResult:
-    """Algorithm 3: gradient-descent souping on the full validation graph."""
-    cfg = cfg or SoupConfig()
-    rng = np.random.default_rng(cfg.seed)
-    model = pool.make_model()
-    model.eval()  # deterministic forward; dropout off for the alpha objective
-    names = pool.param_names()
-    group_ids, group_names = layer_groups(names, cfg.granularity)
-    group_of = {name: int(g) for name, g in zip(names, group_ids)}
+def _alpha_descent(
+    model,
+    graph: Graph,
+    stacks: dict,
+    group_of: dict[str, int],
+    n_groups: int,
+    n_ingredients: int,
+    cfg: SoupConfig,
+    seed: int,
+) -> tuple[np.ndarray, list[tuple[int, float, float]]]:
+    """One LS restart: Eq. (4) descent from ``seed``; returns the selected
+    alphas and the ``(epoch, loss, holdout_acc)`` history."""
+    rng = np.random.default_rng(seed)
     alpha_train_idx, holdout_idx = split_validation(graph, cfg.holdout_fraction, rng)
     train_labels = graph.labels[alpha_train_idx]
     holdout_labels = graph.labels[holdout_idx]
 
     history: list[tuple[int, float, float]] = []
-    with instrumented("ls", pool, graph) as probe:
-        stacks = pool.stacked_params()
-        for stack in stacks.values():
-            probe.track_array(stack)
-        alphas = build_alpha(len(pool), len(group_names), cfg, rng)
-        optimizer = SGD([alphas], lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
-        scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine else ConstantLR(optimizer)
-        features = Tensor(graph.features)
+    alphas = build_alpha(n_ingredients, n_groups, cfg, rng)
+    optimizer = SGD([alphas], lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+    scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine else ConstantLR(optimizer)
+    features = Tensor(graph.features)
 
-        best_holdout, best_alpha = -1.0, alphas.data.copy()
-        patience_left = cfg.early_stopping if cfg.early_stopping else None
-        batched = 0 < cfg.val_batch_size < len(alpha_train_idx)
-        for epoch in range(1, cfg.epochs + 1):
-            weights = alpha_weights(alphas, cfg)
-            soup_params = combine_with_alphas(weights, stacks, group_of)
-            with functional_params(model, soup_params):
-                logits = model(graph, features)
-            if batched:
-                # §VI-A: "techniques like minibatching to stabilize training" —
-                # each alpha step scores a fresh random subset of the
-                # validation nodes, trading gradient noise for robustness to
-                # the hyperparameter sensitivity the paper reports.
-                batch = rng.choice(alpha_train_idx, size=cfg.val_batch_size, replace=False)
-                loss = cross_entropy(logits[batch], graph.labels[batch])
-            else:
-                loss = cross_entropy(logits[alpha_train_idx], train_labels)
-            if cfg.alpha_entropy_coef:
-                loss = loss + entropy_penalty(weights) * cfg.alpha_entropy_coef
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            scheduler.step()
-            holdout_acc = accuracy(logits.data[holdout_idx], holdout_labels)
-            history.append((epoch, float(loss.data), holdout_acc))
-            if cfg.select_best and holdout_acc > best_holdout:
-                best_holdout, best_alpha = holdout_acc, alphas.data.copy()
-                if patience_left is not None:
-                    patience_left = cfg.early_stopping
-            elif patience_left is not None:
-                patience_left -= 1
-                if patience_left <= 0:
-                    break
-        if not cfg.select_best:
-            best_alpha = alphas.data.copy()
+    best_holdout, best_alpha = -1.0, alphas.data.copy()
+    patience_left = cfg.early_stopping if cfg.early_stopping else None
+    batched = 0 < cfg.val_batch_size < len(alpha_train_idx)
+    for epoch in range(1, cfg.epochs + 1):
+        weights = alpha_weights(alphas, cfg)
+        soup_params = combine_with_alphas(weights, stacks, group_of)
+        with functional_params(model, soup_params):
+            logits = model(graph, features)
+        if batched:
+            # §VI-A: "techniques like minibatching to stabilize training" —
+            # each alpha step scores a fresh random subset of the
+            # validation nodes, trading gradient noise for robustness to
+            # the hyperparameter sensitivity the paper reports.
+            batch = rng.choice(alpha_train_idx, size=cfg.val_batch_size, replace=False)
+            loss = cross_entropy(logits[batch], graph.labels[batch])
+        else:
+            loss = cross_entropy(logits[alpha_train_idx], train_labels)
+        if cfg.alpha_entropy_coef:
+            loss = loss + entropy_penalty(weights) * cfg.alpha_entropy_coef
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        scheduler.step()
+        holdout_acc = accuracy(logits.data[holdout_idx], holdout_labels)
+        history.append((epoch, float(loss.data), holdout_acc))
+        if cfg.select_best and holdout_acc > best_holdout:
+            best_holdout, best_alpha = holdout_acc, alphas.data.copy()
+            if patience_left is not None:
+                patience_left = cfg.early_stopping
+        elif patience_left is not None:
+            patience_left -= 1
+            if patience_left <= 0:
+                break
+    if not cfg.select_best:
+        best_alpha = alphas.data.copy()
+    return best_alpha, history
 
-        final_weights = alpha_weights(Tensor(best_alpha), cfg).data
-        soup_state = OrderedDict(
-            (name, np.tensordot(final_weights[:, group_of[name]], stacks[name], axes=(0, 0)))
-            for name in names
-        )
-        probe.track_state_dict(soup_state)
+
+def learned_soup(
+    pool: IngredientPool,
+    graph: Graph,
+    cfg: SoupConfig | None = None,
+    evaluator: Evaluator | None = None,
+) -> SoupResult:
+    """Algorithm 3: gradient-descent souping on the full validation graph.
+
+    With ``cfg.n_restarts > 1`` the alpha descent is repeated from seeds
+    ``cfg.seed .. cfg.seed + R - 1`` (fresh Xavier init *and* fresh
+    holdout split each time — LS is sensitive to both, §VI-A) and the
+    restart soups are scored on the validation split as **one evaluator
+    batch**; the best restart wins (ties: lowest seed).
+    """
+    cfg = cfg or SoupConfig()
+    model = pool.make_model()
+    model.eval()  # deterministic forward; dropout off for the alpha objective
+    names = pool.param_names()
+    group_ids, group_names = layer_groups(names, cfg.granularity)
+    group_of = {name: int(g) for name, g in zip(names, group_ids)}
+    group_vec = np.asarray(group_ids, dtype=np.int64)
+
+    with evaluation(evaluator, pool, graph) as ev:
+        with instrumented("ls", pool, graph) as probe:
+            stacks = pool.stacked_params()
+            for stack in stacks.values():
+                probe.track_array(stack)
+            restart_alphas: list[np.ndarray] = []
+            restart_histories: list[list[tuple[int, float, float]]] = []
+            for r in range(cfg.n_restarts):
+                best_alpha, history = _alpha_descent(
+                    model, graph, stacks, group_of, len(group_names), len(pool), cfg, cfg.seed + r
+                )
+                restart_alphas.append(best_alpha)
+                restart_histories.append(history)
+            restart_weights = [alpha_weights(Tensor(a), cfg).data for a in restart_alphas]
+            restart_val_accs = ev.evaluate(
+                [Candidate(weights=w, groups=group_vec, split="val") for w in restart_weights]
+            )
+            winner = int(np.argmax(restart_val_accs))
+            best_alpha = restart_alphas[winner]
+            final_weights = restart_weights[winner]
+            soup_state = ev.mix(final_weights, groups=group_vec)
+            probe.track_state_dict(soup_state)
+        test_acc = ev.accuracy_of(weights=final_weights, groups=group_vec, split="test")
 
     return SoupResult(
         method="ls",
         state_dict=soup_state,
-        val_acc=eval_state(model, soup_state, graph, "val"),
-        test_acc=eval_state(model, soup_state, graph, "test"),
+        val_acc=restart_val_accs[winner],
+        test_acc=test_acc,
         soup_time=probe.elapsed,
         peak_memory=probe.peak,
         extras={
             "alphas": best_alpha,
             "weights": final_weights,
             "group_names": group_names,
-            "history": history,
+            "history": restart_histories[winner],
             "n_ingredients": len(pool),
             "config": cfg,
+            "n_restarts": cfg.n_restarts,
+            "restart_val_accs": [float(a) for a in restart_val_accs],
+            "best_restart": winner,
         },
     )

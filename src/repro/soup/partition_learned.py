@@ -24,7 +24,6 @@ therefore *excluded* from the souping wall-time, but reported in extras.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,7 +37,8 @@ from ..optim import SGD, ConstantLR, CosineAnnealingLR
 from ..profiling import Timer
 from ..tensor import Tensor
 from ..train import accuracy
-from .base import SoupResult, eval_state, instrumented
+from .base import SoupResult, instrumented
+from .engine import Candidate, Evaluator, evaluation
 from .learned import (
     SoupConfig,
     alpha_weights,
@@ -84,13 +84,94 @@ class PLSConfig(SoupConfig):
         return num_possible_subgraphs(self.num_partitions, self.partition_budget)
 
 
+def _pls_descent(
+    model,
+    graph: Graph,
+    partition: PartitionResult,
+    stacks: dict,
+    group_of: dict[str, int],
+    n_groups: int,
+    n_ingredients: int,
+    cfg: PLSConfig,
+    seed: int,
+    probe,
+) -> tuple[np.ndarray, list[tuple[int, float, float]], int]:
+    """One PLS restart: Eq. (6) descent over random partition unions from
+    ``seed``; returns the selected alphas, history and skipped epochs."""
+    rng = np.random.default_rng(seed)
+    # the alpha-train/holdout split is defined on *global* node ids so the
+    # objective is consistent across epoch subgraphs
+    alpha_train_idx, holdout_idx = split_validation(graph, cfg.holdout_fraction, rng)
+    alpha_train_mask = np.zeros(graph.num_nodes, dtype=bool)
+    alpha_train_mask[alpha_train_idx] = True
+    holdout_mask = np.zeros(graph.num_nodes, dtype=bool)
+    holdout_mask[holdout_idx] = True
+
+    history: list[tuple[int, float, float]] = []
+    skipped_epochs = 0
+    alphas = build_alpha(n_ingredients, n_groups, cfg, rng)
+    optimizer = SGD([alphas], lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+    scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine else ConstantLR(optimizer)
+
+    best_holdout, best_alpha = -1.0, alphas.data.copy()
+    patience_left = cfg.early_stopping if cfg.early_stopping else None
+    for epoch in range(1, cfg.epochs + 1):
+        selected = select_partitions(cfg.num_partitions, cfg.partition_budget, rng)
+        sub, nodes = partition_union_subgraph(graph, partition.labels, selected)
+        sub_train = np.flatnonzero(alpha_train_mask[nodes])
+        sub_holdout = np.flatnonzero(holdout_mask[nodes])
+        if len(sub_train) == 0:
+            skipped_epochs += 1
+            scheduler.step()
+            continue
+        if 0 < cfg.val_batch_size < len(sub_train):
+            # composes with partition sampling: cap the per-epoch alpha
+            # objective at val_batch_size nodes (§VI-A minibatching)
+            sub_train = rng.choice(sub_train, size=cfg.val_batch_size, replace=False)
+        with probe.meter.transient(sub.nbytes):
+            weights = alpha_weights(alphas, cfg)
+            soup_params = combine_with_alphas(weights, stacks, group_of)
+            with functional_params(model, soup_params):
+                logits = model(sub, Tensor(sub.features))
+            loss = cross_entropy(logits[sub_train], sub.labels[sub_train])
+            if cfg.alpha_entropy_coef:
+                loss = loss + entropy_penalty(weights) * cfg.alpha_entropy_coef
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            scheduler.step()
+            holdout_acc = (
+                accuracy(logits.data[sub_holdout], sub.labels[sub_holdout]) if len(sub_holdout) else -1.0
+            )
+        history.append((epoch, float(loss.data), holdout_acc))
+        if cfg.select_best and holdout_acc > best_holdout:
+            best_holdout, best_alpha = holdout_acc, alphas.data.copy()
+            if patience_left is not None:
+                patience_left = cfg.early_stopping
+        elif patience_left is not None and holdout_acc >= 0:
+            patience_left -= 1
+            if patience_left <= 0:
+                break
+        # free the epoch subgraph before the next draw
+        del logits, loss, soup_params, sub
+    if not cfg.select_best or best_holdout < 0:
+        best_alpha = alphas.data.copy()
+    return best_alpha, history, skipped_epochs
+
+
 def partition_learned_soup(
     pool: IngredientPool,
     graph: Graph,
     cfg: PLSConfig | None = None,
     partition: PartitionResult | None = None,
+    evaluator: Evaluator | None = None,
 ) -> SoupResult:
     """Algorithm 4: gradient-descent souping on random partition unions.
+
+    With ``cfg.n_restarts > 1`` the descent repeats from seeds
+    ``cfg.seed .. cfg.seed + R - 1`` (fresh holdout split, alpha init and
+    subgraph lottery each time) and the restart soups are scored on the
+    validation split as one evaluator batch; the best restart wins.
 
     Parameters
     ----------
@@ -99,12 +180,12 @@ def partition_learned_soup(
         seeds); computed here — outside the timed mixing region — if absent.
     """
     cfg = cfg or PLSConfig()
-    rng = np.random.default_rng(cfg.seed)
     model = pool.make_model()
     model.eval()
     names = pool.param_names()
     group_ids, group_names = layer_groups(names, cfg.granularity)
     group_of = {name: int(g) for name, g in zip(names, group_ids)}
+    group_vec = np.asarray(group_ids, dtype=np.int64)
 
     # --- preprocessing: partition with validation balancing (untimed) ---
     with Timer("partition") as part_timer:
@@ -119,87 +200,45 @@ def partition_learned_soup(
     if partition.k != cfg.num_partitions:
         raise ValueError(f"partition has K={partition.k}, config wants {cfg.num_partitions}")
 
-    # the alpha-train/holdout split is defined on *global* node ids so the
-    # objective is consistent across epoch subgraphs
-    alpha_train_idx, holdout_idx = split_validation(graph, cfg.holdout_fraction, rng)
-    alpha_train_mask = np.zeros(graph.num_nodes, dtype=bool)
-    alpha_train_mask[alpha_train_idx] = True
-    holdout_mask = np.zeros(graph.num_nodes, dtype=bool)
-    holdout_mask[holdout_idx] = True
-
-    history: list[tuple[int, float, float]] = []
-    skipped_epochs = 0
-    with instrumented("pls", pool) as probe:  # note: full graph payload NOT resident
-        stacks = pool.stacked_params()
-        for stack in stacks.values():
-            probe.track_array(stack)
-        alphas = build_alpha(len(pool), len(group_names), cfg, rng)
-        optimizer = SGD([alphas], lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
-        scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine else ConstantLR(optimizer)
-
-        best_holdout, best_alpha = -1.0, alphas.data.copy()
-        patience_left = cfg.early_stopping if cfg.early_stopping else None
-        for epoch in range(1, cfg.epochs + 1):
-            selected = select_partitions(cfg.num_partitions, cfg.partition_budget, rng)
-            sub, nodes = partition_union_subgraph(graph, partition.labels, selected)
-            sub_train = np.flatnonzero(alpha_train_mask[nodes])
-            sub_holdout = np.flatnonzero(holdout_mask[nodes])
-            if len(sub_train) == 0:
-                skipped_epochs += 1
-                scheduler.step()
-                continue
-            if 0 < cfg.val_batch_size < len(sub_train):
-                # composes with partition sampling: cap the per-epoch alpha
-                # objective at val_batch_size nodes (§VI-A minibatching)
-                sub_train = rng.choice(sub_train, size=cfg.val_batch_size, replace=False)
-            with probe.meter.transient(sub.nbytes):
-                weights = alpha_weights(alphas, cfg)
-                soup_params = combine_with_alphas(weights, stacks, group_of)
-                with functional_params(model, soup_params):
-                    logits = model(sub, Tensor(sub.features))
-                loss = cross_entropy(logits[sub_train], sub.labels[sub_train])
-                if cfg.alpha_entropy_coef:
-                    loss = loss + entropy_penalty(weights) * cfg.alpha_entropy_coef
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                scheduler.step()
-                holdout_acc = (
-                    accuracy(logits.data[sub_holdout], sub.labels[sub_holdout]) if len(sub_holdout) else -1.0
+    with evaluation(evaluator, pool, graph) as ev:
+        with instrumented("pls", pool) as probe:  # note: full graph payload NOT resident
+            stacks = pool.stacked_params()
+            for stack in stacks.values():
+                probe.track_array(stack)
+            restart_alphas: list[np.ndarray] = []
+            restart_histories: list[list[tuple[int, float, float]]] = []
+            skipped_epochs = 0
+            for r in range(cfg.n_restarts):
+                best_alpha, history, skipped = _pls_descent(
+                    model, graph, partition, stacks, group_of,
+                    len(group_names), len(pool), cfg, cfg.seed + r, probe,
                 )
-            history.append((epoch, float(loss.data), holdout_acc))
-            if cfg.select_best and holdout_acc > best_holdout:
-                best_holdout, best_alpha = holdout_acc, alphas.data.copy()
-                if patience_left is not None:
-                    patience_left = cfg.early_stopping
-            elif patience_left is not None and holdout_acc >= 0:
-                patience_left -= 1
-                if patience_left <= 0:
-                    break
-            # free the epoch subgraph before the next draw
-            del logits, loss, soup_params, sub
-        if not cfg.select_best or best_holdout < 0:
-            best_alpha = alphas.data.copy()
-
-        final_weights = alpha_weights(Tensor(best_alpha), cfg).data
-        soup_state = OrderedDict(
-            (name, np.tensordot(final_weights[:, group_of[name]], stacks[name], axes=(0, 0)))
-            for name in names
-        )
-        probe.track_state_dict(soup_state)
+                restart_alphas.append(best_alpha)
+                restart_histories.append(history)
+                skipped_epochs += skipped
+            restart_weights = [alpha_weights(Tensor(a), cfg).data for a in restart_alphas]
+            restart_val_accs = ev.evaluate(
+                [Candidate(weights=w, groups=group_vec, split="val") for w in restart_weights]
+            )
+            winner = int(np.argmax(restart_val_accs))
+            best_alpha = restart_alphas[winner]
+            final_weights = restart_weights[winner]
+            soup_state = ev.mix(final_weights, groups=group_vec)
+            probe.track_state_dict(soup_state)
+        test_acc = ev.accuracy_of(weights=final_weights, groups=group_vec, split="test")
 
     return SoupResult(
         method="pls",
         state_dict=soup_state,
-        val_acc=eval_state(model, soup_state, graph, "val"),
-        test_acc=eval_state(model, soup_state, graph, "test"),
+        val_acc=restart_val_accs[winner],
+        test_acc=test_acc,
         soup_time=probe.elapsed,
         peak_memory=probe.peak,
         extras={
             "alphas": best_alpha,
             "weights": final_weights,
             "group_names": group_names,
-            "history": history,
+            "history": restart_histories[winner],
             "n_ingredients": len(pool),
             "config": cfg,
             "partition_time": part_timer.elapsed,
@@ -208,5 +247,8 @@ def partition_learned_soup(
             "partition_ratio": cfg.partition_ratio,
             "subgraph_diversity": cfg.subgraph_diversity,
             "skipped_epochs": skipped_epochs,
+            "n_restarts": cfg.n_restarts,
+            "restart_val_accs": [float(a) for a in restart_val_accs],
+            "best_restart": winner,
         },
     )

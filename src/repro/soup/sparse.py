@@ -29,8 +29,8 @@ import numpy as np
 
 from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph
-from .base import SoupResult, eval_state, instrumented
-from .state import average
+from .base import SoupResult, instrumented
+from .engine import Evaluator, evaluation, uniform_weights
 
 __all__ = ["sparse_soup", "magnitude_mask"]
 
@@ -72,35 +72,39 @@ def sparse_soup(
     sparsity: float = 0.5,
     mask_source: str = "soup",
     scope: str = "per_tensor",
+    evaluator: Evaluator | None = None,
 ) -> SoupResult:
     """Prune every ingredient with one shared mask, then average.
 
     Because the mask is shared, ``average(masked ingredients) ==
     mask * average(ingredients)`` — the soup provably carries the target
-    sparsity pattern into inference.
+    sparsity pattern into inference. Masking makes the candidate
+    *non-linear* in the pool, so it is scored through the evaluator as an
+    explicit state dict rather than a mix spec.
     """
     if mask_source not in ("soup", "intersection"):
         raise ValueError(f"unknown mask_source {mask_source!r}")
-    model = pool.make_model()
 
-    with instrumented("sparse", pool, graph) as probe:
-        avg = average(pool.states)
-        if mask_source == "soup":
-            mask = magnitude_mask(avg, sparsity, scope)
-            agreement = None
-        else:
-            per_ingredient = [magnitude_mask(sd, sparsity, scope) for sd in pool.states]
-            mask = OrderedDict(
-                (name, np.logical_and.reduce([m[name] for m in per_ingredient]))
-                for name in avg
-            )
-            # fraction of each ingredient's kept weights that survived the
-            # intersection — 1.0 means the pools agree perfectly on what matters
-            kept = sum(int(m.sum()) for m in mask.values())
-            per_kept = [sum(int(m[name].sum()) for name in m) for m in per_ingredient]
-            agreement = kept / float(np.mean(per_kept)) if per_kept else 1.0
-        soup_state = OrderedDict((name, avg[name] * mask[name]) for name in avg)
-        probe.track_state_dict(soup_state)
+    with evaluation(evaluator, pool, graph) as ev:
+        with instrumented("sparse", pool, graph) as probe:
+            avg = ev.mix(uniform_weights(len(pool)))
+            if mask_source == "soup":
+                mask = magnitude_mask(avg, sparsity, scope)
+                agreement = None
+            else:
+                per_ingredient = [magnitude_mask(sd, sparsity, scope) for sd in pool.states]
+                mask = OrderedDict(
+                    (name, np.logical_and.reduce([m[name] for m in per_ingredient]))
+                    for name in avg
+                )
+                # fraction of each ingredient's kept weights that survived the
+                # intersection — 1.0 means the pools agree perfectly on what matters
+                kept = sum(int(m.sum()) for m in mask.values())
+                per_kept = [sum(int(m[name].sum()) for name in m) for m in per_ingredient]
+                agreement = kept / float(np.mean(per_kept)) if per_kept else 1.0
+            soup_state = OrderedDict((name, avg[name] * mask[name]) for name in avg)
+            probe.track_state_dict(soup_state)
+        val_acc, test_acc = ev.final_scores(state=soup_state)
 
     prunable_total = sum(v.size for v in soup_state.values() if v.ndim >= 2)
     prunable_zeros = sum(
@@ -119,8 +123,8 @@ def sparse_soup(
     return SoupResult(
         method="sparse",
         state_dict=soup_state,
-        val_acc=eval_state(model, soup_state, graph, "val"),
-        test_acc=eval_state(model, soup_state, graph, "test"),
+        val_acc=val_acc,
+        test_acc=test_acc,
         soup_time=probe.elapsed,
         peak_memory=probe.peak,
         extras=extras,

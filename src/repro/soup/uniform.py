@@ -1,32 +1,35 @@
 """Uniform Souping (US) — the 'uninformed' baseline.
 
 Wortsman et al.'s original uniform soup: average every ingredient's
-parameters with equal weight. No forward pass is needed, which is why the
-paper finds US nearly always fastest (Table III) yet usually least
-accurate (Table II) — it cannot down-weight bad ingredients.
+parameters with equal weight. No forward pass is needed during mixing,
+which is why the paper finds US nearly always fastest (Table III) yet
+usually least accurate (Table II) — it cannot down-weight bad
+ingredients.
 """
 
 from __future__ import annotations
 
 from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph
-from .base import SoupResult, eval_state, instrumented
-from .state import average
+from .base import SoupResult, instrumented
+from .engine import Evaluator, evaluation, uniform_weights
 
 __all__ = ["uniform_soup"]
 
 
-def uniform_soup(pool: IngredientPool, graph: Graph) -> SoupResult:
+def uniform_soup(pool: IngredientPool, graph: Graph, evaluator: Evaluator | None = None) -> SoupResult:
     """Average all ingredients; evaluate the result on val/test."""
-    with instrumented("us", pool) as probe:
-        soup_state = average(pool.states)
-        probe.track_state_dict(soup_state)
-    model = pool.make_model()
+    with evaluation(evaluator, pool, graph) as ev:
+        weights = uniform_weights(len(pool))
+        with instrumented("us", pool) as probe:
+            soup_state = ev.mix(weights)
+            probe.track_state_dict(soup_state)
+        val_acc, test_acc = ev.final_scores(weights=weights)
     return SoupResult(
         method="us",
         state_dict=soup_state,
-        val_acc=eval_state(model, soup_state, graph, "val"),
-        test_acc=eval_state(model, soup_state, graph, "test"),
+        val_acc=val_acc,
+        test_acc=test_acc,
         soup_time=probe.elapsed,
         peak_memory=probe.peak,
         extras={"n_ingredients": len(pool)},

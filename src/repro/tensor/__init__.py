@@ -23,6 +23,7 @@ from .tensor import (
     where,
     maximum,
     minimum,
+    clear_alloc_hooks,
     register_alloc_hook,
     unregister_alloc_hook,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "clear_alloc_hooks",
     "register_alloc_hook",
     "unregister_alloc_hook",
     "SparseAdj",

@@ -43,6 +43,7 @@ __all__ = [
     "minimum",
     "register_alloc_hook",
     "unregister_alloc_hook",
+    "clear_alloc_hooks",
 ]
 
 # ---------------------------------------------------------------------------
@@ -105,6 +106,17 @@ def unregister_alloc_hook(hook) -> None:
         _ALLOC_HOOKS.remove(hook)
     except ValueError:
         pass
+
+
+def clear_alloc_hooks() -> None:
+    """Drop every registered allocation hook.
+
+    Worker processes forked while a :class:`~repro.profiling.MemoryMeter`
+    was active inherit the parent's hook list; their allocations belong to
+    the worker, not the parent's measurement, so worker entry points clear
+    the registry before doing any work.
+    """
+    _ALLOC_HOOKS.clear()
 
 
 # ---------------------------------------------------------------------------

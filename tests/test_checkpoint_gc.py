@@ -1,0 +1,174 @@
+"""Checkpoint compaction/GC: epoch-snapshot history and its retention.
+
+The satellite contract: ``CheckpointStore.gc(keep_last=K)`` prunes
+rolling epoch snapshots beyond K per ingredient and runs on every
+driver-side store open, so a big grid of interrupted runs cannot
+accumulate stale snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import CheckpointStore, train_ingredients
+from repro.train import EpochTrainState, TrainConfig
+
+
+def _epoch_state(rng, epoch: int) -> EpochTrainState:
+    return EpochTrainState(
+        epoch=epoch,
+        model_state={"w": rng.normal(size=(3, 2))},
+        optimizer_state={"lr": 0.1, "velocities": [rng.normal(size=(3, 2)), None]},
+        scheduler_last_epoch=epoch,
+        rng_state="stream-state",
+        best_val=0.5,
+        best_state={"w": rng.normal(size=(3, 2))},
+        best_epoch=max(1, epoch - 1),
+        patience_left=None,
+        history=[(epoch, 0.1, 0.5)],
+        elapsed=1.0,
+    )
+
+
+class TestEpochHistoryRetention:
+    def test_default_keeps_single_rolling_file(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, "fp")
+        for epoch in (1, 2, 3):
+            store.save_epoch(0, _epoch_state(rng, epoch))
+        assert store.epoch_path(0).exists()
+        assert list(tmp_path.glob("*/ingredient-*.epoch-*.npz")) == []
+
+    def test_keep_epochs_retains_history_window(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, "fp", keep_epochs=3)
+        for epoch in range(1, 7):
+            store.save_epoch(0, _epoch_state(rng, epoch))
+        history = sorted(p.name for p in tmp_path.glob("*/ingredient-00000.epoch-*.npz"))
+        # rolling latest (epoch 6) + the 2 newest history entries
+        assert history == ["ingredient-00000.epoch-00004.npz", "ingredient-00000.epoch-00005.npz"]
+        assert store.load_epoch(0).epoch == 6
+
+    def test_corrupt_rolling_file_falls_back_to_history(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, "fp", keep_epochs=2)
+        store.save_epoch(0, _epoch_state(rng, 4))
+        store.save_epoch(0, _epoch_state(rng, 5))
+        store.epoch_path(0).write_bytes(b"torn mid-write")
+        # the torn rolling write costs one snapshot window, not the whole
+        # ingredient: the previous snapshot (epoch 4) is still loadable
+        recovered = store.load_epoch(0)
+        assert recovered is not None and recovered.epoch == 4
+
+    def test_clear_epoch_drops_history_too(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, "fp", keep_epochs=4)
+        for epoch in (1, 2, 3):
+            store.save_epoch(2, _epoch_state(rng, epoch))
+        store.clear_epoch(2)
+        assert list(tmp_path.glob("*/ingredient-00002.epoch*")) == []
+
+    def test_len_counts_only_finished_ingredients(self, tmp_path, rng):
+        from repro.train import TrainResult
+
+        store = CheckpointStore(tmp_path, "fp", keep_epochs=3)
+        store.save(
+            0,
+            TrainResult(
+                state_dict={"w": rng.normal(size=(2,))},
+                val_acc=0.5, test_acc=0.4, train_time=1.0, epochs_run=3,
+            ),
+        )
+        for epoch in (1, 2, 3):
+            store.save_epoch(1, _epoch_state(rng, epoch))
+        assert len(store) == 1
+
+
+class TestGcOnOpen:
+    def test_big_stale_grid_is_pruned_on_open(self, tmp_path, rng):
+        """The satellite scenario: a grid of interrupted runs left many
+        epoch snapshots per ingredient; reopening the store compacts each
+        ingredient's history to the retention window."""
+        writer = CheckpointStore(tmp_path, "fp", keep_epochs=99)
+        for index in range(6):
+            for epoch in range(1, 9):
+                writer.save_epoch(index, _epoch_state(rng, epoch))
+        stale = list(tmp_path.glob("*/ingredient-*.epoch-*.npz"))
+        assert len(stale) == 6 * 7  # 7 history entries beside each rolling file
+
+        reopened = CheckpointStore(tmp_path, "fp", keep_epochs=2)
+        remaining = sorted(p.name for p in tmp_path.glob("*/ingredient-*.epoch-*.npz"))
+        assert remaining == [f"ingredient-{i:05d}.epoch-00007.npz" for i in range(6)]
+        # the rolling snapshot (the resume point) is untouched
+        for index in range(6):
+            assert reopened.epoch_path(index).exists()
+            assert reopened.load_epoch(index).epoch == 8
+
+    def test_gc_keep_last_one_drops_all_history(self, tmp_path, rng):
+        writer = CheckpointStore(tmp_path, "fp", keep_epochs=5)
+        for epoch in range(1, 6):
+            writer.save_epoch(0, _epoch_state(rng, epoch))
+        reopened = CheckpointStore(tmp_path, "fp")  # default policy: keep 1
+        assert list(tmp_path.glob("*/ingredient-*.epoch-*.npz")) == []
+        assert reopened.load_epoch(0).epoch == 5
+
+    def test_gc_returns_removed_count(self, tmp_path, rng):
+        store = CheckpointStore(tmp_path, "fp", keep_epochs=10)
+        for epoch in range(1, 5):
+            store.save_epoch(0, _epoch_state(rng, epoch))
+        assert store.gc(keep_last=2) == 2  # epochs 1 and 2 pruned
+
+    def test_gc_validation(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp")
+        with pytest.raises(ValueError, match="keep_last"):
+            store.gc(keep_last=0)
+        with pytest.raises(ValueError, match="keep_epochs"):
+            CheckpointStore(tmp_path, "fp", keep_epochs=0)
+
+    def test_worker_handle_does_not_gc(self, tmp_path, rng):
+        """Workers open with sweep_stale=False: a GC concurrent with live
+        writers could race an in-flight snapshot rotation."""
+        writer = CheckpointStore(tmp_path, "fp", keep_epochs=9)
+        for epoch in range(1, 5):
+            writer.save_epoch(0, _epoch_state(rng, epoch))
+        CheckpointStore(tmp_path, "fp", sweep_stale=False)  # worker-style open
+        assert len(list(tmp_path.glob("*/ingredient-*.epoch-*.npz"))) == 3
+
+
+class TestTrainIngredientsKeepKnob:
+    def test_checkpoint_keep_threads_through(self, tiny_graph, tmp_path):
+        kw = dict(train_cfg=TrainConfig(epochs=4, lr=0.05), base_seed=3, hidden_dim=8)
+        pool = train_ingredients(
+            "gcn", tiny_graph, 2, executor="serial",
+            checkpoint_dir=tmp_path, checkpoint_every=1, checkpoint_keep=3, **kw,
+        )
+        assert len(pool) == 2
+        # clean finish: snapshots (rolling + history) are cleared per task
+        assert list(tmp_path.glob("*/ingredient-*.epoch*")) == []
+
+    def test_invalid_checkpoint_keep_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="checkpoint_keep"):
+            train_ingredients(
+                "gcn", tiny_graph, 1, checkpoint_dir="unused", checkpoint_keep=0,
+                train_cfg=TrainConfig(epochs=2), hidden_dim=8,
+            )
+
+    def test_resumed_pool_bit_identical_with_history(self, tiny_graph, tmp_path):
+        """keep_epochs > 1 must not disturb the resume determinism
+        contract: interrupted run + resume == clean serial run."""
+        from repro.distributed import FaultPlan, IngredientTrainingError
+
+        kw = dict(train_cfg=TrainConfig(epochs=4, lr=0.05), base_seed=3, hidden_dim=8)
+        clean = train_ingredients("gcn", tiny_graph, 2, executor="serial", **kw)
+        with pytest.raises(IngredientTrainingError):
+            train_ingredients(
+                "gcn", tiny_graph, 2, executor="serial",
+                checkpoint_dir=tmp_path, checkpoint_every=1, checkpoint_keep=3,
+                fault_plan=FaultPlan(failures={1: 99}, after_epochs=2),
+                max_retries=0, **kw,
+            )
+        resumed = train_ingredients(
+            "gcn", tiny_graph, 2, executor="serial",
+            checkpoint_dir=tmp_path, checkpoint_every=1, checkpoint_keep=3,
+            resume=True, **kw,
+        )
+        for s1, s2 in zip(clean.states, resumed.states):
+            for name in s1:
+                np.testing.assert_array_equal(s1[name], s2[name])

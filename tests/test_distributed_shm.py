@@ -14,7 +14,13 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.distributed import SharedGraphBuffer, attach_graph
+from repro.distributed import (
+    SharedGraphBuffer,
+    SharedPoolBuffer,
+    attach_graph,
+    attach_pool,
+    stack_flat_states,
+)
 
 
 class TestSharedGraphBuffer:
@@ -80,3 +86,46 @@ class TestSharedGraphBuffer:
             first.close()
             second = attach_graph(buf.spec)  # still attachable
             np.testing.assert_array_equal(second.graph.features, tiny_graph.features)
+
+
+class TestSharedPoolBuffer:
+    """The Phase-2 pool transport: [N, D] flat states through one segment."""
+
+    def test_round_trip_bit_identical(self, gcn_pool):
+        flats, params = stack_flat_states(gcn_pool.states)
+        with SharedPoolBuffer.create(flats, params) as buf:
+            handle = attach_pool(buf.spec)
+            np.testing.assert_array_equal(handle.flats, flats)
+            assert handle.spec.params == params
+
+    def test_attached_view_is_zero_copy(self, gcn_pool):
+        flats, params = stack_flat_states(gcn_pool.states)
+        with SharedPoolBuffer.create(flats, params) as buf:
+            handle = attach_pool(buf.spec)
+            assert not handle.flats.flags.owndata
+
+    def test_spec_is_small_and_picklable(self, gcn_pool):
+        flats, params = stack_flat_states(gcn_pool.states)
+        with SharedPoolBuffer.create(flats, params) as buf:
+            payload = pickle.dumps(buf.spec)
+            assert len(payload) < 8192
+            spec = pickle.loads(payload)
+            assert spec.shape == flats.shape
+            assert spec.nbytes == flats.nbytes
+
+    def test_unlink_is_idempotent(self, gcn_pool):
+        flats, params = stack_flat_states(gcn_pool.states)
+        buf = SharedPoolBuffer.create(flats, params)
+        buf.unlink()
+        buf.unlink()  # no-op
+
+    def test_segment_released_on_context_exit(self, gcn_pool):
+        flats, params = stack_flat_states(gcn_pool.states)
+        with SharedPoolBuffer.create(flats, params) as buf:
+            spec = buf.spec
+        with pytest.raises(FileNotFoundError):
+            attach_pool(spec)
+
+    def test_non_matrix_stack_rejected(self):
+        with pytest.raises(ValueError, match=r"\[N, D\]"):
+            SharedPoolBuffer.create(np.zeros(5), ())

@@ -18,6 +18,39 @@ class TestMemoryMeter:
             _x = Tensor(np.zeros(1000))  # 8 kB
         assert meter.peak >= 8000
 
+    def test_meter_is_thread_affine(self):
+        """A meter only counts its owner thread's allocations: concurrent
+        souping jobs (the runner's parallel dispatch) must not leak their
+        activations into each other's Fig. 4b measurement."""
+        import threading
+
+        def alien_allocs():
+            for _ in range(4):
+                Tensor(np.zeros(100_000))  # 800 kB each, on a foreign thread
+
+        with MemoryMeter() as meter:
+            worker = threading.Thread(target=alien_allocs)
+            worker.start()
+            worker.join()
+            _mine = Tensor(np.zeros(1000))
+        assert 8000 <= meter.peak < 100_000
+
+    def test_mmap_backed_view_counts_view_extent(self):
+        """A tensor viewing a shared-memory buffer has an mmap base (no
+        .nbytes); the meter must fall back to the view's own extent
+        instead of crashing — the eval-service worker regression."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=8000)
+        try:
+            arr = np.ndarray((1000,), dtype=np.float64, buffer=shm.buf)
+            with MemoryMeter() as meter:
+                _t = Tensor(arr)
+            assert meter.peak >= 8000
+        finally:
+            shm.close()
+            shm.unlink()
+
     def test_views_not_double_counted(self):
         with MemoryMeter() as meter:
             base = np.zeros(1000)

@@ -101,6 +101,38 @@ class TestDegenerateEquivalences:
                 np.testing.assert_allclose(v, pool.states[0][name], atol=1e-10)
 
 
+class TestSoupResultValidation:
+    def _result(self, **overrides):
+        from repro.soup import SoupResult
+
+        kwargs = dict(
+            method="us", state_dict={}, val_acc=0.5, test_acc=0.5,
+            soup_time=1.0, peak_memory=1024,
+        )
+        kwargs.update(overrides)
+        return SoupResult(**kwargs)
+
+    def test_valid_result_accepted(self):
+        result = self._result()
+        assert result.soup_time == 1.0 and result.peak_memory == 1024
+
+    def test_zero_measurements_accepted(self):
+        result = self._result(soup_time=0.0, peak_memory=0)
+        assert result.soup_time == 0.0 and result.peak_memory == 0
+
+    def test_negative_soup_time_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="soup_time"):
+            self._result(soup_time=-0.001)
+
+    def test_negative_peak_memory_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="peak_memory"):
+            self._result(peak_memory=-1)
+
+
 class TestAlphaWeightProperties:
     @settings(max_examples=25, deadline=None)
     @given(n=st.integers(1, 8), g=st.integers(1, 5), seed=st.integers(0, 2**31 - 1))
