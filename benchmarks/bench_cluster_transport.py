@@ -1,0 +1,136 @@
+"""Cluster-runtime transport scaling: pipe vs tcp, both phases.
+
+The unified cluster runtime (:mod:`repro.distributed.cluster`) runs the
+same claim/done worker service behind two transports: the same-host
+``pipe`` (shared task queue + shm attach) and the multi-host ``tcp``
+(length-prefixed socket frames; loopback workers here). This bench
+measures what the socket hop costs on each phase's workload:
+
+* **Phase 1** — one ingredient-training fan-out per transport (the
+  serialized graph crosses the wire at most once per worker, tasks are
+  tiny specs, results are full state dicts);
+* **Phase 2** — one GIS ratio-grid sweep per evaluator backend ×
+  transport (candidates are [N] weight vectors, results are scalars —
+  the wire-friendly direction).
+
+Determinism is asserted along the way: every transport must return the
+bit-identical pool and soup. The JSON artifact is gated against
+``benchmarks/baselines/cluster_transport.json`` by
+``compare_baseline.py`` (>2x wall-clock regression fails CI).
+
+Reduced-size mode: ``REPRO_BENCH_SCALE`` shrinks the dataset and
+``REPRO_BENCH_CLUSTER_INGREDIENTS`` / ``REPRO_BENCH_CLUSTER_EPOCHS`` /
+``REPRO_BENCH_CLUSTER_GRANULARITY`` bound the workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.distributed import train_ingredients
+from repro.graph import load_dataset
+from repro.soup import gis_soup, make_evaluator
+from repro.train import TrainConfig
+
+from conftest import BENCH_SCALE, write_artifact
+
+N_INGREDIENTS = int(os.environ.get("REPRO_BENCH_CLUSTER_INGREDIENTS", "6"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_CLUSTER_EPOCHS", "10"))
+GRANULARITY = int(os.environ.get("REPRO_BENCH_CLUSTER_GRANULARITY", "12"))
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _assert_pools_identical(reference, pool):
+    for s1, s2 in zip(reference.states, pool.states):
+        for name in s1:
+            np.testing.assert_array_equal(s1[name], s2[name])
+    assert reference.val_accs == pool.val_accs
+
+
+def _assert_soups_identical(reference, result):
+    for name in reference.state_dict:
+        np.testing.assert_array_equal(reference.state_dict[name], result.state_dict[name])
+    assert reference.val_acc == result.val_acc
+    assert reference.test_acc == result.test_acc
+
+
+def _sweep() -> dict:
+    graph = load_dataset("flickr", seed=0, scale=BENCH_SCALE)
+    train_kw = dict(
+        train_cfg=TrainConfig(epochs=EPOCHS, lr=0.01),
+        base_seed=0, num_workers=WORKERS, hidden_dim=32,
+    )
+
+    # -- Phase 1: the same fan-out through each transport -------------------
+    phase1: dict[str, dict] = {}
+    pools: dict[str, object] = {}
+    for name, kwargs in (
+        ("serial", dict(executor="serial")),
+        ("pipe", dict(executor="process", transport="pipe")),
+        ("tcp", dict(executor="process", transport="tcp")),
+    ):
+        start = time.perf_counter()
+        pools[name] = train_ingredients("gcn", graph, N_INGREDIENTS, **train_kw, **kwargs)
+        phase1[name] = {"wall_clock_s": time.perf_counter() - start}
+    for name, pool in pools.items():
+        _assert_pools_identical(pools["serial"], pool)
+        phase1[name]["bit_identical_to_serial"] = True
+    pool = pools["serial"]
+
+    # -- Phase 2: one GIS ratio-grid sweep per transport ---------------------
+    phase2: dict[str, dict] = {}
+    soups: dict[str, object] = {}
+    warmup = np.full(N_INGREDIENTS, 1.0 / N_INGREDIENTS)
+    for name, kwargs in (
+        ("serial", dict(backend="serial")),
+        ("pipe", dict(backend="process", transport="pipe")),
+        ("tcp", dict(backend="process", transport="tcp")),
+    ):
+        # cache off: the point is transport cost per forward pass, and the
+        # score cache would blunt exactly the repeats being measured
+        with make_evaluator(
+            pool, graph, num_workers=WORKERS, cache_size=0, **kwargs
+        ) as ev:
+            # steady-state measurement: worker spawn + shm packing (and the
+            # tcp handshake/payload push) are one-time setup a long sweep
+            # amortises, so pay them up front
+            ev.accuracy_of(weights=warmup)
+            start = time.perf_counter()
+            soups[name] = gis_soup(pool, graph, granularity=GRANULARITY, evaluator=ev)
+            phase2[name] = {"wall_clock_s": time.perf_counter() - start}
+    for name, result in soups.items():
+        _assert_soups_identical(soups["serial"], result)
+        phase2[name]["bit_identical_to_serial"] = True
+
+    for rows in (phase1, phase2):
+        anchor = rows["serial"]["wall_clock_s"]
+        for row in rows.values():
+            row["speedup_vs_serial"] = anchor / row["wall_clock_s"]
+
+    return {
+        "config": {
+            "dataset": "flickr",
+            "scale": BENCH_SCALE,
+            "n_ingredients": N_INGREDIENTS,
+            "ingredient_epochs": EPOCHS,
+            "gis_granularity": GRANULARITY,
+            "num_workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+        },
+        "phase1_transports": phase1,
+        "phase2_transports": phase2,
+    }
+
+
+def test_bench_cluster_transport(benchmark, results_dir):
+    """Pipe-vs-tcp wall clock for Phase-1 training and Phase-2 souping."""
+    report = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_artifact(results_dir, "cluster_transport.json", json.dumps(report, indent=2) + "\n")
+    for section in ("phase1_transports", "phase2_transports"):
+        for name, row in report[section].items():
+            assert row["bit_identical_to_serial"], f"{section}/{name}"
+            assert row["wall_clock_s"] > 0, f"{section}/{name}"

@@ -16,6 +16,11 @@ Subcommands::
     python -m repro soup ls gcn flickr           # soup a cached pool
     python -m repro partition reddit -k 32       # run the METIS-style partitioner
     python -m repro simulate -n 16 -w 4 --fail-at 2.0   # Phase-1 schedule
+    python -m repro cluster start-worker --port 9301    # serve a remote worker
+    python -m repro train gcn flickr --executor process \
+        --nodes host1:9301,host2:9301            # multi-node Phase-1 training
+    python -m repro soup gis gcn flickr --soup-executor process \
+        --soup-nodes host1:9301,host2:9301       # multi-node Phase-2 souping
 
 ``train``/``soup`` share the ingredient cache with the benchmarks
 (``.cache/ingredients`` or ``$REPRO_CACHE_DIR``), so souping after
@@ -30,7 +35,14 @@ from dataclasses import replace
 
 import numpy as np
 
-from .distributed import EXECUTORS, QUEUES, ResilientPoolSimulator, WorkerSpec, eq1_estimate
+from .distributed import (
+    EXECUTORS,
+    QUEUES,
+    TRANSPORTS,
+    ResilientPoolSimulator,
+    WorkerSpec,
+    eq1_estimate,
+)
 from .experiments.cache import get_or_train_pool
 from .experiments.config import EXPERIMENT_GRID, ExperimentSpec
 from .graph import dataset_names, load_dataset, partition_graph
@@ -65,6 +77,10 @@ def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
         raise SystemExit("error: --checkpoint-every requires --checkpoint-dir")
     graph = load_dataset(dataset, seed=args.seed, scale=args.scale)
     spec = _spec_for(arch, dataset, args)
+    transport = getattr(args, "transport", "pipe")
+    nodes = getattr(args, "nodes", None)
+    if nodes and transport == "pipe":
+        transport = "tcp"  # a node list implies the socket transport
     pool = get_or_train_pool(
         spec,
         graph,
@@ -72,6 +88,8 @@ def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
         executor=getattr(args, "executor", "serial"),
         queue=getattr(args, "queue", "dynamic"),
         shm=getattr(args, "shm", True),
+        transport=transport,
+        nodes=nodes,
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         checkpoint_every=getattr(args, "checkpoint_every", 0),
         checkpoint_keep=getattr(args, "checkpoint_keep", 1),
@@ -145,9 +163,14 @@ def cmd_soup(args: argparse.Namespace) -> int:
     elif args.method == "sparse":
         kwargs["sparsity"] = args.sparsity
     # one evaluator serves the whole run: candidate batches fan out over
-    # --soup-workers (process workers mix zero-copy from shared memory)
+    # --soup-workers (process workers mix zero-copy from shared memory,
+    # or score on remote --soup-nodes over the tcp transport)
+    soup_transport = args.soup_transport
+    if args.soup_nodes and soup_transport == "pipe":
+        soup_transport = "tcp"
     with make_evaluator(
-        pool, graph, backend=args.soup_executor, num_workers=args.soup_workers
+        pool, graph, backend=args.soup_executor, num_workers=args.soup_workers,
+        transport=soup_transport, nodes=args.soup_nodes,
     ) as ev:
         result = soup(args.method, pool, graph, evaluator=ev, **kwargs)
     print(f"method      : {result.method}")
@@ -168,6 +191,21 @@ def cmd_partition(args: argparse.Namespace) -> int:
     print(f"cut edges   : {part.cut_edges} of {graph.num_edges} ({part.cut_edges / graph.num_edges:.1%})")
     print(f"imbalance   : {part.imbalance:.3f}")
     return 0
+
+
+def cmd_cluster_start_worker(args: argparse.Namespace) -> int:
+    """Serve cluster work sessions until interrupted (Ctrl-C to stop).
+
+    A worker is phase-agnostic: the driver ships the role name at
+    handshake, so one ``start-worker`` can train ingredients for a
+    ``--nodes`` run and score soup candidates for a ``--soup-nodes`` run
+    back to back without restarting.
+    """
+    from .distributed.cluster import run_worker
+
+    return run_worker(
+        host=args.host, port=args.port, once=args.once, port_file=args.port_file
+    )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -225,6 +263,18 @@ def _executor_args(p: argparse.ArgumentParser) -> None:
         dest="shm",
         action="store_false",
         help="ship the graph to process workers as pickled payloads instead of shared memory",
+    )
+    p.add_argument(
+        "--transport",
+        default="pipe",
+        choices=list(TRANSPORTS),
+        help="cluster transport for process workers: same-host pipe or multi-host tcp",
+    )
+    p.add_argument(
+        "--nodes",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="remote `cluster start-worker` addresses (implies --transport tcp)",
     )
     p.add_argument(
         "--checkpoint-dir",
@@ -297,6 +347,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="evaluation workers for --soup-executor thread/process",
     )
+    p.add_argument(
+        "--soup-transport",
+        default="pipe",
+        choices=list(TRANSPORTS),
+        help="cluster transport for the Phase-2 process evaluator",
+    )
+    p.add_argument(
+        "--soup-nodes",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="remote `cluster start-worker` addresses for Phase-2 evaluation "
+        "(implies --soup-transport tcp)",
+    )
     _common_data_args(p)
     _executor_args(p)
     p.set_defaults(fn=cmd_soup)
@@ -307,6 +370,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="metis", choices=["metis", "spectral", "random", "bfs"])
     _common_data_args(p)
     p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser("cluster", help="multi-node cluster utilities")
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+    w = csub.add_parser(
+        "start-worker",
+        help="run a worker other machines' drivers can dispatch to (--nodes/--soup-nodes); "
+        "the protocol is unauthenticated pickle — trusted networks only",
+    )
+    w.add_argument("--host", default="0.0.0.0", help="interface to bind")
+    w.add_argument("--port", type=int, default=0, help="port to bind (0 = OS-assigned)")
+    w.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write `host port` here once bound (for orchestration scripts)",
+    )
+    w.add_argument("--once", action="store_true", help="exit after serving one driver session")
+    w.set_defaults(fn=cmd_cluster_start_worker)
 
     p = sub.add_parser("simulate", help="simulate a Phase-1 schedule (with faults)")
     p.add_argument("-n", "--n-tasks", type=int, default=16)

@@ -7,6 +7,11 @@ Three layers, lowest first:
 * :mod:`~repro.distributed.scheduler` — deterministic dynamic-queue list
   scheduler validating the paper's Eq. (1)/(2) makespan model, with
   heterogeneous-speed and failure/requeue variants;
+* :mod:`~repro.distributed.cluster` — the shared worker-service core
+  (claim/done protocol, work-stealing queue, respawn-on-death, lost-task
+  recovery) with pluggable same-host ``pipe`` and multi-host ``tcp``
+  transports; both Phase-1 training and the Phase-2 evaluation service
+  run on it;
 * :mod:`~repro.distributed.ingredients` / :mod:`~repro.distributed.pipeline`
   — Phase-1 ingredient production through an executor or through explicit
   broadcast / task-queue / gather messages.
@@ -37,6 +42,19 @@ from .faults import (
     WorkerSpec,
 )
 from .checkpoint import CheckpointStore, run_fingerprint
+from .cluster import (
+    TRANSPORTS,
+    ClusterError,
+    ClusterService,
+    PipeTransport,
+    TcpTransport,
+    WorkerLossError,
+    WorkerRole,
+    parse_nodes,
+    register_role,
+    resolve_role,
+    run_worker,
+)
 from .ingredients import (
     EXECUTORS,
     QUEUES,
@@ -101,6 +119,17 @@ __all__ = [
     "mix_candidate",
     "score_candidate",
     "stack_flat_states",
+    "TRANSPORTS",
+    "ClusterError",
+    "ClusterService",
+    "PipeTransport",
+    "TcpTransport",
+    "WorkerLossError",
+    "WorkerRole",
+    "parse_nodes",
+    "register_role",
+    "resolve_role",
+    "run_worker",
     "EXECUTORS",
     "QUEUES",
     "IngredientPool",

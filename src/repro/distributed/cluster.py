@@ -1,0 +1,988 @@
+"""Unified cluster runtime: one claim/done worker service, pluggable transports.
+
+Both phases of the paper's pipeline fan work out to a pool of persistent
+workers pulling from a shared queue — Phase 1 trains ingredients with
+zero inter-worker communication (§III-A), Phase 2 scores soup candidates
+on immutable state (§III-E). Before this module each owned a private copy
+of the same worker protocol (``ingredients.py``'s dynamic queue and
+``eval_service.py``'s claim/done service); this module is the single
+shared core both are built on:
+
+* :class:`ClusterService` — the driver-side task service: work-stealing
+  backlog, claim/done bookkeeping, lost-task recovery when a worker dies
+  (claimed tasks re-enter the queue; unclaimed losses trigger a
+  conservative requeue of everything unaccounted for), respawn-on-death
+  bounded by a progress budget, and stale-message tolerance via
+  service-unique request ids (messages from an aborted earlier batch can
+  never be mis-recorded as this batch's results).
+* :class:`WorkerRole` — what a worker *does*: an ``init(context)`` run
+  once per worker (attach shared memory, rebuild the graph, open stores)
+  and a ``run(state, payload)`` per task. Roles are resolved **by name**
+  through :func:`resolve_role` so a worker started on another machine can
+  look up the same code path from its own installation.
+* **Transports** — how tasks reach workers:
+
+  - :class:`PipeTransport` (same host): worker processes spawned here,
+    one shared ``SimpleQueue`` of task specs, results over a lock-guarded
+    pipe. ``Connection.send`` is synchronous, so a worker's ``claim`` is
+    durable even if it hard-dies on the very next instruction (the
+    requeue accounting depends on that). Shared-memory segments
+    (:mod:`~repro.distributed.shm`) attach zero-copy.
+  - :class:`TcpTransport` (multi-host): the driver connects *out* to
+    workers listening on ``host:port`` (started with ``python -m repro
+    cluster start-worker``) and/or spawns loopback workers locally.
+    Messages are length-prefixed pickled frames; death is detected by
+    connection loss or heartbeat silence. Workers first receive the
+    driver's preferred context (which may reference shared-memory
+    segments — reachable when the worker shares the host); a worker
+    whose init fails (e.g. cross-node, where the segment name resolves
+    to nothing) reports ``init-error`` and is sent the serialized
+    fallback payload instead — pushed once per worker, not per task.
+
+The determinism contracts of both phases survive any transport because
+results are keyed by task id and merged in task order, never in
+completion order.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pickle
+import queue as queue_mod
+import socket
+import struct
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import multiprocessing as mp
+
+__all__ = [
+    "TRANSPORTS",
+    "ClusterError",
+    "WorkerLossError",
+    "WorkerRole",
+    "ClusterService",
+    "PipeTransport",
+    "TcpTransport",
+    "parse_nodes",
+    "register_role",
+    "resolve_role",
+    "run_worker",
+]
+
+#: Transport names accepted wherever a cluster is built.
+TRANSPORTS = ("pipe", "tcp")
+
+#: Seconds between worker heartbeat pings on the tcp transport.
+_PING_INTERVAL = 2.0
+
+#: Sentinel pushed into the tcp inbox so a blocked poll wakes up on EOF.
+_WAKEUP = ("__wakeup__",)
+
+
+class ClusterError(RuntimeError):
+    """A cluster-runtime failure (protocol violation, worker-side bug)."""
+
+
+class WorkerLossError(ClusterError):
+    """The cluster lost workers faster than it made progress."""
+
+
+def _mp_context():
+    """Start-method context for worker processes.
+
+    ``MP_START_METHOD`` (e.g. the CI spawn job) overrides; otherwise fork
+    is preferred where available — it shares the parent's pages
+    copy-on-write — with spawn as the portable fallback (macOS/Windows
+    semantics). Under spawn the shared-memory transport matters most:
+    workers receive a few-hundred-byte segment descriptor instead of a
+    pickled copy of the graph.
+    """
+    forced = os.environ.get("MP_START_METHOD")
+    if forced:
+        return mp.get_context(forced)
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ---------------------------------------------------------------------------
+# worker roles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerRole:
+    """What a cluster worker does, independent of how tasks reach it.
+
+    ``init(context)`` runs once per worker with the (picklable) context
+    the driver shipped and returns the worker's state; ``run(state,
+    payload)`` executes one task. Exceptions listed in ``fault_types``
+    report as retryable ``fault`` messages (the Phase-1 injected-fault
+    channel); anything else reports as an ``error`` — a bug, not a fault.
+    """
+
+    name: str
+    init: Callable[[dict], object]
+    run: Callable[[object, object], object]
+    fault_types: tuple = ()
+
+
+#: Role registry: name -> (module, attribute). Resolution is by import so
+#: a worker on another host finds the same code path locally instead of
+#: unpickling a function object from the wire.
+_ROLES: dict[str, tuple[str, str]] = {
+    "ingredients": ("repro.distributed.ingredients", "INGREDIENT_ROLE"),
+    "eval": ("repro.distributed.eval_service", "EVAL_ROLE"),
+}
+
+
+def register_role(name: str, module: str, attribute: str) -> None:
+    """Register a custom worker role under ``name`` (module must be
+    importable on every machine that runs a worker)."""
+    _ROLES[name] = (module, attribute)
+
+
+def resolve_role(name: str) -> WorkerRole:
+    """Look up a registered role by name (imports its owning module)."""
+    try:
+        module, attribute = _ROLES[name]
+    except KeyError:
+        raise ClusterError(f"unknown worker role {name!r}; known roles: {sorted(_ROLES)}")
+    role = getattr(importlib.import_module(module), attribute)
+    if not isinstance(role, WorkerRole):
+        raise ClusterError(f"{module}.{attribute} is not a WorkerRole")
+    return role
+
+
+# ---------------------------------------------------------------------------
+# node specs
+# ---------------------------------------------------------------------------
+
+
+def _parse_node(node) -> tuple[str, int]:
+    if isinstance(node, (tuple, list)) and len(node) == 2:
+        return str(node[0]), int(node[1])
+    text = str(node).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"node spec {node!r} is not of the form host:port")
+    return host, int(port)
+
+
+def parse_nodes(spec) -> list[tuple[str, int]] | None:
+    """Normalise a node spec (``"h1:p1,h2:p2"`` or a sequence of specs)
+    to ``[(host, port), ...]``; ``None``/empty stays ``None``."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+    else:
+        parts = [p for p in spec if p is not None]
+    if not parts:
+        return None
+    return [_parse_node(p) for p in parts]
+
+
+# ---------------------------------------------------------------------------
+# pipe transport (same host)
+# ---------------------------------------------------------------------------
+
+
+def _pipe_worker_main(worker_id, task_queue, result_writer, result_lock, role_name, context):
+    """Body of one persistent pipe-transport worker process.
+
+    Pulls ``(rid, payload)`` specs until the ``None`` sentinel. Every
+    attempt is bracketed by a ``claim`` message so the driver knows which
+    task died with the worker; completions, declared faults and
+    unexpected errors each report their own message kind.
+
+    Result messages go through a raw pipe guarded by a shared lock —
+    ``Connection.send`` is *synchronous*, so once it returns the message
+    is in the pipe even if the worker hard-dies on the very next
+    instruction. (A ``multiprocessing.Queue`` would buffer through a
+    feeder thread that ``os._exit`` silently kills, losing the claim that
+    the driver's requeue accounting depends on.)
+    """
+
+    def put(message):
+        with result_lock:
+            result_writer.send(message)
+
+    role = resolve_role(role_name)
+    state = role.init(context)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        rid, payload = item
+        put(("claim", worker_id, rid))
+        try:
+            result = role.run(state, payload)
+        except role.fault_types:
+            put(("fault", worker_id, rid))
+        except BaseException:
+            put(("error", worker_id, rid, traceback.format_exc()))
+        else:
+            put(("done", worker_id, rid, result))
+
+
+class PipeTransport:
+    """Same-host transport: spawned worker processes over queue + pipe."""
+
+    name = "pipe"
+
+    def __init__(self, role: str, context, width: int) -> None:
+        if width < 1:
+            raise ValueError("pipe transport needs at least one worker")
+        self.role = role
+        self.width = int(width)
+        self._context = context
+        self._workers: dict[int, mp.process.BaseProcess] = {}
+        self._next_wid = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._mp = _mp_context()
+        self._task_queue = self._mp.SimpleQueue()  # synchronous puts, no feeder thread
+        self._reader, self._writer = self._mp.Pipe(duplex=False)
+        self._lock = self._mp.Lock()
+        self._context_value = self._context() if callable(self._context) else self._context
+        self._started = True
+        for _ in range(self.width):
+            self._spawn()
+
+    def _spawn(self) -> None:
+        proc = self._mp.Process(
+            target=_pipe_worker_main,
+            args=(
+                self._next_wid, self._task_queue, self._writer, self._lock,
+                self.role, self._context_value,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self._workers[self._next_wid] = proc
+        self._next_wid += 1
+
+    def can_accept(self, outstanding: int) -> bool:
+        # keep the pipe a couple of specs ahead of the worker count — deep
+        # enough that a freed worker never waits on the driver, shallow
+        # enough that the ~64KB task pipe can't fill and wedge the driver
+        # in a blocking put where it can no longer drain results
+        return outstanding < self.width + 2
+
+    def send(self, rid: int, payload) -> None:
+        self._task_queue.put((rid, payload))
+
+    def poll(self, timeout: float):
+        if self._reader.poll(timeout):
+            return self._reader.recv()
+        return None
+
+    def reap_dead(self) -> list[int]:
+        dead = [wid for wid, proc in self._workers.items() if not proc.is_alive()]
+        for wid in dead:
+            self._workers.pop(wid).join()
+        return dead
+
+    @property
+    def alive_count(self) -> int:
+        return len(self._workers)
+
+    def respawn_one(self) -> bool:
+        self._spawn()
+        return True
+
+    def close(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        try:
+            for _ in self._workers:
+                self._task_queue.put(None)
+            for proc in self._workers.values():
+                proc.join(timeout=10)
+        finally:
+            for proc in self._workers.values():
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+            self._workers.clear()
+            self._reader.close()
+            self._writer.close()
+            self._task_queue.close()
+
+
+# ---------------------------------------------------------------------------
+# tcp framing
+# ---------------------------------------------------------------------------
+
+_HEADER = struct.Struct(">Q")
+
+
+def _configure_socket(sock: socket.socket) -> None:
+    """Disable Nagle and enable keepalive on a protocol socket.
+
+    Frames are small and latency-bound (a claim/done round trip per
+    task), so coalescing them against delayed ACKs costs ~40ms per
+    message on loopback. Keepalive covers the silent-peer case — a
+    driver host that power-cycles mid-session sends no FIN, and without
+    probes a worker blocked in ``recv`` would wait forever instead of
+    returning to ``accept`` for the next driver.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        for opt, value in (("TCP_KEEPIDLE", 60), ("TCP_KEEPINTVL", 10), ("TCP_KEEPCNT", 5)):
+            if hasattr(socket, opt):  # Linux/macOS names; best-effort elsewhere
+                sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, opt), value)
+    except OSError:  # pragma: no cover - non-TCP or exotic platforms
+        pass
+
+
+def _send_frame(sock: socket.socket, obj) -> None:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            if buf:
+                raise ClusterError("connection closed mid-frame")
+            return None
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def _recv_frame(sock: socket.socket):
+    """One length-prefixed pickled frame; ``None`` on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ClusterError("connection closed mid-frame")
+    return pickle.loads(body)
+
+
+# ---------------------------------------------------------------------------
+# tcp worker side
+# ---------------------------------------------------------------------------
+
+
+def _ping_loop(send, worker_id: int, stop: threading.Event) -> None:
+    while not stop.wait(_PING_INTERVAL):
+        try:
+            send(("ping", worker_id))
+        except Exception:
+            return
+
+
+def _serve_session(conn: socket.socket) -> None:
+    """Serve one driver connection: handshake, then the task loop.
+
+    The handshake mirrors the payload-push contract: the driver's first
+    context may reference shared-memory segments; when ``role.init``
+    fails on it (cross-node attach) the worker reports ``init-error``
+    and initialises from the serialized fallback context instead. A
+    background thread heartbeats so the driver can distinguish a long
+    task from a hung or partitioned worker.
+    """
+    send_lock = threading.Lock()
+
+    def send(message):
+        with send_lock:
+            _send_frame(conn, message)
+
+    init = _recv_frame(conn)
+    if init is None or init[0] != "init":
+        return
+    _, role_name, worker_id, context = init
+    role = resolve_role(role_name)
+    try:
+        state = role.init(context)
+    except Exception:
+        send(("init-error", worker_id, traceback.format_exc()))
+        follow = _recv_frame(conn)
+        if follow is None or follow[0] != "context":
+            return
+        state = role.init(follow[1])  # second failure tears the session down
+    send(("ready", worker_id))
+    stop = threading.Event()
+    threading.Thread(target=_ping_loop, args=(send, worker_id, stop), daemon=True).start()
+    try:
+        while True:
+            message = _recv_frame(conn)
+            if message is None or message[0] == "stop":
+                return
+            _, rid, payload = message
+            send(("claim", worker_id, rid))
+            try:
+                result = role.run(state, payload)
+            except role.fault_types:
+                send(("fault", worker_id, rid))
+            except BaseException:
+                send(("error", worker_id, rid, traceback.format_exc()))
+            else:
+                send(("done", worker_id, rid, result))
+    finally:
+        stop.set()
+
+
+def run_worker(
+    host: str = "0.0.0.0",
+    port: int = 0,
+    once: bool = False,
+    verbose: bool = True,
+    port_file: str | Path | None = None,
+) -> int:
+    """Serve cluster work sessions on ``host:port`` until interrupted.
+
+    The body of ``python -m repro cluster start-worker``: bind, announce
+    the bound port (``port=0`` lets the OS pick; ``port_file`` writes
+    ``host port`` for orchestration scripts), then accept one driver at a
+    time and serve its session. After a driver disconnects the worker
+    loops back to ``accept`` — one long-lived worker can serve many
+    experiment runs — unless ``once`` is set.
+
+    .. warning::
+        The wire protocol is pickled frames with **no authentication or
+        encryption** — anyone who can reach the port can execute code as
+        this process. Run workers only on trusted networks (lab LAN, VPN,
+        an SSH tunnel) and bind a specific interface with ``host`` where
+        possible.
+    """
+    srv = socket.create_server((host, port))
+    bound = srv.getsockname()[1]
+    if verbose:
+        print(f"[cluster-worker] listening on {host}:{bound}", flush=True)
+    if port_file is not None:
+        Path(port_file).write_text(f"{host} {bound}\n")
+    try:
+        while True:
+            conn, addr = srv.accept()
+            _configure_socket(conn)
+            if verbose:
+                print(f"[cluster-worker] session from {addr[0]}:{addr[1]}", flush=True)
+            try:
+                _serve_session(conn)
+            except Exception:  # keep serving after a broken session
+                traceback.print_exc()
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if once:
+                return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        srv.close()
+
+
+def _local_tcp_worker_main(report_conn) -> None:
+    """Loopback tcp worker spawned by the driver itself (tests, CI, and
+    ``transport="tcp"`` without an explicit node list): bind an ephemeral
+    port, report it back through the pipe, serve one session."""
+    srv = socket.create_server(("127.0.0.1", 0))
+    report_conn.send(srv.getsockname()[1])
+    report_conn.close()
+    conn, _addr = srv.accept()
+    _configure_socket(conn)
+    srv.close()
+    try:
+        _serve_session(conn)
+    except Exception:
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# tcp transport (driver side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _TcpWorker:
+    wid: int
+    sock: socket.socket
+    node: tuple[str, int] | None = None  # remote address, None for self-spawned
+    proc: object = None  # mp.Process for self-spawned loopback workers
+    busy_rid: int | None = None
+    eof: bool = False
+    last_recv: float = field(default_factory=time.monotonic)
+
+
+class TcpTransport:
+    """Socket transport whose workers may live on other hosts.
+
+    ``nodes`` lists remote workers (``python -m repro cluster
+    start-worker`` instances) the driver connects out to;
+    ``spawn_local`` additionally (or instead) spawns loopback worker
+    processes owned by this transport — those are respawned on death,
+    remote ones are not (their tasks are recovered onto the survivors).
+
+    Work-stealing is driver-side here: with no shared queue across
+    sockets, the transport assigns a task to a worker only when that
+    worker is free, which realises the same earliest-free-worker pull
+    discipline as the pipe transport's shared queue.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        role: str,
+        context,
+        fallback_context=None,
+        nodes: Sequence | None = None,
+        spawn_local: int = 0,
+        heartbeat_timeout: float = 30.0,
+        handshake_timeout: float = 60.0,
+    ) -> None:
+        self.role = role
+        self._context = context
+        self._fallback = fallback_context
+        self._nodes = parse_nodes(nodes) or []
+        self._spawn_local = int(spawn_local)
+        if not self._nodes and self._spawn_local < 1:
+            raise ValueError("tcp transport needs worker nodes or spawn_local >= 1")
+        self.width = len(self._nodes) + self._spawn_local
+        self._heartbeat_timeout = float(heartbeat_timeout)
+        self._handshake_timeout = float(handshake_timeout)
+        self._inbox: queue_mod.Queue = queue_mod.Queue()
+        self._workers: dict[int, _TcpWorker] = {}
+        self._next_wid = 0
+        self._context_value = None
+        self._fallback_value = None
+        self._started = False
+
+    # -- contexts ------------------------------------------------------------
+
+    def _primary_context(self):
+        if self._context_value is None:
+            self._context_value = self._context() if callable(self._context) else self._context
+        return self._context_value
+
+    def _fallback_context(self):
+        if self._fallback is None:
+            return None
+        if self._fallback_value is None:
+            self._fallback_value = (
+                self._fallback() if callable(self._fallback) else self._fallback
+            )
+        return self._fallback_value
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        try:
+            for node in self._nodes:
+                self._connect_node(node)
+            for _ in range(self._spawn_local):
+                self._spawn_local_worker()
+        except BaseException:
+            self.close()
+            raise
+
+    def _connect_node(self, node: tuple[str, int]) -> None:
+        host, port = node
+        try:
+            sock = socket.create_connection((host, port), timeout=self._handshake_timeout)
+        except OSError as exc:
+            raise ClusterError(f"cannot reach cluster worker at {host}:{port}: {exc}") from exc
+        _configure_socket(sock)
+        self._attach(sock, node=node, proc=None)
+
+    def _spawn_local_worker(self) -> None:
+        ctx = _mp_context()
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_local_tcp_worker_main, args=(child,), daemon=True)
+        proc.start()
+        child.close()
+        if not parent.poll(self._handshake_timeout):
+            proc.terminate()
+            raise ClusterError("local tcp worker did not report its port in time")
+        port = parent.recv()
+        parent.close()
+        sock = socket.create_connection(("127.0.0.1", port), timeout=self._handshake_timeout)
+        _configure_socket(sock)
+        self._attach(sock, node=None, proc=proc)
+
+    def _attach(self, sock: socket.socket, node, proc) -> None:
+        """Handshake one worker connection, then hand it to a reader thread."""
+        wid = self._next_wid
+        self._next_wid += 1
+        sock.settimeout(self._handshake_timeout)
+        try:
+            _send_frame(sock, ("init", self.role, wid, self._primary_context()))
+            reply = _recv_frame(sock)
+            if reply is not None and reply[0] == "init-error":
+                fallback = self._fallback_context()
+                if fallback is None:
+                    raise ClusterError(
+                        f"worker {wid} failed to initialise and no fallback payload "
+                        f"is available:\n{reply[2]}"
+                    )
+                _send_frame(sock, ("context", fallback))
+                reply = _recv_frame(sock)
+            if reply is None or reply[0] != "ready":
+                raise ClusterError(f"worker {wid} handshake failed: {reply!r}")
+        except (OSError, ClusterError):
+            sock.close()
+            if proc is not None:
+                proc.terminate()
+            raise
+        sock.settimeout(None)
+        worker = _TcpWorker(wid=wid, sock=sock, node=node, proc=proc)
+        self._workers[wid] = worker
+        threading.Thread(target=self._reader_main, args=(worker,), daemon=True).start()
+
+    def _reader_main(self, worker: _TcpWorker) -> None:
+        try:
+            while True:
+                message = _recv_frame(worker.sock)
+                if message is None:
+                    break
+                worker.last_recv = time.monotonic()
+                if message[0] == "ping":
+                    continue
+                self._inbox.put(message)
+        except Exception:
+            pass
+        finally:
+            worker.eof = True
+            self._inbox.put(_WAKEUP)  # unblock the driver's poll
+
+    # -- service interface ---------------------------------------------------
+
+    def _idle_worker(self) -> _TcpWorker | None:
+        for worker in self._workers.values():
+            if worker.busy_rid is None and not worker.eof:
+                return worker
+        return None
+
+    def can_accept(self, outstanding: int) -> bool:
+        return self._idle_worker() is not None
+
+    def send(self, rid: int, payload) -> None:
+        worker = self._idle_worker()
+        if worker is None:
+            raise ClusterError("no idle tcp worker to dispatch to")
+        worker.busy_rid = rid
+        try:
+            _send_frame(worker.sock, ("task", rid, payload))
+        except OSError:
+            # send failure is a death; reap_dead recovers the task (the
+            # worker never claimed it, so the conservative requeue fires)
+            worker.eof = True
+
+    def poll(self, timeout: float):
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    message = self._inbox.get(timeout=remaining)
+                else:
+                    message = self._inbox.get_nowait()
+            except queue_mod.Empty:
+                return None
+            if message is _WAKEUP:
+                continue  # EOF marker; look again within the same window
+            if message[0] in ("done", "fault", "error"):
+                worker = self._workers.get(message[1])
+                if worker is not None and worker.busy_rid == message[2]:
+                    worker.busy_rid = None
+            return message
+
+    def reap_dead(self) -> list[int]:
+        now = time.monotonic()
+        dead = []
+        for wid, worker in list(self._workers.items()):
+            silent = (
+                self._heartbeat_timeout > 0
+                and now - worker.last_recv > self._heartbeat_timeout
+            )
+            if worker.eof or silent:
+                dead.append(wid)
+                self._workers.pop(wid)
+                try:
+                    worker.sock.close()
+                except OSError:
+                    pass
+                if worker.proc is not None:
+                    worker.proc.join(timeout=5)
+                    if worker.proc.is_alive():
+                        worker.proc.terminate()
+        return dead
+
+    @property
+    def alive_count(self) -> int:
+        return len(self._workers)
+
+    def respawn_one(self) -> bool:
+        """Replace a dead worker — only self-spawned loopback workers can
+        be respawned; a lost remote node just shrinks the pool."""
+        if self._spawn_local < 1:
+            return False
+        self._spawn_local_worker()
+        return True
+
+    def close(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        for worker in self._workers.values():
+            try:
+                _send_frame(worker.sock, ("stop",))
+            except OSError:
+                pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            if worker.proc is not None:
+                worker.proc.join(timeout=5)
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+        self._workers.clear()
+
+
+# ---------------------------------------------------------------------------
+# driver-side service
+# ---------------------------------------------------------------------------
+
+
+class ClusterService:
+    """Generic claim/done task service over persistent workers.
+
+    One service drives one transport; ``run`` dispatches a batch of keyed
+    tasks and returns ``(results_by_key, exhausted_keys)``. The service
+    owns every piece of protocol bookkeeping the two phases used to
+    duplicate:
+
+    * request ids unique across the service lifetime, so messages left
+      over from an aborted earlier batch are recognised as stale and
+      dropped;
+    * the claim table mapping workers to in-flight tasks, so a worker
+      that dies mid-task has its claimed work re-queued — and a worker
+      that dies *between* pulling a spec and claiming it triggers a
+      conservative requeue of every unaccounted-for task (a duplicate
+      execution is keyed by request id, so it wastes work, never
+      correctness);
+    * the respawn budget: every legitimate death consumes a task
+      attempt, so a pool that keeps dying without making progress raises
+      :class:`WorkerLossError` instead of spinning.
+    """
+
+    def __init__(self, transport) -> None:
+        self._transport = transport
+        self._next_rid = 0
+        self._started = False
+        self._closed = False
+
+    @property
+    def transport(self):
+        return self._transport
+
+    def start(self) -> None:
+        if self._closed:
+            raise ClusterError("cluster service is closed")
+        if not self._started:
+            self._transport.start()
+            self._started = True
+
+    def run(
+        self,
+        keys,
+        payload_fn,
+        *,
+        max_attempts: int | None = None,
+        on_done=None,
+        on_fault=None,
+        on_lost=None,
+        label: str = "task",
+    ):
+        """Run one batch of tasks to completion; results come back by key.
+
+        ``payload_fn(key, attempt)`` builds the wire payload for each
+        (re)submission — ``attempt`` starts at 1, letting Phase 1 derive
+        its inject/resume flags per attempt. A worker-reported ``fault``
+        (one of the role's ``fault_types``) re-queues the task until
+        ``max_attempts`` submissions are spent, after which the key lands
+        in the exhausted list; ``None`` means unbounded (Phase-2
+        evaluations are idempotent and only ever retried on worker
+        death). ``on_done(key, result)`` fires the moment a task
+        completes (checkpointing), ``on_fault(key)`` on every reported
+        fault (fault-budget accounting), ``on_lost(key)`` when a
+        *claimed* task died with its worker (kill-fault accounting).
+        """
+        if self._closed:
+            raise ClusterError("cluster service is closed")
+        self.start()
+        keys = list(keys)
+        if not keys:
+            return {}, []
+        if len(set(keys)) != len(keys):
+            raise ValueError("task keys must be unique")
+        transport = self._transport
+        results: dict = {}
+        exhausted: set = set()
+        submits = {key: 0 for key in keys}
+        rid_key: dict[int, object] = {}
+        key_rid: dict[object, int] = {}
+        for key in keys:
+            rid = self._next_rid
+            self._next_rid += 1
+            rid_key[rid] = key
+            key_rid[key] = rid
+        backlog: deque = deque(keys)
+        in_flight: dict[int, object] = {}  # worker id -> claimed key (None = stale claim)
+        outstanding = 0  # attempts handed to the transport but not yet claimed
+        # every legitimate death consumes a task attempt, so a pool that
+        # keeps dying without making progress is a bug, not a fault
+        respawn_budget = transport.width + sum(max_attempts or 1 for _ in keys)
+
+        def top_up():
+            nonlocal outstanding
+            while backlog and transport.can_accept(outstanding):
+                key = backlog.popleft()
+                submits[key] += 1
+                transport.send(key_rid[key], payload_fn(key, submits[key]))
+                outstanding += 1
+
+        def retry_or_exhaust(key):
+            if max_attempts is not None and submits[key] >= max_attempts:
+                exhausted.add(key)
+            else:
+                backlog.append(key)
+                top_up()
+
+        def handle(message):
+            nonlocal outstanding
+            kind, wid, rid = message[0], message[1], message[2]
+            stale = rid not in rid_key
+            key = rid_key.get(rid)
+            if kind == "claim":
+                in_flight[wid] = key
+                if not stale:
+                    outstanding = max(0, outstanding - 1)
+                top_up()
+            elif kind == "done":
+                in_flight.pop(wid, None)
+                if not stale and key not in results and key not in exhausted:
+                    results[key] = message[3]
+                    if on_done is not None:
+                        on_done(key, message[3])
+            elif kind == "fault":
+                in_flight.pop(wid, None)
+                if stale:
+                    return
+                if on_fault is not None:
+                    on_fault(key)
+                if key not in results:
+                    retry_or_exhaust(key)
+            elif kind == "error":
+                in_flight.pop(wid, None)
+                if not stale:
+                    raise ClusterError(
+                        f"worker {label} {key} raised unexpectedly:\n{message[3]}"
+                    )
+
+        top_up()
+        while len(results) + len(exhausted) < len(keys):
+            message = transport.poll(0.2)
+            if message is not None:
+                handle(message)
+                # a completion frees capacity on transports whose dispatch
+                # tracks busy workers (tcp); a claim frees lookahead slots
+                # on the pipe's shared queue — either way, refill now
+                top_up()
+                continue
+            dead = transport.reap_dead()
+            if not dead:
+                continue
+            # a dead worker sent its messages synchronously before dying —
+            # drain them first so its claim-table entry is authoritative
+            while True:
+                message = transport.poll(0)
+                if message is None:
+                    break
+                handle(message)
+            lost_unclaimed = False
+            for wid in dead:
+                if wid in in_flight:
+                    key = in_flight.pop(wid)
+                    if key is not None:
+                        if on_lost is not None:
+                            on_lost(key)
+                        if key not in results:
+                            retry_or_exhaust(key)
+                else:
+                    # died with no claim on record: it may have pulled a
+                    # spec it never acknowledged
+                    lost_unclaimed = True
+            if lost_unclaimed:
+                # re-queue every task not finished, not claimed by a live
+                # worker and not already queued for re-dispatch; a task
+                # that was in fact still queued runs twice (idempotent,
+                # results keyed by request id), a swallowed one is
+                # recovered instead of hanging the batch forever
+                accounted = {key for key in in_flight.values() if key is not None}
+                accounted.update(backlog)
+                backlog.extend(
+                    key for key in keys
+                    if key not in results and key not in exhausted and key not in accounted
+                )
+                outstanding = 0
+            remaining = len(keys) - len(results) - len(exhausted)
+            target = min(transport.width, remaining)
+            while transport.alive_count < target:
+                if respawn_budget <= 0:
+                    raise WorkerLossError(
+                        f"cluster kept losing {label} workers without making progress"
+                    )
+                if not transport.respawn_one():
+                    break
+                respawn_budget -= 1
+            if transport.alive_count == 0 and remaining > 0:
+                raise WorkerLossError(
+                    f"no live workers remain with {remaining} {label}(s) outstanding"
+                )
+            top_up()
+        return results, sorted(exhausted)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            self._transport.close()
+
+    def __enter__(self) -> "ClusterService":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

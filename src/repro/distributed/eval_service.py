@@ -8,7 +8,8 @@ of an immutable candidate on an immutable graph), so this module provides
 the multiprocess half of the shared evaluator that
 :mod:`repro.soup.engine` exposes to every souping method.
 
-Design, mirroring the Phase-1 dynamic queue (:mod:`.ingredients`):
+Design, on the shared cluster runtime (:mod:`.cluster` — the same
+claim/done worker service Phase-1 training runs on):
 
 * **flat-state candidates** — almost every soup candidate is a linear
   combination of the ingredient pool, so a candidate crosses the process
@@ -22,25 +23,31 @@ Design, mirroring the Phase-1 dynamic queue (:mod:`.ingredients`):
   a :class:`~repro.distributed.shm.SharedGraphBuffer` exactly like
   Phase-1 training graphs (pickled-payload fallback when shared memory is
   unavailable).
-* **persistent workers, claim/done protocol** — workers pull task specs
-  from one shared queue and report over a lock-guarded pipe with the same
-  synchronous ``claim``/``done``/``error`` messages as the work-stealing
-  Phase-1 pool, so a worker that dies mid-task is detected, replaced, and
-  its claimed task re-queued (evaluations are idempotent).
+* **pluggable transports** — ``transport="pipe"`` (default) spawns the
+  worker pool on this host; ``transport="tcp"`` scores candidates on
+  socket workers that may live on other machines (``nodes=["host:port",
+  ...]`` pointing at ``python -m repro cluster start-worker`` instances,
+  or driver-spawned loopback workers when no nodes are given). A tcp
+  worker that cannot attach the driver's shared-memory segments — a
+  genuinely remote node — receives the serialized graph + flat-state
+  payload once at its handshake and mixes candidates from its own copy.
+* **persistent workers, claim/done protocol** — the shared
+  :class:`~repro.distributed.cluster.ClusterService` handles dispatch,
+  worker-death recovery (evaluations are idempotent, so lost tasks are
+  conservatively re-queued) and stale-message tolerance across batches.
 
 Determinism contract: :func:`mix_candidate` is the *single* mixing kernel
-used by every backend (serial, thread, process), and worker-side flat
-stacks are bit-exact float64 copies of the driver's, so a candidate's
-mixed state — and therefore its accuracy — is bit-identical wherever it
-is evaluated.
+used by every backend (serial, thread, process × transport), and
+worker-side flat stacks are bit-exact float64 copies of the driver's, so
+a candidate's mixed state — and therefore its accuracy — is bit-identical
+wherever it is evaluated.
 """
 
 from __future__ import annotations
 
-import traceback
 import warnings
-from collections import OrderedDict, deque
-from dataclasses import dataclass, replace
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -48,7 +55,17 @@ from ..graph.graph import Graph
 from ..models import build_model
 from ..tensor import clear_alloc_hooks
 from ..train import accuracy, evaluate_logits
-from .ingredients import _graph_from_payload, _graph_to_payload, _mp_context
+from .cluster import (
+    TRANSPORTS,
+    ClusterService,
+    PipeTransport,
+    TcpTransport,
+    WorkerLossError,
+    WorkerRole,
+    parse_nodes,
+)
+from .ingredients import _graph_from_payload, _graph_to_payload
+from .scheduler import _validate_num_workers
 from .shm import SharedGraphBuffer, SharedPoolBuffer, attach_graph, attach_pool
 
 __all__ = [
@@ -83,7 +100,7 @@ class EvalTask:
     logits when neither is given).
     """
 
-    req_id: int
+    req_id: int = 0
     weights: np.ndarray | None = None
     groups: np.ndarray | None = None  # per-parameter group ids for [N, G] weights
     state: tuple | None = None  # ((name, ndarray), ...) explicit candidate
@@ -201,55 +218,65 @@ def score_candidate(
 
 
 # ---------------------------------------------------------------------------
-# worker entry point
+# worker role
 # ---------------------------------------------------------------------------
 
 
-def _eval_worker_main(worker_id, task_queue, result_writer, result_lock, graph_ref, pool_ref, model_config):
-    """Body of one persistent evaluation worker process.
+class _EvalWorkerState:
+    """Per-worker state: the attached graph + flat stack and a model.
 
-    Attaches the graph and the flat-state stack once (shared memory when
-    available), builds its working model from the pool's architecture
-    config, then pulls :class:`EvalTask` specs until the ``None``
-    sentinel. Messages use the same synchronous lock-guarded pipe as the
-    Phase-1 dynamic queue, so a ``claim`` is durable even if the worker
-    hard-dies on the very next instruction.
+    Keeps the shared-memory attachment handles alive for as long as the
+    worker uses their views (the arrays borrow the segment's buffer).
     """
 
-    def put(message):
-        with result_lock:
-            result_writer.send(message)
+    __slots__ = ("graph", "flats", "params", "model", "_attachments")
 
+    def __init__(self, graph, flats, params, model, attachments) -> None:
+        self.graph = graph
+        self.flats = flats
+        self.params = params
+        self.model = model
+        self._attachments = attachments
+
+
+def _eval_role_init(context: dict) -> _EvalWorkerState:
+    """Attach the graph and the flat-state stack (shared memory when the
+    segments are reachable — the driver's fallback protocol sends the
+    serialized arrays otherwise) and build the working model."""
     # a worker forked while the driver's MemoryMeter was active inherits
     # its alloc hooks; worker allocations are not the driver's measurement
     clear_alloc_hooks()
+    attachments = []
+    graph_ref, pool_ref = context["graph_ref"], context["pool_ref"]
     if graph_ref["kind"] == "shm":
         attached_graph = attach_graph(graph_ref["spec"])
+        attachments.append(attached_graph)
         graph = attached_graph.graph
     else:
         graph = _graph_from_payload(graph_ref["payload"])
     if pool_ref["kind"] == "shm":
         attached_pool = attach_pool(pool_ref["spec"])
+        attachments.append(attached_pool)
         flats, params = attached_pool.flats, attached_pool.spec.params
     else:
         flats, params = pool_ref["flats"], pool_ref["params"]
-    model = build_model(**model_config)
+    model = build_model(**context["model_config"])
+    return _EvalWorkerState(graph, flats, params, model, attachments)
 
-    while True:
-        task = task_queue.get()
-        if task is None:
-            return
-        put(("claim", worker_id, task.req_id))
-        try:
-            if task.state is not None:
-                state = dict(task.state)
-            else:
-                state = mix_candidate(flats, params, task.weights, task.groups)
-            value = score_candidate(model, graph, state, task.split, task.indices, task.kind)
-        except BaseException:
-            put(("error", worker_id, task.req_id, traceback.format_exc()))
-        else:
-            put(("done", worker_id, task.req_id, value))
+
+def _eval_role_run(state: _EvalWorkerState, task: EvalTask):
+    if task.state is not None:
+        candidate = dict(task.state)
+    else:
+        candidate = mix_candidate(state.flats, state.params, task.weights, task.groups)
+    return score_candidate(
+        state.model, state.graph, candidate, task.split, task.indices, task.kind
+    )
+
+
+#: The Phase-2 worker role on the shared cluster runtime, resolved by
+#: name ("eval") so tcp workers on other hosts find the same code path.
+EVAL_ROLE = WorkerRole(name="eval", init=_eval_role_init, run=_eval_role_run)
 
 
 # ---------------------------------------------------------------------------
@@ -258,14 +285,17 @@ def _eval_worker_main(worker_id, task_queue, result_writer, result_lock, graph_r
 
 
 class EvalService:
-    """Persistent pool of candidate-evaluation worker processes.
+    """Persistent pool of candidate-evaluation workers.
 
     One service is created per (pool, graph) pair and reused across every
     batch — and, via the shared evaluator, across every souping method of
     an experiment cell. ``run`` dispatches one batch of tasks and returns
-    results in request order; a worker that dies mid-batch is replaced
-    and its claimed task re-queued (bounded by a respawn budget so a pool
-    that keeps dying raises instead of spinning).
+    results in request order. All worker-protocol mechanics (claim/done
+    bookkeeping, death detection, lost-task recovery, respawn budgets,
+    stale-message tolerance across batches) are the shared
+    :class:`~repro.distributed.cluster.ClusterService`'s; this wrapper
+    owns only the Phase-2 payloads: the shared-memory graph/pool buffers
+    and their serialized fallbacks.
     """
 
     def __init__(
@@ -276,11 +306,16 @@ class EvalService:
         params: tuple[tuple[str, tuple[int, ...]], ...],
         num_workers: int = 4,
         shm: bool = True,
+        transport: str = "pipe",
+        nodes=None,
     ) -> None:
-        if num_workers < 1:
-            raise ValueError("need at least one evaluation worker")
-        self.num_workers = int(num_workers)
-        self._ctx = _mp_context()
+        num_workers = _validate_num_workers(num_workers)
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
+        nodes = parse_nodes(nodes)
+        if nodes and transport != "tcp":
+            raise ValueError("worker nodes require transport='tcp'")
+        self.num_workers = len(nodes) if nodes else num_workers
         self._graph_buffer = None
         self._pool_buffer = None
         graph_ref: dict | None = None
@@ -302,33 +337,39 @@ class EvalService:
                 graph_ref = pool_ref = None
         if graph_ref is None:
             graph_ref = {"kind": "arrays", "payload": _graph_to_payload(graph)}
-            pool_ref = {"kind": "arrays", "flats": flats, "params": params}
-        self._graph_ref, self._pool_ref = graph_ref, pool_ref
-        self._model_config = dict(model_config)
-        self._task_queue = self._ctx.SimpleQueue()
-        self._result_reader, self._result_writer = self._ctx.Pipe(duplex=False)
-        self._result_lock = self._ctx.Lock()
-        self._workers: dict[int, object] = {}
-        self._next_worker_id = 0
-        self._next_req = 0  # service-unique request ids (stale-message guard)
+            pool_ref = {"kind": "arrays", "flats": flats, "params": tuple(params)}
+        context = {
+            "graph_ref": graph_ref,
+            "pool_ref": pool_ref,
+            "model_config": dict(model_config),
+        }
+        if transport == "tcp":
+            def fallback_context():
+                # pushed once per worker whose shm attach failed — the
+                # cross-node path, where the segment name means nothing
+                return {
+                    "graph_ref": {"kind": "arrays", "payload": _graph_to_payload(graph)},
+                    "pool_ref": {"kind": "arrays", "flats": flats, "params": tuple(params)},
+                    "model_config": dict(model_config),
+                }
+
+            cluster_transport = TcpTransport(
+                "eval",
+                context,
+                fallback_context=fallback_context,
+                nodes=nodes,
+                spawn_local=0 if nodes else self.num_workers,
+            )
+        else:
+            cluster_transport = PipeTransport("eval", context, width=self.num_workers)
+        self._service = ClusterService(cluster_transport)
         self._closed = False
-        for _ in range(self.num_workers):
-            self._spawn_worker()
-
-    # -- worker lifecycle ----------------------------------------------------
-
-    def _spawn_worker(self) -> None:
-        proc = self._ctx.Process(
-            target=_eval_worker_main,
-            args=(
-                self._next_worker_id, self._task_queue, self._result_writer,
-                self._result_lock, self._graph_ref, self._pool_ref, self._model_config,
-            ),
-            daemon=True,
-        )
-        proc.start()
-        self._workers[self._next_worker_id] = proc
-        self._next_worker_id += 1
+        try:
+            self._service.start()
+        except BaseException:
+            self._service.close()
+            self._release_buffers()
+            raise
 
     def _release_buffers(self) -> None:
         if self._graph_buffer is not None:
@@ -343,113 +384,29 @@ class EvalService:
     def run(self, tasks: list[EvalTask]) -> list:
         """Evaluate one batch; results come back in request order.
 
-        The task pipe is fed a few specs ahead of demand (explicit-state
-        candidates can be large, and ``SimpleQueue.put`` is a blocking
-        pipe write), mirroring the Phase-1 dynamic queue's backlog.
-
-        Robustness: request ids are rewritten to be unique across the
-        service's lifetime, so messages left over from an earlier batch
-        that aborted (a worker-side scoring error raises immediately,
-        possibly with siblings still in flight) are recognised as stale
+        Evaluations are idempotent and results are keyed by
+        service-unique request ids, so the cluster core's lost-task
+        recovery (re-queue everything a dead worker may have swallowed)
+        wastes at most a forward pass, never correctness — and messages
+        left over from an earlier aborted batch are recognised as stale
         and dropped instead of being mis-recorded as this batch's
-        results. A worker that dies *between* dequeuing a spec and
-        sending its ``claim`` swallows the spec with it; the recovery
-        path conservatively re-queues every unaccounted-for task —
-        evaluations are idempotent and results are keyed by request id,
-        so a duplicate execution wastes a forward pass, never correctness.
+        results.
         """
         if self._closed:
             raise RuntimeError("evaluation service is closed")
+        tasks = list(tasks)
         if not tasks:
             return []
-        # service-unique ids: stale claim/done/error messages from an
-        # aborted earlier batch can never collide with this batch's
-        dispatch: list[EvalTask] = []
-        for task in tasks:
-            dispatch.append(replace(task, req_id=self._next_req))
-            self._next_req += 1
-        results: dict[int, object] = {}
-        in_flight: dict[int, EvalTask | None] = {}  # worker -> claimed (None = stale claim)
-        tasks_by_id = {task.req_id: task for task in dispatch}
-        backlog: deque[EvalTask] = deque(dispatch)
-        unclaimed = 0
-        # every legitimate death re-queues work; a pool dying more often
-        # than it completes work is a bug, not load
-        respawn_budget = self.num_workers + len(tasks)
-
-        def top_up():
-            nonlocal unclaimed
-            while backlog and unclaimed < self.num_workers + 2:
-                self._task_queue.put(backlog.popleft())
-                unclaimed += 1
-
-        def handle(message):
-            nonlocal unclaimed
-            kind, worker_id, req_id = message[0], message[1], message[2]
-            stale = req_id not in tasks_by_id
-            if kind == "claim":
-                in_flight[worker_id] = None if stale else tasks_by_id[req_id]
-                if not stale:
-                    unclaimed = max(0, unclaimed - 1)
-                top_up()
-            elif kind == "done":
-                in_flight.pop(worker_id, None)
-                if not stale:
-                    results[req_id] = message[3]
-            else:  # "error": an exception inside scoring is a bug, not a fault
-                in_flight.pop(worker_id, None)
-                if not stale:
-                    raise RuntimeError(
-                        f"evaluation task {req_id} raised in a worker:\n{message[3]}"
-                    )
-
-        top_up()
-        while len(results) < len(tasks):
-            if self._result_reader.poll(0.2):
-                handle(self._result_reader.recv())
-                continue
-            dead = [wid for wid, proc in self._workers.items() if not proc.is_alive()]
-            if not dead:
-                continue
-            # a dead worker sent its messages synchronously before dying —
-            # drain them first so its claim entry is authoritative
-            while self._result_reader.poll(0):
-                handle(self._result_reader.recv())
-            lost_unclaimed = False
-            for worker_id in dead:
-                proc = self._workers.pop(worker_id, None)
-                if proc is None:
-                    continue
-                proc.join()
-                if worker_id in in_flight:
-                    claimed = in_flight.pop(worker_id)
-                    if claimed is not None and claimed.req_id not in results:
-                        backlog.append(claimed)
-                else:
-                    # died with no claim on record: it may have dequeued a
-                    # spec it never acknowledged
-                    lost_unclaimed = True
-                if respawn_budget <= 0:
-                    raise EvalServiceError(
-                        "evaluation workers kept dying without making progress"
-                    )
-                respawn_budget -= 1
-                self._spawn_worker()
-            if lost_unclaimed:
-                # re-queue every task not finished, not claimed by a live
-                # worker and not already queued for re-dispatch; a task
-                # that was in fact still sitting in the shared queue runs
-                # twice (idempotent, results keyed by id), a swallowed one
-                # is recovered instead of hanging the batch forever
-                accounted = {t.req_id for t in in_flight.values() if t is not None}
-                accounted.update(t.req_id for t in backlog)
-                backlog.extend(
-                    t for t in dispatch
-                    if t.req_id not in results and t.req_id not in accounted
-                )
-                unclaimed = 0
-            top_up()
-        return [results[task.req_id] for task in dispatch]
+        try:
+            results, _exhausted = self._service.run(
+                list(range(len(tasks))),
+                lambda key, _attempt: tasks[key],
+                max_attempts=None,  # only worker death re-queues; never exhausts
+                label="evaluation task",
+            )
+        except WorkerLossError as exc:
+            raise EvalServiceError(str(exc)) from exc
+        return [results[i] for i in range(len(tasks))]
 
     # -- shutdown ------------------------------------------------------------
 
@@ -459,19 +416,8 @@ class EvalService:
             return
         self._closed = True
         try:
-            for _ in self._workers:
-                self._task_queue.put(None)
-            for proc in self._workers.values():
-                proc.join(timeout=10)
+            self._service.close()
         finally:
-            for proc in self._workers.values():
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5)
-            self._workers.clear()
-            self._result_reader.close()
-            self._result_writer.close()
-            self._task_queue.close()
             self._release_buffers()
 
     def __enter__(self) -> "EvalService":

@@ -31,7 +31,12 @@ Queue disciplines (``queue=``):
 * ``"dynamic"`` (default) — the paper's shared task queue, realised: a
   persistent worker pool pulls task specs as workers free up, so a
   straggling or retried task never stalls the rest of the pool, and a
-  hard-killed worker is replaced while its lost task re-enters the queue;
+  hard-killed worker is replaced while its lost task re-enters the queue.
+  The queue runs on the shared cluster runtime
+  (:mod:`~repro.distributed.cluster`), so its workers can live on this
+  host (``transport="pipe"``) or on other machines
+  (``transport="tcp"`` + ``nodes=["host:port", ...]`` pointing at
+  ``python -m repro cluster start-worker`` instances);
 * ``"rounds"`` — the legacy discipline: fan out everything, wait for the
   round to finish, resubmit the failures on a fresh pool.
 
@@ -51,9 +56,7 @@ the makespan an actual W-worker cluster would achieve (Eq. 1/2).
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
-import traceback
 import warnings
 from collections import deque
 from concurrent.futures import (
@@ -76,6 +79,16 @@ from ..nn import Module
 from ..tensor import clear_alloc_hooks
 from ..train import TrainConfig, TrainResult, train_model
 from .checkpoint import CheckpointStore, run_fingerprint
+from .cluster import (
+    TRANSPORTS,
+    ClusterService,
+    PipeTransport,
+    TcpTransport,
+    WorkerLossError,
+    WorkerRole,
+    _mp_context,
+    parse_nodes,
+)
 from .faults import FaultPlan, SimulatedWorkerFault
 from .scheduler import TaskSchedule, WorkerPoolSimulator, _validate_num_workers
 from .shm import SharedGraphBuffer, attach_graph
@@ -83,6 +96,7 @@ from .shm import SharedGraphBuffer, attach_graph
 __all__ = [
     "EXECUTORS",
     "QUEUES",
+    "TRANSPORTS",
     "IngredientPool",
     "IngredientTask",
     "IngredientTrainingError",
@@ -232,23 +246,6 @@ def _graph_from_payload(payload: dict) -> Graph:
     )
 
 
-def _mp_context():
-    """Start-method context for worker processes.
-
-    ``MP_START_METHOD`` (e.g. the CI spawn job) overrides; otherwise fork
-    is preferred where available — it shares the parent's pages
-    copy-on-write — with spawn as the portable fallback (macOS/Windows
-    semantics). Under spawn the shared-memory transport matters most:
-    workers receive a few-hundred-byte segment descriptor instead of a
-    pickled copy of the graph.
-    """
-    forced = os.environ.get("MP_START_METHOD")
-    if forced:
-        return mp.get_context(forced)
-    methods = mp.get_all_start_methods()
-    return mp.get_context("fork" if "fork" in methods else "spawn")
-
-
 def _run_task(
     task: IngredientTask,
     graph: Graph,
@@ -342,6 +339,30 @@ def _worker_entry(task: IngredientTask, inject: bool, allow_epoch_resume: bool =
     return _run_task(
         task, _WORKER_GRAPH, inject, _WORKER_STORE, _WORKER_CKPT_EVERY, allow_epoch_resume
     )
+
+
+def _role_init(context: dict) -> None:
+    """Cluster-role init: populate the per-worker globals from the shipped
+    context (graph via shm or payload, optional checkpoint handle)."""
+    _worker_init(
+        context["graph_ref"], context.get("store_args"), context.get("checkpoint_every", 0)
+    )
+
+
+def _role_run(_state, payload) -> TrainResult:
+    task, inject, allow = payload
+    return _worker_entry(task, inject, allow)
+
+
+#: The Phase-1 worker role on the shared cluster runtime: resolved by
+#: name ("ingredients") so tcp workers on other hosts find the same code
+#: path; SimulatedWorkerFault reports as a retryable ``fault``.
+INGREDIENT_ROLE = WorkerRole(
+    name="ingredients",
+    init=_role_init,
+    run=_role_run,
+    fault_types=(SimulatedWorkerFault,),
+)
 
 
 # ---------------------------------------------------------------------------
@@ -518,187 +539,68 @@ def _thread_dynamic(
     return results, sorted(exhausted)
 
 
-def _pool_worker_main(worker_id, task_queue, result_writer, result_lock, graph_ref, store_args, checkpoint_every):
-    """Body of one persistent dynamic-queue worker process.
-
-    Pulls task specs until the ``None`` sentinel. Every attempt is
-    bracketed by a ``claim`` message so the driver knows which task died
-    with the worker; completions, injected faults and unexpected errors
-    each report their own message kind.
-
-    Result messages go through a raw pipe guarded by a shared lock —
-    ``Connection.send`` is *synchronous*, so once it returns the message
-    is in the pipe even if the worker hard-dies on the very next
-    instruction. (A ``multiprocessing.Queue`` would buffer through a
-    feeder thread that ``os._exit`` silently kills, losing the claim that
-    the driver's requeue accounting depends on.)
-    """
-
-    def put(message):
-        with result_lock:
-            result_writer.send(message)
-
-    _worker_init(graph_ref, store_args, checkpoint_every)
-    while True:
-        item = task_queue.get()
-        if item is None:
-            return
-        task, inject, allow = item
-        put(("claim", worker_id, task.index))
-        try:
-            result = _run_task(
-                task, _WORKER_GRAPH, inject, _WORKER_STORE, _WORKER_CKPT_EVERY, allow
-            )
-        except SimulatedWorkerFault:
-            put(("fault", worker_id, task.index))
-        except BaseException:
-            put(("error", worker_id, task.index, traceback.format_exc()))
-        else:
-            put(("done", worker_id, task.index, result))
-
-
 def _process_dynamic(
-    pending, graph_ref, num_workers, max_retries, attempts, faults_left, on_done, store_args, checkpoint_every, resume
+    pending, transport, max_retries, attempts, faults_left, on_done, checkpoint_every, resume
 ):
-    """Work-stealing process pool over one shared task queue.
+    """Work-stealing worker pool on the shared cluster runtime.
 
     Workers are persistent: each pulls the next spec the moment it
     finishes the last, so stragglers never idle the rest of the pool and
     a retried task rides along with the still-draining queue instead of
     forcing a fresh fan-out round. A worker that hard-dies (kill fault)
-    costs exactly one worker: its claimed task re-enters the queue and a
-    replacement process is spawned, while every other worker keeps its
-    warm graph attachment.
+    costs exactly one worker: its claimed task re-enters the queue and —
+    where the transport owns its workers — a replacement process is
+    spawned, while every other worker keeps its warm graph attachment.
+
+    All protocol mechanics (claim/done bookkeeping, lost-task recovery,
+    respawn budget, backlog feeding) live in
+    :class:`~repro.distributed.cluster.ClusterService`; this wrapper only
+    supplies the Phase-1 semantics: per-attempt inject/resume flags and
+    the fault-budget accounting.
+
+    Fault-budget accounting: an exception fault consumes budget when the
+    worker reports it; a kill fault's budget is consumed when its claimed
+    attempt dies with the worker. A collateral loss of a task with no
+    fault armed consumes nothing, so its planned faults still fire on
+    later attempts.
     """
-    ctx = _mp_context()
-    task_queue = ctx.SimpleQueue()  # synchronous puts, no feeder thread
-    result_reader, result_writer = ctx.Pipe(duplex=False)
-    result_lock = ctx.Lock()
-    width = min(num_workers, len(pending))
-    results: dict[int, TrainResult] = {}
-    exhausted: set[int] = set()
     tasks_by_index = {task.index: task for task in pending}
     current_inject: dict[int, bool] = {}
-    in_flight: dict[int, tuple[IngredientTask, bool]] = {}  # worker_id -> claimed attempt
-    workers: dict[int, mp.process.BaseProcess] = {}
-    next_worker_id = 0
-    # the driver-side backlog feeds the shared pipe a few specs ahead of
-    # demand instead of all at once: SimpleQueue.put is a blocking pipe
-    # write, so queueing an unbounded task set up-front would fill the
-    # ~64KB pipe and wedge the driver where it can no longer drain
-    # results (a mutual deadlock with workers blocked on *their* sends)
-    backlog: deque[IngredientTask] = deque()
-    unclaimed = 0  # attempts written to the pipe but not yet claimed
-    # respawn budget: every legitimate death consumes a task attempt, so a
-    # pool that keeps dying without making progress is a bug, not a fault
-    spawn_budget = width + sum(max_retries + 1 for _ in pending)
 
-    def spawn_worker():
-        nonlocal next_worker_id, spawn_budget
-        if spawn_budget <= 0:
-            raise IngredientTrainingError(
-                "dynamic process pool kept losing workers without making progress"
-            )
-        spawn_budget -= 1
-        proc = ctx.Process(
-            target=_pool_worker_main,
-            args=(
-                next_worker_id, task_queue, result_writer, result_lock,
-                graph_ref, store_args, checkpoint_every,
-            ),
-            daemon=True,
-        )
-        proc.start()
-        workers[next_worker_id] = proc
-        next_worker_id += 1
+    def payload(index: int, attempt: int):
+        task = tasks_by_index[index]
+        attempts[index] = max(attempts.get(index, 0), attempt)
+        inject = faults_left[index] > 0
+        allow = resume or (attempt > 1 and checkpoint_every > 0)
+        current_inject[index] = inject
+        return (task, inject, allow)
 
-    def top_up():
-        # keep the pipe a couple of specs ahead of the worker count — deep
-        # enough that a freed worker never waits on the driver, shallow
-        # enough that the pipe can't fill
-        nonlocal unclaimed
-        while backlog and unclaimed < width + 2:
-            task = backlog.popleft()
-            attempts[task.index] += 1
-            inject = faults_left[task.index] > 0
-            allow = resume or (attempts[task.index] > 1 and checkpoint_every > 0)
-            current_inject[task.index] = inject
-            task_queue.put((task, inject, allow))
-            unclaimed += 1
+    def service_on_done(index: int, result: TrainResult) -> None:
+        on_done(tasks_by_index[index], result)
 
-    def retry_or_exhaust(task):
-        if attempts[task.index] > max_retries:
-            exhausted.add(task.index)
-        else:
-            backlog.append(task)
-            top_up()
+    def service_on_fault(index: int) -> None:
+        faults_left[index] -= 1
 
-    def handle(message):
-        nonlocal unclaimed
-        kind = message[0]
-        if kind == "claim":
-            _, worker_id, index = message
-            in_flight[worker_id] = (tasks_by_index[index], current_inject[index])
-            unclaimed -= 1
-            top_up()
-        elif kind == "done":
-            _, worker_id, index, result = message
-            in_flight.pop(worker_id, None)
-            on_done(tasks_by_index[index], result)
-            results[index] = result
-        elif kind == "fault":
-            _, worker_id, index = message
-            in_flight.pop(worker_id, None)
-            faults_left[index] -= 1
-            retry_or_exhaust(tasks_by_index[index])
-        else:  # "error": an unexpected exception is a bug, not a fault
-            _, worker_id, index, tb = message
-            in_flight.pop(worker_id, None)
-            raise RuntimeError(f"worker task {index} raised unexpectedly:\n{tb}")
+    def service_on_lost(index: int) -> None:
+        task = tasks_by_index[index]
+        if current_inject.get(index) and task.kill:
+            faults_left[index] -= 1  # the planned death fired
 
+    service = ClusterService(transport)
     try:
-        for _ in range(width):
-            spawn_worker()
-        backlog.extend(pending)
-        top_up()
-        while len(results) + len(exhausted) < len(pending):
-            if result_reader.poll(0.2):
-                handle(result_reader.recv())
-                continue
-            dead = [worker_id for worker_id, proc in workers.items() if not proc.is_alive()]
-            if not dead:
-                continue
-            # a dead worker sent its messages synchronously before dying —
-            # apply them first so its claim table entry is authoritative
-            while result_reader.poll(0):
-                handle(result_reader.recv())
-            for worker_id in dead:
-                proc = workers.pop(worker_id, None)
-                if proc is None:
-                    continue
-                proc.join()
-                claim = in_flight.pop(worker_id, None)
-                if claim is not None:
-                    task, injected = claim
-                    if injected and task.kill:
-                        faults_left[task.index] -= 1  # the planned death fired
-                    retry_or_exhaust(task)
-            remaining = len(pending) - len(results) - len(exhausted)
-            while len(workers) < min(width, remaining):
-                spawn_worker()
-        for _ in workers:
-            task_queue.put(None)
-        for proc in workers.values():
-            proc.join(timeout=10)
+        return service.run(
+            [task.index for task in pending],
+            payload,
+            max_attempts=max_retries + 1,
+            on_done=service_on_done,
+            on_fault=service_on_fault,
+            on_lost=service_on_lost,
+            label="task",
+        )
+    except WorkerLossError as exc:
+        raise IngredientTrainingError(str(exc)) from exc
     finally:
-        for proc in workers.values():
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5)
-        result_reader.close()
-        result_writer.close()
-        task_queue.close()
-    return results, sorted(exhausted)
+        service.close()
 
 
 # ---------------------------------------------------------------------------
@@ -717,6 +619,8 @@ def _execute_tasks(
     shm: bool,
     checkpoint_every: int,
     resume: bool,
+    transport: str = "pipe",
+    nodes: list[tuple[str, int]] | None = None,
 ) -> dict[int, TrainResult]:
     """Run all tasks to completion with retries; returns results by index.
 
@@ -732,7 +636,15 @@ def _execute_tasks(
     shared-memory segment owned here (created before the first worker,
     unlinked in ``finally`` — workers hold views, so the segment must
     outlive them but never the driver), or as a pickled payload when
-    ``shm=False`` or the platform lacks shared memory.
+    ``shm=False`` or the platform lacks shared memory. Over the ``tcp``
+    transport the shared-memory reference still serves same-host workers
+    (loopback ones attach zero-copy); a worker that cannot reach the
+    segment — a genuinely remote node — receives the serialized graph
+    payload instead, pushed once at its handshake. Checkpoint handles
+    ride only with the shared-memory context: a worker that can attach
+    the segment shares the driver's filesystem, a remote one snapshots
+    nothing (the driver still persists every *finished* ingredient it
+    receives back).
     """
     results: dict[int, TrainResult] = {}
     if not tasks:
@@ -775,9 +687,37 @@ def _execute_tasks(
     try:
         if queue == "dynamic":
             if executor == "process":
+                shm_backed = graph_ref["kind"] == "shm"
+                context = {
+                    "graph_ref": graph_ref,
+                    # over tcp, checkpoint handles only make sense for
+                    # workers sharing the driver's host (== the ones that
+                    # can attach its shm segment)
+                    "store_args": store_args if (transport == "pipe" or shm_backed) else None,
+                    "checkpoint_every": checkpoint_every if (transport == "pipe" or shm_backed) else 0,
+                }
+                if transport == "tcp":
+                    def fallback_context():
+                        return {
+                            "graph_ref": {"kind": "arrays", "payload": _graph_to_payload(graph)},
+                            "store_args": None,
+                            "checkpoint_every": 0,
+                        }
+
+                    cluster_transport = TcpTransport(
+                        "ingredients",
+                        context,
+                        fallback_context=fallback_context,
+                        nodes=nodes,
+                        spawn_local=0 if nodes else min(num_workers, len(tasks)),
+                    )
+                else:
+                    cluster_transport = PipeTransport(
+                        "ingredients", context, width=min(num_workers, len(tasks))
+                    )
                 results, exhausted = _process_dynamic(
-                    tasks, graph_ref, num_workers, max_retries, attempts, faults_left,
-                    on_done, store_args, checkpoint_every, resume,
+                    tasks, cluster_transport, max_retries, attempts, faults_left,
+                    on_done, checkpoint_every, resume,
                 )
             elif executor == "thread":
                 results, exhausted = _thread_dynamic(
@@ -840,6 +780,8 @@ def train_ingredients(
     executor: str = "serial",
     queue: str = "dynamic",
     shm: bool = True,
+    transport: str = "pipe",
+    nodes=None,
     hidden_dim: int = 64,
     num_layers: int = 2,
     dropout: float = 0.5,
@@ -872,6 +814,19 @@ def train_ingredients(
         ``multiprocessing.shared_memory`` segment (default) instead of a
         per-pool pickled payload; ignored by the in-process executors and
         silently downgraded where shared memory is unavailable.
+    transport:
+        How the dynamic queue reaches its process workers: ``"pipe"``
+        (default — workers forked/spawned on this host) or ``"tcp"``
+        (socket workers that may live on other hosts). With ``"tcp"``
+        and no ``nodes``, loopback workers are spawned locally — the
+        single-host proof of the multi-node path. Requires
+        ``executor="process"`` and ``queue="dynamic"``.
+    nodes:
+        Remote worker addresses for the tcp transport — a
+        ``"host:port,host:port"`` string or a sequence of specs, each a
+        ``python -m repro cluster start-worker`` instance. When given,
+        the cluster width is ``len(nodes)`` (``num_workers`` still sets
+        the makespan-simulation W).
     epoch_jitter:
         Optional ± range on each ingredient's epoch budget (drawn from its
         task seed). The paper notes "variability in ingredient complexity
@@ -911,6 +866,16 @@ def train_ingredients(
         raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
     if queue not in QUEUES:
         raise ValueError(f"unknown queue discipline {queue!r}; choose from {QUEUES}")
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
+    nodes = parse_nodes(nodes)
+    if nodes and transport != "tcp":
+        raise ValueError("worker nodes require transport='tcp'")
+    if transport == "tcp":
+        if executor != "process":
+            raise ValueError("transport='tcp' requires executor='process'")
+        if queue != "dynamic":
+            raise ValueError("transport='tcp' requires the dynamic queue discipline")
     # validate up-front with the scheduler's strict rule — a bad worker
     # count must fail here, not after hours of training at the final
     # makespan simulation
@@ -983,7 +948,7 @@ def train_ingredients(
     todo = [task for task in tasks if task.index not in preloaded]
     trained = _execute_tasks(
         todo, graph, executor, num_workers, max_retries, store,
-        queue, shm, checkpoint_every, resume,
+        queue, shm, checkpoint_every, resume, transport, nodes,
     )
     results = [preloaded[i] if i in preloaded else trained[i] for i in range(n_ingredients)]
 

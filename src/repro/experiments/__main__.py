@@ -16,7 +16,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from ..distributed import EXECUTORS, QUEUES
+from ..distributed import EXECUTORS, QUEUES, TRANSPORTS
 from ..graph import dataset_names, load_dataset
 from ..soup import SOUP_EXECUTORS
 from .cache import get_or_train_pool
@@ -62,6 +62,18 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         help="disable shared-memory graph transport for process workers",
     )
     parser.add_argument(
+        "--transport",
+        default="pipe",
+        choices=list(TRANSPORTS),
+        help="cluster transport for Phase-1 process workers (tcp reaches other hosts)",
+    )
+    parser.add_argument(
+        "--nodes",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="remote `cluster start-worker` addresses for Phase-1 tcp training",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
         help="per-ingredient checkpoint directory for uncached pools",
@@ -90,7 +102,24 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         default=4,
         help="evaluation workers for --soup-executor thread/process",
     )
-    return parser.parse_args(argv)
+    parser.add_argument(
+        "--soup-transport",
+        default="pipe",
+        choices=list(TRANSPORTS),
+        help="cluster transport for the Phase-2 process evaluator",
+    )
+    parser.add_argument(
+        "--soup-nodes",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="remote `cluster start-worker` addresses for Phase-2 tcp evaluation",
+    )
+    args = parser.parse_args(argv)
+    if args.nodes and args.transport == "pipe":
+        args.transport = "tcp"  # a node list implies the socket transport
+    if args.soup_nodes and args.soup_transport == "pipe":
+        args.soup_transport = "tcp"
+    return args
 
 
 def _selected_cells(spec_filter: str) -> list[tuple[str, str]]:
@@ -119,6 +148,8 @@ def _run_grid(args: argparse.Namespace):
             executor=args.executor,
             queue=args.queue,
             shm=args.shm,
+            transport=args.transport,
+            nodes=args.nodes,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
@@ -131,6 +162,8 @@ def _run_grid(args: argparse.Namespace):
                 n_soups=args.soups,
                 soup_executor=args.soup_executor,
                 soup_workers=args.soup_workers,
+                soup_transport=args.soup_transport,
+                soup_nodes=args.soup_nodes,
             )
         )
     return results

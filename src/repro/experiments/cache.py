@@ -104,6 +104,8 @@ def get_or_train_pool(
     executor: str = "serial",
     queue: str = "dynamic",
     shm: bool = True,
+    transport: str = "pipe",
+    nodes=None,
     checkpoint_dir: str | os.PathLike | None = None,
     checkpoint_every: int = 0,
     checkpoint_keep: int = 1,
@@ -111,11 +113,12 @@ def get_or_train_pool(
 ) -> IngredientPool:
     """Load the spec's pool from cache, training and persisting on a miss.
 
-    ``executor``/``queue``/``shm``/``checkpoint_dir``/``checkpoint_every``/
-    ``checkpoint_keep``/``resume`` pass through to
-    :func:`repro.distributed.train_ingredients` on a miss; none of them
-    enter the cache key because the determinism contract makes the pool
-    identical across executors, queue disciplines and graph transports.
+    ``executor``/``queue``/``shm``/``transport``/``nodes``/
+    ``checkpoint_dir``/``checkpoint_every``/``checkpoint_keep``/``resume``
+    pass through to :func:`repro.distributed.train_ingredients` on a
+    miss; none of them enter the cache key because the determinism
+    contract makes the pool identical across executors, queue disciplines
+    and transports (including remote tcp workers).
     """
     path = cache_dir() / (pool_cache_key(spec, graph_seed, graph.num_nodes) + ".npz")
     if path.exists():
@@ -130,6 +133,8 @@ def get_or_train_pool(
         executor=executor,
         queue=queue,
         shm=shm,
+        transport=transport,
+        nodes=nodes,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         checkpoint_keep=checkpoint_keep,

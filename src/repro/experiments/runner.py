@@ -136,29 +136,37 @@ def run_cell(
     executor: str = "serial",
     queue: str = "dynamic",
     shm: bool = True,
+    transport: str = "pipe",
+    nodes=None,
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 0,
     resume: bool = False,
     soup_executor: str = "serial",
     soup_workers: int = 4,
+    soup_transport: str = "pipe",
+    soup_nodes=None,
 ) -> CellResult:
     """Execute one cell; ``graph``/``pool`` injectable for tests and benches.
 
-    ``executor``/``queue``/``shm``/``checkpoint_dir``/``checkpoint_every``/
-    ``resume`` govern Phase-1 training on a pool-cache miss (see
-    :func:`repro.experiments.cache.get_or_train_pool`).
+    ``executor``/``queue``/``shm``/``transport``/``nodes``/
+    ``checkpoint_dir``/``checkpoint_every``/``resume`` govern Phase-1
+    training on a pool-cache miss (see
+    :func:`repro.experiments.cache.get_or_train_pool`); ``transport`` /
+    ``nodes`` reach the shared cluster runtime, so a cell's ingredients
+    can train on remote ``cluster start-worker`` nodes.
 
-    ``soup_executor``/``soup_workers`` govern Phase 2: one shared
-    candidate evaluator (see :func:`repro.soup.make_evaluator`) serves
-    every method × soup-rotation of the cell — its worker pool and
-    shared-memory segments are spawned once, rotations attach as sub-pool
-    views — and on a parallel backend the independent (method, rotation)
-    jobs are additionally dispatched concurrently. Results are
-    bit-identical to the serial path per the evaluator's determinism
-    contract. Measurements are not: a concurrently-dispatched job's
-    ``soup_time`` absorbs time spent waiting on the shared evaluator, and
-    peak-memory attribution counts only the job's own thread — use the
-    serial dispatch for paper-grade Table III / Fig. 4b numbers.
+    ``soup_executor``/``soup_workers``/``soup_transport``/``soup_nodes``
+    govern Phase 2: one shared candidate evaluator (see
+    :func:`repro.soup.make_evaluator`) serves every method ×
+    soup-rotation of the cell — its worker pool and shared-memory
+    segments are spawned once, rotations attach as sub-pool views — and
+    on a parallel backend the independent (method, rotation) jobs are
+    additionally dispatched concurrently. Results are bit-identical to
+    the serial path per the evaluator's determinism contract.
+    Measurements are not: a concurrently-dispatched job's ``soup_time``
+    absorbs time spent waiting on the shared evaluator, and peak-memory
+    attribution counts only the job's own thread — use the serial
+    dispatch for paper-grade Table III / Fig. 4b numbers.
     """
     graph = graph if graph is not None else load_dataset(spec.dataset, seed=graph_seed)
     pool = (
@@ -171,6 +179,8 @@ def run_cell(
             executor=executor,
             queue=queue,
             shm=shm,
+            transport=transport,
+            nodes=nodes,
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             resume=resume,
@@ -192,7 +202,10 @@ def run_cell(
             seed=spec.base_seed,
         )
 
-    with make_evaluator(pool, graph, backend=soup_executor, num_workers=soup_workers) as shared_ev:
+    with make_evaluator(
+        pool, graph, backend=soup_executor, num_workers=soup_workers,
+        transport=soup_transport, nodes=soup_nodes,
+    ) as shared_ev:
         # per-rotation evaluator views (sub-pool weights zero-expand onto
         # the shared backend); built once, reused by every method
         rotations = []
@@ -253,11 +266,15 @@ def run_grid(
     executor: str = "serial",
     queue: str = "dynamic",
     shm: bool = True,
+    transport: str = "pipe",
+    nodes=None,
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 0,
     resume: bool = False,
     soup_executor: str = "serial",
     soup_workers: int = 4,
+    soup_transport: str = "pipe",
+    soup_nodes=None,
 ) -> list[CellResult]:
     """Run many cells (the full paper grid is 12)."""
     results = []
@@ -273,11 +290,15 @@ def run_grid(
                 executor=executor,
                 queue=queue,
                 shm=shm,
+                transport=transport,
+                nodes=nodes,
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_every=checkpoint_every,
                 resume=resume,
                 soup_executor=soup_executor,
                 soup_workers=soup_workers,
+                soup_transport=soup_transport,
+                soup_nodes=soup_nodes,
             )
         )
     return results

@@ -9,13 +9,17 @@ ensembles. Contributions: :func:`learned_soup` (LS, Algorithm 3) and
 
 from .base import SoupResult, eval_state
 from .engine import (
+    DEFAULT_SCORE_CACHE,
     SOUP_EXECUTORS,
     Candidate,
     Evaluator,
     ProcessEvaluator,
     SerialEvaluator,
     ThreadEvaluator,
+    basis_weights,
     make_evaluator,
+    member_weights,
+    uniform_weights,
 )
 from .state import (
     average,
@@ -47,7 +51,11 @@ from .api import SOUP_METHODS, soup, soup_method_names
 __all__ = [
     "SoupResult",
     "eval_state",
+    "DEFAULT_SCORE_CACHE",
     "SOUP_EXECUTORS",
+    "basis_weights",
+    "member_weights",
+    "uniform_weights",
     "Candidate",
     "Evaluator",
     "SerialEvaluator",

@@ -12,7 +12,19 @@ This module gives all of them one :class:`Evaluator` with three backends:
 * ``"process"`` — the :class:`~repro.distributed.eval_service.EvalService`
   worker pool: candidates cross the process boundary as tiny weight
   vectors and are mixed zero-copy from the pool's shared-memory flat-state
-  stack.
+  stack. ``transport="tcp"`` + ``nodes=["host:port", ...]`` moves those
+  workers onto other machines (see the shared cluster runtime,
+  :mod:`repro.distributed.cluster`).
+
+Every evaluator additionally carries a **candidate-score cache**: scalar
+accuracies are memoized by a digest of ``(weights, groups, node
+selection)``, so a mix that has been scored once — greedy re-speculation
+after an acceptance, GIS's ``alpha = 0`` grid endpoint reproducing the
+current soup, identical candidates across an experiment cell's method ×
+rotation jobs — costs a dictionary lookup instead of a forward pass.
+Cached values are the exact floats the backend returned, so the
+determinism contract is untouched; ``cache_info()`` exposes hit/miss
+counters and ``cache_size=0`` disables the cache.
 
 Candidates are preferentially expressed as **mix specs** — an ``[N]`` (or
 ``[N, G]`` + groups) weight vector over the ingredient pool — because
@@ -30,8 +42,10 @@ point); only the results are contractual.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import queue as queue_mod
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
@@ -46,9 +60,11 @@ from ..distributed.eval_service import (
     stack_flat_states,
 )
 from ..distributed.ingredients import IngredientPool
+from ..distributed.scheduler import _validate_num_workers
 from ..graph.graph import Graph
 
 __all__ = [
+    "DEFAULT_SCORE_CACHE",
     "SOUP_EXECUTORS",
     "Candidate",
     "Evaluator",
@@ -65,6 +81,11 @@ __all__ = [
 #: Evaluator backends accepted by :func:`make_evaluator` (and the
 #: ``--soup-executor`` CLI flag).
 SOUP_EXECUTORS = ("serial", "thread", "process")
+
+#: Default capacity (entries) of the evaluator-side candidate-score
+#: cache. Entries are 16-byte digests mapping to scalar accuracies, so
+#: even the full cache is a few hundred KB.
+DEFAULT_SCORE_CACHE = 8192
 
 _SPLITS = ("train", "val", "test")
 
@@ -135,13 +156,22 @@ class Evaluator:
 
     backend = "serial"
 
-    def __init__(self, pool: IngredientPool, graph: Graph) -> None:
+    def __init__(
+        self, pool: IngredientPool, graph: Graph, cache_size: int = DEFAULT_SCORE_CACHE
+    ) -> None:
         self.pool = pool
         self.graph = graph
         self._flats: np.ndarray | None = None
         self._params = None
         self._lock = threading.RLock()
         self._closed = False
+        if isinstance(cache_size, bool) or not isinstance(cache_size, (int, np.integer)):
+            raise ValueError(f"cache_size must be an integer, got {cache_size!r}")
+        self._cache_size = max(0, int(cache_size))
+        self._cache: "OrderedDict[bytes, float]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.backend_evals = 0  # candidates actually scored by the backend
 
     # -- pool views ----------------------------------------------------------
 
@@ -183,6 +213,43 @@ class Evaluator:
         """Materialise the state dict of a mix spec (driver-side)."""
         return mix_candidate(self.flats, self.param_spec, weights, groups)
 
+    # -- candidate-score cache -----------------------------------------------
+
+    def _cache_key(self, cand: Candidate) -> bytes | None:
+        """Digest of a cacheable candidate, ``None`` when uncacheable.
+
+        Only scalar-accuracy mix-spec candidates are memoized: explicit
+        state dicts are large and rarely repeated, and logits results are
+        whole matrices. Weights are digested in the float64 form every
+        backend mixes with, so equal-valued specs hit regardless of the
+        caller's dtype.
+        """
+        if self._cache_size <= 0 or cand.state is not None or cand.kind != "acc":
+            return None
+        digest = hashlib.blake2b(digest_size=16)
+        weights = np.ascontiguousarray(np.asarray(cand.weights, dtype=np.float64))
+        digest.update(str(weights.shape).encode())
+        digest.update(weights.tobytes())
+        if cand.groups is not None:
+            digest.update(b"g")
+            digest.update(np.ascontiguousarray(np.asarray(cand.groups, dtype=np.int64)).tobytes())
+        if cand.indices is not None:  # indices override the named split
+            digest.update(b"i")
+            digest.update(np.ascontiguousarray(np.asarray(cand.indices, dtype=np.int64)).tobytes())
+        else:
+            digest.update(b"s")
+            digest.update(str(cand.split).encode())
+        return digest.digest()
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters and occupancy of the candidate-score cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "capacity": self._cache_size,
+        }
+
     # -- evaluation ----------------------------------------------------------
 
     def evaluate(self, candidates) -> list:
@@ -190,7 +257,9 @@ class Evaluator:
 
         Thread-safe: concurrent method drivers (the runner's method ×
         rotation fan-out) serialise at the batch level and share the
-        backend's worker pool across batches.
+        backend's worker pool across batches. Candidates whose score is
+        already cached never reach the backend; the returned floats are
+        bit-identical either way.
         """
         candidates = list(candidates)
         for cand in candidates:
@@ -204,7 +273,38 @@ class Evaluator:
                 raise RuntimeError("evaluator is closed")
             if not candidates:
                 return []
-            return self._evaluate(candidates)
+            keys = [self._cache_key(cand) for cand in candidates]
+            out: list = [None] * len(candidates)
+            missing: list[int] = []
+            scoring: dict[bytes, int] = {}  # key -> index already being scored
+            duplicate_of: dict[int, int] = {}
+            for i, key in enumerate(keys):
+                if key is not None and key in self._cache:
+                    self._cache.move_to_end(key)
+                    out[i] = self._cache[key]
+                    self.cache_hits += 1
+                elif key is not None and key in scoring:
+                    # identical candidate earlier in this batch: score once
+                    duplicate_of[i] = scoring[key]
+                    self.cache_hits += 1
+                else:
+                    if key is not None:
+                        scoring[key] = i
+                        self.cache_misses += 1
+                    missing.append(i)
+            if missing:
+                self.backend_evals += len(missing)
+                scored = self._evaluate([candidates[i] for i in missing])
+                for i, value in zip(missing, scored):
+                    out[i] = value
+                    key = keys[i]
+                    if key is not None:
+                        self._cache[key] = value
+                        while len(self._cache) > self._cache_size:
+                            self._cache.popitem(last=False)
+            for i, source in duplicate_of.items():
+                out[i] = out[source]
+            return out
 
     def _evaluate(self, candidates: list[Candidate]) -> list:
         raise NotImplementedError
@@ -246,8 +346,10 @@ class SerialEvaluator(Evaluator):
 
     backend = "serial"
 
-    def __init__(self, pool: IngredientPool, graph: Graph) -> None:
-        super().__init__(pool, graph)
+    def __init__(
+        self, pool: IngredientPool, graph: Graph, cache_size: int = DEFAULT_SCORE_CACHE
+    ) -> None:
+        super().__init__(pool, graph, cache_size=cache_size)
         self._model = None
 
     def _evaluate(self, candidates: list[Candidate]) -> list:
@@ -267,11 +369,15 @@ class ThreadEvaluator(Evaluator):
 
     backend = "thread"
 
-    def __init__(self, pool: IngredientPool, graph: Graph, num_workers: int = 4) -> None:
-        super().__init__(pool, graph)
-        if num_workers < 1:
-            raise ValueError("need at least one evaluation worker")
-        self.num_workers = int(num_workers)
+    def __init__(
+        self,
+        pool: IngredientPool,
+        graph: Graph,
+        num_workers: int = 4,
+        cache_size: int = DEFAULT_SCORE_CACHE,
+    ) -> None:
+        super().__init__(pool, graph, cache_size=cache_size)
+        self.num_workers = _validate_num_workers(num_workers)
         self._executor: ThreadPoolExecutor | None = None
         self._models: queue_mod.LifoQueue = queue_mod.LifoQueue()
 
@@ -308,13 +414,20 @@ class ProcessEvaluator(Evaluator):
     backend = "process"
 
     def __init__(
-        self, pool: IngredientPool, graph: Graph, num_workers: int = 4, shm: bool = True
+        self,
+        pool: IngredientPool,
+        graph: Graph,
+        num_workers: int = 4,
+        shm: bool = True,
+        transport: str = "pipe",
+        nodes=None,
+        cache_size: int = DEFAULT_SCORE_CACHE,
     ) -> None:
-        super().__init__(pool, graph)
-        if num_workers < 1:
-            raise ValueError("need at least one evaluation worker")
-        self.num_workers = int(num_workers)
+        super().__init__(pool, graph, cache_size=cache_size)
+        self.num_workers = _validate_num_workers(num_workers)
         self.shm = bool(shm)
+        self.transport = transport
+        self.nodes = nodes
         self._service: EvalService | None = None
 
     @property
@@ -330,6 +443,8 @@ class ProcessEvaluator(Evaluator):
                 self.param_spec,
                 num_workers=self.num_workers,
                 shm=self.shm,
+                transport=self.transport,
+                nodes=self.nodes,
             )
         return self._service
 
@@ -374,7 +489,9 @@ class SubsetEvaluator(Evaluator):
             self._indices.min() < 0 or self._indices.max() >= len(base)
         ):
             raise ValueError("subset indices out of range for the base pool")
-        super().__init__(base.pool.subset(self._indices), base.graph)
+        # the view delegates scoring (and therefore caching) to the base:
+        # identical mixes hit one shared cache across every rotation
+        super().__init__(base.pool.subset(self._indices), base.graph, cache_size=0)
         self.backend = base.backend
 
     @property
@@ -408,6 +525,10 @@ class SubsetEvaluator(Evaluator):
     def mix(self, weights: np.ndarray, groups: np.ndarray | None = None) -> dict:
         return self._base.mix(self._expand_weights(weights), groups)
 
+    def cache_info(self) -> dict:
+        """The shared cache lives on the base evaluator."""
+        return self._base.cache_info()
+
     def close(self) -> None:
         # a view never owns the base backend; only mark itself closed
         self._closed = True
@@ -419,15 +540,36 @@ def make_evaluator(
     backend: str = "serial",
     num_workers: int = 4,
     shm: bool = True,
+    transport: str = "pipe",
+    nodes=None,
+    cache_size: int = DEFAULT_SCORE_CACHE,
 ) -> Evaluator:
-    """Construct an evaluator for ``(pool, graph)`` on the chosen backend."""
+    """Construct an evaluator for ``(pool, graph)`` on the chosen backend.
+
+    ``transport``/``nodes`` apply to the process backend only:
+    ``transport="tcp"`` scores candidates on socket workers — remote
+    ``python -m repro cluster start-worker`` instances listed in
+    ``nodes`` (``"host:port,host:port"`` or a sequence), or
+    driver-spawned loopback workers when no nodes are given.
+    ``cache_size`` bounds the candidate-score cache (0 disables it).
+    """
     if backend not in SOUP_EXECUTORS:
         raise ValueError(f"unknown soup executor {backend!r}; choose from {SOUP_EXECUTORS}")
+    num_workers = _validate_num_workers(num_workers)
+    if backend != "process" and (nodes or transport != "pipe"):
+        # never silently score locally while the caller believes remote
+        # nodes are doing the work
+        raise ValueError(
+            f"transport/nodes require backend='process', got backend={backend!r}"
+        )
     if backend == "thread":
-        return ThreadEvaluator(pool, graph, num_workers=num_workers)
+        return ThreadEvaluator(pool, graph, num_workers=num_workers, cache_size=cache_size)
     if backend == "process":
-        return ProcessEvaluator(pool, graph, num_workers=num_workers, shm=shm)
-    return SerialEvaluator(pool, graph)
+        return ProcessEvaluator(
+            pool, graph, num_workers=num_workers, shm=shm,
+            transport=transport, nodes=nodes, cache_size=cache_size,
+        )
+    return SerialEvaluator(pool, graph, cache_size=cache_size)
 
 
 @contextlib.contextmanager

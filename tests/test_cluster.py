@@ -1,0 +1,270 @@
+"""Unified cluster runtime: tcp transport, cross-transport determinism.
+
+The acceptance contract under test: the Phase-1 pool and Phase-2 soups
+are bit-identical whether the workers sit behind the same-host ``pipe``
+transport or the multi-host ``tcp`` transport (loopback workers here) —
+and both phases run on the *same* shared worker-service core
+(:mod:`repro.distributed.cluster`), with worker-death/lost-task recovery
+over sockets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ClusterService,
+    FaultPlan,
+    TcpTransport,
+    parse_nodes,
+    train_ingredients,
+)
+from repro.distributed.cluster import run_worker
+from repro.soup import gis_soup, greedy_soup, make_evaluator
+from repro.train import TrainConfig
+
+KW = dict(train_cfg=TrainConfig(epochs=4, lr=0.05), base_seed=3, hidden_dim=8)
+
+
+def assert_pools_identical(a, b):
+    assert len(a) == len(b)
+    for s1, s2 in zip(a.states, b.states):
+        for name in s1:
+            np.testing.assert_array_equal(s1[name], s2[name])
+    assert a.val_accs == b.val_accs
+    assert a.test_accs == b.test_accs
+
+
+def assert_results_identical(a, b):
+    for name in a.state_dict:
+        np.testing.assert_array_equal(a.state_dict[name], b.state_dict[name])
+    assert a.val_acc == b.val_acc
+    assert a.test_acc == b.test_acc
+
+
+@pytest.fixture(scope="module")
+def serial_pool(tiny_graph):
+    return train_ingredients("gcn", tiny_graph, 3, executor="serial", **KW)
+
+
+def start_workers(tmp_path: Path, n: int):
+    """Spawn ``n`` real ``cluster start-worker`` servers on loopback;
+    returns ``(processes, ["127.0.0.1:port", ...])``."""
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    procs, nodes = [], []
+    for i in range(n):
+        port_file = tmp_path / f"worker-{i}.port"
+        proc = ctx.Process(
+            target=run_worker,
+            kwargs=dict(host="127.0.0.1", port=0, verbose=False, port_file=port_file),
+            daemon=True,
+        )
+        proc.start()
+        procs.append((proc, port_file))
+    for proc, port_file in procs:
+        deadline = time.monotonic() + 30
+        while not port_file.exists():
+            assert proc.is_alive(), "cluster worker died before binding"
+            assert time.monotonic() < deadline, "cluster worker never bound its port"
+            time.sleep(0.05)
+        nodes.append("127.0.0.1:" + port_file.read_text().split()[1])
+    return [proc for proc, _ in procs], nodes
+
+
+class TestPhase1TcpDeterminism:
+    """train_ingredients over tcp loopback: bit-identical to serial."""
+
+    @pytest.mark.parametrize("shm", [True, False], ids=["shm", "noshm"])
+    def test_tcp_loopback_bit_identical(self, tiny_graph, serial_pool, shm):
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor="process", transport="tcp",
+            num_workers=2, shm=shm, **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+
+    def test_hard_killed_tcp_worker_is_retried(self, tiny_graph, serial_pool):
+        """A kill fault fail-stops the worker process mid-task; over tcp
+        the death surfaces as connection loss, the claimed task re-enters
+        the queue and a replacement loopback worker spawns."""
+        pool = train_ingredients(
+            "gcn", tiny_graph, 3, executor="process", transport="tcp",
+            num_workers=2, fault_plan=FaultPlan(failures={0: 1}, kill=True), **KW,
+        )
+        assert_pools_identical(serial_pool, pool)
+
+    def test_start_worker_nodes_bit_identical(self, tiny_graph, serial_pool, tmp_path):
+        """The real multi-node path: two `cluster start-worker` servers on
+        loopback, addressed through nodes=..., train the same pool."""
+        procs, nodes = start_workers(tmp_path, 2)
+        try:
+            pool = train_ingredients(
+                "gcn", tiny_graph, 3, executor="process", transport="tcp",
+                nodes=",".join(nodes), **KW,
+            )
+            assert_pools_identical(serial_pool, pool)
+        finally:
+            for proc in procs:
+                proc.terminate()
+
+
+class TestPhase2TcpDeterminism:
+    """Souping through the process evaluator over tcp: bit-identical."""
+
+    def test_soup_methods_tcp_loopback(self, gcn_pool, tiny_graph):
+        ref_gis = gis_soup(gcn_pool, tiny_graph, granularity=5)
+        ref_greedy = greedy_soup(gcn_pool, tiny_graph)
+        with make_evaluator(
+            gcn_pool, tiny_graph, backend="process", num_workers=2, transport="tcp"
+        ) as ev:
+            assert_results_identical(ref_gis, gis_soup(gcn_pool, tiny_graph, granularity=5, evaluator=ev))
+            assert_results_identical(ref_greedy, greedy_soup(gcn_pool, tiny_graph, evaluator=ev))
+
+    def test_same_workers_serve_both_phases(self, tiny_graph, serial_pool, tmp_path):
+        """A start-worker is phase-agnostic: the role ships at handshake,
+        so the same long-lived servers train a pool and then score soups."""
+        procs, nodes = start_workers(tmp_path, 2)
+        try:
+            pool = train_ingredients(
+                "gcn", tiny_graph, 3, executor="process", transport="tcp",
+                nodes=nodes, **KW,
+            )
+            assert_pools_identical(serial_pool, pool)
+            ref = greedy_soup(pool, tiny_graph)
+            with make_evaluator(
+                pool, tiny_graph, backend="process", transport="tcp", nodes=nodes
+            ) as ev:
+                assert_results_identical(ref, greedy_soup(pool, tiny_graph, evaluator=ev))
+        finally:
+            for proc in procs:
+                proc.terminate()
+
+    def test_node_death_lost_task_recovery(self, gcn_pool, tiny_graph, tmp_path):
+        """Killing a remote node mid-service loses a worker the driver
+        cannot respawn: its tasks must be recovered onto the survivor and
+        every batch still complete with bit-identical scores."""
+        procs, nodes = start_workers(tmp_path, 2)
+        serial_scores = None
+        try:
+            with make_evaluator(gcn_pool, tiny_graph) as serial_ev:
+                serial_scores = serial_ev.final_scores(
+                    weights=np.full(len(gcn_pool), 1.0 / len(gcn_pool))
+                )
+            # cache off: every evaluation must actually cross the wire
+            with make_evaluator(
+                gcn_pool, tiny_graph, backend="process", transport="tcp",
+                nodes=nodes, cache_size=0,
+            ) as ev:
+                before = ev.final_scores(weights=np.full(len(gcn_pool), 1.0 / len(gcn_pool)))
+                assert before == serial_scores
+                procs[0].terminate()
+                procs[0].join()
+                after = ev.final_scores(weights=np.full(len(gcn_pool), 1.0 / len(gcn_pool)))
+                assert after == serial_scores
+                # a whole greedy run on the surviving worker still matches
+                ref = greedy_soup(gcn_pool, tiny_graph)
+                assert_results_identical(ref, greedy_soup(gcn_pool, tiny_graph, evaluator=ev))
+        finally:
+            for proc in procs:
+                proc.terminate()
+
+
+class TestFallbackPayloadPush:
+    def test_unreachable_shm_falls_back_to_serialized_payload(self, gcn_pool, tiny_graph):
+        """A worker that cannot attach the driver's shm segment (the
+        cross-node case, simulated with a bogus segment name) reports
+        init-error and receives the serialized graph/pool payload once."""
+        from repro.distributed.eval_service import EvalTask, stack_flat_states
+        from repro.distributed.ingredients import _graph_to_payload
+        from repro.distributed.shm import SharedGraphSpec
+
+        flats, params = stack_flat_states(gcn_pool.states)
+        bogus_ref = {
+            "kind": "shm",
+            "spec": SharedGraphSpec(
+                shm_name="repro-no-such-segment", fields=(),
+                num_nodes=0, num_classes=1, graph_name="bogus",
+            ),
+        }
+        arrays_pool = {"kind": "arrays", "flats": flats, "params": params}
+        context = {
+            "graph_ref": bogus_ref,
+            "pool_ref": arrays_pool,
+            "model_config": dict(gcn_pool.model_config),
+        }
+        fallback = {
+            "graph_ref": {"kind": "arrays", "payload": _graph_to_payload(tiny_graph)},
+            "pool_ref": arrays_pool,
+            "model_config": dict(gcn_pool.model_config),
+        }
+        uniform = np.full(len(gcn_pool), 1.0 / len(gcn_pool))
+        service = ClusterService(
+            TcpTransport("eval", context, fallback_context=fallback, spawn_local=1)
+        )
+        try:
+            results, exhausted = service.run(
+                [0], lambda key, attempt: EvalTask(weights=uniform)
+            )
+        finally:
+            service.close()
+        assert exhausted == []
+        with make_evaluator(gcn_pool, tiny_graph) as serial_ev:
+            assert results[0] == serial_ev.accuracy_of(weights=uniform)
+
+
+class TestValidationAndStructure:
+    def test_unknown_transport_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="transport"):
+            train_ingredients("gcn", tiny_graph, 1, transport="carrier-pigeon", **KW)
+
+    def test_nodes_require_tcp(self, tiny_graph):
+        with pytest.raises(ValueError, match="tcp"):
+            train_ingredients(
+                "gcn", tiny_graph, 1, executor="process",
+                transport="pipe", nodes="h:1", **KW,
+            )
+
+    def test_tcp_requires_process_executor(self, tiny_graph):
+        with pytest.raises(ValueError, match="process"):
+            train_ingredients("gcn", tiny_graph, 1, executor="thread", transport="tcp", **KW)
+
+    def test_tcp_requires_dynamic_queue(self, tiny_graph):
+        with pytest.raises(ValueError, match="dynamic"):
+            train_ingredients(
+                "gcn", tiny_graph, 1, executor="process",
+                transport="tcp", queue="rounds", **KW,
+            )
+
+    def test_evaluator_nodes_require_process_backend(self, gcn_pool, tiny_graph):
+        """--soup-nodes with a non-process backend must error, never
+        silently score locally while the user believes nodes are working."""
+        for backend in ("serial", "thread"):
+            with pytest.raises(ValueError, match="process"):
+                make_evaluator(gcn_pool, tiny_graph, backend=backend, nodes="h:1")
+            with pytest.raises(ValueError, match="process"):
+                make_evaluator(gcn_pool, tiny_graph, backend=backend, transport="tcp")
+
+    def test_parse_nodes(self):
+        assert parse_nodes(None) is None
+        assert parse_nodes("") is None
+        assert parse_nodes("h1:9301, h2:9302") == [("h1", 9301), ("h2", 9302)]
+        assert parse_nodes([("h1", 9301), "h2:9302"]) == [("h1", 9301), ("h2", 9302)]
+        with pytest.raises(ValueError, match="host:port"):
+            parse_nodes("no-port")
+
+    def test_both_phases_share_the_cluster_core(self):
+        """The acceptance criterion: neither module owns a private copy of
+        the claim/done protocol anymore — both resolve to the shared
+        cluster service and register roles on it."""
+        from repro.distributed import cluster, eval_service, ingredients
+
+        assert not hasattr(ingredients, "_pool_worker_main")
+        assert not hasattr(eval_service, "_eval_worker_main")
+        assert ingredients.ClusterService is cluster.ClusterService
+        assert eval_service.ClusterService is cluster.ClusterService
+        assert cluster.resolve_role("ingredients") is ingredients.INGREDIENT_ROLE
+        assert cluster.resolve_role("eval") is eval_service.EVAL_ROLE

@@ -1,0 +1,159 @@
+"""Evaluator-side candidate-score cache + worker-count validation.
+
+Satellites of the cluster-runtime PR: identical mixes must stop costing
+forward passes (greedy re-speculation, GIS's ``alpha = 0`` endpoint,
+repeats across an evaluator's lifetime), with hit/miss counters exposed —
+and every entry point accepting a worker count must reject booleans and
+non-integers with the scheduler's strict rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soup import (
+    Candidate,
+    ProcessEvaluator,
+    ThreadEvaluator,
+    greedy_soup,
+    gis_soup,
+    make_evaluator,
+    member_weights,
+    uniform_weights,
+)
+
+
+class TestScoreCache:
+    def test_gis_hits_within_a_single_run(self, gcn_pool, tiny_graph):
+        """GIS re-scores the current soup at every ingredient's alpha=0
+        grid endpoint — those must come from the cache."""
+        with make_evaluator(gcn_pool, tiny_graph) as ev:
+            gis_soup(gcn_pool, tiny_graph, granularity=5, evaluator=ev)
+            info = ev.cache_info()
+        assert info["hits"] > 0
+        assert info["misses"] > 0
+        assert info["size"] <= info["capacity"]
+
+    def test_greedy_evaluation_count_drops(self, gcn_pool, tiny_graph):
+        """The satellite's acceptance: re-running greedy on the same
+        evaluator re-scores nothing — every mix is already cached."""
+        with make_evaluator(gcn_pool, tiny_graph) as ev:
+            first = greedy_soup(gcn_pool, tiny_graph, evaluator=ev)
+            evals_after_first = ev.backend_evals
+            assert evals_after_first > 0
+            second = greedy_soup(gcn_pool, tiny_graph, evaluator=ev)
+            assert ev.backend_evals == evals_after_first  # count dropped to zero
+            assert ev.cache_info()["hits"] >= evals_after_first
+        assert first.val_acc == second.val_acc
+        for name in first.state_dict:
+            np.testing.assert_array_equal(first.state_dict[name], second.state_dict[name])
+
+    def test_disabled_cache_rescores_everything(self, gcn_pool, tiny_graph):
+        with make_evaluator(gcn_pool, tiny_graph, cache_size=0) as ev:
+            greedy_soup(gcn_pool, tiny_graph, evaluator=ev)
+            evals_after_first = ev.backend_evals
+            greedy_soup(gcn_pool, tiny_graph, evaluator=ev)
+            assert ev.backend_evals == 2 * evals_after_first
+            assert ev.cache_info() == {"hits": 0, "misses": 0, "size": 0, "capacity": 0}
+
+    def test_cached_results_bit_identical(self, gcn_pool, tiny_graph):
+        with make_evaluator(gcn_pool, tiny_graph, cache_size=0) as cold:
+            ref = greedy_soup(gcn_pool, tiny_graph, evaluator=cold)
+        with make_evaluator(gcn_pool, tiny_graph) as warm:
+            greedy_soup(gcn_pool, tiny_graph, evaluator=warm)  # populate
+            hot = greedy_soup(gcn_pool, tiny_graph, evaluator=warm)  # all hits
+        assert ref.val_acc == hot.val_acc and ref.test_acc == hot.test_acc
+        for name in ref.state_dict:
+            np.testing.assert_array_equal(ref.state_dict[name], hot.state_dict[name])
+
+    def test_rotation_views_share_one_cache(self, gcn_pool, tiny_graph):
+        """Subset views zero-expand onto the base pool, so the same
+        sub-pool mix scored through two rotations hits one shared cache."""
+        with make_evaluator(gcn_pool, tiny_graph) as ev:
+            view_a = ev.subset([0, 1, 2])
+            view_b = ev.subset([0, 1, 2])
+            view_a.accuracy_of(weights=member_weights(3, [0, 1]))
+            hits_before = ev.cache_info()["hits"]
+            view_b.accuracy_of(weights=member_weights(3, [0, 1]))
+            assert ev.cache_info()["hits"] == hits_before + 1
+            assert view_b.cache_info() == ev.cache_info()
+
+    def test_split_and_indices_distinguish_entries(self, gcn_pool, tiny_graph):
+        weights = uniform_weights(len(gcn_pool))
+        with make_evaluator(gcn_pool, tiny_graph) as ev:
+            val = ev.accuracy_of(weights=weights, split="val")
+            test = ev.accuracy_of(weights=weights, split="test")
+            sliced = ev.accuracy_of(weights=weights, indices=tiny_graph.val_idx[:5])
+            assert ev.cache_info()["misses"] == 3  # three distinct selections
+            assert ev.accuracy_of(weights=weights, split="val") == val
+            assert ev.accuracy_of(weights=weights, split="test") == test
+            assert ev.accuracy_of(weights=weights, indices=tiny_graph.val_idx[:5]) == sliced
+            assert ev.cache_info()["hits"] == 3
+
+    def test_logits_and_states_bypass_the_cache(self, gcn_pool, tiny_graph):
+        weights = uniform_weights(len(gcn_pool))
+        with make_evaluator(gcn_pool, tiny_graph) as ev:
+            state = ev.mix(weights)
+            for _ in range(2):
+                ev.evaluate([Candidate(weights=weights, split=None, kind="logits")])
+                ev.evaluate([Candidate(state=state, split="val")])
+            info = ev.cache_info()
+            assert info["hits"] == 0 and info["misses"] == 0
+            assert ev.backend_evals == 4
+
+    def test_duplicates_within_one_batch_scored_once(self, gcn_pool, tiny_graph):
+        """Two identical mix specs in the same batch must cost one
+        forward pass — the second takes the first's value."""
+        weights = uniform_weights(len(gcn_pool))
+        with make_evaluator(gcn_pool, tiny_graph) as ev:
+            a, b = ev.evaluate(
+                [Candidate(weights=weights), Candidate(weights=weights)]
+            )
+            assert a == b
+            assert ev.backend_evals == 1
+            assert ev.cache_info() == {"hits": 1, "misses": 1, "size": 1, "capacity": 8192}
+
+    def test_capacity_bounds_the_cache(self, gcn_pool, tiny_graph):
+        n = len(gcn_pool)
+        with make_evaluator(gcn_pool, tiny_graph, cache_size=2) as ev:
+            rng = np.random.default_rng(0)
+            for _ in range(5):
+                w = rng.random(n)
+                ev.accuracy_of(weights=w / w.sum())
+            assert ev.cache_info()["size"] <= 2
+
+
+class TestWorkerCountValidation:
+    """`True` used to slip through as num_workers=1; every entry point now
+    applies the scheduler's strict integer rule."""
+
+    @pytest.mark.parametrize("bad", [True, False, 2.5, "4", None])
+    def test_make_evaluator_rejects_non_integers(self, gcn_pool, tiny_graph, bad):
+        with pytest.raises(ValueError, match="integer"):
+            make_evaluator(gcn_pool, tiny_graph, backend="thread", num_workers=bad)
+
+    def test_thread_evaluator_rejects_bool(self, gcn_pool, tiny_graph):
+        with pytest.raises(ValueError, match="integer"):
+            ThreadEvaluator(gcn_pool, tiny_graph, num_workers=True)
+
+    def test_process_evaluator_rejects_bool(self, gcn_pool, tiny_graph):
+        with pytest.raises(ValueError, match="integer"):
+            ProcessEvaluator(gcn_pool, tiny_graph, num_workers=True)
+
+    def test_eval_service_rejects_bool(self, gcn_pool, tiny_graph):
+        from repro.distributed.eval_service import EvalService, stack_flat_states
+
+        flats, params = stack_flat_states(gcn_pool.states)
+        with pytest.raises(ValueError, match="integer"):
+            EvalService(
+                gcn_pool.model_config, tiny_graph, flats, params, num_workers=True
+            )
+
+    def test_zero_workers_still_rejected(self, gcn_pool, tiny_graph):
+        with pytest.raises(ValueError, match="at least one"):
+            make_evaluator(gcn_pool, tiny_graph, backend="process", num_workers=0)
+
+    def test_cache_size_rejects_bool(self, gcn_pool, tiny_graph):
+        with pytest.raises(ValueError, match="cache_size"):
+            make_evaluator(gcn_pool, tiny_graph, cache_size=True)
