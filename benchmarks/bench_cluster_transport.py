@@ -34,6 +34,7 @@ import numpy as np
 from repro.distributed import train_ingredients
 from repro.graph import load_dataset
 from repro.soup import gis_soup, make_evaluator
+from repro.telemetry import build_report, metrics, write_metrics
 from repro.train import TrainConfig
 
 from conftest import BENCH_SCALE, write_artifact
@@ -59,6 +60,12 @@ def _assert_soups_identical(reference, result):
 
 
 def _sweep() -> dict:
+    # telemetry on for the whole sweep: the companion metrics artifact
+    # records what each transport actually moved (frames/bytes, claim
+    # latency, queue wait, shm attaches), and the identity asserts below
+    # double as an enabled-mode determinism check
+    metrics.reset()
+    metrics.set_enabled(True)
     graph = load_dataset("flickr", seed=0, scale=BENCH_SCALE)
     train_kw = dict(
         train_cfg=TrainConfig(epochs=EPOCHS, lr=0.01),
@@ -130,6 +137,9 @@ def test_bench_cluster_transport(benchmark, results_dir):
     """Pipe-vs-tcp wall clock for Phase-1 training and Phase-2 souping."""
     report = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     write_artifact(results_dir, "cluster_transport.json", json.dumps(report, indent=2) + "\n")
+    # companion metrics artifact (driver + per-worker counters/histograms)
+    write_metrics(build_report(bench="cluster_transport"), results_dir / "cluster_transport_metrics.json")
+    metrics.set_enabled(False)
     for section in ("phase1_transports", "phase2_transports"):
         for name, row in report[section].items():
             assert row["bit_identical_to_serial"], f"{section}/{name}"

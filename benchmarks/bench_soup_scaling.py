@@ -31,6 +31,7 @@ import numpy as np
 from repro.distributed import train_ingredients
 from repro.graph import load_dataset
 from repro.soup import SOUP_EXECUTORS, SoupConfig, gis_soup, learned_soup, make_evaluator
+from repro.telemetry import build_report, metrics, write_metrics
 from repro.train import TrainConfig
 
 from conftest import BENCH_SCALE, write_artifact
@@ -61,6 +62,12 @@ def _assert_identical(reference, result):
 
 
 def _sweep() -> dict:
+    # telemetry on for the whole sweep: the companion metrics artifact
+    # records per-backend candidate throughput and cache hit rates, and
+    # the identity asserts below double as an enabled-mode determinism
+    # check
+    metrics.reset()
+    metrics.set_enabled(True)
     graph = load_dataset("flickr", seed=0, scale=BENCH_SCALE)
     pool = train_ingredients(
         "gcn", graph, N_INGREDIENTS,
@@ -127,6 +134,9 @@ def test_bench_soup_scaling(benchmark, results_dir):
     """Souping-engine backend wall-clock on one shared GIS/LS workload."""
     report = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     write_artifact(results_dir, "soup_scaling.json", json.dumps(report, indent=2) + "\n")
+    # companion metrics artifact (driver + per-worker counters/histograms)
+    write_metrics(build_report(bench="soup_scaling"), results_dir / "soup_scaling_metrics.json")
+    metrics.set_enabled(False)
     for name, row in report["soup_backends"].items():
         assert row["bit_identical_to_serial"], name
         assert row["wall_clock_s"] > 0, name

@@ -1,0 +1,125 @@
+"""Telemetry overhead: the cost of leaving instrumentation in the hot path.
+
+The telemetry registry (:mod:`repro.telemetry`) is compiled into every
+layer of the stack — trainer epoch loop, souping engine, cluster service,
+both transports — behind a single ``metrics.enabled`` flag. The design
+contract is *near-zero disabled overhead* (one attribute check per
+instrumentation site) and modest enabled overhead (a dict update under a
+lock per event). This bench measures both on one representative
+serial workload: Phase-1 ingredient training plus a GIS ratio-grid
+sweep, the densest per-event path (every candidate evaluation crosses
+the engine's counters).
+
+Serial execution keeps the measurement noise-free — process benches pay
+IPC costs that would swamp a percent-level overhead signal; the
+transport-side instrumentation cost is covered by
+``bench_cluster_transport`` running entirely with telemetry enabled.
+
+Both runs must produce bit-identical pools and soups: telemetry only
+observes, it never feeds back into scheduling or RNG. The JSON artifact
+is gated against ``benchmarks/baselines/telemetry_overhead.json`` by
+``compare_baseline.py`` (>2x wall-clock regression fails CI), so an
+accidentally-expensive instrumentation site fails the benchmark-smoke
+job even when tests still pass.
+
+Reduced-size mode: ``REPRO_BENCH_SCALE`` shrinks the dataset and
+``REPRO_BENCH_TELEMETRY_INGREDIENTS`` / ``REPRO_BENCH_TELEMETRY_EPOCHS``
+/ ``REPRO_BENCH_TELEMETRY_GRANULARITY`` / ``REPRO_BENCH_TELEMETRY_REPS``
+bound the workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.distributed import train_ingredients
+from repro.graph import load_dataset
+from repro.soup import gis_soup
+from repro.telemetry import metrics
+from repro.train import TrainConfig
+
+from conftest import BENCH_SCALE, write_artifact
+
+N_INGREDIENTS = int(os.environ.get("REPRO_BENCH_TELEMETRY_INGREDIENTS", "4"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_TELEMETRY_EPOCHS", "10"))
+GRANULARITY = int(os.environ.get("REPRO_BENCH_TELEMETRY_GRANULARITY", "12"))
+REPS = int(os.environ.get("REPRO_BENCH_TELEMETRY_REPS", "3"))
+
+
+def _run_once(graph, enabled: bool):
+    """One full Phase-1 + Phase-2 pass with telemetry on or off."""
+    metrics.reset()
+    metrics.set_enabled(enabled)
+    start = time.perf_counter()
+    pool = train_ingredients(
+        "gcn", graph, N_INGREDIENTS,
+        train_cfg=TrainConfig(epochs=EPOCHS, lr=0.01),
+        base_seed=0, hidden_dim=32,
+    )
+    soup = gis_soup(pool, graph, granularity=GRANULARITY)
+    wall = time.perf_counter() - start
+    metrics.set_enabled(False)
+    return pool, soup, wall
+
+
+def _assert_identical(ref_pool, ref_soup, pool, soup):
+    for s1, s2 in zip(ref_pool.states, pool.states):
+        for name in s1:
+            np.testing.assert_array_equal(s1[name], s2[name])
+    assert ref_pool.val_accs == pool.val_accs
+    for name in ref_soup.state_dict:
+        np.testing.assert_array_equal(ref_soup.state_dict[name], soup.state_dict[name])
+    assert ref_soup.val_acc == soup.val_acc
+    assert ref_soup.test_acc == soup.test_acc
+
+
+def _sweep() -> dict:
+    graph = load_dataset("flickr", seed=0, scale=BENCH_SCALE)
+    _run_once(graph, enabled=False)  # warm caches (dataset, torch kernels)
+
+    # interleave the two modes so machine drift hits both equally; report
+    # min-of-REPS, the standard noise floor for micro-ish timing
+    walls: dict[bool, list[float]] = {False: [], True: []}
+    results: dict[bool, tuple] = {}
+    for _ in range(REPS):
+        for enabled in (False, True):
+            pool, soup, wall = _run_once(graph, enabled)
+            walls[enabled].append(wall)
+            results[enabled] = (pool, soup)
+
+    _assert_identical(*results[False], *results[True])
+    disabled, enabled = min(walls[False]), min(walls[True])
+    report = {
+        "config": {
+            "dataset": "flickr",
+            "scale": BENCH_SCALE,
+            "n_ingredients": N_INGREDIENTS,
+            "ingredient_epochs": EPOCHS,
+            "gis_granularity": GRANULARITY,
+            "reps": REPS,
+            "cpu_count": os.cpu_count(),
+        },
+        "telemetry_overhead": {
+            "disabled": {"wall_clock_s": disabled},
+            "enabled": {
+                "wall_clock_s": enabled,
+                "overhead_vs_disabled": enabled / disabled if disabled > 0 else float("inf"),
+                "bit_identical_to_disabled": True,
+            },
+        },
+    }
+    return report
+
+
+def test_bench_telemetry_overhead(benchmark, results_dir):
+    """Enabled-vs-disabled wall clock on a serial train + GIS workload."""
+    report = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_artifact(results_dir, "telemetry_overhead.json", json.dumps(report, indent=2) + "\n")
+    rows = report["telemetry_overhead"]
+    assert rows["enabled"]["bit_identical_to_disabled"]
+    for name, row in rows.items():
+        assert row["wall_clock_s"] > 0, name

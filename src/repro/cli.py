@@ -47,6 +47,7 @@ from .experiments.cache import get_or_train_pool
 from .experiments.config import EXPERIMENT_GRID, ExperimentSpec
 from .graph import dataset_names, load_dataset, partition_graph
 from .soup import PLSConfig, SOUP_EXECUTORS, SOUP_METHODS, SoupConfig, make_evaluator, soup
+from .telemetry import build_report, load_report, metrics, summarize, write_metrics, write_trace
 
 __all__ = ["main"]
 
@@ -68,6 +69,31 @@ def _spec_for(arch: str, dataset: str, args: argparse.Namespace) -> ExperimentSp
     if getattr(args, "epochs", None) is not None and hasattr(base, "ingredient_epochs"):
         pass  # 'epochs' belongs to souping; ingredient epochs use the spec
     return replace(base, **overrides) if overrides else base
+
+
+def _maybe_enable_telemetry(args: argparse.Namespace) -> bool:
+    """Turn on metrics collection when any telemetry flag was given."""
+    on = bool(
+        getattr(args, "telemetry", False)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "trace", None)
+    )
+    if on:
+        metrics.reset()
+        metrics.set_enabled(True)
+    return on
+
+
+def _emit_telemetry(args: argparse.Namespace, command: str) -> None:
+    """Write the run's aggregated report / trace to the requested paths."""
+    report = build_report(command=command)
+    if getattr(args, "metrics_out", None):
+        write_metrics(report, args.metrics_out)
+        print(f"metrics     : wrote {args.metrics_out} "
+              f"(inspect with `python -m repro telemetry summarize {args.metrics_out}`)")
+    if getattr(args, "trace", None):
+        write_trace(report, args.trace)
+        print(f"trace       : wrote {args.trace} (open in Perfetto or chrome://tracing)")
 
 
 def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
@@ -123,6 +149,7 @@ def cmd_methods(_args: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     """Train (or load from cache) an ingredient pool and report it."""
+    telemetry = _maybe_enable_telemetry(args)
     spec, graph, pool = _get_pool(args.arch, args.dataset, args)
     accs = np.asarray(pool.val_accs)
     print(f"pool: {len(pool)} x {args.arch} on {graph}")
@@ -134,6 +161,8 @@ def cmd_train(args: argparse.Namespace) -> int:
             f"schedule (W={s.num_workers}): makespan {s.makespan:.2f}s, "
             f"Eq.(1) estimate {est:.2f}s, utilisation {s.utilization:.0%}"
         )
+    if telemetry:
+        _emit_telemetry(args, "train")
     return 0
 
 
@@ -142,6 +171,7 @@ def cmd_soup(args: argparse.Namespace) -> int:
     if args.method not in SOUP_METHODS:
         print(f"unknown method {args.method!r}; run `python -m repro methods`", file=sys.stderr)
         return 2
+    telemetry = _maybe_enable_telemetry(args)
     spec, graph, pool = _get_pool(args.arch, args.dataset, args)
     alpha_init = "uniform" if args.normalize in ("sparsemax", "none") else "xavier_normal"
     kwargs: dict = {}
@@ -173,11 +203,20 @@ def cmd_soup(args: argparse.Namespace) -> int:
         transport=soup_transport, nodes=args.soup_nodes,
     ) as ev:
         result = soup(args.method, pool, graph, evaluator=ev, **kwargs)
+        cache = ev.cache_info()
     print(f"method      : {result.method}")
     print(f"val acc     : {result.val_acc:.4f}")
     print(f"test acc    : {result.test_acc:.4f}  (best ingredient {max(pool.test_accs):.4f})")
     print(f"soup time   : {result.soup_time:.3f}s")
     print(f"peak memory : {result.peak_memory / 1e6:.2f} MB")
+    lookups = cache["hits"] + cache["misses"]
+    rate = cache["hits"] / lookups if lookups else 0.0
+    print(
+        f"score cache : {cache['hits']} hits / {cache['misses']} misses "
+        f"({rate:.0%} hit rate), {cache['size']}/{cache['capacity']} entries"
+    )
+    if telemetry:
+        _emit_telemetry(args, "soup")
     return 0
 
 
@@ -208,6 +247,12 @@ def cmd_cluster_start_worker(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    """Render a ``--metrics-out`` report as a terminal summary."""
+    print(summarize(load_report(args.report)))
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Simulate a Phase-1 schedule, optionally with a straggler or failure."""
     rng = np.random.default_rng(args.seed)
@@ -236,6 +281,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def _common_data_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=0.5, help="dataset size multiplier")
     p.add_argument("--seed", type=int, default=0, help="graph / souping seed")
+
+
+def _telemetry_args(p: argparse.ArgumentParser) -> None:
+    """Observability flags shared by train/soup (off by default)."""
+    p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect cluster-wide metrics and spans (implied by --metrics-out/--trace)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the aggregated telemetry RunReport JSON here",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event file here (one track per worker/node; "
+        "open in Perfetto or chrome://tracing)",
+    )
 
 
 def _executor_args(p: argparse.ArgumentParser) -> None:
@@ -320,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--n-ingredients", type=int, default=None)
     _common_data_args(p)
     _executor_args(p)
+    _telemetry_args(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("soup", help="soup a cached pool with one method")
@@ -362,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_data_args(p)
     _executor_args(p)
+    _telemetry_args(p)
     p.set_defaults(fn=cmd_soup)
 
     p = sub.add_parser("partition", help="partition a dataset and report balance/cut")
@@ -388,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     w.add_argument("--once", action="store_true", help="exit after serving one driver session")
     w.set_defaults(fn=cmd_cluster_start_worker)
+
+    p = sub.add_parser("telemetry", help="telemetry report utilities")
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    t = tsub.add_parser("summarize", help="print a terminal summary of a --metrics-out report")
+    t.add_argument("report", help="path to a report JSON written by --metrics-out")
+    t.set_defaults(fn=cmd_telemetry_summarize)
 
     p = sub.add_parser("simulate", help="simulate a Phase-1 schedule (with faults)")
     p.add_argument("-n", "--n-tasks", type=int, default=16)

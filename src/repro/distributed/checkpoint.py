@@ -47,6 +47,7 @@ import hashlib
 import json
 import os
 import re
+import time
 import zipfile
 from dataclasses import asdict
 from pathlib import Path
@@ -54,6 +55,7 @@ from pathlib import Path
 import numpy as np
 
 from ..graph.graph import Graph
+from ..telemetry import metrics
 from ..train import EpochTrainState, TrainConfig, TrainResult
 
 __all__ = ["CheckpointStore", "run_fingerprint"]
@@ -205,11 +207,15 @@ class CheckpointStore:
 
     def _write_atomic(self, final: Path, arrays: dict[str, np.ndarray]) -> Path:
         tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}.npz")
+        t0 = time.perf_counter() if metrics.enabled else 0.0
         try:
             np.savez_compressed(tmp, **arrays)
             os.replace(tmp, final)
         finally:
             tmp.unlink(missing_ok=True)
+        if metrics.enabled:
+            metrics.inc("checkpoint.writes")
+            metrics.observe("checkpoint.write_s", time.perf_counter() - t0)
         return final
 
     def save(self, index: int, result: TrainResult) -> Path:

@@ -62,6 +62,8 @@ from typing import Callable, Sequence
 
 import multiprocessing as mp
 
+from ..telemetry import BYTE_BUCKETS, metrics
+
 __all__ = [
     "TRANSPORTS",
     "ClusterError",
@@ -194,42 +196,72 @@ def parse_nodes(spec) -> list[tuple[str, int]] | None:
 # ---------------------------------------------------------------------------
 
 
-def _pipe_worker_main(worker_id, task_queue, result_writer, result_lock, role_name, context):
+def _pipe_worker_main(
+    worker_id, task_queue, result_writer, result_lock, role_name, context, telemetry=False
+):
     """Body of one persistent pipe-transport worker process.
 
-    Pulls ``(rid, payload)`` specs until the ``None`` sentinel. Every
-    attempt is bracketed by a ``claim`` message so the driver knows which
-    task died with the worker; completions, declared faults and
-    unexpected errors each report their own message kind.
+    Pulls pickled ``(rid, payload)`` specs until the ``None`` sentinel.
+    Every attempt is bracketed by a ``claim`` message so the driver knows
+    which task died with the worker; completions, declared faults and
+    unexpected errors each report their own message kind. With
+    ``telemetry`` on, completions carry the worker's cumulative metrics
+    snapshot as a trailing element (the driver aggregates it; disabled
+    runs keep the historical message shapes byte-for-byte).
 
     Result messages go through a raw pipe guarded by a shared lock —
-    ``Connection.send`` is *synchronous*, so once it returns the message
-    is in the pipe even if the worker hard-dies on the very next
+    ``Connection.send_bytes`` is *synchronous*, so once it returns the
+    message is in the pipe even if the worker hard-dies on the very next
     instruction. (A ``multiprocessing.Queue`` would buffer through a
     feeder thread that ``os._exit`` silently kills, losing the claim that
     the driver's requeue accounting depends on.)
     """
+    # under fork the registry arrives pre-filled with the driver's values
+    metrics.reset()
+    metrics.set_enabled(bool(telemetry))
+    tel = metrics.enabled
+    if tel:
+        metrics.meta = {
+            "source": f"pipe:w{worker_id}", "role": role_name,
+            "transport": "pipe", "pid": os.getpid(),
+        }
 
     def put(message):
+        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        if tel:
+            metrics.inc("transport.frames_sent")
+            metrics.inc("transport.bytes_sent", len(data))
+            metrics.observe("transport.frame_bytes_sent", len(data), BYTE_BUCKETS)
         with result_lock:
-            result_writer.send(message)
+            result_writer.send_bytes(data)
 
     role = resolve_role(role_name)
-    state = role.init(context)
+    with metrics.span("worker.init", role=role_name):
+        state = role.init(context)
     while True:
         item = task_queue.get()
         if item is None:
             return
-        rid, payload = item
+        if tel:
+            t0 = time.perf_counter()
+            rid, payload = pickle.loads(item)
+            metrics.observe("transport.deserialize_s", time.perf_counter() - t0)
+            metrics.inc("transport.frames_received")
+            metrics.inc("transport.bytes_received", len(item))
+        else:
+            rid, payload = pickle.loads(item)
         put(("claim", worker_id, rid))
         try:
-            result = role.run(state, payload)
+            with metrics.span(f"task:{role_name}", rid=rid):
+                result = role.run(state, payload)
         except role.fault_types:
-            put(("fault", worker_id, rid))
+            put(("fault", worker_id, rid, metrics.snapshot()) if tel else ("fault", worker_id, rid))
         except BaseException:
-            put(("error", worker_id, rid, traceback.format_exc()))
+            tb = traceback.format_exc()
+            put(("error", worker_id, rid, tb, metrics.snapshot()) if tel else ("error", worker_id, rid, tb))
         else:
-            put(("done", worker_id, rid, result))
+            metrics.inc("worker.tasks_done")
+            put(("done", worker_id, rid, result, metrics.snapshot()) if tel else ("done", worker_id, rid, result))
 
 
 class PipeTransport:
@@ -244,6 +276,7 @@ class PipeTransport:
         self.width = int(width)
         self._context = context
         self._workers: dict[int, mp.process.BaseProcess] = {}
+        self._labels: dict[int, str] = {}  # never pruned: names outlive the worker
         self._next_wid = 0
         self._started = False
 
@@ -264,13 +297,18 @@ class PipeTransport:
             target=_pipe_worker_main,
             args=(
                 self._next_wid, self._task_queue, self._writer, self._lock,
-                self.role, self._context_value,
+                self.role, self._context_value, metrics.enabled,
             ),
             daemon=True,
         )
         proc.start()
         self._workers[self._next_wid] = proc
+        self._labels[self._next_wid] = f"pipe:w{self._next_wid}"
         self._next_wid += 1
+
+    def describe_worker(self, wid: int) -> str:
+        """Stable human-readable identity of a worker (live or dead)."""
+        return self._labels.get(wid, f"pipe:w{wid}")
 
     def can_accept(self, outstanding: int) -> bool:
         # keep the pipe a couple of specs ahead of the worker count — deep
@@ -280,11 +318,28 @@ class PipeTransport:
         return outstanding < self.width + 2
 
     def send(self, rid: int, payload) -> None:
-        self._task_queue.put((rid, payload))
+        if metrics.enabled:
+            t0 = time.perf_counter()
+            data = pickle.dumps((rid, payload), protocol=pickle.HIGHEST_PROTOCOL)
+            metrics.observe("transport.serialize_s", time.perf_counter() - t0)
+            metrics.inc("transport.frames_sent")
+            metrics.inc("transport.bytes_sent", len(data))
+            metrics.observe("transport.frame_bytes_sent", len(data), BYTE_BUCKETS)
+        else:
+            data = pickle.dumps((rid, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        self._task_queue.put(data)
 
     def poll(self, timeout: float):
         if self._reader.poll(timeout):
-            return self._reader.recv()
+            data = self._reader.recv_bytes()
+            if metrics.enabled:
+                t0 = time.perf_counter()
+                message = pickle.loads(data)
+                metrics.observe("transport.deserialize_s", time.perf_counter() - t0)
+                metrics.inc("transport.frames_received")
+                metrics.inc("transport.bytes_received", len(data))
+                return message
+            return pickle.loads(data)
         return None
 
     def reap_dead(self) -> list[int]:
@@ -349,7 +404,15 @@ def _configure_socket(sock: socket.socket) -> None:
 
 
 def _send_frame(sock: socket.socket, obj) -> None:
-    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if metrics.enabled:
+        t0 = time.perf_counter()
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        metrics.observe("transport.serialize_s", time.perf_counter() - t0)
+        metrics.inc("transport.frames_sent")
+        metrics.inc("transport.bytes_sent", len(data))
+        metrics.observe("transport.frame_bytes_sent", len(data), BYTE_BUCKETS)
+    else:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_HEADER.pack(len(data)) + data)
 
 
@@ -374,6 +437,13 @@ def _recv_frame(sock: socket.socket):
     body = _recv_exact(sock, length)
     if body is None:
         raise ClusterError("connection closed mid-frame")
+    if metrics.enabled:
+        t0 = time.perf_counter()
+        message = pickle.loads(body)
+        metrics.observe("transport.deserialize_s", time.perf_counter() - t0)
+        metrics.inc("transport.frames_received")
+        metrics.inc("transport.bytes_received", len(body))
+        return message
     return pickle.loads(body)
 
 
@@ -382,10 +452,15 @@ def _recv_frame(sock: socket.socket):
 # ---------------------------------------------------------------------------
 
 
-def _ping_loop(send, worker_id: int, stop: threading.Event) -> None:
+def _ping_loop(send, worker_id: int, stop: threading.Event, telemetry: bool = False) -> None:
     while not stop.wait(_PING_INTERVAL):
         try:
-            send(("ping", worker_id))
+            if telemetry:
+                # cheap spans-free snapshot rides the heartbeat so the
+                # driver's view stays fresh even during long tasks
+                send(("ping", worker_id, metrics.snapshot(include_spans=False)))
+            else:
+                send(("ping", worker_id))
         except Exception:
             return
 
@@ -409,19 +484,34 @@ def _serve_session(conn: socket.socket) -> None:
     init = _recv_frame(conn)
     if init is None or init[0] != "init":
         return
-    _, role_name, worker_id, context = init
+    # length-4 frames are the historical handshake; a 5th element carries
+    # session options (telemetry flag, the driver's name for this worker)
+    role_name, worker_id, context = init[1], init[2], init[3]
+    options = init[4] if len(init) > 4 and isinstance(init[4], dict) else {}
+    metrics.reset()  # sessions are independent runs; fork may pre-fill the registry
+    if options.get("telemetry"):
+        metrics.set_enabled(True)
+    tel = metrics.enabled
+    if tel:
+        metrics.meta = {
+            "source": options.get("ident", f"tcp:w{worker_id}"), "role": role_name,
+            "transport": "tcp", "pid": os.getpid(),
+        }
     role = resolve_role(role_name)
     try:
-        state = role.init(context)
+        with metrics.span("worker.init", role=role_name):
+            state = role.init(context)
     except Exception:
+        metrics.inc("transport.init_fallbacks")
         send(("init-error", worker_id, traceback.format_exc()))
         follow = _recv_frame(conn)
         if follow is None or follow[0] != "context":
             return
-        state = role.init(follow[1])  # second failure tears the session down
+        with metrics.span("worker.init.fallback", role=role_name):
+            state = role.init(follow[1])  # second failure tears the session down
     send(("ready", worker_id))
     stop = threading.Event()
-    threading.Thread(target=_ping_loop, args=(send, worker_id, stop), daemon=True).start()
+    threading.Thread(target=_ping_loop, args=(send, worker_id, stop, tel), daemon=True).start()
     try:
         while True:
             message = _recv_frame(conn)
@@ -430,13 +520,16 @@ def _serve_session(conn: socket.socket) -> None:
             _, rid, payload = message
             send(("claim", worker_id, rid))
             try:
-                result = role.run(state, payload)
+                with metrics.span(f"task:{role_name}", rid=rid):
+                    result = role.run(state, payload)
             except role.fault_types:
-                send(("fault", worker_id, rid))
+                send(("fault", worker_id, rid, metrics.snapshot()) if tel else ("fault", worker_id, rid))
             except BaseException:
-                send(("error", worker_id, rid, traceback.format_exc()))
+                tb = traceback.format_exc()
+                send(("error", worker_id, rid, tb, metrics.snapshot()) if tel else ("error", worker_id, rid, tb))
             else:
-                send(("done", worker_id, rid, result))
+                metrics.inc("worker.tasks_done")
+                send(("done", worker_id, rid, result, metrics.snapshot()) if tel else ("done", worker_id, rid, result))
     finally:
         stop.set()
 
@@ -569,6 +662,7 @@ class TcpTransport:
         self._handshake_timeout = float(handshake_timeout)
         self._inbox: queue_mod.Queue = queue_mod.Queue()
         self._workers: dict[int, _TcpWorker] = {}
+        self._labels: dict[int, str] = {}  # never pruned: names outlive the worker
         self._next_wid = 0
         self._context_value = None
         self._fallback_value = None
@@ -629,13 +723,26 @@ class TcpTransport:
         _configure_socket(sock)
         self._attach(sock, node=None, proc=proc)
 
+    def describe_worker(self, wid: int) -> str:
+        """Stable human-readable identity of a worker (live or dead)."""
+        return self._labels.get(wid, f"tcp:w{wid}")
+
     def _attach(self, sock: socket.socket, node, proc) -> None:
         """Handshake one worker connection, then hand it to a reader thread."""
         wid = self._next_wid
         self._next_wid += 1
+        label = f"tcp:w{wid}@{node[0]}:{node[1]}" if node else f"tcp:w{wid}@loopback"
+        self._labels[wid] = label
         sock.settimeout(self._handshake_timeout)
         try:
-            _send_frame(sock, ("init", self.role, wid, self._primary_context()))
+            if metrics.enabled:
+                # a 5th handshake element turns on worker-side collection;
+                # disabled runs keep the historical 4-tuple byte-for-byte
+                init = ("init", self.role, wid, self._primary_context(),
+                        {"telemetry": True, "ident": label})
+            else:
+                init = ("init", self.role, wid, self._primary_context())
+            _send_frame(sock, init)
             reply = _recv_frame(sock)
             if reply is not None and reply[0] == "init-error":
                 fallback = self._fallback_context()
@@ -644,6 +751,7 @@ class TcpTransport:
                         f"worker {wid} failed to initialise and no fallback payload "
                         f"is available:\n{reply[2]}"
                     )
+                metrics.inc("transport.fallback_payload_pushes")
                 _send_frame(sock, ("context", fallback))
                 reply = _recv_frame(sock)
             if reply is None or reply[0] != "ready":
@@ -664,9 +772,16 @@ class TcpTransport:
                 message = _recv_frame(worker.sock)
                 if message is None:
                     break
-                worker.last_recv = time.monotonic()
+                now = time.monotonic()
                 if message[0] == "ping":
+                    if metrics.enabled:
+                        # gap between worker frames ~ heartbeat health
+                        metrics.observe("cluster.heartbeat_gap_s", now - worker.last_recv)
+                        if len(message) > 2:
+                            metrics.merge_source(self.describe_worker(worker.wid), message[2])
+                    worker.last_recv = now
                     continue
+                worker.last_recv = now
                 self._inbox.put(message)
         except Exception:
             pass
@@ -864,11 +979,32 @@ class ClusterService:
         # keeps dying without making progress is a bug, not a fault
         respawn_budget = transport.width + sum(max_attempts or 1 for _ in keys)
 
+        tel = metrics.enabled
+        run_start = time.monotonic()
+        queued_ts = dict.fromkeys(keys, run_start) if tel else {}  # key -> backlog entry time
+        send_ts: dict[int, float] = {}  # rid -> dispatch time (claim latency)
+        busy_since: dict[int, float] = {}  # wid -> claim time of current task
+        busy_acc: dict[int, float] = {}  # wid -> accumulated busy seconds
+
+        def describe(wid):
+            fn = getattr(transport, "describe_worker", None)
+            return fn(wid) if fn is not None else f"{transport.name}:w{wid}"
+
+        def settle(wid, now):
+            """Close a worker's busy interval on task completion."""
+            start = busy_since.pop(wid, None)
+            if start is not None:
+                busy_acc[wid] = busy_acc.get(wid, 0.0) + (now - start)
+
         def top_up():
             nonlocal outstanding
             while backlog and transport.can_accept(outstanding):
                 key = backlog.popleft()
                 submits[key] += 1
+                if tel:
+                    now = time.monotonic()
+                    metrics.observe("cluster.queue_wait_s", now - queued_ts.pop(key, run_start))
+                    send_ts[key_rid[key]] = now
                 transport.send(key_rid[key], payload_fn(key, submits[key]))
                 outstanding += 1
 
@@ -876,6 +1012,9 @@ class ClusterService:
             if max_attempts is not None and submits[key] >= max_attempts:
                 exhausted.add(key)
             else:
+                metrics.inc("cluster.requeues")
+                if tel:
+                    queued_ts[key] = time.monotonic()
                 backlog.append(key)
                 top_up()
 
@@ -883,31 +1022,56 @@ class ClusterService:
             nonlocal outstanding
             kind, wid, rid = message[0], message[1], message[2]
             stale = rid not in rid_key
+            if stale:
+                metrics.inc("cluster.stale_messages")
             key = rid_key.get(rid)
+            if tel and kind in ("done", "fault", "error"):
+                # completions may carry the worker's cumulative snapshot
+                # as a trailing element (absent on disabled-mode frames)
+                base = 4 if kind in ("done", "error") else 3
+                tail = message[base] if len(message) > base else None
+                if isinstance(tail, dict) and "counters" in tail:
+                    metrics.merge_source(describe(wid), tail)
             if kind == "claim":
                 in_flight[wid] = key
+                if tel:
+                    now = time.monotonic()
+                    busy_since[wid] = now
+                    start = send_ts.pop(rid, None)
+                    if start is not None:
+                        metrics.observe("cluster.claim_latency_s", now - start)
                 if not stale:
                     outstanding = max(0, outstanding - 1)
                 top_up()
             elif kind == "done":
                 in_flight.pop(wid, None)
+                if tel:
+                    settle(wid, time.monotonic())
                 if not stale and key not in results and key not in exhausted:
+                    metrics.inc("cluster.tasks_done")
                     results[key] = message[3]
                     if on_done is not None:
                         on_done(key, message[3])
             elif kind == "fault":
                 in_flight.pop(wid, None)
+                if tel:
+                    settle(wid, time.monotonic())
                 if stale:
                     return
+                metrics.inc("cluster.tasks_fault")
                 if on_fault is not None:
                     on_fault(key)
                 if key not in results:
                     retry_or_exhaust(key)
             elif kind == "error":
                 in_flight.pop(wid, None)
+                if tel:
+                    settle(wid, time.monotonic())
                 if not stale:
+                    metrics.inc("cluster.tasks_error")
                     raise ClusterError(
-                        f"worker {label} {key} raised unexpectedly:\n{message[3]}"
+                        f"worker {describe(wid)} running {label} {key} "
+                        f"(role {transport.role!r}) raised unexpectedly:\n{message[3]}"
                     )
 
         top_up()
@@ -932,9 +1096,12 @@ class ClusterService:
                 handle(message)
             lost_unclaimed = False
             for wid in dead:
+                if tel:
+                    settle(wid, time.monotonic())
                 if wid in in_flight:
                     key = in_flight.pop(wid)
                     if key is not None:
+                        metrics.inc("cluster.lost_tasks")
                         if on_lost is not None:
                             on_lost(key)
                         if key not in results:
@@ -951,10 +1118,16 @@ class ClusterService:
                 # recovered instead of hanging the batch forever
                 accounted = {key for key in in_flight.values() if key is not None}
                 accounted.update(backlog)
-                backlog.extend(
+                requeue = [
                     key for key in keys
                     if key not in results and key not in exhausted and key not in accounted
-                )
+                ]
+                metrics.inc("cluster.conservative_requeues", len(requeue))
+                if tel:
+                    now = time.monotonic()
+                    for key in requeue:
+                        queued_ts[key] = now
+                backlog.extend(requeue)
                 outstanding = 0
             remaining = len(keys) - len(results) - len(exhausted)
             target = min(transport.width, remaining)
@@ -965,12 +1138,22 @@ class ClusterService:
                     )
                 if not transport.respawn_one():
                     break
+                metrics.inc("cluster.respawns")
                 respawn_budget -= 1
             if transport.alive_count == 0 and remaining > 0:
                 raise WorkerLossError(
                     f"no live workers remain with {remaining} {label}(s) outstanding"
                 )
             top_up()
+        if tel:
+            end = time.monotonic()
+            for wid, start in busy_since.items():  # still mid-task at batch end
+                busy_acc[wid] = busy_acc.get(wid, 0.0) + (end - start)
+            elapsed = max(end - run_start, 1e-9)
+            for wid, busy in busy_acc.items():
+                metrics.set_gauge(f"cluster.utilization.{describe(wid)}", busy / elapsed)
+            metrics.observe("cluster.batch_s", elapsed)
+            metrics.record_span(f"cluster.run:{label}", run_start, elapsed, tasks=len(keys))
         return results, sorted(exhausted)
 
     def close(self) -> None:

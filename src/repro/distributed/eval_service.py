@@ -53,6 +53,7 @@ import numpy as np
 
 from ..graph.graph import Graph
 from ..models import build_model
+from ..telemetry import metrics
 from ..tensor import clear_alloc_hooks
 from ..train import accuracy, evaluate_logits
 from .cluster import (
@@ -249,16 +250,20 @@ def _eval_role_init(context: dict) -> _EvalWorkerState:
     attachments = []
     graph_ref, pool_ref = context["graph_ref"], context["pool_ref"]
     if graph_ref["kind"] == "shm":
+        metrics.inc("transport.shm_attaches")
         attached_graph = attach_graph(graph_ref["spec"])
         attachments.append(attached_graph)
         graph = attached_graph.graph
     else:
+        metrics.inc("transport.payload_inits")
         graph = _graph_from_payload(graph_ref["payload"])
     if pool_ref["kind"] == "shm":
+        metrics.inc("transport.shm_attaches")
         attached_pool = attach_pool(pool_ref["spec"])
         attachments.append(attached_pool)
         flats, params = attached_pool.flats, attached_pool.spec.params
     else:
+        metrics.inc("transport.payload_inits")
         flats, params = pool_ref["flats"], pool_ref["params"]
     model = build_model(**context["model_config"])
     return _EvalWorkerState(graph, flats, params, model, attachments)

@@ -76,6 +76,7 @@ from ..graph.csr import CSR
 from ..graph.graph import Graph
 from ..models import build_model
 from ..nn import Module
+from ..telemetry import build_report, metrics
 from ..tensor import clear_alloc_hooks
 from ..train import TrainConfig, TrainResult, train_model
 from .checkpoint import CheckpointStore, run_fingerprint
@@ -135,6 +136,9 @@ class IngredientPool:
     train_times: list[float]
     graph_name: str = ""
     schedule: TaskSchedule | None = field(default=None, repr=False)
+    # RunReport dict of the producing run when telemetry was enabled;
+    # excluded from pool caches (see cli save/load) like the schedule
+    telemetry: dict | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         n = len(self.states)
@@ -320,9 +324,11 @@ def _worker_init(graph_ref: dict, store_args: tuple | None = None, checkpoint_ev
     # hooks; worker allocations are not the driver's measurement
     clear_alloc_hooks()
     if graph_ref["kind"] == "shm":
+        metrics.inc("transport.shm_attaches")
         _WORKER_SHM = attach_graph(graph_ref["spec"])
         _WORKER_GRAPH = _WORKER_SHM.graph
     else:
+        metrics.inc("transport.payload_inits")
         _WORKER_GRAPH = _graph_from_payload(graph_ref["payload"])
     _WORKER_STORE = (
         CheckpointStore(
@@ -962,4 +968,9 @@ def train_ingredients(
         train_times=durations,
         graph_name=graph.name,
         schedule=schedule,
+        telemetry=(
+            build_report(phase="ingredients", executor=executor, transport=transport).to_dict()
+            if metrics.enabled
+            else None
+        ),
     )

@@ -154,18 +154,26 @@ def _run_grid(args: argparse.Namespace):
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
         )
-        results.append(
-            run_cell(
-                spec,
-                graph=graph,
-                pool=pool,
-                n_soups=args.soups,
-                soup_executor=args.soup_executor,
-                soup_workers=args.soup_workers,
-                soup_transport=args.soup_transport,
-                soup_nodes=args.soup_nodes,
-            )
+        cell = run_cell(
+            spec,
+            graph=graph,
+            pool=pool,
+            n_soups=args.soups,
+            soup_executor=args.soup_executor,
+            soup_workers=args.soup_workers,
+            soup_transport=args.soup_transport,
+            soup_nodes=args.soup_nodes,
         )
+        if cell.cache_info:
+            c = cell.cache_info
+            lookups = c["hits"] + c["misses"]
+            rate = c["hits"] / lookups if lookups else 0.0
+            print(
+                f"[cell] {arch}-{dataset} score cache: {c['hits']} hits / "
+                f"{c['misses']} misses ({rate:.0%}), {c['size']}/{c['capacity']} entries",
+                flush=True,
+            )
+        results.append(cell)
     return results
 
 

@@ -84,6 +84,10 @@ class CellResult:
     ingredient_test_accs: list[float]
     ingredient_val_accs: list[float]
     stats: dict[str, MethodStats]
+    # candidate-score cache statistics of the cell's shared evaluator
+    # (hits/misses/size/capacity), recorded after all method × rotation
+    # jobs have drained through it
+    cache_info: dict = field(default_factory=dict)
 
     @property
     def ingredients_mean(self) -> float:
@@ -244,6 +248,7 @@ def run_cell(
                 results = list(dispatch.map(lambda job: run_one(*job), jobs))
         else:
             results = [run_one(s, method) for s, method in jobs]
+        cache_info = shared_ev.cache_info()
 
     stats = {m: MethodStats(m) for m in methods}
     for (s, method), result in zip(jobs, results):
@@ -254,6 +259,7 @@ def run_cell(
         ingredient_test_accs=list(pool.test_accs),
         ingredient_val_accs=list(pool.val_accs),
         stats=stats,
+        cache_info=cache_info,
     )
 
 

@@ -11,6 +11,7 @@ from typing import Callable
 
 from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph
+from ..telemetry import build_report, metrics
 from .base import SoupResult
 from .engine import Evaluator
 from .budget import radin_greedy_soup
@@ -64,4 +65,9 @@ def soup(
     """
     if method not in SOUP_METHODS:
         raise KeyError(f"unknown souping method {method!r}; available: {soup_method_names()}")
-    return SOUP_METHODS[method](pool, graph, evaluator=evaluator, **kwargs)
+    result = SOUP_METHODS[method](pool, graph, evaluator=evaluator, **kwargs)
+    if metrics.enabled:
+        result.extras["telemetry"] = build_report(phase="soup", method=method).to_dict()
+        if evaluator is not None:
+            result.extras["cache_info"] = evaluator.cache_info()
+    return result

@@ -17,6 +17,7 @@ from ..distributed.ingredients import IngredientPool
 from ..graph.graph import Graph
 from ..nn import Module
 from ..profiling import MemoryMeter, Timer
+from ..telemetry import metrics, pop_label, push_label
 from ..train import accuracy, evaluate_logits
 
 __all__ = ["SoupResult", "eval_state", "instrumented"]
@@ -88,11 +89,18 @@ class instrumented:
             self.meter.track_bytes(self._pool.state_nbytes())
         if self._graph is not None:
             self.meter.track_graph(self._graph)
+        # every souping method runs inside this context, so it is the one
+        # hook where telemetry learns which method drives the evaluator
+        push_label(self.label)
+        self._span = metrics.span(f"soup.method:{self.label}")
+        self._span.__enter__()
         self.timer.__enter__()
         return self
 
     def __exit__(self, *exc) -> bool:
         self.timer.__exit__(*exc)
+        self._span.__exit__(*exc)
+        pop_label()
         self.meter.__exit__(*exc)
         return False
 

@@ -62,6 +62,7 @@ from ..distributed.eval_service import (
 from ..distributed.ingredients import IngredientPool
 from ..distributed.scheduler import _validate_num_workers
 from ..graph.graph import Graph
+from ..telemetry import current_label, metrics
 
 __all__ = [
     "DEFAULT_SCORE_CACHE",
@@ -273,6 +274,7 @@ class Evaluator:
                 raise RuntimeError("evaluator is closed")
             if not candidates:
                 return []
+            hits_before, misses_before = self.cache_hits, self.cache_misses
             keys = [self._cache_key(cand) for cand in candidates]
             out: list = [None] * len(candidates)
             missing: list[int] = []
@@ -294,7 +296,10 @@ class Evaluator:
                     missing.append(i)
             if missing:
                 self.backend_evals += len(missing)
-                scored = self._evaluate([candidates[i] for i in missing])
+                with metrics.span(
+                    "soup.eval_batch", n=len(missing), method=current_label() or ""
+                ):
+                    scored = self._evaluate([candidates[i] for i in missing])
                 for i, value in zip(missing, scored):
                     out[i] = value
                     key = keys[i]
@@ -304,6 +309,15 @@ class Evaluator:
                             self._cache.popitem(last=False)
             for i, source in duplicate_of.items():
                 out[i] = out[source]
+            if metrics.enabled:
+                # per-method attribution rides the thread-local label the
+                # souping context manager pushes around each method run
+                method = current_label() or "unattributed"
+                metrics.inc("soup.candidates", len(candidates))
+                metrics.inc(f"soup.candidates.{method}", len(candidates))
+                metrics.inc("soup.cache_hits", self.cache_hits - hits_before)
+                metrics.inc("soup.cache_misses", self.cache_misses - misses_before)
+                metrics.inc("soup.backend_evals", len(missing))
             return out
 
     def _evaluate(self, candidates: list[Candidate]) -> list:

@@ -1,0 +1,42 @@
+"""Cluster-wide telemetry: metrics, spans, and trace export.
+
+Off by default; enable with ``metrics.set_enabled(True)`` (the CLI's
+``--telemetry`` / ``--metrics-out`` / ``--trace`` flags do this) or by
+exporting ``REPRO_TELEMETRY=1`` before starting a remote worker node.
+"""
+
+from .core import (
+    BYTE_BUCKETS,
+    TIME_BUCKETS,
+    MetricsRegistry,
+    current_label,
+    metrics,
+    pop_label,
+    push_label,
+)
+from .report import (
+    RunReport,
+    build_report,
+    chrome_trace,
+    load_report,
+    summarize,
+    write_metrics,
+    write_trace,
+)
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "TIME_BUCKETS",
+    "MetricsRegistry",
+    "RunReport",
+    "build_report",
+    "chrome_trace",
+    "current_label",
+    "load_report",
+    "metrics",
+    "pop_label",
+    "push_label",
+    "summarize",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,299 @@
+"""Process-local metrics: counters, gauges, histograms and spans.
+
+One :class:`MetricsRegistry` lives in every process (driver and workers
+alike) as the module singleton :data:`metrics`. The hot layers of the
+cluster runtime call it directly — ``metrics.inc(...)``,
+``metrics.observe(...)``, ``with metrics.span(...)`` — and those calls
+are **no-ops while telemetry is disabled** (the default): one attribute
+check and an early return, no allocation, no locking, no clock read.
+Enabling telemetry therefore cannot perturb the determinism contract —
+nothing here feeds back into scheduling, RNG or results; the registry
+only ever *observes*.
+
+Worker processes ship their registry's :meth:`~MetricsRegistry.snapshot`
+back to the driver piggy-backed on existing protocol frames (``done``
+results and tcp heartbeats — no new round trips), where
+:meth:`~MetricsRegistry.merge_source` files them per worker. Snapshots
+are cumulative, so merging **replaces** a source's previous snapshot
+rather than adding to it; a spans-free snapshot (the cheap heartbeat
+form) keeps the source's last-shipped spans.
+
+Span timestamps use ``time.monotonic()``: on Linux ``CLOCK_MONOTONIC``
+is system-wide, so spans recorded by different processes of one host
+align on a common timeline (the property the Chrome-trace export relies
+on). Tracks from genuinely remote hosts keep their own clock base.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "TIME_BUCKETS",
+    "MetricsRegistry",
+    "metrics",
+    "current_label",
+    "pop_label",
+    "push_label",
+]
+
+#: Default fixed buckets for duration histograms (seconds, log-spaced).
+TIME_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+#: Default fixed buckets for size histograms (bytes, log-spaced).
+BYTE_BUCKETS = (
+    64, 256, 1024, 4096, 16384, 65536, 262144,
+    1_048_576, 4_194_304, 16_777_216, 67_108_864,
+)
+
+#: Span ring-buffer capacity per process. Old events fall off the back;
+#: the cap bounds both memory and the size of shipped snapshots.
+DEFAULT_SPAN_CAPACITY = 4096
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: records ``(name, start, duration, attrs)`` on exit."""
+
+    __slots__ = ("_registry", "name", "attrs", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, attrs: dict) -> None:
+        self._registry = registry
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        end = time.monotonic()
+        self._registry._record_span(self.name, self._start, end - self._start, self.attrs)
+        return False
+
+
+class _Histogram:
+    """Fixed-bucket histogram: counts per bucket plus sum/count/min/max."""
+
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, buckets: tuple) -> None:
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last = overflow
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+# Thread-local label stack: `soup.base.instrumented` pushes the running
+# method's name so shared-evaluator metrics can attribute candidate
+# counts per method even when many method drivers interleave.
+_TLS = threading.local()
+
+
+def push_label(label: str) -> None:
+    """Push a context label (e.g. the souping method) for this thread."""
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    stack.append(str(label))
+
+
+def pop_label() -> None:
+    """Pop the innermost context label (no-op when the stack is empty)."""
+    stack = getattr(_TLS, "stack", None)
+    if stack:
+        stack.pop()
+
+
+def current_label() -> str | None:
+    """The innermost context label of this thread, or ``None``."""
+    stack = getattr(_TLS, "stack", None)
+    return stack[-1] if stack else None
+
+
+class MetricsRegistry:
+    """Process-local telemetry sink (see the module docstring).
+
+    All mutating methods early-return while :attr:`enabled` is false;
+    flipping the flag mid-run is supported (the CLI enables it before
+    dispatch). Mutations take a lock — contention is negligible because
+    every call site sits next to work that is orders of magnitude more
+    expensive (a forward pass, a pickle, a socket write).
+    """
+
+    def __init__(self, enabled: bool = False, span_capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        self.enabled = bool(enabled)
+        self.meta: dict = {}
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, _Histogram] = {}
+        self._spans: deque = deque(maxlen=int(span_capacity))
+        self._sources: dict[str, dict] = {}
+
+    # -- switches ------------------------------------------------------------
+
+    def set_enabled(self, on: bool) -> None:
+        """Turn telemetry collection on or off for this process."""
+        self.enabled = bool(on)
+
+    def reset(self) -> None:
+        """Drop every recorded value (the enabled flag survives)."""
+        with self._lock:
+            self.meta = {}
+            self._counters = {}
+            self._gauges = {}
+            self._hists = {}
+            self._spans.clear()
+            self._sources = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (creates it at 0)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float, buckets: tuple = TIME_BUCKETS) -> None:
+        """Record ``value`` into histogram ``name`` (buckets fixed on first use)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = _Histogram(buckets)
+            hist.observe(value)
+
+    def span(self, name: str, **attrs):
+        """Context manager timing a region into the span ring buffer."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def _record_span(self, name: str, start: float, duration: float, attrs: dict) -> None:
+        if not self.enabled:  # disabled mid-span: drop it
+            return
+        self._spans.append((name, start, duration, attrs))  # deque.append is atomic
+
+    def record_span(self, name: str, start: float, duration: float, **attrs) -> None:
+        """Record an interval measured externally (``time.monotonic`` base)."""
+        self._record_span(name, start, duration, attrs)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, include_spans: bool = True) -> dict:
+        """Picklable cumulative view of this process's metrics.
+
+        ``include_spans=False`` is the cheap form piggy-backed on
+        heartbeats (counters and histograms only).
+        """
+        with self._lock:
+            snap: dict = {
+                "meta": dict(self.meta),
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: h.to_dict() for name, h in self._hists.items()},
+            }
+            if include_spans:
+                snap["spans"] = [
+                    [name, start, duration, dict(attrs)]
+                    for name, start, duration, attrs in self._spans
+                ]
+            return snap
+
+    def merge_source(self, source: str, snap: dict) -> None:
+        """File a worker's cumulative snapshot under ``source``.
+
+        Replacement semantics: snapshots are cumulative, so the newest
+        one supersedes the previous (never added on top). A spans-free
+        snapshot keeps the source's last-shipped spans.
+        """
+        if not self.enabled or not isinstance(snap, dict):
+            return
+        with self._lock:
+            if "spans" not in snap:
+                previous = self._sources.get(source)
+                if previous and previous.get("spans"):
+                    snap = {**snap, "spans": previous["spans"]}
+            self._sources[source] = snap
+
+    def sources(self) -> dict[str, dict]:
+        """Merged worker snapshots keyed by source label (driver side)."""
+        with self._lock:
+            return dict(self._sources)
+
+    # -- introspection (tests, report building) ------------------------------
+
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> float | None:
+        """Current value of a gauge (``None`` when never set)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+
+#: The process-wide registry every instrumented layer records into.
+#: ``REPRO_TELEMETRY=1`` in the environment enables collection at import
+#: (the way remote ``cluster start-worker`` processes can be pre-armed).
+metrics = MetricsRegistry(
+    enabled=os.environ.get("REPRO_TELEMETRY", "").strip().lower() in ("1", "true", "yes", "on")
+)

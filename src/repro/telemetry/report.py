@@ -1,0 +1,250 @@
+"""Run-level telemetry outputs: RunReport, Chrome trace export, summaries.
+
+A :class:`RunReport` is the driver-side aggregate of one run: the
+driver's own snapshot plus every worker snapshot shipped back over the
+transports, keyed by source label (``pipe:w0``, ``tcp:w1@host:port``,
+...). It serialises to plain JSON (``--metrics-out``), exports to the
+Chrome trace-event format (``--trace``, loadable in Perfetto or
+chrome://tracing — one track per worker/node), and renders a terminal
+summary (``python -m repro telemetry summarize report.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .core import MetricsRegistry, metrics
+
+__all__ = [
+    "RunReport",
+    "build_report",
+    "chrome_trace",
+    "summarize",
+    "write_metrics",
+    "write_trace",
+]
+
+REPORT_VERSION = 1
+
+
+@dataclass
+class RunReport:
+    """Aggregated telemetry of one run: driver + per-worker snapshots."""
+
+    driver: dict = field(default_factory=dict)
+    workers: dict = field(default_factory=dict)  # source label -> snapshot
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "meta": self.meta,
+            "driver": self.driver,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        return cls(
+            driver=data.get("driver", {}),
+            workers=data.get("workers", {}),
+            meta=data.get("meta", {}),
+        )
+
+    # -- aggregate views -----------------------------------------------------
+
+    def snapshots(self) -> dict:
+        """Every snapshot in the report, driver first."""
+        out = {"driver": self.driver}
+        out.update(self.workers)
+        return out
+
+    def counters_total(self) -> dict:
+        """Counters summed across the driver and every worker."""
+        totals: dict[str, float] = {}
+        for snap in self.snapshots().values():
+            for name, value in snap.get("counters", {}).items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def histogram_total(self, name: str) -> dict | None:
+        """Histogram ``name`` merged across sources (bucket-compatible only)."""
+        merged: dict | None = None
+        for snap in self.snapshots().values():
+            hist = snap.get("histograms", {}).get(name)
+            if hist is None:
+                continue
+            if merged is None:
+                merged = {
+                    "buckets": list(hist["buckets"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                }
+            elif merged["buckets"] == list(hist["buckets"]):
+                merged["counts"] = [a + b for a, b in zip(merged["counts"], hist["counts"])]
+                merged["sum"] += hist["sum"]
+                merged["count"] += hist["count"]
+                merged["min"] = min(merged["min"], hist["min"])
+                merged["max"] = max(merged["max"], hist["max"])
+        return merged
+
+    def histogram_names(self) -> list:
+        names: set[str] = set()
+        for snap in self.snapshots().values():
+            names.update(snap.get("histograms", {}))
+        return sorted(names)
+
+
+def build_report(registry: MetricsRegistry | None = None, **meta) -> RunReport:
+    """Snapshot the (driver) registry and its merged worker sources."""
+    reg = metrics if registry is None else registry
+    return RunReport(driver=reg.snapshot(), workers=reg.sources(), meta=dict(meta))
+
+
+def _quantile(hist: dict, q: float) -> float:
+    """Approximate quantile from fixed buckets (upper-edge convention)."""
+    total = hist["count"]
+    if not total:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for edge, count in zip(hist["buckets"], hist["counts"]):
+        cumulative += count
+        if cumulative >= target:
+            return float(edge)
+    return float(hist["max"])
+
+
+def chrome_trace(report: RunReport) -> dict:
+    """Convert a report to a Chrome trace-event JSON object.
+
+    Each snapshot source becomes its own ``pid`` (one track per
+    worker/node, the driver as pid 0) with a ``process_name`` metadata
+    event; spans become complete (``"ph": "X"``) events with
+    microsecond timestamps rebased to the earliest span in the report.
+    """
+    events = []
+    snaps = report.snapshots()
+    starts = [
+        span[1]
+        for snap in snaps.values()
+        for span in snap.get("spans", [])
+    ]
+    base = min(starts) if starts else 0.0
+    for pid, (source, snap) in enumerate(snaps.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": source},
+            }
+        )
+        events.append(
+            {"ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0, "args": {"sort_index": pid}}
+        )
+        for name, start, duration, attrs in snap.get("spans", []):
+            events.append(
+                {
+                    "name": name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (start - base) * 1e6,
+                    "dur": max(duration, 0.0) * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": dict(attrs),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_metrics(report: RunReport, path: str) -> None:
+    """Write the report as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
+def write_trace(report: RunReport, path: str) -> None:
+    """Write the Chrome trace-event export to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(report), fh)
+        fh.write("\n")
+
+
+def load_report(path: str) -> RunReport:
+    """Read a report written by :func:`write_metrics`."""
+    with open(path) as fh:
+        return RunReport.from_dict(json.load(fh))
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.4g}"
+
+
+def summarize(report: RunReport) -> str:
+    """Human-readable terminal summary of a report."""
+    lines = []
+    sources = list(report.workers)
+    lines.append(
+        f"telemetry report — driver + {len(sources)} worker source(s)"
+        + (f"  [{report.meta.get('command')}]" if report.meta.get("command") else "")
+    )
+    if sources:
+        lines.append("sources:")
+        for source in sources:
+            meta = report.workers[source].get("meta", {})
+            role = meta.get("role", "?")
+            lines.append(f"  {source:<28s} role={role}")
+
+    totals = report.counters_total()
+    if totals:
+        lines.append("counters (summed across sources):")
+        for name in sorted(totals):
+            lines.append(f"  {name:<44s} {_format_value(totals[name]):>14s}")
+
+    names = report.histogram_names()
+    if names:
+        lines.append("histograms (merged):")
+        lines.append(f"  {'name':<44s} {'count':>8s} {'mean':>10s} {'p50~':>10s} {'max':>10s}")
+        for name in names:
+            hist = report.histogram_total(name)
+            if hist is None or not hist["count"]:
+                continue
+            mean = hist["sum"] / hist["count"]
+            lines.append(
+                f"  {name:<44s} {hist['count']:>8d} {mean:>10.4g} "
+                f"{_quantile(hist, 0.5):>10.4g} {hist['max']:>10.4g}"
+            )
+
+    gauges = {}
+    for source, snap in report.snapshots().items():
+        for name, value in snap.get("gauges", {}).items():
+            gauges[f"{name}" if source == "driver" else f"{name} [{source}]"] = value
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<58s} {gauges[name]:>10.4g}")
+
+    span_totals: dict[str, list] = {}
+    n_spans = 0
+    for snap in report.snapshots().values():
+        for name, _start, duration, _attrs in snap.get("spans", []):
+            n_spans += 1
+            agg = span_totals.setdefault(name, [0, 0.0])
+            agg[0] += 1
+            agg[1] += duration
+    if n_spans:
+        lines.append(f"spans: {n_spans} event(s); top by total time:")
+        ranked = sorted(span_totals.items(), key=lambda kv: -kv[1][1])[:12]
+        for name, (count, total) in ranked:
+            lines.append(f"  {name:<44s} {count:>6d} × mean {total / count:>8.4g}s = {total:>8.4g}s")
+    return "\n".join(lines)

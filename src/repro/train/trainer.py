@@ -18,6 +18,7 @@ from ..graph.graph import Graph
 from ..graph.sampling import NeighborSampler
 from ..nn import Module, cross_entropy
 from ..optim import Adam, AdamW, SGD, ConstantLR, CosineAnnealingLR
+from ..telemetry import metrics
 from ..tensor import Tensor, no_grad
 from .metrics import accuracy
 
@@ -184,6 +185,7 @@ def train_model(
     for epoch in range(start_epoch, cfg.epochs + 1):
         if stop:
             break
+        epoch_t0 = time.perf_counter() if metrics.enabled else 0.0
         epochs_run = epoch
         model.train()
         if cfg.minibatch:
@@ -208,6 +210,9 @@ def train_model(
             optimizer.step()
             mean_loss = float(loss.data)
         scheduler.step()
+        if metrics.enabled:
+            # optimisation step only — the periodic val pass is excluded
+            metrics.observe("train.epoch_step_s", time.perf_counter() - epoch_t0)
 
         if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
             val_acc = evaluate(model, graph, val_idx)
