@@ -21,10 +21,13 @@ Subcommands::
         --nodes host1:9301,host2:9301            # multi-node Phase-1 training
     python -m repro soup gis gcn flickr --soup-executor process \
         --soup-nodes host1:9301,host2:9301       # multi-node Phase-2 souping
+    python -m repro serve us gcn flickr --port 7341   # put the soup behind traffic
+    python -m repro serve ensemble-logit gcn flickr \
+        --serve-backend tcp --serve-workers 4    # serve the N-pass ensemble
 
-``train``/``soup`` share the ingredient cache with the benchmarks
-(``.cache/ingredients`` or ``$REPRO_CACHE_DIR``), so souping after
-training is instant.
+``train``/``soup``/``serve`` share the ingredient cache with the
+benchmarks (``.cache/ingredients`` or ``$REPRO_CACHE_DIR``), so souping
+or serving after training is instant.
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ from .distributed import (
 from .experiments.cache import get_or_train_pool
 from .experiments.config import EXPERIMENT_GRID, ExperimentSpec
 from .graph import dataset_names, load_dataset, partition_graph
+from .serve.server import BACKENDS as SERVE_BACKENDS
 from .soup import PLSConfig, SOUP_EXECUTORS, SOUP_METHODS, SoupConfig, make_evaluator, soup
 from .telemetry import build_report, load_report, metrics, summarize, write_metrics, write_trace
 
@@ -87,13 +91,16 @@ def _maybe_enable_telemetry(args: argparse.Namespace) -> bool:
 def _emit_telemetry(args: argparse.Namespace, command: str) -> None:
     """Write the run's aggregated report / trace to the requested paths."""
     report = build_report(command=command)
-    if getattr(args, "metrics_out", None):
-        write_metrics(report, args.metrics_out)
-        print(f"metrics     : wrote {args.metrics_out} "
-              f"(inspect with `python -m repro telemetry summarize {args.metrics_out}`)")
-    if getattr(args, "trace", None):
-        write_trace(report, args.trace)
-        print(f"trace       : wrote {args.trace} (open in Perfetto or chrome://tracing)")
+    try:
+        if getattr(args, "metrics_out", None):
+            write_metrics(report, args.metrics_out)
+            print(f"metrics     : wrote {args.metrics_out} "
+                  f"(inspect with `python -m repro telemetry summarize {args.metrics_out}`)")
+        if getattr(args, "trace", None):
+            write_trace(report, args.trace)
+            print(f"trace       : wrote {args.trace} (open in Perfetto or chrome://tracing)")
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write telemetry output: {exc}")
 
 
 def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
@@ -249,7 +256,93 @@ def cmd_cluster_start_worker(args: argparse.Namespace) -> int:
 
 def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
     """Render a ``--metrics-out`` report as a terminal summary."""
-    print(summarize(load_report(args.report)))
+    try:
+        report = load_report(args.report)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read telemetry report: {exc}")
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"error: {args.report} is not a telemetry report JSON ({exc})")
+    print(summarize(report))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Soup a (cached) pool and serve it behind live prediction traffic.
+
+    Runs until a client sends ``shutdown`` (``python -m repro.serve.loadgen
+    ... --shutdown``) or the process is interrupted. Like ``cluster
+    start-worker``, the wire protocol is unauthenticated pickle — the
+    default bind is loopback; expose it to trusted networks only.
+    """
+    from .serve import PredictionServer, ServeConfig
+
+    if args.method == "ensemble-vote":
+        raise SystemExit(
+            "error: ensemble-vote serves discrete votes, not score rows; "
+            "serve ensemble-logit instead"
+        )
+    if args.method not in SOUP_METHODS and args.method != "best":
+        print(f"unknown method {args.method!r}; run `python -m repro methods`", file=sys.stderr)
+        return 2
+    telemetry = _maybe_enable_telemetry(args)
+    spec, graph, pool = _get_pool(args.arch, args.dataset, args)
+    ensemble = args.method == "ensemble-logit"
+    if ensemble:
+        # serve every ingredient; scoring averages softmax probabilities
+        # (bit-identical to `repro soup ensemble-logit`), N passes per batch
+        states = [dict(state) for state in pool.states]
+        print(f"serving     : ensemble-logit over {len(pool)} ingredients")
+    elif args.method == "best":
+        states = [dict(pool.states[pool.best_index()])]
+        print(f"serving     : best single ingredient (val acc {max(pool.val_accs):.4f})")
+    else:
+        result = soup(args.method, pool, graph)
+        states = [result.state_dict]
+        print(f"serving     : {result.method} soup "
+              f"(val acc {result.val_acc:.4f}, test acc {result.test_acc:.4f})")
+    backend = args.serve_backend
+    if args.serve_nodes and backend != "tcp":
+        backend = "tcp"  # a node list implies the socket backend
+    config = ServeConfig(
+        backend=backend,
+        num_workers=args.serve_workers,
+        nodes=args.serve_nodes,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        adaptive=not args.no_adaptive,
+        cache_nodes=args.cache_nodes,
+        shm=getattr(args, "shm", True),
+    )
+    server = PredictionServer(pool.model_config, graph, states, ensemble=ensemble, config=config)
+    try:
+        server.start()
+        host, port = server.address
+        if args.serve_port_file:
+            try:
+                with open(args.serve_port_file, "w") as fh:
+                    fh.write(f"{host} {port}\n")
+            except OSError as exc:
+                raise SystemExit(f"error: cannot write --serve-port-file: {exc}")
+        print(f"model digest: {server.digest}")
+        print(f"listening   : {host}:{port}  ({backend} backend, "
+              f"cache {config.cache_nodes} nodes, max-batch {config.max_batch}"
+              f"{' adaptive' if config.adaptive else ''})")
+        print(f"drive it    : python -m repro.serve.loadgen {host}:{port}")
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    stats = server.stats()
+    cache = stats["cache"]
+    print(f"served      : {stats['replies']} replies / {stats['requests']} requests "
+          f"({stats['errors']} errors) in {stats['flushes']} flushes")
+    print(f"cache       : {cache['hits']} hits / {cache['misses']} misses, "
+          f"{cache['size']}/{cache['capacity']} nodes resident")
+    if telemetry:
+        _emit_telemetry(args, "serve")
     return 0
 
 
@@ -457,6 +550,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     w.add_argument("--once", action="store_true", help="exit after serving one driver session")
     w.set_defaults(fn=cmd_cluster_start_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="soup a cached pool and serve node predictions over a socket "
+        "(unauthenticated pickle protocol — loopback/trusted networks only)",
+    )
+    p.add_argument("method", help="souping method to serve, `best`, or ensemble-logit")
+    p.add_argument("arch")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("-n", "--n-ingredients", type=int, default=None)
+    p.add_argument("--host", default="127.0.0.1", help="interface to bind (default loopback)")
+    p.add_argument("--port", type=int, default=0, help="port to bind (0 = OS-assigned)")
+    p.add_argument(
+        "--serve-port-file",
+        default=None,
+        metavar="PATH",
+        help="write `host port` here once bound (for orchestration scripts)",
+    )
+    p.add_argument(
+        "--serve-backend",
+        default="serial",
+        choices=list(SERVE_BACKENDS),
+        help="scoring backend: in-process, pipe workers, or tcp workers (bit-identical)",
+    )
+    p.add_argument(
+        "--serve-workers", type=int, default=2, help="scoring workers for pipe/tcp backends"
+    )
+    p.add_argument(
+        "--serve-nodes",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="remote `cluster start-worker` addresses to score on (implies --serve-backend tcp)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="base coalescing batch size (grows adaptively under load)",
+    )
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="longest a request waits to be coalesced, in milliseconds",
+    )
+    p.add_argument(
+        "--no-adaptive", action="store_true", help="pin max-batch instead of adapting it"
+    )
+    p.add_argument(
+        "--cache-nodes",
+        type=int,
+        default=4096,
+        help="LRU prediction-cache capacity in nodes (0 disables)",
+    )
+    _common_data_args(p)
+    _executor_args(p)
+    _telemetry_args(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("telemetry", help="telemetry report utilities")
     tsub = p.add_subparsers(dest="telemetry_command", required=True)

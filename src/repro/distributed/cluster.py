@@ -70,6 +70,7 @@ __all__ = [
     "WorkerLossError",
     "WorkerRole",
     "ClusterService",
+    "ClusterStream",
     "PipeTransport",
     "TcpTransport",
     "parse_nodes",
@@ -141,6 +142,7 @@ class WorkerRole:
 _ROLES: dict[str, tuple[str, str]] = {
     "ingredients": ("repro.distributed.ingredients", "INGREDIENT_ROLE"),
     "eval": ("repro.distributed.eval_service", "EVAL_ROLE"),
+    "serve": ("repro.serve.model", "SERVE_ROLE"),
 }
 
 
@@ -1165,6 +1167,247 @@ class ClusterService:
 
     def __enter__(self) -> "ClusterService":
         self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class ClusterStream:
+    """Incremental claim/done dispatch for long-lived services.
+
+    :meth:`ClusterService.run` drives one *finite* batch of tasks to
+    completion and returns; a serving frontend instead submits tasks as
+    requests arrive and collects completions as they finish, indefinitely.
+    This class exposes the same worker protocol incrementally:
+    :meth:`submit` enqueues one keyed task, :meth:`poll` pumps the
+    transport and returns every task that completed since the last call
+    as ``(key, result)`` pairs.
+
+    The batch service's protections carry over unchanged:
+
+    * request ids unique across the stream lifetime, so frames left over
+      from a task that already completed (a duplicate execution after a
+      conservative requeue) are recognised as stale and dropped;
+    * the claim table: a worker that dies mid-task has its claimed task
+      resubmitted, and a death with no claim on record conservatively
+      requeues every unaccounted-for task;
+    * respawn bounded by progress — deaths are counted *since the last
+      completion*, so a pool that keeps dying without finishing anything
+      raises :class:`WorkerLossError` instead of spinning forever (any
+      completion resets the budget, which is what "long-lived" needs).
+
+    Tasks must be idempotent: a lost task is resubmitted, and a task a
+    dead worker had in fact swallowed may execute twice. A worker-side
+    *error* (a bug, not a death) completes that task with the
+    :class:`ClusterError` as its result value — one failed request must
+    not tear down a server with other requests in flight; the caller
+    inspects ``isinstance(result, Exception)``.
+
+    Single-consumer: call ``submit``/``poll``/``close`` from one thread.
+    """
+
+    def __init__(self, transport) -> None:
+        self._transport = transport
+        self._next_rid = 0
+        self._rid_key: dict[int, object] = {}  # live tasks only
+        self._key_rid: dict[object, int] = {}
+        self._payloads: dict[object, object] = {}  # kept for resubmission
+        self._backlog: deque = deque()
+        self._in_flight: dict[int, object] = {}  # worker id -> claimed key
+        self._outstanding = 0  # sent to the transport but not yet claimed
+        self._completed: list[tuple[object, object]] = []
+        self._deaths_since_progress = 0
+        self._send_ts: dict[int, float] = {}
+        self._queued_ts: dict[object, float] = {}
+        self._closed = False
+        transport.start()
+
+    @property
+    def transport(self):
+        return self._transport
+
+    @property
+    def width(self) -> int:
+        return self._transport.width
+
+    def pending(self) -> int:
+        """Live (submitted, not yet completed) task count."""
+        return len(self._key_rid)
+
+    def submit(self, key, payload) -> None:
+        """Enqueue one task; its completion arrives via :meth:`poll`."""
+        if self._closed:
+            raise ClusterError("cluster stream is closed")
+        if key in self._key_rid:
+            raise ValueError(f"task key {key!r} is already in flight")
+        rid = self._next_rid
+        self._next_rid += 1
+        self._rid_key[rid] = key
+        self._key_rid[key] = rid
+        self._payloads[key] = payload
+        if metrics.enabled:
+            self._queued_ts[key] = time.monotonic()
+        self._backlog.append(key)
+        self._top_up()
+
+    def _top_up(self) -> None:
+        transport = self._transport
+        while self._backlog and transport.can_accept(self._outstanding):
+            key = self._backlog.popleft()
+            if key not in self._key_rid:  # completed while still queued
+                continue
+            rid = self._key_rid[key]
+            if metrics.enabled:
+                now = time.monotonic()
+                queued = self._queued_ts.pop(key, None)
+                if queued is not None:
+                    metrics.observe("cluster.queue_wait_s", now - queued)
+                self._send_ts[rid] = now
+            transport.send(rid, self._payloads[key])
+            self._outstanding += 1
+
+    def _requeue(self, key) -> None:
+        if key in self._key_rid and key not in self._backlog:
+            metrics.inc("cluster.requeues")
+            if metrics.enabled:
+                self._queued_ts[key] = time.monotonic()
+            self._backlog.append(key)
+
+    def _finish(self, key, result) -> None:
+        rid = self._key_rid.pop(key)
+        self._rid_key.pop(rid, None)
+        self._payloads.pop(key, None)
+        self._send_ts.pop(rid, None)
+        self._queued_ts.pop(key, None)
+        self._completed.append((key, result))
+        self._deaths_since_progress = 0
+
+    def _handle(self, message) -> None:
+        kind, wid, rid = message[0], message[1], message[2]
+        if rid not in self._rid_key:
+            metrics.inc("cluster.stale_messages")
+            if kind in ("done", "fault", "error"):
+                self._in_flight.pop(wid, None)
+            elif kind == "claim":
+                self._in_flight[wid] = None
+            return
+        key = self._rid_key[rid]
+        if kind == "claim":
+            self._in_flight[wid] = key
+            self._outstanding = max(0, self._outstanding - 1)
+            if metrics.enabled:
+                start = self._send_ts.pop(rid, None)
+                if start is not None:
+                    metrics.observe("cluster.claim_latency_s", time.monotonic() - start)
+            self._top_up()
+        elif kind == "done":
+            self._in_flight.pop(wid, None)
+            metrics.inc("cluster.tasks_done")
+            self._finish(key, message[3])
+        elif kind == "fault":
+            # serving roles declare no fault types; treat a declared fault
+            # like a loss — idempotent tasks simply go around again
+            self._in_flight.pop(wid, None)
+            metrics.inc("cluster.tasks_fault")
+            self._requeue(key)
+        elif kind == "error":
+            self._in_flight.pop(wid, None)
+            metrics.inc("cluster.tasks_error")
+            describe = getattr(self._transport, "describe_worker", None)
+            label = describe(wid) if describe is not None else f"{self._transport.name}:w{wid}"
+            self._finish(
+                key,
+                ClusterError(
+                    f"worker {label} running task {key} "
+                    f"(role {self._transport.role!r}) raised unexpectedly:\n{message[3]}"
+                ),
+            )
+
+    def _check_dead(self) -> None:
+        transport = self._transport
+        dead = transport.reap_dead()
+        if not dead:
+            return
+        # a dead worker sent its messages synchronously before dying —
+        # drain them first so its claim-table entry is authoritative
+        while True:
+            message = transport.poll(0)
+            if message is None:
+                break
+            self._handle(message)
+        self._deaths_since_progress += len(dead)
+        lost_unclaimed = False
+        for wid in dead:
+            if wid in self._in_flight:
+                key = self._in_flight.pop(wid)
+                if key is not None:
+                    metrics.inc("cluster.lost_tasks")
+                    self._requeue(key)
+            else:
+                lost_unclaimed = True
+        if lost_unclaimed:
+            accounted = {key for key in self._in_flight.values() if key is not None}
+            accounted.update(self._backlog)
+            requeue = [key for key in self._key_rid if key not in accounted]
+            metrics.inc("cluster.conservative_requeues", len(requeue))
+            if metrics.enabled:
+                now = time.monotonic()
+                for key in requeue:
+                    self._queued_ts[key] = now
+            self._backlog.extend(requeue)
+            self._outstanding = 0
+        if self._deaths_since_progress > 2 * transport.width + 4:
+            raise WorkerLossError(
+                "cluster stream kept losing workers without completing a task"
+            )
+        target = min(transport.width, max(len(self._key_rid), 1))
+        while transport.alive_count < target:
+            if not transport.respawn_one():
+                break
+            metrics.inc("cluster.respawns")
+        if transport.alive_count == 0 and self._key_rid:
+            raise WorkerLossError(
+                f"no live workers remain with {len(self._key_rid)} task(s) outstanding"
+            )
+        self._top_up()
+
+    def poll(self, timeout: float = 0.0) -> list[tuple[object, object]]:
+        """Pump the transport for up to ``timeout`` seconds; return every
+        task that completed (``(key, result)``, completion order). Returns
+        as soon as at least one completion is available."""
+        if self._closed:
+            raise ClusterError("cluster stream is closed")
+        self._top_up()
+        deadline = time.monotonic() + max(timeout, 0.0)
+        while True:
+            if self._completed:
+                out = self._completed
+                self._completed = []
+                return out
+            remaining = deadline - time.monotonic()
+            message = self._transport.poll(min(remaining, 0.05) if remaining > 0 else 0)
+            if message is not None:
+                self._handle(message)
+                # drain whatever else already arrived before returning
+                while True:
+                    message = self._transport.poll(0)
+                    if message is None:
+                        break
+                    self._handle(message)
+                self._top_up()
+                continue
+            self._check_dead()
+            if remaining <= 0 and not self._completed:
+                return []
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._transport.close()
+
+    def __enter__(self) -> "ClusterStream":
         return self
 
     def __exit__(self, *_exc) -> None:

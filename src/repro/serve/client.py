@@ -1,0 +1,127 @@
+"""Client for the serving frontend's frame protocol.
+
+One connection, request-id-matched replies, optional pipelining: a
+caller may issue several :meth:`ServeClient.predict_async` requests and
+collect them out of order with :meth:`collect` — the load generator uses
+exactly this to model concurrent traffic over a single connection, and
+multiple clients (threads or processes) model concurrent connections.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+from ..distributed.cluster import _configure_socket, _recv_frame, _send_frame
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The server replied with an error, or the connection broke."""
+
+
+class ServeClient:
+    """Synchronous client; single-threaded (guard externally if shared).
+
+    On connect the server's hello frame is read into :attr:`info` — model
+    digest, graph name/sizes, ensemble flag, backend — so a client knows
+    what it is talking to before the first request.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, int(port)), timeout=timeout)
+        _configure_socket(self._sock)
+        self._sock.settimeout(timeout)
+        self._next_id = 0
+        self._replies: dict[int, object] = {}  # out-of-order arrivals
+        hello = _recv_frame(self._sock)
+        if not (isinstance(hello, tuple) and hello and hello[0] == "hello"):
+            self._sock.close()
+            raise ServeError(f"not a repro serve endpoint (handshake {hello!r})")
+        #: dict: server identity — digest, graph, num_nodes, num_classes, ...
+        self.info = hello[1]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, op: str, *args) -> int:
+        req_id = self._next_id
+        self._next_id += 1
+        try:
+            _send_frame(self._sock, (op, req_id, *args))
+        except OSError as exc:
+            raise ServeError(f"connection to the server broke: {exc}") from exc
+        return req_id
+
+    def collect(self, req_id: int):
+        """Block until the reply for ``req_id`` arrives; return its payload.
+
+        Replies for *other* outstanding request ids encountered on the
+        wire are parked and returned by their own ``collect`` calls.
+        """
+        return self.collect_timed(req_id)[0]
+
+    def collect_timed(self, req_id: int):
+        """``(payload, receive-time)`` for ``req_id``.
+
+        The timestamp (``time.monotonic()``) is taken the moment the
+        reply frame came off the wire — a reply parked while collecting
+        another request keeps its true arrival time, which is what a
+        pipelined load generator must measure latency against.
+        """
+        while req_id not in self._replies:
+            try:
+                frame = _recv_frame(self._sock)
+            except (OSError, socket.timeout) as exc:
+                raise ServeError(f"connection to the server broke: {exc}") from exc
+            if frame is None:
+                raise ServeError("server closed the connection")
+            status, rid, payload = frame
+            self._replies[rid] = (status, payload, time.monotonic())
+        status, payload, t_recv = self._replies.pop(req_id)
+        if status != "ok":
+            raise ServeError(str(payload))
+        return payload, t_recv
+
+    # -- requests ------------------------------------------------------------
+
+    def predict_async(self, node_ids) -> int:
+        """Issue a prediction request; returns its id for :meth:`collect`."""
+        ids = np.asarray(node_ids, dtype=np.int64).ravel()
+        return self._send("predict", ids)
+
+    def predict(self, node_ids) -> np.ndarray:
+        """Score rows for ``node_ids`` — ``[len(node_ids), num_classes]``
+        float64, aligned with the request order (duplicates included)."""
+        return self.collect(self.predict_async(node_ids))
+
+    def predict_labels(self, node_ids) -> np.ndarray:
+        """Predicted class ids (argmax of the score rows)."""
+        return np.argmax(self.predict(node_ids), axis=-1)
+
+    def stats(self) -> dict:
+        """The server's counters/cache/identity snapshot."""
+        return self.collect(self._send("stats"))
+
+    def ping(self) -> bool:
+        return self.collect(self._send("ping")) == "pong"
+
+    def shutdown(self) -> bool:
+        """Ask the server to stop (it replies, then exits its loop)."""
+        return bool(self.collect(self._send("shutdown")))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

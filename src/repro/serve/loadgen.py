@@ -1,0 +1,285 @@
+"""Load generator for the serving frontend: p50/p99 latency, throughput.
+
+``run_load`` drives a :class:`~repro.serve.server.PredictionServer` with
+concurrent closed-loop clients (threads, one connection each, optionally
+pipelined) issuing node-prediction requests with a tunable hot-set
+locality — the workload shape an LRU prediction cache exists for — and
+reports latency percentiles, throughput, and the server's own counters.
+The traffic is fully seeded: the same seed produces the same request
+sets, so runs are comparable and the determinism check is meaningful.
+
+The determinism check (``verify=True``) re-issues a sample of the
+requests on a fresh connection after the load and asserts the replies
+are **bit-identical** to the ones received under concurrency — arrival
+order, coalescing, caching and backend must not change a single byte of
+a prediction.
+
+Also runnable directly against a live server::
+
+    python -m repro.serve.loadgen 127.0.0.1:7341 --requests 500 --clients 4
+    python -m repro.serve.loadgen --port-file /tmp/serve.port --max-p99 0.5 --shutdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from .client import ServeClient, ServeError
+
+__all__ = ["main", "run_load"]
+
+#: At most this many (request, reply) samples are kept for verification.
+VERIFY_SAMPLES = 24
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    arr = np.asarray(latencies, dtype=np.float64)
+    if arr.size == 0:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }
+
+
+def _client_loop(host, port, requests, pipeline, nodes_per_request, hot_ids, hot_fraction, seed, out):
+    """One closed-loop client: keep ``pipeline`` requests outstanding."""
+    rng = np.random.default_rng(seed)
+    latencies: list[float] = []
+    samples: list[tuple[tuple, np.ndarray]] = []
+    nodes_done = 0
+    try:
+        with ServeClient(host, port) as client:
+            num_nodes = int(client.info["num_nodes"])
+            outstanding: deque = deque()
+            issued = 0
+            while issued < requests or outstanding:
+                while issued < requests and len(outstanding) < pipeline:
+                    k = nodes_per_request
+                    hot = rng.random(k) < hot_fraction
+                    ids = np.where(
+                        hot,
+                        hot_ids[rng.integers(0, len(hot_ids), size=k)],
+                        rng.integers(0, num_nodes, size=k),
+                    )
+                    t0 = time.monotonic()
+                    rid = client.predict_async(ids)
+                    outstanding.append((rid, t0, ids))
+                    issued += 1
+                rid, t0, ids = outstanding.popleft()
+                scores, t_recv = client.collect_timed(rid)
+                latencies.append(t_recv - t0)
+                nodes_done += len(ids)
+                if len(samples) < VERIFY_SAMPLES:
+                    samples.append((tuple(int(x) for x in ids), np.array(scores)))
+    except ServeError as exc:
+        out["error"] = str(exc)
+    out["latencies"] = latencies
+    out["samples"] = samples
+    out["nodes"] = nodes_done
+
+
+def run_load(
+    host: str,
+    port: int,
+    requests: int = 200,
+    clients: int = 4,
+    pipeline: int = 4,
+    nodes_per_request: int = 8,
+    hot_fraction: float = 0.8,
+    hot_set: int = 64,
+    seed: int = 0,
+    verify: bool = True,
+) -> dict:
+    """Drive the server with ``requests`` total requests; return metrics.
+
+    Requests are split evenly across ``clients`` concurrent connections
+    (the remainder goes to the first ones). With probability
+    ``hot_fraction`` a node id is drawn from a seeded ``hot_set``-sized
+    subset, otherwise uniformly — the locality knob the serving cache
+    responds to. ``verify=True`` replays up to ``VERIFY_SAMPLES``
+    sampled requests per client on a fresh connection and asserts
+    bit-identical replies.
+    """
+    if requests < 1 or clients < 1 or pipeline < 1 or nodes_per_request < 1:
+        raise ValueError("requests, clients, pipeline and nodes_per_request must be >= 1")
+    with ServeClient(host, port) as probe:
+        info = dict(probe.info)
+    num_nodes = int(info["num_nodes"])
+    base_rng = np.random.default_rng(seed)
+    hot_ids = base_rng.choice(num_nodes, size=min(int(hot_set), num_nodes), replace=False)
+
+    per_client = [requests // clients] * clients
+    for i in range(requests % clients):
+        per_client[i] += 1
+    outs = [{} for _ in range(clients)]
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(host, port, per_client[i], pipeline, nodes_per_request,
+                  hot_ids, hot_fraction, seed + 1 + i, outs[i]),
+            daemon=True,
+            name=f"loadgen-{i}",
+        )
+        for i in range(clients)
+        if per_client[i] > 0
+    ]
+    t_start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.monotonic() - t_start
+
+    errors = [out["error"] for out in outs if out.get("error")]
+    if errors:
+        raise ServeError(f"load generation failed: {errors[0]}")
+    latencies = [lat for out in outs for lat in out.get("latencies", ())]
+    total_nodes = sum(out.get("nodes", 0) for out in outs)
+
+    verified = None
+    if verify:
+        verified = True
+        with ServeClient(host, port) as checker:
+            kept = 0
+            for out in outs:
+                for ids, scores in out.get("samples", ()):
+                    if kept >= VERIFY_SAMPLES:
+                        break
+                    kept += 1
+                    replay = checker.predict(np.asarray(ids, dtype=np.int64))
+                    if not np.array_equal(np.asarray(replay), scores):
+                        verified = False
+
+    with ServeClient(host, port) as probe:
+        server_stats = probe.stats()
+
+    return {
+        "server": info,
+        "requests": len(latencies),
+        "clients": clients,
+        "pipeline": pipeline,
+        "nodes_per_request": nodes_per_request,
+        "hot_fraction": hot_fraction,
+        "wall_s": wall,
+        "throughput_rps": len(latencies) / wall if wall > 0 else 0.0,
+        "node_throughput_nps": total_nodes / wall if wall > 0 else 0.0,
+        "latency_s": _percentiles(latencies),
+        "verified": verified,
+        "server_stats": server_stats,
+    }
+
+
+def _parse_address(args) -> tuple[str, int]:
+    if args.address:
+        host, _, port = args.address.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"error: bad server address {args.address!r}; expected host:port")
+        return host, int(port)
+    try:
+        text = open(args.port_file).read().split()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read port file: {exc}")
+    if len(text) != 2 or not text[1].isdigit():
+        raise SystemExit(f"error: malformed port file {args.port_file!r} (want 'host port')")
+    return text[0], int(text[1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Drive a repro serve endpoint and report p50/p99 latency + throughput.",
+    )
+    parser.add_argument("address", nargs="?", help="server address, host:port")
+    parser.add_argument("--port-file", help="read 'host port' from this file instead")
+    parser.add_argument("--requests", type=int, default=200, help="total requests (default 200)")
+    parser.add_argument("--clients", type=int, default=4, help="concurrent connections (default 4)")
+    parser.add_argument("--pipeline", type=int, default=4, help="outstanding requests per client (default 4)")
+    parser.add_argument("--nodes-per-request", type=int, default=8, help="node ids per request (default 8)")
+    parser.add_argument("--hot-fraction", type=float, default=0.8, help="fraction drawn from the hot set (default 0.8)")
+    parser.add_argument("--hot-set", type=int, default=64, help="hot-set size in nodes (default 64)")
+    parser.add_argument("--seed", type=int, default=0, help="traffic seed (default 0)")
+    parser.add_argument("--no-verify", action="store_true", help="skip the bit-identical replay check")
+    parser.add_argument("--max-p50", type=float, help="fail (exit 1) if p50 latency exceeds this many seconds")
+    parser.add_argument("--max-p99", type=float, help="fail (exit 1) if p99 latency exceeds this many seconds")
+    parser.add_argument("--json", action="store_true", help="print the full result as JSON")
+    parser.add_argument("--shutdown", action="store_true", help="ask the server to stop afterwards")
+    args = parser.parse_args(argv)
+    if bool(args.address) == bool(args.port_file):
+        parser.error("give a server address or --port-file (exactly one)")
+    host, port = _parse_address(args)
+
+    try:
+        result = run_load(
+            host,
+            port,
+            requests=args.requests,
+            clients=args.clients,
+            pipeline=args.pipeline,
+            nodes_per_request=args.nodes_per_request,
+            hot_fraction=args.hot_fraction,
+            hot_set=args.hot_set,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.shutdown:
+        try:
+            with ServeClient(host, port) as client:
+                client.shutdown()
+        except (ServeError, OSError):
+            pass  # already gone is fine
+
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        lat, stats = result["latency_s"], result["server_stats"]
+        cache = stats["cache"]
+        print(
+            f"{result['requests']} requests · {result['clients']} clients × pipeline {result['pipeline']} "
+            f"· {result['nodes_per_request']} nodes/req against {result['server']['graph']} "
+            f"({stats['backend']}, digest {result['server']['digest'][:12]})"
+        )
+        print(
+            f"  latency  p50 {lat['p50'] * 1e3:8.2f} ms   p90 {lat['p90'] * 1e3:8.2f} ms   "
+            f"p99 {lat['p99'] * 1e3:8.2f} ms   max {lat['max'] * 1e3:8.2f} ms"
+        )
+        print(
+            f"  rate     {result['throughput_rps']:8.1f} req/s   {result['node_throughput_nps']:8.1f} nodes/s   "
+            f"wall {result['wall_s']:.2f} s"
+        )
+        print(
+            f"  server   {stats['flushes']} flushes · {stats['batched_nodes']} batched nodes · "
+            f"cache {cache['hits']} hits / {cache['misses']} misses ({cache['size']}/{cache['capacity']})"
+        )
+        if result["verified"] is not None:
+            print(f"  replay   {'bit-identical' if result['verified'] else 'MISMATCH'}")
+
+    failed = False
+    if result["verified"] is False:
+        print("error: replayed predictions are not bit-identical", file=sys.stderr)
+        failed = True
+    if args.max_p50 is not None and result["latency_s"]["p50"] > args.max_p50:
+        print(f"error: p50 {result['latency_s']['p50']:.4f}s exceeds --max-p50 {args.max_p50}s", file=sys.stderr)
+        failed = True
+    if args.max_p99 is not None and result["latency_s"]["p99"] > args.max_p99:
+        print(f"error: p99 {result['latency_s']['p99']:.4f}s exceeds --max-p99 {args.max_p99}s", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,369 @@
+"""Serving-layer tests: cache, served model, frontend, CLI round trip.
+
+The load-bearing property is the serving determinism contract: identical
+request sets produce bit-identical predictions regardless of arrival
+order, coalescing, caching, backend, or mid-request worker death. Every
+test here ultimately compares against the same reference — one
+:func:`evaluate_logits` pass of the souped state on the driver.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serve import NodeCache, PredictionServer, ServeClient, ServeConfig, ServeError
+from repro.serve.loadgen import run_load
+from repro.serve.model import ServedModel, state_digest
+from repro.serve.server import _AdaptiveLimit
+from repro.soup import soup
+from repro.soup.ensemble import _softmax
+from repro.train import evaluate_logits
+
+
+@pytest.fixture(scope="module")
+def served(gcn_pool, tiny_graph):
+    """The soup state, its reference scores, and the pool/graph pair."""
+    result = soup("us", gcn_pool, tiny_graph)
+    model = gcn_pool.make_model()
+    model.load_state_dict(result.state_dict)
+    ref = evaluate_logits(model, tiny_graph)
+    return gcn_pool, tiny_graph, result.state_dict, ref
+
+
+@pytest.fixture(scope="module")
+def serial_server(served):
+    pool, graph, state, _ref = served
+    config = ServeConfig(backend="serial", cache_nodes=64, max_wait_s=0.001)
+    with PredictionServer(pool.model_config, graph, [state], config=config) as srv:
+        srv.start()
+        yield srv
+
+
+class TestNodeCache:
+    def test_miss_then_hit(self):
+        cache = NodeCache(4)
+        hits, misses = cache.lookup([1, 2, 1])
+        assert hits == {} and misses == [1, 2]  # dedup, first-appearance order
+        cache.insert({1: np.array([1.0]), 2: np.array([2.0])})
+        hits, misses = cache.lookup([2, 1, 2])
+        assert misses == [] and set(hits) == {1, 2}
+        assert cache.info()["hits"] == 3  # each hit lookup counted, dup included
+
+    def test_lru_eviction(self):
+        cache = NodeCache(2)
+        cache.insert({1: np.array([1.0]), 2: np.array([2.0])})
+        cache.lookup([1])  # 1 is now most-recently used
+        cache.insert({3: np.array([3.0])})
+        hits, misses = cache.lookup([1, 2, 3])
+        assert set(hits) == {1, 3} and misses == [2]
+        assert cache.evictions == 1
+
+    def test_rows_are_exact(self):
+        cache = NodeCache(4)
+        row = np.array([0.1, -2.5, 3.25])
+        cache.insert({7: row})
+        hits, _ = cache.lookup([7])
+        assert np.array_equal(hits[7], row)
+
+    def test_zero_capacity_disables(self):
+        cache = NodeCache(0)
+        cache.insert({1: np.array([1.0])})
+        hits, misses = cache.lookup([1])
+        assert hits == {} and misses == [1] and len(cache) == 0
+
+    def test_clear_drops_entries(self):
+        cache = NodeCache(4)
+        cache.insert({1: np.array([1.0])})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup([1])[1] == [1]
+
+    @pytest.mark.parametrize("capacity", [-1, 1.5, True, "8"])
+    def test_rejects_bad_capacity(self, capacity):
+        with pytest.raises(ValueError):
+            NodeCache(capacity)
+
+
+class TestServedModel:
+    def test_matches_reference_logits(self, served):
+        pool, graph, state, ref = served
+        model = ServedModel(pool.model_config, graph, [state])
+        rows = model.scores_at([3, 0, 3, 9])
+        assert set(rows) == {0, 3, 9}
+        for node, row in rows.items():
+            assert np.array_equal(row, ref[node])
+
+    def test_rows_independent_of_batch_composition(self, served):
+        pool, graph, state, _ref = served
+        model = ServedModel(pool.model_config, graph, [state])
+        alone = model.scores_at([11])[11]
+        crowded = model.scores_at(range(graph.num_nodes))[11]
+        assert np.array_equal(alone, crowded)
+
+    def test_ensemble_matches_logit_ensemble(self, served):
+        pool, graph, _state, _ref = served
+        model = ServedModel(pool.model_config, graph, [dict(s) for s in pool.states], ensemble=True)
+        worker = pool.make_model()
+        per = []
+        for s in pool.states:
+            worker.load_state_dict(s)
+            per.append(evaluate_logits(worker, graph))
+        expected = _softmax(np.stack(per)).mean(axis=0)
+        rows = model.scores_at([0, 5])
+        assert np.array_equal(rows[0], expected[0])
+        assert np.array_equal(rows[5], expected[5])
+
+    def test_digest_identifies_parameters(self, served):
+        pool, graph, state, _ref = served
+        a = ServedModel(pool.model_config, graph, [state]).digest
+        assert a == state_digest([state])
+        perturbed = {k: v + (1e-12 if k == next(iter(state)) else 0) for k, v in state.items()}
+        assert state_digest([perturbed]) != a
+
+    def test_rejects_out_of_range_ids(self, served):
+        pool, graph, state, _ref = served
+        model = ServedModel(pool.model_config, graph, [state])
+        with pytest.raises(ValueError, match="outside"):
+            model.scores_at([graph.num_nodes])
+
+    def test_rejects_multi_state_without_ensemble(self, served):
+        pool, graph, _state, _ref = served
+        with pytest.raises(ValueError, match="exactly one state"):
+            ServedModel(pool.model_config, graph, [dict(s) for s in pool.states])
+
+
+class TestAdaptiveLimit:
+    def test_grows_under_backlog_and_decays_when_idle(self):
+        limit = _AdaptiveLimit(base=8, cap=64)
+        limit.on_flush(batch_size=8, backlog=20)  # backlog > limit -> grow
+        assert limit.value == 16
+        limit.on_flush(batch_size=16, backlog=40)
+        assert limit.value == 32
+        for _ in range(8):  # 8 consecutive under-quarter-full flushes -> decay
+            limit.on_flush(batch_size=1, backlog=0)
+        assert limit.value == 16
+
+    def test_bounded_by_cap_and_base(self):
+        limit = _AdaptiveLimit(base=8, cap=16)
+        for _ in range(10):
+            limit.on_flush(batch_size=limit.value, backlog=1000)
+        assert limit.value == 16
+        for _ in range(100):
+            limit.on_flush(batch_size=1, backlog=0)
+        assert limit.value == 8
+
+
+class TestServeConfig:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ServeConfig(backend="gpu").validate()
+
+    def test_nodes_require_tcp(self):
+        with pytest.raises(ValueError, match="tcp"):
+            ServeConfig(backend="pipe", nodes=["h:1"]).validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0}, {"max_wait_s": -1.0}, {"cache_nodes": -1},
+        {"backend": "pipe", "num_workers": 0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs).validate()
+
+
+class TestPredictionServerSerial:
+    def test_hello_carries_identity(self, serial_server, served):
+        _pool, graph, state, _ref = served
+        host, port = serial_server.address
+        with ServeClient(host, port) as client:
+            assert client.info["digest"] == state_digest([state])
+            assert client.info["num_nodes"] == graph.num_nodes
+            assert client.ping()
+
+    def test_predictions_match_reference(self, serial_server, served):
+        _pool, _graph, _state, ref = served
+        host, port = serial_server.address
+        with ServeClient(host, port) as client:
+            ids = [5, 3, 5, 0, 150]
+            scores = client.predict(ids)
+            assert scores.shape == (len(ids), ref.shape[1])
+            assert np.array_equal(scores, ref[ids])
+            labels = client.predict_labels([8, 2])
+            assert np.array_equal(labels, np.argmax(ref[[8, 2]], axis=-1))
+
+    def test_any_arrival_order_is_bit_identical(self, serial_server, served):
+        """Same request set, shuffled arrival, pipelined + concurrent
+        clients -> every reply identical to the serial reference."""
+        _pool, graph, _state, ref = served
+        host, port = serial_server.address
+        rng = np.random.default_rng(5)
+        request_sets = [rng.integers(0, graph.num_nodes, size=6) for _ in range(12)]
+
+        def drive(order, out):
+            with ServeClient(host, port) as client:
+                pending = [(client.predict_async(request_sets[i]), i) for i in order]
+                for rid, i in pending[::-1]:  # collect out of order too
+                    out[i] = client.collect(rid)
+
+        by_order: list[dict] = [{}, {}]
+        threads = [
+            threading.Thread(target=drive, args=(order, by_order[j]))
+            for j, order in enumerate([list(range(12)), list(range(11, -1, -1))])
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for out in by_order:
+            assert set(out) == set(range(12))
+            for i, scores in out.items():
+                assert np.array_equal(scores, ref[request_sets[i]])
+
+    def test_cache_hits_accumulate(self, serial_server):
+        host, port = serial_server.address
+        with ServeClient(host, port) as client:
+            before = client.stats()["cache"]
+            client.predict([70, 71, 72])
+            mid = client.stats()["cache"]
+            assert mid["misses"] >= before["misses"]  # cold nodes missed
+            client.predict([70, 71, 72])
+            after = client.stats()["cache"]
+            assert after["hits"] >= mid["hits"] + 3
+            assert after["misses"] == mid["misses"]
+
+    def test_out_of_range_request_fails_cleanly(self, serial_server, served):
+        _pool, graph, _state, ref = served
+        host, port = serial_server.address
+        with ServeClient(host, port) as client:
+            with pytest.raises(ServeError, match="outside"):
+                client.predict([graph.num_nodes + 5])
+            # the connection and server survive the rejected request
+            assert np.array_equal(client.predict([1]), ref[[1]])
+
+    def test_empty_request(self, serial_server, served):
+        _pool, _graph, _state, ref = served
+        host, port = serial_server.address
+        with ServeClient(host, port) as client:
+            scores = client.predict([])
+            assert scores.shape == (0, ref.shape[1])
+
+    def test_loadgen_verifies_and_reports(self, serial_server):
+        host, port = serial_server.address
+        out = run_load(host, port, requests=30, clients=2, pipeline=2,
+                       nodes_per_request=4, seed=3)
+        assert out["requests"] == 30
+        assert out["verified"] is True
+        assert out["latency_s"]["p99"] >= out["latency_s"]["p50"] >= 0
+        assert out["server_stats"]["replies"] >= 30
+
+
+class TestPredictionServerCluster:
+    @pytest.mark.parametrize("backend", ["pipe", "tcp"])
+    def test_backends_bit_identical_to_serial(self, served, backend):
+        pool, graph, state, ref = served
+        config = ServeConfig(backend=backend, num_workers=2, cache_nodes=0, max_wait_s=0.001)
+        with PredictionServer(pool.model_config, graph, [state], config=config) as srv:
+            srv.start()
+            host, port = srv.address
+            with ServeClient(host, port) as client:
+                ids = list(range(0, 40))
+                assert np.array_equal(client.predict(ids), ref[ids])
+
+    def test_worker_death_mid_request_recovers(self, served):
+        """SIGKILL one of two tcp workers with a request in flight: the
+        cluster stream resubmits the lost flush and the reply is still
+        bit-identical. (tcp: a dead worker only takes its own socket.)"""
+        pool, graph, state, ref = served
+        config = ServeConfig(backend="tcp", num_workers=2, cache_nodes=0, max_wait_s=0.001)
+        with PredictionServer(pool.model_config, graph, [state], config=config) as srv:
+            srv.start()
+            host, port = srv.address
+            with ServeClient(host, port, timeout=120.0) as client:
+                assert np.array_equal(client.predict([0, 1]), ref[[0, 1]])  # warm init
+                transport = srv._backend.transport
+                victim = next(w.proc.pid for w in transport._workers.values() if w.proc is not None)
+                rid = client.predict_async(list(range(50, 90)))
+                os.kill(victim, signal.SIGKILL)
+                scores = client.collect(rid)
+                assert np.array_equal(scores, ref[50:90])
+                # and the server keeps serving afterwards
+                assert np.array_equal(client.predict([120]), ref[[120]])
+
+    def test_ensemble_over_workers_matches_serial_ensemble(self, served):
+        pool, graph, _state, _ref = served
+        states = [dict(s) for s in pool.states]
+        serial = ServedModel(pool.model_config, graph, states, ensemble=True)
+        expected = serial.scores_at([0, 33, 150])
+        config = ServeConfig(backend="pipe", num_workers=2, cache_nodes=8, max_wait_s=0.001)
+        with PredictionServer(pool.model_config, graph, states, ensemble=True, config=config) as srv:
+            srv.start()
+            host, port = srv.address
+            with ServeClient(host, port) as client:
+                assert client.info["ensemble"] is True
+                scores = client.predict([0, 33, 150])
+                assert np.array_equal(scores[0], expected[0])
+                assert np.array_equal(scores[1], expected[33])
+                assert np.array_equal(scores[2], expected[150])
+
+
+class TestServeCli:
+    def test_cli_round_trip(self, tmp_path, monkeypatch):
+        """`repro serve` end to end: train a tiny pool, serve it, drive it
+        with the load generator, shut it down over the wire."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        port_file = tmp_path / "serve.port"
+        rc: dict = {}
+
+        def serve():
+            rc["code"] = main([
+                "serve", "us", "gcn", "flickr", "--scale", "0.05", "-n", "2",
+                "--serve-port-file", str(port_file), "--max-wait-ms", "1",
+            ])
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 120
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.1)
+        assert port_file.exists(), "server never wrote its port file"
+        host, port = port_file.read_text().split()
+        out = run_load(host, int(port), requests=20, clients=2, pipeline=2,
+                       nodes_per_request=4, seed=1)
+        assert out["verified"] is True
+        with ServeClient(host, int(port)) as client:
+            assert client.shutdown()
+        thread.join(timeout=60)
+        assert not thread.is_alive() and rc["code"] == 0
+
+    def test_cli_rejects_ensemble_vote(self, capsys):
+        with pytest.raises(SystemExit, match="ensemble-vote"):
+            main(["serve", "ensemble-vote", "gcn", "flickr"])
+
+    def test_cli_rejects_unknown_method(self, capsys):
+        assert main(["serve", "nope", "gcn", "flickr"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+
+class TestCleanPathErrors:
+    def test_summarize_missing_report(self):
+        with pytest.raises(SystemExit, match="cannot read telemetry report"):
+            main(["telemetry", "summarize", "/nonexistent/report.json"])
+
+    def test_summarize_malformed_report(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(SystemExit, match="not a telemetry report"):
+            main(["telemetry", "summarize", str(bad)])
+
+    def test_loadgen_missing_port_file(self):
+        from repro.serve.loadgen import main as loadgen_main
+
+        with pytest.raises(SystemExit, match="cannot read port file"):
+            loadgen_main(["--port-file", "/nonexistent/serve.port"])
