@@ -11,7 +11,10 @@ measures what the socket hop costs on each phase's workload:
   tiny specs, results are full state dicts);
 * **Phase 2** — one GIS ratio-grid sweep per evaluator backend ×
   transport (candidates are [N] weight vectors, results are scalars —
-  the wire-friendly direction).
+  the wire-friendly direction);
+* **wire formats** — the same pipe sweep with the encode side pinned to
+  binary frames vs pickle-everything (``repro.distributed.wire``), the
+  cost of the per-message codec itself.
 
 Determinism is asserted along the way: every transport must return the
 bit-identical pool and soup. The JSON artifact is gated against
@@ -32,6 +35,7 @@ import time
 import numpy as np
 
 from repro.distributed import train_ingredients
+from repro.distributed import wire
 from repro.graph import load_dataset
 from repro.soup import gis_soup, make_evaluator
 from repro.telemetry import build_report, metrics, write_metrics
@@ -118,6 +122,29 @@ def _sweep() -> dict:
         for row in rows.values():
             row["speedup_vs_serial"] = anchor / row["wall_clock_s"]
 
+    # -- wire format: binary frames vs pickle-everything ---------------------
+    # same pipe GIS sweep, encode side pinned per run; the decoder accepts
+    # both, and results must stay bit-identical to the serial soup either way
+    wire_rows: dict[str, dict] = {}
+    for fmt in ("binary", "pickle"):
+        previous = wire.set_wire_format(fmt)
+        try:
+            with make_evaluator(
+                pool, graph, backend="process", transport="pipe",
+                num_workers=WORKERS, cache_size=0,
+            ) as ev:
+                ev.accuracy_of(weights=warmup)
+                start = time.perf_counter()
+                result = gis_soup(pool, graph, granularity=GRANULARITY, evaluator=ev)
+                wire_rows[fmt] = {"wall_clock_s": time.perf_counter() - start}
+        finally:
+            wire.set_wire_format(previous)
+        _assert_soups_identical(soups["serial"], result)
+        wire_rows[fmt]["bit_identical_to_serial"] = True
+    wire_rows["binary"]["speedup_vs_pickle"] = (
+        wire_rows["pickle"]["wall_clock_s"] / wire_rows["binary"]["wall_clock_s"]
+    )
+
     return {
         "config": {
             "dataset": "flickr",
@@ -130,6 +157,7 @@ def _sweep() -> dict:
         },
         "phase1_transports": phase1,
         "phase2_transports": phase2,
+        "wire_formats": wire_rows,
     }
 
 
@@ -140,7 +168,7 @@ def test_bench_cluster_transport(benchmark, results_dir):
     # companion metrics artifact (driver + per-worker counters/histograms)
     write_metrics(build_report(bench="cluster_transport"), results_dir / "cluster_transport_metrics.json")
     metrics.set_enabled(False)
-    for section in ("phase1_transports", "phase2_transports"):
+    for section in ("phase1_transports", "phase2_transports", "wire_formats"):
         for name, row in report[section].items():
             assert row["bit_identical_to_serial"], f"{section}/{name}"
             assert row["wall_clock_s"] > 0, f"{section}/{name}"

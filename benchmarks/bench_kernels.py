@@ -1,0 +1,182 @@
+"""Fused message-passing kernels vs the unfused pipelines they replaced.
+
+The raw-speed pass collapsed the three hottest autograd pipelines into
+single tape nodes (:mod:`repro.tensor.segment`, :mod:`repro.tensor.ops`):
+
+* ``aggregate`` — GAT attention aggregation
+  ``gather(h, src) * alpha -> segment_sum``  vs the fused
+  :func:`gather_mul_segment_sum` (one CSR SpMM per head, no ``[E, H, F]``
+  per-edge intermediates in forward or backward);
+* ``edge_logits`` — GAT logit pipeline
+  ``gather + gather -> add -> leaky_relu``  vs the fused (bit-identical)
+  :func:`edge_attention_logits`;
+* ``linear`` — dense projection ``x @ W + b``  vs the fused
+  :func:`repro.tensor.ops.linear` every ``nn.Linear`` (GCN/SAGE/GIN/GAT
+  spmm call sites included) now routes through.
+
+Each row times ``ROUNDS`` forward+backward sweeps at a GAT-shaped
+workload; the fused/unfused forwards are asserted equivalent before
+anything is timed. The JSON artifact is gated against
+``benchmarks/baselines/kernels.json`` by ``compare_baseline.py`` (>2x
+wall-clock regression fails CI), and the fused aggregation/logit kernels
+must beat their unfused pipelines outright.
+
+Size knobs: ``REPRO_BENCH_KERNEL_NODES`` / ``_EDGES`` / ``_HEADS`` /
+``_FEATURES`` / ``_ROUNDS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.tensor import (
+    Tensor,
+    edge_attention_logits,
+    gather,
+    gather_mul_segment_sum,
+    linear,
+    segment_sum,
+)
+
+from conftest import write_artifact
+
+NODES = int(os.environ.get("REPRO_BENCH_KERNEL_NODES", "2000"))
+EDGES = int(os.environ.get("REPRO_BENCH_KERNEL_EDGES", "24000"))
+HEADS = int(os.environ.get("REPRO_BENCH_KERNEL_HEADS", "4"))
+FEATURES = int(os.environ.get("REPRO_BENCH_KERNEL_FEATURES", "16"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_KERNEL_ROUNDS", "20"))
+
+
+def _graph_arrays(rng):
+    """Random dst-major multigraph in CSR edge order (the GAT layout)."""
+    src = rng.integers(0, NODES, size=EDGES)
+    dst = rng.integers(0, NODES, size=EDGES)
+    order = np.lexsort((src, dst))
+    src, dst = src[order].astype(np.int64), dst[order].astype(np.int64)
+    indptr = np.concatenate(
+        [[0], np.cumsum(np.bincount(dst, minlength=NODES))]
+    ).astype(np.int64)
+    return src, dst, indptr
+
+
+def _time(fn) -> float:
+    fn()  # warmup: allocate scratch, JIT nothing (NumPy), touch caches
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        fn()
+    return time.perf_counter() - start
+
+
+def _grad_sweep(out_of):
+    """One forward+backward through the kernel under test."""
+    out = out_of()
+    out.sum().backward()
+    return out.data
+
+
+def _sweep() -> dict:
+    rng = np.random.default_rng(0)
+    src, dst, indptr = _graph_arrays(rng)
+    h_data = rng.normal(size=(NODES, HEADS, FEATURES))
+    alpha_data = rng.random(size=(EDGES, HEADS))
+    score_data = rng.normal(size=(NODES, HEADS))
+
+    sections: dict[str, dict] = {}
+
+    # -- attention aggregation: gather * alpha -> segment reduce -------------
+    def fused_aggregate():
+        h = Tensor(h_data, requires_grad=True)
+        a = Tensor(alpha_data, requires_grad=True)
+        return _grad_sweep(lambda: gather_mul_segment_sum(h, a, src, indptr))
+
+    def unfused_aggregate():
+        h = Tensor(h_data, requires_grad=True)
+        a = Tensor(alpha_data, requires_grad=True)
+        return _grad_sweep(
+            lambda: segment_sum(
+                gather(h, src) * a.reshape(EDGES, HEADS, 1), indptr
+            )
+        )
+
+    np.testing.assert_allclose(fused_aggregate(), unfused_aggregate(), rtol=1e-10, atol=1e-10)
+    sections["aggregate"] = {
+        "fused": {"wall_clock_s": _time(fused_aggregate)},
+        "unfused": {"wall_clock_s": _time(unfused_aggregate)},
+    }
+
+    # -- edge logits: gather + gather -> add -> leaky_relu -------------------
+    def fused_logits():
+        s = Tensor(score_data, requires_grad=True)
+        d = Tensor(score_data, requires_grad=True)
+        return _grad_sweep(lambda: edge_attention_logits(s, d, src, dst, indptr))
+
+    def unfused_logits():
+        s = Tensor(score_data, requires_grad=True)
+        d = Tensor(score_data, requires_grad=True)
+        return _grad_sweep(lambda: (gather(s, src) + gather(d, dst)).leaky_relu(0.2))
+
+    np.testing.assert_array_equal(fused_logits(), unfused_logits())  # bit-identical
+    sections["edge_logits"] = {
+        "fused": {"wall_clock_s": _time(fused_logits)},
+        "unfused": {"wall_clock_s": _time(unfused_logits)},
+    }
+
+    # -- dense projection: the Linear/spmm call-site refactor ----------------
+    x_data = rng.normal(size=(NODES, HEADS * FEATURES))
+    w_data = rng.normal(size=(HEADS * FEATURES, HEADS * FEATURES))
+    b_data = rng.normal(size=HEADS * FEATURES)
+
+    def fused_linear():
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        return _grad_sweep(lambda: linear(x, w, b))
+
+    def unfused_linear():
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        return _grad_sweep(lambda: x @ w + b)
+
+    np.testing.assert_array_equal(fused_linear(), unfused_linear())  # bit-identical
+    sections["linear"] = {
+        "fused": {"wall_clock_s": _time(fused_linear)},
+        "unfused": {"wall_clock_s": _time(unfused_linear)},
+    }
+
+    for rows in sections.values():
+        rows["fused"]["speedup_vs_unfused"] = (
+            rows["unfused"]["wall_clock_s"] / rows["fused"]["wall_clock_s"]
+        )
+
+    sections["config"] = {
+        "nodes": NODES,
+        "edges": EDGES,
+        "heads": HEADS,
+        "features": FEATURES,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+    }
+    return sections
+
+
+def test_bench_kernels(benchmark, results_dir):
+    """Fused vs unfused wall clock for the three hot kernels."""
+    report = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_artifact(results_dir, "kernels.json", json.dumps(report, indent=2) + "\n")
+    # the edge-heavy kernels must win outright: their fusion removes whole
+    # [E,H,F] materialisations, which no runner-class noise should mask
+    for section in ("aggregate", "edge_logits"):
+        rows = report[section]
+        assert rows["fused"]["wall_clock_s"] < rows["unfused"]["wall_clock_s"], (
+            section,
+            rows,
+        )
+    # the dense-linear fusion saves tape nodes, not FLOPs — require only
+    # that it does not regress beyond timing noise
+    lin = report["linear"]
+    assert lin["fused"]["wall_clock_s"] < 1.5 * lin["unfused"]["wall_clock_s"], lin

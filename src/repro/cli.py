@@ -208,6 +208,7 @@ def cmd_soup(args: argparse.Namespace) -> int:
     with make_evaluator(
         pool, graph, backend=args.soup_executor, num_workers=args.soup_workers,
         transport=soup_transport, nodes=args.soup_nodes,
+        eval_batch=args.soup_eval_batch,
     ) as ev:
         result = soup(args.method, pool, graph, evaluator=ev, **kwargs)
         cache = ev.cache_info()
@@ -371,6 +372,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _eval_batch_arg(text: str):
+    """Parse ``--soup-eval-batch``: the string ``adaptive`` or an int >= 1."""
+    if text == "adaptive":
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'adaptive' or an integer >= 1, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"batch size must be >= 1, got {value}")
+    return value
+
+
 def _common_data_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=0.5, help="dataset size multiplier")
     p.add_argument("--seed", type=int, default=0, help="graph / souping seed")
@@ -520,6 +536,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT,...",
         help="remote `cluster start-worker` addresses for Phase-2 evaluation "
         "(implies --soup-transport tcp)",
+    )
+    p.add_argument(
+        "--soup-eval-batch",
+        type=_eval_batch_arg,
+        default="adaptive",
+        metavar="N|adaptive",
+        help="evaluations per wire frame for the process evaluator: "
+        "'adaptive' (default) sizes chunks from measured per-task time, "
+        "an integer >= 1 pins the size (1 = one task per frame); "
+        "never changes results",
     )
     _common_data_args(p)
     _executor_args(p)

@@ -31,7 +31,8 @@ shared core both are built on:
   - :class:`TcpTransport` (multi-host): the driver connects *out* to
     workers listening on ``host:port`` (started with ``python -m repro
     cluster start-worker``) and/or spawns loopback workers locally.
-    Messages are length-prefixed pickled frames; death is detected by
+    Messages are length-prefixed frames (:mod:`~repro.distributed.wire`
+    binary fast path, pickle fallback); death is detected by
     connection loss or heartbeat silence. Workers first receive the
     driver's preferred context (which may reference shared-memory
     segments — reachable when the worker shares the host); a worker
@@ -63,6 +64,7 @@ from typing import Callable, Sequence
 import multiprocessing as mp
 
 from ..telemetry import BYTE_BUCKETS, metrics
+from .wire import decode_frame, encode_frame
 
 __all__ = [
     "TRANSPORTS",
@@ -229,9 +231,10 @@ def _pipe_worker_main(
         }
 
     def put(message):
-        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        data = encode_frame(message)
         if tel:
             metrics.inc("transport.frames_sent")
+            metrics.inc(_frame_format_counter(data))
             metrics.inc("transport.bytes_sent", len(data))
             metrics.observe("transport.frame_bytes_sent", len(data), BYTE_BUCKETS)
         with result_lock:
@@ -246,12 +249,12 @@ def _pipe_worker_main(
             return
         if tel:
             t0 = time.perf_counter()
-            rid, payload = pickle.loads(item)
+            _kind, rid, payload = decode_frame(item)
             metrics.observe("transport.deserialize_s", time.perf_counter() - t0)
             metrics.inc("transport.frames_received")
             metrics.inc("transport.bytes_received", len(item))
         else:
-            rid, payload = pickle.loads(item)
+            _kind, rid, payload = decode_frame(item)
         put(("claim", worker_id, rid))
         try:
             with metrics.span(f"task:{role_name}", rid=rid):
@@ -322,13 +325,14 @@ class PipeTransport:
     def send(self, rid: int, payload) -> None:
         if metrics.enabled:
             t0 = time.perf_counter()
-            data = pickle.dumps((rid, payload), protocol=pickle.HIGHEST_PROTOCOL)
+            data = encode_frame(("task", rid, payload))
             metrics.observe("transport.serialize_s", time.perf_counter() - t0)
             metrics.inc("transport.frames_sent")
+            metrics.inc(_frame_format_counter(data))
             metrics.inc("transport.bytes_sent", len(data))
             metrics.observe("transport.frame_bytes_sent", len(data), BYTE_BUCKETS)
         else:
-            data = pickle.dumps((rid, payload), protocol=pickle.HIGHEST_PROTOCOL)
+            data = encode_frame(("task", rid, payload))
         self._task_queue.put(data)
 
     def poll(self, timeout: float):
@@ -336,12 +340,12 @@ class PipeTransport:
             data = self._reader.recv_bytes()
             if metrics.enabled:
                 t0 = time.perf_counter()
-                message = pickle.loads(data)
+                message = decode_frame(data)
                 metrics.observe("transport.deserialize_s", time.perf_counter() - t0)
                 metrics.inc("transport.frames_received")
                 metrics.inc("transport.bytes_received", len(data))
                 return message
-            return pickle.loads(data)
+            return decode_frame(data)
         return None
 
     def reap_dead(self) -> list[int]:
@@ -385,6 +389,11 @@ class PipeTransport:
 _HEADER = struct.Struct(">Q")
 
 
+def _frame_format_counter(data) -> str:
+    """Telemetry counter name for one encoded frame (binary vs pickle path)."""
+    return "transport.frames_pickle" if data[0] == 0x50 else "transport.frames_binary"
+
+
 def _configure_socket(sock: socket.socket) -> None:
     """Disable Nagle and enable keepalive on a protocol socket.
 
@@ -408,13 +417,14 @@ def _configure_socket(sock: socket.socket) -> None:
 def _send_frame(sock: socket.socket, obj) -> None:
     if metrics.enabled:
         t0 = time.perf_counter()
-        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        data = encode_frame(obj)
         metrics.observe("transport.serialize_s", time.perf_counter() - t0)
         metrics.inc("transport.frames_sent")
+        metrics.inc(_frame_format_counter(data))
         metrics.inc("transport.bytes_sent", len(data))
         metrics.observe("transport.frame_bytes_sent", len(data), BYTE_BUCKETS)
     else:
-        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        data = encode_frame(obj)
     sock.sendall(_HEADER.pack(len(data)) + data)
 
 
@@ -431,7 +441,8 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
 
 
 def _recv_frame(sock: socket.socket):
-    """One length-prefixed pickled frame; ``None`` on clean EOF."""
+    """One length-prefixed frame (binary fast path or pickle fallback);
+    ``None`` on clean EOF."""
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
@@ -441,12 +452,12 @@ def _recv_frame(sock: socket.socket):
         raise ClusterError("connection closed mid-frame")
     if metrics.enabled:
         t0 = time.perf_counter()
-        message = pickle.loads(body)
+        message = decode_frame(body)
         metrics.observe("transport.deserialize_s", time.perf_counter() - t0)
         metrics.inc("transport.frames_received")
         metrics.inc("transport.bytes_received", len(body))
         return message
-    return pickle.loads(body)
+    return decode_frame(body)
 
 
 # ---------------------------------------------------------------------------
@@ -553,9 +564,9 @@ def run_worker(
     experiment runs — unless ``once`` is set.
 
     .. warning::
-        The wire protocol is pickled frames with **no authentication or
-        encryption** — anyone who can reach the port can execute code as
-        this process. Run workers only on trusted networks (lab LAN, VPN,
+        The wire protocol accepts pickle-fallback frames with **no
+        authentication or encryption** — anyone who can reach the port
+        can execute code as this process. Run workers only on trusted networks (lab LAN, VPN,
         an SSH tunnel) and bind a specific interface with ``host`` where
         possible.
     """
@@ -564,7 +575,11 @@ def run_worker(
     if verbose:
         print(f"[cluster-worker] listening on {host}:{bound}", flush=True)
     if port_file is not None:
-        Path(port_file).write_text(f"{host} {bound}\n")
+        # Atomic publish: watchers poll for the file's existence and read
+        # it immediately, so it must never be visible half-written.
+        tmp = Path(str(port_file) + ".tmp")
+        tmp.write_text(f"{host} {bound}\n")
+        tmp.replace(port_file)
     try:
         while True:
             conn, addr = srv.accept()

@@ -45,6 +45,8 @@ wherever it is evaluated.
 
 from __future__ import annotations
 
+import struct
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -65,6 +67,7 @@ from .cluster import (
     WorkerRole,
     parse_nodes,
 )
+from . import wire
 from .ingredients import _graph_from_payload, _graph_to_payload
 from .scheduler import _validate_num_workers
 from .shm import SharedGraphBuffer, SharedPoolBuffer, attach_graph, attach_pool
@@ -78,6 +81,16 @@ __all__ = [
     "score_candidate",
     "stack_flat_states",
 ]
+
+#: Adaptive-batching bounds: a chunk targets this much estimated worker
+#: time (big enough to amortize a dispatch round trip, small enough that
+#: lost-task recovery never re-runs more than one chunk) and never exceeds
+#: this many candidates.
+BATCH_TARGET_SECONDS = 0.05
+MAX_EVAL_BATCH = 64
+
+#: Histogram buckets for the ``eval.batch_size`` metric.
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 #: Result kinds a task may request.
 EVAL_KINDS = ("acc", "logits")
@@ -108,6 +121,94 @@ class EvalTask:
     split: str | None = "val"
     indices: np.ndarray | None = None
     kind: str = "acc"
+
+
+# ---------------------------------------------------------------------------
+# wire codec: weight-vector tasks are the Phase-2 hot messages
+# ---------------------------------------------------------------------------
+
+_I64 = struct.Struct(">q")
+_U32 = struct.Struct(">I")
+
+
+def _pack_eval_task(out: bytearray, task: EvalTask) -> bool:
+    """Append one weight-vector :class:`EvalTask` (``state`` must be None)."""
+    out += _I64.pack(task.req_id)
+    if not wire.pack_optional_array(out, task.weights):
+        return False
+    if not wire.pack_optional_array(out, task.groups):
+        return False
+    if task.split is None:
+        out += b"\x00"
+    else:
+        out += b"\x01"
+        wire.pack_str(out, task.split)
+    if not wire.pack_optional_array(out, task.indices):
+        return False
+    wire.pack_str(out, task.kind)
+    return True
+
+
+def _unpack_eval_task(mv: memoryview, pos: int) -> tuple[EvalTask, int]:
+    if pos + 8 > len(mv):
+        raise wire.WireFormatError("truncated eval task")
+    (req_id,) = _I64.unpack_from(mv, pos)
+    pos += 8
+    weights, pos = wire.unpack_optional_array(mv, pos)
+    groups, pos = wire.unpack_optional_array(mv, pos)
+    if pos >= len(mv):
+        raise wire.WireFormatError("truncated eval task split")
+    flag = mv[pos]
+    pos += 1
+    if flag == 1:
+        split, pos = wire.unpack_str(mv, pos)
+    elif flag == 0:
+        split = None
+    else:
+        raise wire.WireFormatError(f"bad split flag {flag}")
+    indices, pos = wire.unpack_optional_array(mv, pos)
+    kind, pos = wire.unpack_str(mv, pos)
+    task = EvalTask(
+        req_id=req_id, weights=weights, groups=groups, state=None,
+        split=split, indices=indices, kind=kind,
+    )
+    return task, pos
+
+
+def _match_eval_task(payload) -> bool:
+    return type(payload) is EvalTask and payload.state is None
+
+
+def _match_eval_batch(payload) -> bool:
+    return (
+        type(payload) is tuple
+        and bool(payload)
+        and all(type(t) is EvalTask and t.state is None for t in payload)
+    )
+
+
+def _encode_eval_batch(out: bytearray, payload: tuple) -> bool:
+    out += _U32.pack(len(payload))
+    for task in payload:
+        if not _pack_eval_task(out, task):
+            return False
+    return True
+
+
+def _decode_eval_batch(mv: memoryview, pos: int) -> tuple[tuple, int]:
+    if pos + 4 > len(mv):
+        raise wire.WireFormatError("truncated eval batch")
+    (n,) = _U32.unpack_from(mv, pos)
+    pos += 4
+    tasks = []
+    for _ in range(n):
+        task, pos = _unpack_eval_task(mv, pos)
+        tasks.append(task)
+    return tuple(tasks), pos
+
+
+wire.register_task_payload(b"T", _match_eval_task, _pack_eval_task, _unpack_eval_task)
+wire.register_task_payload(b"U", _match_eval_batch, _encode_eval_batch, _decode_eval_batch)
 
 
 def stack_flat_states(states: list[dict]) -> tuple[np.ndarray, tuple[tuple[str, tuple[int, ...]], ...]]:
@@ -269,7 +370,7 @@ def _eval_role_init(context: dict) -> _EvalWorkerState:
     return _EvalWorkerState(graph, flats, params, model, attachments)
 
 
-def _eval_role_run(state: _EvalWorkerState, task: EvalTask):
+def _eval_one(state: _EvalWorkerState, task: EvalTask):
     if task.state is not None:
         candidate = dict(task.state)
     else:
@@ -277,6 +378,18 @@ def _eval_role_run(state: _EvalWorkerState, task: EvalTask):
     return score_candidate(
         state.model, state.graph, candidate, task.split, task.indices, task.kind
     )
+
+
+def _eval_role_run(state: _EvalWorkerState, task):
+    """Score one :class:`EvalTask` — or a tuple/list of them (a batch).
+
+    Batched payloads come from the driver's adaptive batcher; the reply is
+    a list of per-task scores in payload order, which rides the scalar-list
+    wire frame instead of N single-scalar round trips.
+    """
+    if isinstance(task, (tuple, list)):
+        return [_eval_one(state, t) for t in task]
+    return _eval_one(state, task)
 
 
 #: The Phase-2 worker role on the shared cluster runtime, resolved by
@@ -287,6 +400,38 @@ EVAL_ROLE = WorkerRole(name="eval", init=_eval_role_init, run=_eval_role_run)
 # ---------------------------------------------------------------------------
 # driver-side service
 # ---------------------------------------------------------------------------
+
+
+class _AdaptiveBatcher:
+    """Pick an eval-chunk size from an EMA of per-task wall time.
+
+    Timing only chooses how many *contiguous* tasks share a wire frame; it
+    never reorders tasks, feeds any RNG, or changes what a worker computes,
+    so results stay bit-identical for every chunk size (see
+    ``tests/test_eval_service.py``). The first round after construction is
+    a probe (size 1) to seed the estimate.
+    """
+
+    def __init__(self, width: int) -> None:
+        self._width = max(1, int(width))
+        self._ema: float | None = None
+
+    def chunk_size(self, n_tasks: int) -> int:
+        """Chunk size for a batch of ``n_tasks`` pending evaluations."""
+        if n_tasks <= self._width or self._ema is None:
+            return 1  # enough parallelism already, or still probing
+        size = int(round(BATCH_TARGET_SECONDS / max(self._ema, 1e-9)))
+        ceiling = min(MAX_EVAL_BATCH, -(-n_tasks // self._width))
+        return max(1, min(size, ceiling))
+
+    def observe(self, n_tasks: int, elapsed: float) -> None:
+        """Fold one dispatch round's wall time into the per-task estimate."""
+        if n_tasks <= 0 or elapsed <= 0.0:
+            return
+        # The round runs ~width chunks concurrently, so per-task time is
+        # elapsed scaled by the achieved parallelism, not raw elapsed / n.
+        per = elapsed * min(self._width, n_tasks) / n_tasks
+        self._ema = per if self._ema is None else 0.5 * self._ema + 0.5 * per
 
 
 class EvalService:
@@ -313,14 +458,22 @@ class EvalService:
         shm: bool = True,
         transport: str = "pipe",
         nodes=None,
+        eval_batch="adaptive",
     ) -> None:
         num_workers = _validate_num_workers(num_workers)
+        if eval_batch != "adaptive":
+            if not isinstance(eval_batch, int) or isinstance(eval_batch, bool) or eval_batch < 1:
+                raise ValueError(
+                    f"eval_batch must be 'adaptive' or an int >= 1, got {eval_batch!r}"
+                )
+        self._eval_batch = eval_batch
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
         nodes = parse_nodes(nodes)
         if nodes and transport != "tcp":
             raise ValueError("worker nodes require transport='tcp'")
         self.num_workers = len(nodes) if nodes else num_workers
+        self._batcher = _AdaptiveBatcher(self.num_workers)
         self._graph_buffer = None
         self._pool_buffer = None
         graph_ref: dict | None = None
@@ -402,16 +555,31 @@ class EvalService:
         tasks = list(tasks)
         if not tasks:
             return []
+        if self._eval_batch == "adaptive":
+            size = self._batcher.chunk_size(len(tasks))
+        else:
+            size = self._eval_batch
+        chunks: list[tuple[EvalTask, ...]] = [
+            tuple(tasks[i : i + size]) for i in range(0, len(tasks), size)
+        ]
+        metrics.observe("eval.batch_size", float(size), buckets=_BATCH_BUCKETS)
+        start = time.perf_counter()
         try:
             results, _exhausted = self._service.run(
-                list(range(len(tasks))),
-                lambda key, _attempt: tasks[key],
+                list(range(len(chunks))),
+                lambda key, _attempt: chunks[key] if len(chunks[key]) > 1 else chunks[key][0],
                 max_attempts=None,  # only worker death re-queues; never exhausts
                 label="evaluation task",
             )
         except WorkerLossError as exc:
             raise EvalServiceError(str(exc)) from exc
-        return [results[i] for i in range(len(tasks))]
+        if self._eval_batch == "adaptive":
+            self._batcher.observe(len(tasks), time.perf_counter() - start)
+        flat: list = []
+        for i, chunk in enumerate(chunks):
+            res = results[i]
+            flat.extend(res if len(chunk) > 1 else [res])
+        return flat
 
     # -- shutdown ------------------------------------------------------------
 

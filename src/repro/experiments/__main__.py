@@ -16,6 +16,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..cli import _eval_batch_arg
 from ..distributed import EXECUTORS, QUEUES, TRANSPORTS
 from ..graph import dataset_names, load_dataset
 from ..soup import SOUP_EXECUTORS
@@ -114,6 +115,14 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         metavar="HOST:PORT,...",
         help="remote `cluster start-worker` addresses for Phase-2 tcp evaluation",
     )
+    parser.add_argument(
+        "--soup-eval-batch",
+        type=_eval_batch_arg,
+        default="adaptive",
+        metavar="N|adaptive",
+        help="evaluations per wire frame for the process evaluator "
+        "('adaptive' or an integer >= 1; never changes results)",
+    )
     args = parser.parse_args(argv)
     if args.nodes and args.transport == "pipe":
         args.transport = "tcp"  # a node list implies the socket transport
@@ -163,6 +172,7 @@ def _run_grid(args: argparse.Namespace):
             soup_workers=args.soup_workers,
             soup_transport=args.soup_transport,
             soup_nodes=args.soup_nodes,
+            soup_eval_batch=args.soup_eval_batch,
         )
         if cell.cache_info:
             c = cell.cache_info

@@ -149,6 +149,7 @@ def run_cell(
     soup_workers: int = 4,
     soup_transport: str = "pipe",
     soup_nodes=None,
+    soup_eval_batch="adaptive",
 ) -> CellResult:
     """Execute one cell; ``graph``/``pool`` injectable for tests and benches.
 
@@ -208,7 +209,7 @@ def run_cell(
 
     with make_evaluator(
         pool, graph, backend=soup_executor, num_workers=soup_workers,
-        transport=soup_transport, nodes=soup_nodes,
+        transport=soup_transport, nodes=soup_nodes, eval_batch=soup_eval_batch,
     ) as shared_ev:
         # per-rotation evaluator views (sub-pool weights zero-expand onto
         # the shared backend); built once, reused by every method
@@ -281,6 +282,7 @@ def run_grid(
     soup_workers: int = 4,
     soup_transport: str = "pipe",
     soup_nodes=None,
+    soup_eval_batch="adaptive",
 ) -> list[CellResult]:
     """Run many cells (the full paper grid is 12)."""
     results = []
@@ -305,6 +307,7 @@ def run_grid(
                 soup_workers=soup_workers,
                 soup_transport=soup_transport,
                 soup_nodes=soup_nodes,
+                soup_eval_batch=soup_eval_batch,
             )
         )
     return results

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["CSR", "build_csr", "edges_to_csr"]
+__all__ = ["CSR", "MessageStructure", "build_csr", "edges_to_csr"]
 
 
 class CSR:
@@ -172,6 +172,67 @@ class CSR:
             edges_to_csr(new_of_old[src[keep]], new_of_old[dst[keep]], len(nodes), dedup=False),
             nodes,
         )
+
+
+class MessageStructure:
+    """A :class:`CSR` plus the precomputed edge indexing fused kernels need.
+
+    The attention path touches three derived arrays on every forward —
+    the per-edge destination ids and (in backward) the transposed edge
+    ordering. Recomputing them per layer per forward dominated small-graph
+    GAT runtimes, so this wrapper computes ``dst_ids`` once and the
+    transpose permutation lazily on first backward, then caches both on
+    the graph object via :meth:`Graph.attention_structure`.
+
+    Duck-compatible with :class:`CSR` for the read-only attributes the
+    models use (``indptr``, ``indices``, ``num_nodes``, ``num_edges``).
+
+    Attributes
+    ----------
+    indptr : int64 ``[n+1]`` — CSR row pointers (destination-major).
+    indices : int64 ``[E]`` — source node id of every edge.
+    dst_ids : int64 ``[E]`` — destination node id of every edge
+        (``segment_ids_from_indptr(indptr)``, materialised once).
+    """
+
+    __slots__ = ("indptr", "indices", "num_nodes", "dst_ids", "_transpose")
+
+    def __init__(self, csr: CSR) -> None:
+        self.indptr = csr.indptr
+        self.indices = csr.indices
+        self.num_nodes = csr.num_nodes
+        self.dst_ids = np.repeat(
+            np.arange(csr.num_nodes, dtype=np.int64), np.diff(csr.indptr)
+        )
+        self._transpose: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge count."""
+        return int(len(self.indices))
+
+    @property
+    def src_ids(self) -> np.ndarray:
+        """Alias for ``indices``: source node id of every edge."""
+        return self.indices
+
+    def transpose(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(perm, t_indptr, t_indices)`` of the source-major reordering.
+
+        ``perm`` stably sorts edges by source node; ``t_indptr``/``t_indices``
+        are the CSR structure of the transposed adjacency (rows = sources).
+        Fused-kernel backward passes reuse this instead of re-sorting the
+        edge list on every call.
+        """
+        if self._transpose is None:
+            perm = np.argsort(self.indices, kind="stable")
+            counts = np.bincount(self.indices, minlength=self.num_nodes)
+            t_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+            self._transpose = (perm, t_indptr, self.dst_ids[perm])
+        return self._transpose
+
+    def __repr__(self) -> str:
+        return f"MessageStructure(nodes={self.num_nodes}, edges={self.num_edges})"
 
 
 def edges_to_csr(src: np.ndarray, dst: np.ndarray, num_nodes: int, dedup: bool = True) -> CSR:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor.sparse import SparseAdj
-from .csr import CSR
+from .csr import CSR, MessageStructure
 
 __all__ = ["Graph"]
 
@@ -151,11 +151,16 @@ class Graph:
             self._operators[kind] = SparseAdj(mat)
         return self._operators[kind]
 
-    def attention_structure(self) -> CSR:
-        """Self-looped CSR for GAT (cached via the operator mechanism)."""
-        key = "_attn_csr"
+    def attention_structure(self) -> MessageStructure:
+        """Self-looped edge structure for GAT (cached via the operator mechanism).
+
+        Returns a :class:`~repro.graph.csr.MessageStructure`: the self-looped
+        CSR plus precomputed ``dst_ids`` and a lazily-built transpose
+        permutation, shared by every GAT layer and forward pass on this graph.
+        """
+        key = "_attn_structure"
         if key not in self._operators:
-            self._operators[key] = self.csr.with_self_loops()  # type: ignore[assignment]
+            self._operators[key] = MessageStructure(self.csr.with_self_loops())  # type: ignore[assignment]
         return self._operators[key]  # type: ignore[return-value]
 
     # -- subgraphs -----------------------------------------------------------------

@@ -7,8 +7,12 @@ aggregates source projections weighted by the attention. Hidden layers
 concatenate heads; the output layer averages them — the standard GAT
 configuration and the one the paper's GAT ingredients use.
 
-The implementation is fully edge-vectorised: gathers (``h[src]``), one
-fused segment softmax, and a segment sum — no per-node Python loops.
+The implementation is fully fused: one tape node for the edge logits
+(``edge_attention_logits``), one for the segment softmax, and one for the
+attention-weighted aggregation (``gather_mul_segment_sum`` — a CSR SpMM
+per head) — no ``[E, H, F]`` per-edge intermediates and no per-node
+Python loops. Edge indexing (``dst_ids``, transpose permutation) comes
+precomputed from ``Graph.attention_structure()``.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Dropout, Linear, Module, ModuleList, Parameter
-from ..tensor import Tensor, gather, init, segment_ids_from_indptr, segment_softmax, segment_sum
+from ..tensor import Tensor, edge_attention_logits, gather_mul_segment_sum, init, segment_softmax
 from ..graph.graph import Graph
 
 __all__ = ["GATConv", "GAT"]
@@ -59,23 +63,26 @@ class GATConv(Module):
 
     def forward(self, graph: Graph, x: Tensor, rng: np.random.Generator | None = None) -> Tensor:
         """Multi-head attention convolution over the self-looped graph."""
-        structure = graph.attention_structure()  # self-looped CSR
+        structure = graph.attention_structure()  # self-looped edge structure
         n, h_heads, f = structure.num_nodes, self.num_heads, self.out_features
         src_ids = structure.indices
         indptr = structure.indptr
-        dst_ids = segment_ids_from_indptr(indptr)
+        dst_ids = structure.dst_ids
 
         h = self.linear(x).reshape(n, h_heads, f)
         # per-node attention halves: s_src[j] = a_src . h_j, s_dst[i] = a_dst . h_i
         score_src = (h * self.attn_src).sum(axis=-1)  # [n, H]
         score_dst = (h * self.attn_dst).sum(axis=-1)  # [n, H]
-        edge_logits = (gather(score_src, src_ids) + gather(score_dst, dst_ids)).leaky_relu(self.negative_slope)
+        edge_logits = edge_attention_logits(
+            score_src, score_dst, src_ids, dst_ids, indptr, self.negative_slope
+        )
         alpha = segment_softmax(edge_logits, indptr)  # [E, H]
         alpha = self.attn_drop(alpha, rng)
 
-        messages = gather(h.reshape(n, h_heads * f), src_ids).reshape(len(src_ids), h_heads, f)
-        weighted = messages * alpha.reshape(len(src_ids), h_heads, 1)
-        out = segment_sum(weighted, indptr)  # [n, H, F]
+        # fused gather * alpha -> segment reduce: one SpMM per head
+        out = gather_mul_segment_sum(
+            h, alpha, src_ids, indptr, dst_ids=dst_ids, transpose=structure.transpose()
+        )  # [n, H, F]
         if self.concat:
             return out.reshape(n, h_heads * f) + self.bias
         return out.mean(axis=1) + self.bias

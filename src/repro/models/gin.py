@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Dropout, Linear, Module, ModuleList, Parameter
-from ..tensor import Tensor, spmm
+from ..tensor import Tensor, scale_add, spmm
 from ..graph.graph import Graph
 
 __all__ = ["GINConv", "GIN"]
@@ -34,7 +34,7 @@ class GINConv(Module):
     def forward(self, graph: Graph, x: Tensor) -> Tensor:
         """``MLP((1 + eps) * x + A x)`` with sum aggregation."""
         agg = spmm(graph.operator("sum"), x)
-        h = x * (self.eps + Tensor(np.ones(1))) + agg
+        h = scale_add(x, self.eps, agg)  # (1 + eps) * x + agg, one tape node
         return self.fc2(self.fc1(h).relu())
 
 

@@ -27,11 +27,8 @@ class Linear(Module):
         object.__setattr__(self, "_has_bias", bias)
 
     def forward(self, x: Tensor) -> Tensor:
-        """Apply ``x @ W + b``."""
-        out = x @ self.weight
-        if self._has_bias:
-            out = out + self.bias
-        return out
+        """Apply ``x @ W + b`` (fused into one tape node via ``ops.linear``)."""
+        return ops.linear(x, self.weight, self.bias if self._has_bias else None)
 
     def __repr__(self) -> str:
         return f"Linear(in={self.in_features}, out={self.out_features}, bias={self._has_bias})"

@@ -436,12 +436,14 @@ class ProcessEvaluator(Evaluator):
         transport: str = "pipe",
         nodes=None,
         cache_size: int = DEFAULT_SCORE_CACHE,
+        eval_batch="adaptive",
     ) -> None:
         super().__init__(pool, graph, cache_size=cache_size)
         self.num_workers = _validate_num_workers(num_workers)
         self.shm = bool(shm)
         self.transport = transport
         self.nodes = nodes
+        self.eval_batch = eval_batch
         self._service: EvalService | None = None
 
     @property
@@ -459,6 +461,7 @@ class ProcessEvaluator(Evaluator):
                 shm=self.shm,
                 transport=self.transport,
                 nodes=self.nodes,
+                eval_batch=self.eval_batch,
             )
         return self._service
 
@@ -557,6 +560,7 @@ def make_evaluator(
     transport: str = "pipe",
     nodes=None,
     cache_size: int = DEFAULT_SCORE_CACHE,
+    eval_batch="adaptive",
 ) -> Evaluator:
     """Construct an evaluator for ``(pool, graph)`` on the chosen backend.
 
@@ -566,6 +570,10 @@ def make_evaluator(
     ``nodes`` (``"host:port,host:port"`` or a sequence), or
     driver-spawned loopback workers when no nodes are given.
     ``cache_size`` bounds the candidate-score cache (0 disables it).
+    ``eval_batch`` (process backend) sets how many candidate evaluations
+    share one wire frame: ``"adaptive"`` (default) sizes chunks from
+    measured per-task time, an int >= 1 pins the chunk size. Batching
+    never changes results or their order — only framing.
     """
     if backend not in SOUP_EXECUTORS:
         raise ValueError(f"unknown soup executor {backend!r}; choose from {SOUP_EXECUTORS}")
@@ -582,6 +590,7 @@ def make_evaluator(
         return ProcessEvaluator(
             pool, graph, num_workers=num_workers, shm=shm,
             transport=transport, nodes=nodes, cache_size=cache_size,
+            eval_batch=eval_batch,
         )
     return SerialEvaluator(pool, graph, cache_size=cache_size)
 

@@ -34,10 +34,13 @@ from .segment import (
     segment_softmax,
     segment_ids_from_indptr,
     gather,
+    gather_mul_segment_sum,
+    edge_attention_logits,
     np_segment_sum,
     np_segment_max,
+    np_gather_mul_segment_sum,
 )
-from .ops import weighted_combine, dropout, linear, sparsemax, np_sparsemax
+from .ops import weighted_combine, dropout, linear, scale_add, sparsemax, np_sparsemax
 from .grad_utils import gradcheck, numerical_gradient
 from . import init
 
@@ -63,11 +66,15 @@ __all__ = [
     "segment_softmax",
     "segment_ids_from_indptr",
     "gather",
+    "gather_mul_segment_sum",
+    "edge_attention_logits",
     "np_segment_sum",
     "np_segment_max",
+    "np_gather_mul_segment_sum",
     "weighted_combine",
     "dropout",
     "linear",
+    "scale_add",
     "sparsemax",
     "np_sparsemax",
     "gradcheck",

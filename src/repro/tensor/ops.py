@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, _unbroadcast
 
-__all__ = ["weighted_combine", "dropout", "linear", "sparsemax", "np_sparsemax"]
+__all__ = ["weighted_combine", "dropout", "linear", "scale_add", "sparsemax", "np_sparsemax"]
 
 
 def weighted_combine(weights: Tensor, stacked: np.ndarray) -> Tensor:
@@ -66,11 +66,54 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
-    """Affine map ``x @ W + b`` (weight is ``[in, out]``)."""
-    out = x @ weight
-    if bias is not None:
-        out = out + bias
-    return out
+    """Affine map ``x @ W + b`` (weight is ``[in, out]``) as one tape node.
+
+    For the 2-D case every layer hits, the matmul and bias add fuse into a
+    single autograd node (one fewer tape entry and intermediate per layer)
+    with VJPs ``d_x = g @ W^T``, ``d_W = x^T @ g``, ``d_b = Σ_rows g`` —
+    bit-identical values and gradients to the unfused ``x @ W + b``
+    composition, which remains the fallback for higher-rank inputs.
+    """
+    if x.ndim != 2 or weight.ndim != 2:
+        out = x @ weight
+        if bias is not None:
+            out = out + bias
+        return out
+    a, w = x.data, weight.data
+    out_data = a @ w
+    if bias is None:
+
+        def vjp(g):
+            return g @ w.T, a.T @ g
+
+        return Tensor._make(out_data, (x, weight), vjp)
+    b_shape = bias.data.shape
+    out_data = out_data + bias.data
+
+    def vjp(g):
+        return g @ w.T, a.T @ g, _unbroadcast(g, b_shape)
+
+    return Tensor._make(out_data, (x, weight, bias), vjp)
+
+
+def scale_add(x: Tensor, eps: Tensor, neigh: Tensor) -> Tensor:
+    """GIN combine ``(1 + eps) * x + neigh`` fused into one tape node.
+
+    ``eps`` is the learnable shape-``[1]`` scalar; ``x`` and ``neigh`` are
+    ``[n, F]``. Bit-identical (values and gradients) to the unfused
+    ``x * (eps + ones(1)) + neigh`` composition it replaces in
+    ``GINConv.forward``: ``d_x = g * (1 + eps)``, ``d_eps = Σ g·x``
+    (reduced exactly like broadcast unfolding), ``d_neigh = g``.
+    """
+    a, e = x.data, eps.data
+    scale = e + 1.0
+    out_data = a * scale + neigh.data
+    e_shape = e.shape
+
+    def vjp(g):
+        return g * scale, _unbroadcast(g * a, e_shape), g
+
+    return Tensor._make(out_data, (x, eps, neigh), vjp)
 
 
 def np_sparsemax(z: np.ndarray, axis: int = -1) -> np.ndarray:

@@ -56,7 +56,24 @@ class SparseAdj:
 
 
 def spmm(adj: SparseAdj, dense: Tensor) -> Tensor:
-    """Differentiable sparse @ dense: ``out = A @ X``; ``dX = A^T @ dY``."""
+    """Differentiable sparse @ dense: ``out = A @ X``; ``dX = A^T @ dY``.
+
+    Parameters
+    ----------
+    adj : SparseAdj (or any scipy sparse matrix, wrapped on the fly)
+        Constant ``[n, n]`` message-passing operator — no gradient flows
+        into the adjacency. Pass the cached :meth:`Graph.operator` result
+        so the CSR conversion and transpose are paid once per graph, not
+        per forward.
+    dense : Tensor, float64 ``[n, F]``
+        Node-feature matrix (gradient flows through).
+
+    Returns the aggregated ``[n, F]`` tensor in a single tape node: the
+    forward is one compiled CSR SpMM, the backward one SpMM against the
+    pre-transposed matrix. Callers: ``GCNConv`` (``operator("gcn")``),
+    ``SAGEConv`` (``operator("mean")``), ``GINConv`` (``operator("sum")``)
+    and the serve/eval paths that reuse those layers.
+    """
     if not isinstance(adj, SparseAdj):
         adj = SparseAdj(adj)
     out_data = adj.csr @ dense.data

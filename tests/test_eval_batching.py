@@ -1,0 +1,142 @@
+"""Adaptive eval batching: framing only, never results.
+
+The eval service may pack several contiguous tasks into one wire frame
+(``eval_batch="adaptive"`` or a pinned int). The determinism contract is
+that batch size is pure transport framing: for any chunk size, results
+come back bit-identical and in the same request order as one-task-per-
+frame dispatch, because timing only picks frame boundaries — it never
+feeds an RNG, reorders tasks, or changes what a worker computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.eval_service import (
+    BATCH_TARGET_SECONDS,
+    MAX_EVAL_BATCH,
+    EvalService,
+    EvalTask,
+    _AdaptiveBatcher,
+    mix_candidate,
+    score_candidate,
+    stack_flat_states,
+)
+from repro.soup import make_evaluator
+
+
+class TestAdaptiveBatcher:
+    def test_first_round_probes_with_size_one(self):
+        assert _AdaptiveBatcher(4).chunk_size(100) == 1
+
+    def test_small_batches_stay_unchunked(self):
+        b = _AdaptiveBatcher(4)
+        b.observe(8, 1.0)
+        assert b.chunk_size(4) == 1  # n <= width: chunking only hurts
+
+    def test_slow_tasks_keep_chunks_small(self):
+        b = _AdaptiveBatcher(4)
+        b.observe(4, 4.0)  # ~1s per task >> target
+        assert b.chunk_size(100) == 1
+
+    def test_fast_tasks_grow_chunks(self):
+        b = _AdaptiveBatcher(4)
+        b.observe(400, 0.1)  # ~1ms per task
+        assert b.chunk_size(400) > 1
+
+    def test_chunk_size_bounded(self):
+        b = _AdaptiveBatcher(2)
+        for _ in range(5):
+            b.observe(10_000, 1e-6)  # absurdly fast
+        size = b.chunk_size(10_000)
+        assert 1 <= size <= MAX_EVAL_BATCH
+        # and never starves workers: at most ceil(n / width) per chunk
+        assert b.chunk_size(6) <= 3
+
+    def test_observe_ignores_degenerate_samples(self):
+        b = _AdaptiveBatcher(4)
+        b.observe(0, 1.0)
+        b.observe(10, 0.0)
+        assert b.chunk_size(100) == 1  # still probing
+
+    def test_target_is_sane(self):
+        assert 0.0 < BATCH_TARGET_SECONDS < 1.0
+        assert MAX_EVAL_BATCH >= 1
+
+
+class TestEvalBatchValidation:
+    @pytest.mark.parametrize("bad", [0, -3, True, False, 2.5, "fast", None])
+    def test_rejects_bad_eval_batch(self, gcn_pool, tiny_graph, bad):
+        flats, params = stack_flat_states(gcn_pool.states)
+        with pytest.raises(ValueError, match="eval_batch"):
+            EvalService(
+                gcn_pool.model_config, tiny_graph, flats, params,
+                num_workers=1, shm=False, eval_batch=bad,
+            )
+
+    def test_make_evaluator_threads_eval_batch(self, gcn_pool, tiny_graph):
+        ev = make_evaluator(
+            gcn_pool, tiny_graph, backend="process", num_workers=1, eval_batch=8
+        )
+        try:
+            assert ev.eval_batch == 8
+        finally:
+            ev.close()
+
+
+class TestBatchingDeterminism:
+    @pytest.fixture(scope="class")
+    def reference(self, gcn_pool, tiny_graph):
+        """Serial scores for a spread of weight-vector candidates."""
+        flats, params = stack_flat_states(gcn_pool.states)
+        rng = np.random.default_rng(0)
+        tasks = [
+            EvalTask(
+                req_id=i,
+                weights=rng.dirichlet(np.ones(len(gcn_pool))),
+                groups=None, state=None, split="val", indices=None, kind="acc",
+            )
+            for i in range(10)
+        ]
+        model = gcn_pool.make_model()
+        scores = [
+            score_candidate(
+                model, tiny_graph,
+                mix_candidate(flats, params, t.weights, None),
+                t.split, t.indices, t.kind,
+            )
+            for t in tasks
+        ]
+        return flats, params, tasks, scores
+
+    @pytest.mark.parametrize("eval_batch", [1, 3, 64, "adaptive"])
+    def test_results_identical_across_chunk_sizes(
+        self, gcn_pool, tiny_graph, reference, eval_batch
+    ):
+        flats, params, tasks, expected = reference
+        svc = EvalService(
+            gcn_pool.model_config, tiny_graph, flats, params,
+            num_workers=2, shm=False, eval_batch=eval_batch,
+        )
+        try:
+            first = svc.run(tasks)
+            second = svc.run(tasks)  # adaptive: EMA seeded, chunks may differ
+        finally:
+            svc.close()
+        assert first == expected  # bit-identical values, same order
+        assert second == expected
+        assert [type(x) for x in first] == [type(x) for x in expected]
+
+    def test_chunk_size_never_reaches_worker_results(self, gcn_pool, tiny_graph, reference):
+        """A batched task list and its flat replay produce the same scores
+        even when the service is forced through the batch codec path."""
+        flats, params, tasks, expected = reference
+        svc = EvalService(
+            gcn_pool.model_config, tiny_graph, flats, params,
+            num_workers=1, shm=False, eval_batch=len(tasks),  # one frame, all tasks
+        )
+        try:
+            assert svc.run(tasks) == expected
+        finally:
+            svc.close()
