@@ -1,0 +1,184 @@
+"""Sharded graph distribution: handshake bytes and end-to-end cost.
+
+The sharded data path (:mod:`repro.distributed.shards`) cuts the graph
+into ``k`` partition shards on the driver and ships each tcp worker only
+its assigned shard (owned nodes + one-hop halo) at handshake, instead of
+the whole serialized graph. This bench quantifies both sides of that
+trade on the real transport (loopback tcp, ``shm=False`` so every byte
+actually crosses the socket):
+
+* **handshake economics** — bytes pushed per worker before it reports
+  ready, full-ship vs sharded k∈{2, 4}, plus handshake wall time (the
+  time-to-first-task component the sharded path changes). The sharded
+  handshake must cost at most the worker's assigned-shard frame (a
+  ~(1/k + halo) fraction of the graph) plus a small fixed overhead —
+  the tentpole's acceptance bound. On small scaled graphs the halo is a
+  large fraction, so the bound is the *measured* shard frame size, not
+  a naive 1/k.
+* **end-to-end wall clock** — one Phase-1 fan-out per sharding degree,
+  bit-identity to the serial pool asserted every time (late shards are
+  fetched in one batched round trip at first task; assembly must be
+  exact).
+
+The JSON artifact is gated against
+``benchmarks/baselines/sharding.json`` by ``compare_baseline.py``
+(>2x wall-clock regression fails CI). Reduced-size mode:
+``REPRO_BENCH_SCALE`` shrinks the dataset,
+``REPRO_BENCH_SHARDING_INGREDIENTS`` / ``REPRO_BENCH_SHARDING_EPOCHS``
+bound the workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.distributed.cluster import TcpTransport
+from repro.distributed.ingredients import _graph_to_payload, train_ingredients
+from repro.distributed.shards import ShardDispatch
+from repro.graph import load_dataset
+from repro.telemetry import build_report, metrics, write_metrics
+from repro.train import TrainConfig
+
+from conftest import BENCH_SCALE, write_artifact
+
+N_INGREDIENTS = int(os.environ.get("REPRO_BENCH_SHARDING_INGREDIENTS", "6"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_SHARDING_EPOCHS", "10"))
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+SHARD_KS = (2, 4)
+
+# init frame + protocol slack allowed on top of the assigned-shard frame
+# in the handshake-byte bound (the fetch-only context ref is tiny)
+HANDSHAKE_OVERHEAD = 64 * 1024
+
+
+def _graph_nbytes(graph) -> int:
+    return sum(
+        arr.nbytes
+        for arr in (
+            graph.csr.indptr, graph.csr.indices, graph.features,
+            graph.labels, graph.train_mask, graph.val_mask, graph.test_mask,
+        )
+    )
+
+
+def _handshake_row(graph, shards: int) -> dict:
+    """Spawn WORKERS loopback tcp workers and account the bytes each one
+    received before reporting ready — the real handshake, nothing else."""
+    dispatch = None
+    shard_frames: list[int] = []
+    if shards:
+        dispatch = ShardDispatch(graph, shards, shm=False)
+        context = {
+            "graph_ref": dispatch.context_ref(),
+            "store_args": None,
+            "checkpoint_every": 0,
+        }
+        shard_frames = [len(dispatch.frame(sid)) for sid in range(shards)]
+    else:
+        context = {
+            "graph_ref": {"kind": "arrays", "payload": _graph_to_payload(graph)},
+            "store_args": None,
+            "checkpoint_every": 0,
+        }
+    transport = TcpTransport(
+        "ingredients", context, spawn_local=WORKERS, shard_source=dispatch
+    )
+    try:
+        start = time.perf_counter()
+        transport.start()
+        handshake_s = time.perf_counter() - start
+        payload = dict(transport.payload_bytes)
+    finally:
+        transport.close()
+        if dispatch is not None:
+            dispatch.release()
+
+    row = {
+        "workers": WORKERS,
+        "handshake_s": handshake_s,
+        "payload_bytes_per_worker": {str(w): n for w, n in sorted(payload.items())},
+        "payload_bytes_max": max(payload.values()),
+        "payload_bytes_total": sum(payload.values()),
+    }
+    if shards:
+        row["shard_frame_bytes"] = shard_frames
+        # acceptance bound: each worker's handshake costs at most its
+        # assigned shard's frame (wid % k) plus fixed overhead
+        for wid, n in payload.items():
+            bound = shard_frames[wid % shards] + HANDSHAKE_OVERHEAD
+            assert n <= bound, (
+                f"k={shards} worker {wid} handshake shipped {n} bytes "
+                f"> assigned-shard bound {bound}"
+            )
+    return row
+
+
+def _sweep() -> dict:
+    metrics.reset()
+    metrics.set_enabled(True)
+    graph = load_dataset("flickr", seed=0, scale=BENCH_SCALE)
+    graph_bytes = _graph_nbytes(graph)
+
+    # -- handshake economics: full ship vs sharded ---------------------------
+    handshake: dict[str, dict] = {"full": _handshake_row(graph, 0)}
+    for k in SHARD_KS:
+        row = _handshake_row(graph, k)
+        row["bytes_vs_full_ship"] = (
+            row["payload_bytes_max"] / handshake["full"]["payload_bytes_max"]
+        )
+        handshake[f"sharded_k{k}"] = row
+        # sharding must never ship *more* than the full graph at handshake
+        assert row["payload_bytes_max"] < handshake["full"]["payload_bytes_max"]
+
+    # -- end-to-end: one Phase-1 fan-out per sharding degree -----------------
+    train_kw = dict(
+        train_cfg=TrainConfig(epochs=EPOCHS, lr=0.01),
+        base_seed=0, num_workers=WORKERS, hidden_dim=32,
+    )
+    reference = train_ingredients("gcn", graph, N_INGREDIENTS, **train_kw)
+    rows: dict[str, dict] = {}
+    for name, shards in [("full", 0)] + [(f"sharded_k{k}", k) for k in SHARD_KS]:
+        start = time.perf_counter()
+        pool = train_ingredients(
+            "gcn", graph, N_INGREDIENTS, **train_kw,
+            executor="process", queue="dynamic", transport="tcp",
+            shm=False, shards=shards,
+        )
+        rows[name] = {"wall_clock_s": time.perf_counter() - start}
+        for s1, s2 in zip(reference.states, pool.states):
+            for key in s1:
+                np.testing.assert_array_equal(s1[key], s2[key])
+        assert reference.val_accs == pool.val_accs
+        rows[name]["bit_identical_to_serial"] = True
+
+    return {
+        "config": {
+            "dataset": "flickr",
+            "scale": BENCH_SCALE,
+            "graph_bytes": graph_bytes,
+            "n_ingredients": N_INGREDIENTS,
+            "ingredient_epochs": EPOCHS,
+            "num_workers": WORKERS,
+            "shard_ks": list(SHARD_KS),
+            "cpu_count": os.cpu_count(),
+        },
+        "handshake": handshake,
+        "phase1_end_to_end": rows,
+    }
+
+
+def test_bench_sharding(benchmark, results_dir):
+    """Handshake bytes + wall clock, full-ship vs sharded tcp dispatch."""
+    report = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_artifact(results_dir, "sharding.json", json.dumps(report, indent=2) + "\n")
+    write_metrics(build_report(bench="sharding"), results_dir / "sharding_metrics.json")
+    metrics.set_enabled(False)
+    for name, row in report["phase1_end_to_end"].items():
+        assert row["bit_identical_to_serial"], name
+        assert row["wall_clock_s"] > 0, name
+    for k in report["config"]["shard_ks"]:
+        assert report["handshake"][f"sharded_k{k}"]["bytes_vs_full_ship"] < 1.0

@@ -90,6 +90,141 @@ _PING_INTERVAL = 2.0
 #: Sentinel pushed into the tcp inbox so a blocked poll wakes up on EOF.
 _WAKEUP = ("__wakeup__",)
 
+#: Placeholder result in a ``done`` frame whose real result was streamed
+#: ahead of it as ``("result-chunk", ...)`` frames.
+_STREAMED = "__streamed-result__"
+
+
+def _stream_threshold() -> int:
+    """Bytes above which a worker streams its result in bounded chunks
+    instead of one monolithic frame (``REPRO_STREAM_THRESHOLD`` env
+    override; ``0`` disables streaming). Read per call so tests and
+    already-forked workers honour late environment changes."""
+    try:
+        return int(os.environ.get("REPRO_STREAM_THRESHOLD", str(1 << 20)))
+    except ValueError:  # pragma: no cover - env misconfiguration
+        return 1 << 20
+
+
+def _stream_chunk() -> int:
+    """Chunk size for streamed results (``REPRO_STREAM_CHUNK`` env)."""
+    try:
+        return max(int(os.environ.get("REPRO_STREAM_CHUNK", str(256 << 10))), 1)
+    except ValueError:  # pragma: no cover - env misconfiguration
+        return 256 << 10
+
+
+def _approx_result_nbytes(result) -> int:
+    """Cheap structural size probe for a task result — no serialization.
+
+    Counts ndarray buffer bytes where large results actually keep them
+    (state-dict-shaped mappings, objects carrying a ``state_dict``); the
+    scalar/score results of the eval hot path probe to 0 and skip the
+    streaming branch entirely.
+    """
+    if isinstance(result, dict):
+        return sum(int(getattr(v, "nbytes", 0) or 0) for v in result.values())
+    total = int(getattr(result, "nbytes", 0) or 0)
+    state = getattr(result, "state_dict", None)
+    if isinstance(state, dict):
+        total += sum(int(getattr(v, "nbytes", 0) or 0) for v in state.values())
+    return total
+
+
+def _send_result(send, wid: int, rid: int, result, snapshot=None) -> None:
+    """Send one task completion, streaming large results in chunks.
+
+    Small results keep the historical single ``done`` frame byte-for-byte.
+    Above the streaming threshold the result is pickled **once**, cut
+    into bounded ``("result-chunk", wid, rid, seq, total, bytes)`` frames,
+    and the closing ``done`` carries the :data:`_STREAMED` placeholder
+    (plus the telemetry snapshot, when enabled) — the driver transport
+    reassembles before the service layer ever sees the message, so the
+    claim/done bookkeeping is oblivious to streaming.
+    """
+    threshold = _stream_threshold()
+    if threshold > 0 and _approx_result_nbytes(result) >= threshold:
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) >= threshold:
+            chunk = _stream_chunk()
+            total = -(-len(blob) // chunk)
+            for seq in range(total):
+                send(("result-chunk", wid, rid, seq, total, blob[seq * chunk : (seq + 1) * chunk]))
+            metrics.inc("transport.result_chunks", total)
+            metrics.inc("transport.result_stream_bytes", len(blob))
+            send(
+                ("done", wid, rid, _STREAMED, snapshot)
+                if snapshot is not None
+                else ("done", wid, rid, _STREAMED)
+            )
+            return
+    send(("done", wid, rid, result, snapshot) if snapshot is not None else ("done", wid, rid, result))
+
+
+class _ResultAssembler:
+    """Driver-side reassembly of streamed results.
+
+    Buffers ``result-chunk`` frames keyed by ``(wid, rid)`` (each
+    worker's frames arrive FIFO on its own channel, so sequence order is
+    connection order) and rewrites the closing :data:`_STREAMED` ``done``
+    with the unpickled result — downstream consumers only ever see
+    ordinary completions.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[int, int], list[bytes]] = {}
+
+    def feed(self, message):
+        """Absorb one transport message; returns ``None`` while buffering
+        chunks, otherwise the (possibly rewritten) message."""
+        kind = message[0] if isinstance(message, tuple) and message else None
+        if kind == "result-chunk":
+            _, wid, rid, seq, total, blob = message
+            parts = self._buffers.setdefault((wid, rid), [])
+            if seq != len(parts):
+                raise ClusterError(
+                    f"result chunk {seq}/{total} for rid {rid} arrived out of order"
+                )
+            parts.append(blob)
+            return None
+        if kind == "done" and len(message) >= 4 and message[3] == _STREAMED:
+            parts = self._buffers.pop((message[1], message[2]), None)
+            if parts is None:
+                raise ClusterError(f"streamed result for rid {message[2]} has no chunks")
+            rebuilt = list(message)
+            rebuilt[3] = pickle.loads(b"".join(parts))
+            return tuple(rebuilt)
+        return message
+
+    def drop(self, wid: int) -> None:
+        """Discard partial streams from a dead worker."""
+        for key in [key for key in self._buffers if key[0] == wid]:
+            del self._buffers[key]
+
+
+def _specialize_context(context, worker_id: int, fetch=None):
+    """Per-worker view of a shared worker context.
+
+    Contexts are built once and shared across workers (cacheable, encoded
+    once); the only per-worker state a sharded graph ref needs — the
+    assigned shard slot ``worker_id % k`` and, over tcp, the connection's
+    shard-fetch hook — is grafted onto a *copy* here, worker-side. A
+    context without sharded refs passes through untouched.
+    """
+    if not isinstance(context, dict):
+        return context
+    out = None
+    for key, value in context.items():
+        if isinstance(value, dict) and value.get("kind") == "shards":
+            if out is None:
+                out = dict(context)
+            ref = dict(value)
+            ref["assigned"] = worker_id % int(ref["k"])
+            if fetch is not None:
+                ref["_fetch"] = fetch
+            out[key] = ref
+    return context if out is None else out
+
 
 class ClusterError(RuntimeError):
     """A cluster-runtime failure (protocol violation, worker-side bug)."""
@@ -241,6 +376,7 @@ def _pipe_worker_main(
             result_writer.send_bytes(data)
 
     role = resolve_role(role_name)
+    context = _specialize_context(context, worker_id)
     with metrics.span("worker.init", role=role_name):
         state = role.init(context)
     while True:
@@ -266,7 +402,7 @@ def _pipe_worker_main(
             put(("error", worker_id, rid, tb, metrics.snapshot()) if tel else ("error", worker_id, rid, tb))
         else:
             metrics.inc("worker.tasks_done")
-            put(("done", worker_id, rid, result, metrics.snapshot()) if tel else ("done", worker_id, rid, result))
+            _send_result(put, worker_id, rid, result, metrics.snapshot() if tel else None)
 
 
 class PipeTransport:
@@ -283,6 +419,7 @@ class PipeTransport:
         self._workers: dict[int, mp.process.BaseProcess] = {}
         self._labels: dict[int, str] = {}  # never pruned: names outlive the worker
         self._next_wid = 0
+        self._assembler = _ResultAssembler()
         self._started = False
 
     def start(self) -> None:
@@ -322,7 +459,9 @@ class PipeTransport:
         # in a blocking put where it can no longer drain results
         return outstanding < self.width + 2
 
-    def send(self, rid: int, payload) -> None:
+    def send(self, rid: int, payload, shard: int | None = None) -> None:
+        # shard affinity is meaningless on the shared queue (any same-host
+        # worker can attach any shm shard segment) — accepted and ignored
         if metrics.enabled:
             t0 = time.perf_counter()
             data = encode_frame(("task", rid, payload))
@@ -336,7 +475,11 @@ class PipeTransport:
         self._task_queue.put(data)
 
     def poll(self, timeout: float):
-        if self._reader.poll(timeout):
+        deadline = time.monotonic() + max(timeout, 0.0)
+        while True:
+            remaining = deadline - time.monotonic()
+            if not self._reader.poll(max(remaining, 0.0)):
+                return None
             data = self._reader.recv_bytes()
             if metrics.enabled:
                 t0 = time.perf_counter()
@@ -344,14 +487,19 @@ class PipeTransport:
                 metrics.observe("transport.deserialize_s", time.perf_counter() - t0)
                 metrics.inc("transport.frames_received")
                 metrics.inc("transport.bytes_received", len(data))
+            else:
+                message = decode_frame(data)
+            # streamed-result chunks buffer transport-side; the service
+            # layer only ever sees whole completions
+            message = self._assembler.feed(message)
+            if message is not None:
                 return message
-            return decode_frame(data)
-        return None
 
     def reap_dead(self) -> list[int]:
         dead = [wid for wid, proc in self._workers.items() if not proc.is_alive()]
         for wid in dead:
             self._workers.pop(wid).join()
+            self._assembler.drop(wid)
         return dead
 
     @property
@@ -414,18 +562,30 @@ def _configure_socket(sock: socket.socket) -> None:
         pass
 
 
-def _send_frame(sock: socket.socket, obj) -> None:
+def _send_raw(sock: socket.socket, data: bytes) -> int:
+    """Send one pre-encoded frame body; returns the body length.
+
+    The raw entry point exists so payloads serialized once (the fallback
+    context, cached shard frames) are *reused* across workers instead of
+    re-encoded per connection.
+    """
     if metrics.enabled:
-        t0 = time.perf_counter()
-        data = encode_frame(obj)
-        metrics.observe("transport.serialize_s", time.perf_counter() - t0)
         metrics.inc("transport.frames_sent")
         metrics.inc(_frame_format_counter(data))
         metrics.inc("transport.bytes_sent", len(data))
         metrics.observe("transport.frame_bytes_sent", len(data), BYTE_BUCKETS)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+    return len(data)
+
+
+def _send_frame(sock: socket.socket, obj) -> int:
+    if metrics.enabled:
+        t0 = time.perf_counter()
+        data = encode_frame(obj)
+        metrics.observe("transport.serialize_s", time.perf_counter() - t0)
     else:
         data = encode_frame(obj)
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    return _send_raw(sock, data)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
@@ -487,6 +647,14 @@ def _serve_session(conn: socket.socket) -> None:
     and initialises from the serialized fallback context instead. A
     background thread heartbeats so the driver can distinguish a long
     task from a hung or partitioned worker.
+
+    Sharded contexts get a fetch hook grafted in: the worker asks for
+    shards with one ``("shard-request", wid, ids)`` frame and reads the
+    ``("shard", ...)`` replies directly off the connection. That read is
+    race-free by construction — fetches only happen inside ``role.init``
+    or ``role.run``, both of which execute on this (the only receiving)
+    thread, and the driver never interleaves task frames because a
+    fetching worker is either mid-handshake or busy on its claimed task.
     """
     send_lock = threading.Lock()
 
@@ -511,9 +679,21 @@ def _serve_session(conn: socket.socket) -> None:
             "transport": "tcp", "pid": os.getpid(),
         }
     role = resolve_role(role_name)
+
+    def fetch_shards(sids):
+        """One batched shard-request round trip on this connection."""
+        send(("shard-request", worker_id, tuple(int(s) for s in sids)))
+        out = {}
+        while len(out) < len(sids):
+            reply = _recv_frame(conn)
+            if reply is None or reply[0] != "shard":
+                raise ClusterError(f"expected a shard frame, got {reply!r}")
+            out[reply[1]] = (reply[2], reply[3])
+        return out
+
     try:
         with metrics.span("worker.init", role=role_name):
-            state = role.init(context)
+            state = role.init(_specialize_context(context, worker_id, fetch=fetch_shards))
     except Exception:
         metrics.inc("transport.init_fallbacks")
         send(("init-error", worker_id, traceback.format_exc()))
@@ -521,7 +701,8 @@ def _serve_session(conn: socket.socket) -> None:
         if follow is None or follow[0] != "context":
             return
         with metrics.span("worker.init.fallback", role=role_name):
-            state = role.init(follow[1])  # second failure tears the session down
+            # second failure tears the session down
+            state = role.init(_specialize_context(follow[1], worker_id, fetch=fetch_shards))
     send(("ready", worker_id))
     stop = threading.Event()
     threading.Thread(target=_ping_loop, args=(send, worker_id, stop, tel), daemon=True).start()
@@ -542,7 +723,7 @@ def _serve_session(conn: socket.socket) -> None:
                 send(("error", worker_id, rid, tb, metrics.snapshot()) if tel else ("error", worker_id, rid, tb))
             else:
                 metrics.inc("worker.tasks_done")
-                send(("done", worker_id, rid, result, metrics.snapshot()) if tel else ("done", worker_id, rid, result))
+                _send_result(send, worker_id, rid, result, metrics.snapshot() if tel else None)
     finally:
         stop.set()
 
@@ -638,6 +819,7 @@ class _TcpWorker:
     busy_rid: int | None = None
     eof: bool = False
     last_recv: float = field(default_factory=time.monotonic)
+    shards: set = field(default_factory=set)  # shard ids this worker holds
 
 
 class TcpTransport:
@@ -653,6 +835,14 @@ class TcpTransport:
     sockets, the transport assigns a task to a worker only when that
     worker is free, which realises the same earliest-free-worker pull
     discipline as the pipe transport's shared queue.
+
+    With a ``shard_source`` (a :class:`~repro.distributed.shards.ShardDispatch`)
+    the transport additionally answers workers' ``shard-request`` frames
+    from the dispatch's encode-once frame cache, tracks which worker
+    holds which shards, and — when ``send`` is given a ``shard`` hint —
+    prefers an idle worker already holding that shard (hit) over an
+    on-demand fetch on another (miss); ``shard_hits``/``shard_misses``
+    and per-worker ``payload_bytes`` expose the placement economics.
     """
 
     name = "tcp"
@@ -666,10 +856,12 @@ class TcpTransport:
         spawn_local: int = 0,
         heartbeat_timeout: float = 30.0,
         handshake_timeout: float = 60.0,
+        shard_source=None,
     ) -> None:
         self.role = role
         self._context = context
         self._fallback = fallback_context
+        self._shard_source = shard_source
         self._nodes = parse_nodes(nodes) or []
         self._spawn_local = int(spawn_local)
         if not self._nodes and self._spawn_local < 1:
@@ -683,6 +875,12 @@ class TcpTransport:
         self._next_wid = 0
         self._context_value = None
         self._fallback_value = None
+        self._fallback_frame_bytes = None
+        #: per-worker context/shard bytes shipped at and after handshake
+        #: (never pruned: the record outlives the worker, like labels)
+        self.payload_bytes: dict[int, int] = {}
+        self.shard_hits = 0
+        self.shard_misses = 0
         self._started = False
 
     # -- contexts ------------------------------------------------------------
@@ -700,6 +898,20 @@ class TcpTransport:
                 self._fallback() if callable(self._fallback) else self._fallback
             )
         return self._fallback_value
+
+    def _fallback_frame(self) -> bytes | None:
+        """The fallback-context push frame, serialized exactly once.
+
+        Historically every connecting worker re-pickled the (large —
+        it carries the whole graph) fallback payload; the encoded bytes
+        are identical per worker, so they are cached and reused.
+        """
+        if self._fallback_frame_bytes is None:
+            fallback = self._fallback_context()
+            if fallback is None:
+                return None
+            self._fallback_frame_bytes = encode_frame(("context", fallback))
+        return self._fallback_frame_bytes
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -744,6 +956,27 @@ class TcpTransport:
         """Stable human-readable identity of a worker (live or dead)."""
         return self._labels.get(wid, f"tcp:w{wid}")
 
+    def _count_payload(self, wid: int, n: int) -> None:
+        """Account context/shard bytes shipped to one worker."""
+        self.payload_bytes[wid] = self.payload_bytes.get(wid, 0) + n
+        if metrics.enabled:
+            metrics.inc(f"transport.payload_bytes.{self._labels.get(wid, f'tcp:w{wid}')}", n)
+
+    def _push_shards(self, sock: socket.socket, wid: int, sids) -> set:
+        """Answer one shard-request from the dispatch's encode-once frame
+        cache; returns the granted shard ids."""
+        if self._shard_source is None:
+            raise ClusterError(f"worker {wid} requested shards but no shard source is set")
+        granted: set = set()
+        shipped = 0
+        for sid in sids:
+            shipped += _send_raw(sock, self._shard_source.frame(int(sid)))
+            granted.add(int(sid))
+        metrics.inc("transport.shard_pushes", len(granted))
+        metrics.inc("transport.shard_bytes_sent", shipped)
+        self._count_payload(wid, shipped)
+        return granted
+
     def _attach(self, sock: socket.socket, node, proc) -> None:
         """Handshake one worker connection, then hand it to a reader thread."""
         wid = self._next_wid
@@ -751,6 +984,8 @@ class TcpTransport:
         label = f"tcp:w{wid}@{node[0]}:{node[1]}" if node else f"tcp:w{wid}@loopback"
         self._labels[wid] = label
         sock.settimeout(self._handshake_timeout)
+        fell_back = False
+        held: set = set()
         try:
             if metrics.enabled:
                 # a 5th handshake element turns on worker-side collection;
@@ -759,18 +994,26 @@ class TcpTransport:
                         {"telemetry": True, "ident": label})
             else:
                 init = ("init", self.role, wid, self._primary_context())
-            _send_frame(sock, init)
+            self._count_payload(wid, _send_frame(sock, init))
             reply = _recv_frame(sock)
+            # a sharded worker init may fetch its assigned shard mid-handshake
+            while reply is not None and reply[0] == "shard-request":
+                held |= self._push_shards(sock, wid, reply[2])
+                reply = _recv_frame(sock)
             if reply is not None and reply[0] == "init-error":
-                fallback = self._fallback_context()
-                if fallback is None:
+                fell_back = True
+                frame = self._fallback_frame()
+                if frame is None:
                     raise ClusterError(
                         f"worker {wid} failed to initialise and no fallback payload "
                         f"is available:\n{reply[2]}"
                     )
                 metrics.inc("transport.fallback_payload_pushes")
-                _send_frame(sock, ("context", fallback))
+                self._count_payload(wid, _send_raw(sock, frame))
                 reply = _recv_frame(sock)
+                while reply is not None and reply[0] == "shard-request":
+                    held |= self._push_shards(sock, wid, reply[2])
+                    reply = _recv_frame(sock)
             if reply is None or reply[0] != "ready":
                 raise ClusterError(f"worker {wid} handshake failed: {reply!r}")
         except (OSError, ClusterError):
@@ -779,11 +1022,17 @@ class TcpTransport:
                 proc.terminate()
             raise
         sock.settimeout(None)
-        worker = _TcpWorker(wid=wid, sock=sock, node=node, proc=proc)
+        source = self._shard_source
+        if source is not None and source.has_specs and not fell_back and not held:
+            # the primary context carried shm specs and init succeeded on
+            # it: the worker shares this host and can attach every shard
+            held = set(range(source.k))
+        worker = _TcpWorker(wid=wid, sock=sock, node=node, proc=proc, shards=held)
         self._workers[wid] = worker
         threading.Thread(target=self._reader_main, args=(worker,), daemon=True).start()
 
     def _reader_main(self, worker: _TcpWorker) -> None:
+        assembler = _ResultAssembler()  # chunks arrive FIFO per connection
         try:
             while True:
                 message = _recv_frame(worker.sock)
@@ -799,6 +1048,9 @@ class TcpTransport:
                     worker.last_recv = now
                     continue
                 worker.last_recv = now
+                message = assembler.feed(message)
+                if message is None:
+                    continue  # streamed-result chunk, still buffering
                 self._inbox.put(message)
         except Exception:
             pass
@@ -808,19 +1060,30 @@ class TcpTransport:
 
     # -- service interface ---------------------------------------------------
 
-    def _idle_worker(self) -> _TcpWorker | None:
+    def _idle_worker(self, shard: int | None = None) -> _TcpWorker | None:
+        fallback = None
         for worker in self._workers.values():
             if worker.busy_rid is None and not worker.eof:
-                return worker
-        return None
+                if shard is None or shard in worker.shards:
+                    return worker
+                if fallback is None:
+                    fallback = worker
+        return fallback
 
     def can_accept(self, outstanding: int) -> bool:
         return self._idle_worker() is not None
 
-    def send(self, rid: int, payload) -> None:
-        worker = self._idle_worker()
+    def send(self, rid: int, payload, shard: int | None = None) -> None:
+        worker = self._idle_worker(shard)
         if worker is None:
             raise ClusterError("no idle tcp worker to dispatch to")
+        if shard is not None:
+            if shard in worker.shards:
+                self.shard_hits += 1
+                metrics.inc("cluster.shard_placement_hits")
+            else:
+                self.shard_misses += 1
+                metrics.inc("cluster.shard_placement_misses")
         worker.busy_rid = rid
         try:
             _send_frame(worker.sock, ("task", rid, payload))
@@ -842,6 +1105,18 @@ class TcpTransport:
                 return None
             if message is _WAKEUP:
                 continue  # EOF marker; look again within the same window
+            if message[0] == "shard-request":
+                # a busy worker filling in missing shards mid-task; answer
+                # here — poll runs on the driver thread, the only writer
+                # to worker sockets — and keep the frame away from the
+                # service layer (its rid slot holds a shard-id tuple)
+                worker = self._workers.get(message[1])
+                if worker is not None and not worker.eof:
+                    try:
+                        worker.shards |= self._push_shards(worker.sock, worker.wid, message[2])
+                    except OSError:
+                        worker.eof = True
+                continue
             if message[0] in ("done", "fault", "error"):
                 worker = self._workers.get(message[1])
                 if worker is not None and worker.busy_rid == message[2]:
@@ -954,6 +1229,7 @@ class ClusterService:
         on_done=None,
         on_fault=None,
         on_lost=None,
+        shard_fn=None,
         label: str = "task",
     ):
         """Run one batch of tasks to completion; results come back by key.
@@ -969,6 +1245,10 @@ class ClusterService:
         completes (checkpointing), ``on_fault(key)`` on every reported
         fault (fault-budget accounting), ``on_lost(key)`` when a
         *claimed* task died with its worker (kill-fault accounting).
+        ``shard_fn(key)`` optionally names the graph shard a task is
+        associated with — a placement *hint* handed to transports that
+        track per-worker shard residency (tcp); any idle worker still
+        runs the task, at the cost of an on-demand shard fetch.
         """
         if self._closed:
             raise ClusterError("cluster service is closed")
@@ -1022,7 +1302,14 @@ class ClusterService:
                     now = time.monotonic()
                     metrics.observe("cluster.queue_wait_s", now - queued_ts.pop(key, run_start))
                     send_ts[key_rid[key]] = now
-                transport.send(key_rid[key], payload_fn(key, submits[key]))
+                # only pass the hint when given: fake transports in tests
+                # (and any external ones) may not take the keyword
+                if shard_fn is None:
+                    transport.send(key_rid[key], payload_fn(key, submits[key]))
+                else:
+                    transport.send(
+                        key_rid[key], payload_fn(key, submits[key]), shard=shard_fn(key)
+                    )
                 outstanding += 1
 
         def retry_or_exhaust(key):

@@ -92,6 +92,7 @@ from .cluster import (
 )
 from .faults import FaultPlan, SimulatedWorkerFault
 from .scheduler import TaskSchedule, WorkerPoolSimulator, _validate_num_workers
+from .shards import ShardDispatch, ShardedGraphSource
 from .shm import SharedGraphBuffer, attach_graph
 
 __all__ = [
@@ -314,12 +315,13 @@ def _run_task(
 # checkpoint handle is opened without the stale-tmp sweep (the driver swept).
 _WORKER_GRAPH: Graph | None = None
 _WORKER_SHM = None  # keeps the shared segment mapped for _WORKER_GRAPH's views
+_WORKER_SOURCE: ShardedGraphSource | None = None  # sharded arrival: lazy assembly
 _WORKER_STORE: CheckpointStore | None = None
 _WORKER_CKPT_EVERY: int = 0
 
 
 def _worker_init(graph_ref: dict, store_args: tuple | None = None, checkpoint_every: int = 0) -> None:
-    global _WORKER_GRAPH, _WORKER_SHM, _WORKER_STORE, _WORKER_CKPT_EVERY
+    global _WORKER_GRAPH, _WORKER_SHM, _WORKER_SOURCE, _WORKER_STORE, _WORKER_CKPT_EVERY
     # a worker forked while a MemoryMeter was active inherits its alloc
     # hooks; worker allocations are not the driver's measurement
     clear_alloc_hooks()
@@ -327,6 +329,10 @@ def _worker_init(graph_ref: dict, store_args: tuple | None = None, checkpoint_ev
         metrics.inc("transport.shm_attaches")
         _WORKER_SHM = attach_graph(graph_ref["spec"])
         _WORKER_GRAPH = _WORKER_SHM.graph
+    elif graph_ref["kind"] == "shards":
+        # only the assigned shard materialises here (attach or fetch);
+        # the rest arrive at the first task, via _worker_graph()
+        _WORKER_SOURCE = ShardedGraphSource(graph_ref)
     else:
         metrics.inc("transport.payload_inits")
         _WORKER_GRAPH = _graph_from_payload(graph_ref["payload"])
@@ -340,10 +346,23 @@ def _worker_init(graph_ref: dict, store_args: tuple | None = None, checkpoint_ev
     _WORKER_CKPT_EVERY = int(checkpoint_every)
 
 
-def _worker_entry(task: IngredientTask, inject: bool, allow_epoch_resume: bool = False) -> TrainResult:
+def _worker_graph() -> Graph:
+    """The worker's full graph, assembling the shard set on first use.
+
+    Deliberately called before :func:`_run_task` so ``_WORKER_GRAPH`` is
+    populated either way — its ``is not None`` check is what
+    discriminates pool workers (where a kill fault may ``os._exit``)."""
+    global _WORKER_GRAPH
+    if _WORKER_GRAPH is None and _WORKER_SOURCE is not None:
+        _WORKER_GRAPH = _WORKER_SOURCE.graph
     assert _WORKER_GRAPH is not None, "worker initializer did not run"
+    return _WORKER_GRAPH
+
+
+def _worker_entry(task: IngredientTask, inject: bool, allow_epoch_resume: bool = False) -> TrainResult:
+    graph = _worker_graph()
     return _run_task(
-        task, _WORKER_GRAPH, inject, _WORKER_STORE, _WORKER_CKPT_EVERY, allow_epoch_resume
+        task, graph, inject, _WORKER_STORE, _WORKER_CKPT_EVERY, allow_epoch_resume
     )
 
 
@@ -546,7 +565,8 @@ def _thread_dynamic(
 
 
 def _process_dynamic(
-    pending, transport, max_retries, attempts, faults_left, on_done, checkpoint_every, resume
+    pending, transport, max_retries, attempts, faults_left, on_done, checkpoint_every, resume,
+    shard_fn=None,
 ):
     """Work-stealing worker pool on the shared cluster runtime.
 
@@ -602,6 +622,7 @@ def _process_dynamic(
             on_fault=service_on_fault,
             on_lost=service_on_lost,
             label="task",
+            shard_fn=shard_fn,
         )
     except WorkerLossError as exc:
         raise IngredientTrainingError(str(exc)) from exc
@@ -627,6 +648,7 @@ def _execute_tasks(
     resume: bool,
     transport: str = "pipe",
     nodes: list[tuple[str, int]] | None = None,
+    shards: int = 0,
 ) -> dict[int, TrainResult]:
     """Run all tasks to completion with retries; returns results by index.
 
@@ -674,9 +696,15 @@ def _execute_tasks(
     )
 
     shm_buffer = None
+    shard_dispatch: ShardDispatch | None = None
     graph_ref: dict | None = None
     if executor == "process":
-        if shm:
+        if shards > 0:
+            # sharded data path: cut once, ship each worker only its
+            # assigned shard at handshake; the rest attach/fetch lazily
+            shard_dispatch = ShardDispatch(graph, shards, shm=shm)
+            graph_ref = shard_dispatch.context_ref()
+        elif shm:
             try:
                 shm_buffer = SharedGraphBuffer.create(graph)
                 graph_ref = {"kind": "shm", "spec": shm_buffer.spec}
@@ -693,7 +721,9 @@ def _execute_tasks(
     try:
         if queue == "dynamic":
             if executor == "process":
-                shm_backed = graph_ref["kind"] == "shm"
+                shm_backed = graph_ref["kind"] == "shm" or (
+                    graph_ref["kind"] == "shards" and "specs" in graph_ref
+                )
                 context = {
                     "graph_ref": graph_ref,
                     # over tcp, checkpoint handles only make sense for
@@ -703,19 +733,35 @@ def _execute_tasks(
                     "checkpoint_every": checkpoint_every if (transport == "pipe" or shm_backed) else 0,
                 }
                 if transport == "tcp":
-                    def fallback_context():
-                        return {
-                            "graph_ref": {"kind": "arrays", "payload": _graph_to_payload(graph)},
-                            "store_args": None,
-                            "checkpoint_every": 0,
-                        }
+                    if shard_dispatch is not None:
+                        # a remote worker that cannot attach the shard
+                        # segments falls back to a fetch-only ref: same
+                        # shards, shipped over its own connection
+                        def fallback_context():
+                            return {
+                                "graph_ref": shard_dispatch.context_ref(specs=False),
+                                "store_args": None,
+                                "checkpoint_every": 0,
+                            }
+
+                        fallback = fallback_context if shard_dispatch.has_specs else None
+                    else:
+                        def fallback_context():
+                            return {
+                                "graph_ref": {"kind": "arrays", "payload": _graph_to_payload(graph)},
+                                "store_args": None,
+                                "checkpoint_every": 0,
+                            }
+
+                        fallback = fallback_context
 
                     cluster_transport = TcpTransport(
                         "ingredients",
                         context,
-                        fallback_context=fallback_context,
+                        fallback_context=fallback,
                         nodes=nodes,
                         spawn_local=0 if nodes else min(num_workers, len(tasks)),
+                        shard_source=shard_dispatch,
                     )
                 else:
                     cluster_transport = PipeTransport(
@@ -724,6 +770,7 @@ def _execute_tasks(
                 results, exhausted = _process_dynamic(
                     tasks, cluster_transport, max_retries, attempts, faults_left,
                     on_done, checkpoint_every, resume,
+                    shard_fn=(lambda index: index % shards) if shards > 0 else None,
                 )
             elif executor == "thread":
                 results, exhausted = _thread_dynamic(
@@ -768,6 +815,8 @@ def _execute_tasks(
     finally:
         if shm_buffer is not None:
             shm_buffer.unlink()
+        if shard_dispatch is not None:
+            shard_dispatch.release()
     return results
 
 
@@ -788,6 +837,7 @@ def train_ingredients(
     shm: bool = True,
     transport: str = "pipe",
     nodes=None,
+    shards: int = 0,
     hidden_dim: int = 64,
     num_layers: int = 2,
     dropout: float = 0.5,
@@ -833,6 +883,18 @@ def train_ingredients(
         ``python -m repro cluster start-worker`` instance. When given,
         the cluster width is ``len(nodes)`` (``num_workers`` still sets
         the makespan-simulation W).
+    shards:
+        ``k > 0`` switches the graph data path to sharded dispatch: the
+        graph is cut into ``k`` partitions (owned nodes + one-hop halo)
+        and each worker's handshake ships only its assigned shard
+        (``worker_id % k`` — roughly ``1/k`` of the graph plus halo);
+        the remaining shards are attached from shared memory (same host)
+        or fetched over the worker's own connection at its first task,
+        then reassembled into the bit-exact original graph. ``0``
+        (default) ships the full graph as before. Requires
+        ``executor="process"`` with the dynamic queue; over ``"pipe"``
+        the shards travel via shared memory, so ``shm=True`` is
+        required there.
     epoch_jitter:
         Optional ± range on each ingredient's epoch budget (drawn from its
         task seed). The paper notes "variability in ingredient complexity
@@ -882,6 +944,19 @@ def train_ingredients(
             raise ValueError("transport='tcp' requires executor='process'")
         if queue != "dynamic":
             raise ValueError("transport='tcp' requires the dynamic queue discipline")
+    if shards < 0:
+        raise ValueError("shards cannot be negative")
+    if shards > 0:
+        if executor != "process" or queue != "dynamic":
+            raise ValueError(
+                "sharded dispatch (shards > 0) requires executor='process' "
+                "with the dynamic queue discipline"
+            )
+        if transport == "pipe" and not shm:
+            raise ValueError(
+                "sharded dispatch over the pipe transport requires shm=True "
+                "(pipe workers receive shards via shared memory)"
+            )
     # validate up-front with the scheduler's strict rule — a bad worker
     # count must fail here, not after hours of training at the final
     # makespan simulation
@@ -954,7 +1029,7 @@ def train_ingredients(
     todo = [task for task in tasks if task.index not in preloaded]
     trained = _execute_tasks(
         todo, graph, executor, num_workers, max_retries, store,
-        queue, shm, checkpoint_every, resume, transport, nodes,
+        queue, shm, checkpoint_every, resume, transport, nodes, shards,
     )
     results = [preloaded[i] if i in preloaded else trained[i] for i in range(n_ingredients)]
 

@@ -1,0 +1,187 @@
+"""Sharded graph distribution: driver-side cut/ship, worker-side assembly.
+
+This is the data-path glue between :mod:`repro.graph.shard` (the pure
+cut/assemble math) and the cluster transports:
+
+* :class:`ShardDispatch` lives on the **driver**. It cuts the graph once,
+  packs each shard into its own :class:`~repro.distributed.shm.SharedArrayBundle`
+  segment (same-host workers attach exactly the shards they need,
+  zero-copy) and lazily caches each shard's encoded ``("shard", ...)``
+  wire frame so a shard requested by many tcp workers is serialized
+  **once** and the bytes reused — the same encode-once discipline the
+  fallback context payload uses.
+* :class:`ShardedGraphSource` lives in the **worker**. Built from the
+  context ref the driver shipped, it eagerly loads only the worker's
+  *assigned* shard (``worker_id % k`` — so the handshake ships ~1/k of
+  the graph plus halo), then on the first full-graph task lazily obtains
+  the remaining shards (shm attach on the same host, one batched
+  ``shard-request`` round trip over tcp) and reconstructs the exact
+  original graph via :func:`~repro.graph.shard.assemble_graph`.
+
+The context ref is a plain dict (``kind="shards"``) so it crosses any
+transport's context channel unchanged; the per-worker ``assigned`` slot
+and the tcp fetch hook are grafted on by the transport layer
+(:func:`repro.distributed.cluster._specialize_context`), keeping the
+shared context value cacheable across workers.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph
+from ..graph.shard import GraphShard, shard_from_arrays, shard_graph, shard_to_arrays, assemble_graph
+from ..telemetry import metrics
+from .shm import SharedArrayBundle, attach_bundle
+from .wire import encode_frame
+
+__all__ = ["ShardDispatch", "ShardedGraphSource"]
+
+
+class ShardDispatch:
+    """Driver-side owner of one graph's shard set.
+
+    ``shm=True`` additionally packs every shard into its own shared
+    segment (one :class:`SharedArrayBundle` each) so same-host workers
+    attach instead of receiving bytes; the specs ride in the context ref.
+    Release with :meth:`release` (the executors wrap the pool lifetime in
+    ``try/finally``, mirroring the full-graph ``SharedGraphBuffer``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        *,
+        shm: bool = True,
+        method: str = "metis",
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"shard count must be >= 1, got {k}")
+        self.k = int(k)
+        self.shards: list[GraphShard] = shard_graph(graph, self.k, method=method, seed=seed)
+        self._frames: dict[int, bytes] = {}
+        self._bundles: list[SharedArrayBundle] = []
+        self.specs = None
+        if shm:
+            for shard in self.shards:
+                arrays, meta = shard_to_arrays(shard)
+                self._bundles.append(SharedArrayBundle.create(arrays, meta))
+            self.specs = tuple(bundle.spec for bundle in self._bundles)
+
+    @property
+    def has_specs(self) -> bool:
+        """Whether same-host workers can attach shards via shared memory."""
+        return self.specs is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across all shards (owned + halo overlap)."""
+        return sum(shard.nbytes for shard in self.shards)
+
+    def frame(self, sid: int) -> bytes:
+        """The encoded ``("shard", sid, arrays, meta)`` wire frame —
+        serialized once, cached, reused for every requesting worker."""
+        data = self._frames.get(sid)
+        if data is None:
+            arrays, meta = shard_to_arrays(self.shards[sid])
+            data = encode_frame(("shard", sid, arrays, meta))
+            self._frames[sid] = data
+        return data
+
+    def context_ref(self, *, specs: bool = True) -> dict:
+        """The picklable graph ref for worker contexts.
+
+        With ``specs`` (and shm enabled) workers on the driver's host
+        attach segments; without, the ref is a few bytes and workers
+        fetch shards over their own connection (``shard-request``).
+        """
+        ref = {"kind": "shards", "k": self.k}
+        if specs and self.specs is not None:
+            ref["specs"] = self.specs
+        return ref
+
+    def release(self) -> None:
+        """Unlink every shard segment (idempotent)."""
+        for bundle in self._bundles:
+            bundle.unlink()
+        self._bundles = []
+
+    def __enter__(self) -> "ShardDispatch":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+class ShardedGraphSource:
+    """Worker-side lazy view of a sharded graph.
+
+    Construction loads only the assigned shard (failing fast when the ref
+    carries shm specs that don't resolve on this host — that is the
+    signal that flips a tcp worker onto the fallback, fetch-based ref).
+    The full graph materialises on first :attr:`graph` access: remaining
+    shards are attached or fetched in one batch, then assembled
+    bit-exactly. Attachments stay open for the source's lifetime.
+    """
+
+    def __init__(self, ref: dict, fetch=None) -> None:
+        self._k = int(ref["k"])
+        self._specs = ref.get("specs")
+        self._fetch = fetch if fetch is not None else ref.get("_fetch")
+        self._assigned = ref.get("assigned")
+        self._shards: dict[int, GraphShard] = {}
+        self._attachments: list = []
+        self._graph: Graph | None = None
+        if self._specs is not None:
+            # prove attachability during init: on a host without the
+            # segments this raises and the handshake falls back
+            self._load((self._assigned if self._assigned is not None else 0,))
+        elif self._assigned is not None:
+            self._load((self._assigned,))
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def holds(self) -> set[int]:
+        """Shard ids currently materialised on this worker."""
+        return set(self._shards)
+
+    def _load(self, sids) -> None:
+        sids = tuple(sid for sid in sids if sid not in self._shards)
+        if not sids:
+            return
+        if self._specs is not None:
+            for sid in sids:
+                attachment = attach_bundle(self._specs[sid])
+                self._attachments.append(attachment)
+                self._shards[sid] = shard_from_arrays(attachment.arrays, attachment.meta)
+                metrics.inc("shard.attaches")
+        elif self._fetch is not None:
+            for sid, (arrays, meta) in self._fetch(sids).items():
+                self._shards[sid] = shard_from_arrays(arrays, meta)
+                metrics.inc("shard.fetches")
+        else:
+            raise RuntimeError(
+                "sharded graph ref carries neither shm specs nor a fetch channel"
+            )
+
+    @property
+    def graph(self) -> Graph:
+        """The fully assembled graph (loads missing shards on first use)."""
+        if self._graph is None:
+            missing = [sid for sid in range(self._k) if sid not in self._shards]
+            if missing:
+                with metrics.span("shard.fill", missing=len(missing)):
+                    self._load(tuple(missing))
+            with metrics.span("shard.assemble", k=self._k):
+                self._graph = assemble_graph([self._shards[sid] for sid in range(self._k)])
+        return self._graph
+
+    def close(self) -> None:
+        """Drop shard views and close shm attachments (idempotent)."""
+        self._shards = {}
+        self._graph = None
+        for attachment in self._attachments:
+            attachment.close()
+        self._attachments = []

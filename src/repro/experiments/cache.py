@@ -106,6 +106,7 @@ def get_or_train_pool(
     shm: bool = True,
     transport: str = "pipe",
     nodes=None,
+    shards: int = 0,
     checkpoint_dir: str | os.PathLike | None = None,
     checkpoint_every: int = 0,
     checkpoint_keep: int = 1,
@@ -113,12 +114,12 @@ def get_or_train_pool(
 ) -> IngredientPool:
     """Load the spec's pool from cache, training and persisting on a miss.
 
-    ``executor``/``queue``/``shm``/``transport``/``nodes``/
+    ``executor``/``queue``/``shm``/``transport``/``nodes``/``shards``/
     ``checkpoint_dir``/``checkpoint_every``/``checkpoint_keep``/``resume``
     pass through to :func:`repro.distributed.train_ingredients` on a
     miss; none of them enter the cache key because the determinism
     contract makes the pool identical across executors, queue disciplines
-    and transports (including remote tcp workers).
+    and transports (including remote tcp workers and sharded dispatch).
     """
     path = cache_dir() / (pool_cache_key(spec, graph_seed, graph.num_nodes) + ".npz")
     if path.exists():
@@ -135,6 +136,7 @@ def get_or_train_pool(
         shm=shm,
         transport=transport,
         nodes=nodes,
+        shards=shards,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         checkpoint_keep=checkpoint_keep,

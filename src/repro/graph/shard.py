@@ -1,0 +1,284 @@
+"""Graph sharding for the distributed data path: owned partitions + halos.
+
+The cluster transports historically shipped one full serialized graph to
+every worker, so startup cost and per-host memory scaled with the whole
+graph rather than a worker's share of it. Because soup ingredients train
+independently and communication-free (§III-A), the data a worker *owns*
+is just its partition; everything else it ever reads is the one-hop halo
+around that partition. This module provides the driver-side cut and the
+worker-side exact reconstruction:
+
+* :func:`shard_graph` cuts a :class:`~repro.graph.graph.Graph` into ``k``
+  :class:`GraphShard` pieces using
+  :func:`~repro.graph.partition.partition_graph` (METIS-style multilevel
+  by default). Each shard carries its **owned** nodes, the **halo** — the
+  in-neighbours of owned nodes living in other parts (row ``i`` of the
+  CSR lists in-neighbours, so the halo is exactly the set of rows a
+  one-hop aggregation into the owned nodes reads) — the induced local CSR
+  over ``owned + halo`` (owned first), and the feature/label/mask rows of
+  those local nodes. Local↔global id maps are implicit in the sorted
+  ``owned``/``halo`` arrays.
+* :func:`assemble_graph` is the halo-exchange inverse: given all ``k``
+  shards it reconstructs the original graph **bit-exactly**. Every
+  global edge ``(j -> i)`` lives in exactly one shard — the one owning
+  its destination ``i`` (and ``j`` is owned-or-halo there by
+  construction) — so the union of per-shard owned-row edges is the exact
+  global edge multiset, and :func:`~repro.graph.csr.edges_to_csr`
+  restores the canonical ``(dst, src)`` ordering the loaders produced.
+  Features, labels and masks scatter from owner shards. This is what
+  makes sharded dispatch safe for full-graph training/eval: a worker
+  holding all ``k`` shards rebuilds the identical graph, preserving the
+  determinism contract across unsharded × sharded runs.
+
+:meth:`GraphShard.local_graph` additionally exposes the shard as a
+standalone :class:`Graph` for shard-local computation (masks outside the
+owned rows are cleared). Note shard-local aggregation over the halo is
+*numerically close but not bit-identical* to the global graph (summation
+order and halo-local degrees differ); bit-exactness is a property of
+:func:`assemble_graph`, which the distributed runtime uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSR, edges_to_csr
+from .graph import Graph
+from .partition import partition_graph
+
+__all__ = [
+    "SHARD_ARRAY_FIELDS",
+    "GraphShard",
+    "shard_graph",
+    "assemble_graph",
+    "shard_to_arrays",
+    "shard_from_arrays",
+]
+
+#: Array attributes every shard ships, in canonical layout order — wire
+#: frames and shared-memory bundles pack exactly these, by name.
+SHARD_ARRAY_FIELDS = (
+    "owned",
+    "halo",
+    "indptr",
+    "indices",
+    "features",
+    "labels",
+    "train_mask",
+    "val_mask",
+    "test_mask",
+)
+
+
+@dataclass(frozen=True)
+class GraphShard:
+    """One owned partition of a graph plus its one-hop halo.
+
+    Local node order is ``concat(owned, halo)`` with both halves sorted
+    by global id, so local id ``i < len(owned)`` means "owned" and the
+    local→global map is just that concatenation. ``indptr``/``indices``
+    are the node-induced CSR over the local nodes (in-neighbour
+    convention, like every CSR in this codebase).
+    """
+
+    shard_id: int
+    k: int
+    num_global_nodes: int
+    num_classes: int
+    graph_name: str
+    owned: np.ndarray  # int64 [n_owned], sorted global ids
+    halo: np.ndarray  # int64 [n_halo], sorted global ids, disjoint from owned
+    indptr: np.ndarray  # int64 [n_local + 1]
+    indices: np.ndarray  # int64 [nnz_local], local ids
+    features: np.ndarray  # float64 [n_local, F]
+    labels: np.ndarray  # int64 [n_local]
+    train_mask: np.ndarray  # bool [n_local]
+    val_mask: np.ndarray  # bool [n_local]
+    test_mask: np.ndarray  # bool [n_local]
+
+    @property
+    def n_owned(self) -> int:
+        """Owned-node count."""
+        return int(len(self.owned))
+
+    @property
+    def n_local(self) -> int:
+        """Local (owned + halo) node count."""
+        return int(len(self.owned) + len(self.halo))
+
+    @property
+    def local_to_global(self) -> np.ndarray:
+        """Global id of every local node (owned first, then halo)."""
+        return np.concatenate([self.owned, self.halo])
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes of the shard's arrays."""
+        return sum(getattr(self, name).nbytes for name in SHARD_ARRAY_FIELDS)
+
+    def local_graph(self) -> Graph:
+        """The shard as a standalone :class:`Graph` (owned rows only are
+        split-labelled; halo rows keep features but lose their masks, so
+        shard-local metrics never double-count nodes owned elsewhere)."""
+        n_owned = self.n_owned
+        owned_only = np.zeros(self.n_local, dtype=bool)
+        owned_only[:n_owned] = True
+        return Graph(
+            CSR(self.indptr, self.indices, self.n_local),
+            self.features,
+            self.labels,
+            self.train_mask & owned_only,
+            self.val_mask & owned_only,
+            self.test_mask & owned_only,
+            self.num_classes,
+            name=f"{self.graph_name}[shard {self.shard_id}/{self.k}]",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphShard(id={self.shard_id}/{self.k}, owned={self.n_owned}, "
+            f"halo={len(self.halo)}, edges={len(self.indices)})"
+        )
+
+
+def shard_graph(
+    graph: Graph,
+    k: int,
+    method: str = "metis",
+    seed: int = 0,
+    node_weights: np.ndarray | str | None = None,
+) -> list[GraphShard]:
+    """Cut ``graph`` into ``k`` owned shards with one-hop halos.
+
+    The partition comes from :func:`~repro.graph.partition.partition_graph`
+    (all of its ``method``/``node_weights`` knobs apply); each shard's
+    halo is the set of in-neighbours of its owned nodes living in other
+    parts. The cut is built **once on the driver**; shards are plain
+    array bundles ready for the wire or shared memory.
+    """
+    result = partition_graph(graph, k, method=method, node_weights=node_weights, seed=seed)
+    labels = result.labels
+    csr = graph.csr
+    src, dst = csr.edge_list()
+    shards: list[GraphShard] = []
+    for sid in range(k):
+        owned = np.flatnonzero(labels == sid).astype(np.int64)
+        # in-neighbours of owned rows that live in other parts: exactly
+        # the rows a one-hop aggregation into the owned nodes reads
+        incoming = src[labels[dst] == sid]
+        halo = np.setdiff1d(incoming, owned)  # sorted, unique
+        local = np.concatenate([owned, halo])
+        sub_csr, _ = csr.induced_subgraph(local)
+        shards.append(
+            GraphShard(
+                shard_id=sid,
+                k=k,
+                num_global_nodes=graph.num_nodes,
+                num_classes=graph.num_classes,
+                graph_name=graph.name,
+                owned=owned,
+                halo=halo,
+                indptr=sub_csr.indptr,
+                indices=sub_csr.indices,
+                features=graph.features[local],
+                labels=graph.labels[local],
+                train_mask=graph.train_mask[local],
+                val_mask=graph.val_mask[local],
+                test_mask=graph.test_mask[local],
+            )
+        )
+    return shards
+
+
+def assemble_graph(shards: list[GraphShard]) -> Graph:
+    """Reconstruct the original graph bit-exactly from all ``k`` shards.
+
+    Every shard contributes its owned feature/label/mask rows and the
+    edges *into* its owned nodes (local destination < ``n_owned``); the
+    shard construction guarantees those edge sets partition the global
+    edge list, and :func:`~repro.graph.csr.edges_to_csr` restores the
+    canonical ordering. Raises :class:`ValueError` when the shard set is
+    incomplete or inconsistent — assembly is all-or-nothing.
+    """
+    if not shards:
+        raise ValueError("cannot assemble a graph from zero shards")
+    first = shards[0]
+    k, n = first.k, first.num_global_nodes
+    if len(shards) != k:
+        raise ValueError(f"need all {k} shards to assemble, got {len(shards)}")
+    seen = sorted(s.shard_id for s in shards)
+    if seen != list(range(k)):
+        raise ValueError(f"shard ids {seen} are not 0..{k - 1}")
+    for s in shards:
+        if (s.k, s.num_global_nodes, s.graph_name) != (k, n, first.graph_name):
+            raise ValueError("shards describe different graphs")
+
+    feat_dim = first.features.shape[1] if first.features.ndim == 2 else 0
+    features = np.empty((n, feat_dim), dtype=np.float64)
+    labels = np.empty(n, dtype=np.int64)
+    train_mask = np.empty(n, dtype=bool)
+    val_mask = np.empty(n, dtype=bool)
+    test_mask = np.empty(n, dtype=bool)
+    covered = np.zeros(n, dtype=bool)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for s in sorted(shards, key=lambda s: s.shard_id):
+        n_owned = s.n_owned
+        if covered[s.owned].any():
+            raise ValueError("shard owned sets overlap")
+        covered[s.owned] = True
+        features[s.owned] = s.features[:n_owned]
+        labels[s.owned] = s.labels[:n_owned]
+        train_mask[s.owned] = s.train_mask[:n_owned]
+        val_mask[s.owned] = s.val_mask[:n_owned]
+        test_mask[s.owned] = s.test_mask[:n_owned]
+        local = CSR(s.indptr, s.indices, s.n_local)
+        lsrc, ldst = local.edge_list()
+        keep = ldst < n_owned  # edges into owned rows: globally unique to this shard
+        to_global = s.local_to_global
+        src_parts.append(to_global[lsrc[keep]])
+        dst_parts.append(to_global[ldst[keep]])
+    if not covered.all():
+        raise ValueError(
+            f"{int((~covered).sum())} node(s) owned by no shard; incomplete shard set"
+        )
+    src = np.concatenate(src_parts) if src_parts else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dst_parts) if dst_parts else np.empty(0, dtype=np.int64)
+    return Graph(
+        edges_to_csr(src, dst, n, dedup=False),
+        features,
+        labels,
+        train_mask,
+        val_mask,
+        test_mask,
+        first.num_classes,
+        name=first.graph_name,
+    )
+
+
+def shard_to_arrays(shard: GraphShard) -> tuple[dict[str, np.ndarray], dict]:
+    """``(arrays, meta)`` wire/shm form of a shard: the
+    :data:`SHARD_ARRAY_FIELDS` ndarrays plus the scalar metadata."""
+    arrays = {name: getattr(shard, name) for name in SHARD_ARRAY_FIELDS}
+    meta = {
+        "shard_id": int(shard.shard_id),
+        "k": int(shard.k),
+        "num_global_nodes": int(shard.num_global_nodes),
+        "num_classes": int(shard.num_classes),
+        "graph_name": str(shard.graph_name),
+    }
+    return arrays, meta
+
+
+def shard_from_arrays(arrays: dict[str, np.ndarray], meta: dict) -> GraphShard:
+    """Inverse of :func:`shard_to_arrays`."""
+    return GraphShard(
+        shard_id=int(meta["shard_id"]),
+        k=int(meta["k"]),
+        num_global_nodes=int(meta["num_global_nodes"]),
+        num_classes=int(meta["num_classes"]),
+        graph_name=str(meta["graph_name"]),
+        **{name: np.asarray(arrays[name]) for name in SHARD_ARRAY_FIELDS},
+    )

@@ -43,11 +43,14 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import json
 import queue as queue_mod
 import threading
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -158,7 +161,11 @@ class Evaluator:
     backend = "serial"
 
     def __init__(
-        self, pool: IngredientPool, graph: Graph, cache_size: int = DEFAULT_SCORE_CACHE
+        self,
+        pool: IngredientPool,
+        graph: Graph,
+        cache_size: int = DEFAULT_SCORE_CACHE,
+        cache_path=None,
     ) -> None:
         self.pool = pool
         self.graph = graph
@@ -170,9 +177,11 @@ class Evaluator:
             raise ValueError(f"cache_size must be an integer, got {cache_size!r}")
         self._cache_size = max(0, int(cache_size))
         self._cache: "OrderedDict[bytes, float]" = OrderedDict()
+        self._cache_path = Path(cache_path) if cache_path else None
         self.cache_hits = 0
         self.cache_misses = 0
         self.backend_evals = 0  # candidates actually scored by the backend
+        self._load_cache()
 
     # -- pool views ----------------------------------------------------------
 
@@ -250,6 +259,55 @@ class Evaluator:
             "size": len(self._cache),
             "capacity": self._cache_size,
         }
+
+    def _load_cache(self) -> None:
+        """Warm the score cache from ``cache_path`` (best-effort).
+
+        Persisted entries are ``[hexdigest, value, tag]`` triples; the tag
+        restores the backend's exact scalar type (``"np"`` →
+        ``np.float64``) so a warm-started run returns bit-identical floats
+        to the run that populated the file. A corrupt or unreadable file
+        degrades to an empty cache with a warning, never an error.
+        """
+        path = self._cache_path
+        if path is None or self._cache_size <= 0 or not path.exists():
+            return
+        try:
+            entries = json.loads(path.read_text())["entries"]
+            # keep the newest entries when the file outgrew the capacity
+            for hexdigest, value, tag in entries[-self._cache_size :]:
+                key = bytes.fromhex(hexdigest)
+                self._cache[key] = np.float64(value) if tag == "np" else float(value)
+        except Exception as exc:
+            self._cache.clear()
+            warnings.warn(
+                f"ignoring unreadable candidate-score cache {path} ({exc!r})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _save_cache(self) -> None:
+        """Persist the score cache to ``cache_path`` (atomic, best-effort)."""
+        path = self._cache_path
+        if path is None or self._cache_size <= 0:
+            return
+        entries = []
+        for key, value in self._cache.items():  # oldest -> newest (LRU order)
+            if isinstance(value, np.floating):
+                entries.append([key.hex(), float(value), "np"])
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                entries.append([key.hex(), float(value), "py"])
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps({"version": 1, "entries": entries}))
+            tmp.replace(path)
+        except OSError as exc:  # pragma: no cover - filesystem-dependent
+            warnings.warn(
+                f"could not persist candidate-score cache to {path} ({exc!r})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- evaluation ----------------------------------------------------------
 
@@ -345,7 +403,10 @@ class Evaluator:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Release backend resources (idempotent; serial holds none)."""
+        """Release backend resources and persist the score cache when a
+        ``cache_path`` was configured (idempotent)."""
+        if not self._closed:
+            self._save_cache()
         self._closed = True
 
     def __enter__(self) -> "Evaluator":
@@ -361,9 +422,13 @@ class SerialEvaluator(Evaluator):
     backend = "serial"
 
     def __init__(
-        self, pool: IngredientPool, graph: Graph, cache_size: int = DEFAULT_SCORE_CACHE
+        self,
+        pool: IngredientPool,
+        graph: Graph,
+        cache_size: int = DEFAULT_SCORE_CACHE,
+        cache_path=None,
     ) -> None:
-        super().__init__(pool, graph, cache_size=cache_size)
+        super().__init__(pool, graph, cache_size=cache_size, cache_path=cache_path)
         self._model = None
 
     def _evaluate(self, candidates: list[Candidate]) -> list:
@@ -389,8 +454,9 @@ class ThreadEvaluator(Evaluator):
         graph: Graph,
         num_workers: int = 4,
         cache_size: int = DEFAULT_SCORE_CACHE,
+        cache_path=None,
     ) -> None:
-        super().__init__(pool, graph, cache_size=cache_size)
+        super().__init__(pool, graph, cache_size=cache_size, cache_path=cache_path)
         self.num_workers = _validate_num_workers(num_workers)
         self._executor: ThreadPoolExecutor | None = None
         self._models: queue_mod.LifoQueue = queue_mod.LifoQueue()
@@ -437,13 +503,16 @@ class ProcessEvaluator(Evaluator):
         nodes=None,
         cache_size: int = DEFAULT_SCORE_CACHE,
         eval_batch="adaptive",
+        cache_path=None,
+        shards: int = 0,
     ) -> None:
-        super().__init__(pool, graph, cache_size=cache_size)
+        super().__init__(pool, graph, cache_size=cache_size, cache_path=cache_path)
         self.num_workers = _validate_num_workers(num_workers)
         self.shm = bool(shm)
         self.transport = transport
         self.nodes = nodes
         self.eval_batch = eval_batch
+        self.shards = int(shards)
         self._service: EvalService | None = None
 
     @property
@@ -462,6 +531,7 @@ class ProcessEvaluator(Evaluator):
                 transport=self.transport,
                 nodes=self.nodes,
                 eval_batch=self.eval_batch,
+                shards=self.shards,
             )
         return self._service
 
@@ -561,6 +631,8 @@ def make_evaluator(
     nodes=None,
     cache_size: int = DEFAULT_SCORE_CACHE,
     eval_batch="adaptive",
+    cache_path=None,
+    shards: int = 0,
 ) -> Evaluator:
     """Construct an evaluator for ``(pool, graph)`` on the chosen backend.
 
@@ -570,10 +642,19 @@ def make_evaluator(
     ``nodes`` (``"host:port,host:port"`` or a sequence), or
     driver-spawned loopback workers when no nodes are given.
     ``cache_size`` bounds the candidate-score cache (0 disables it).
+    ``cache_path`` persists that cache across runs: scores load from the
+    file on construction and save back on ``close()`` — a re-run of the
+    same experiment cell turns repeat evaluations into lookups while
+    returning bit-identical floats.
     ``eval_batch`` (process backend) sets how many candidate evaluations
     share one wire frame: ``"adaptive"`` (default) sizes chunks from
     measured per-task time, an int >= 1 pins the chunk size. Batching
     never changes results or their order — only framing.
+    ``shards`` (process backend) switches the graph data path to sharded
+    dispatch: each eval worker's handshake ships only its assigned
+    partition (+ halo) of the graph; the rest attach or stream in at its
+    first evaluation (see
+    :class:`~repro.distributed.shards.ShardDispatch`).
     """
     if backend not in SOUP_EXECUTORS:
         raise ValueError(f"unknown soup executor {backend!r}; choose from {SOUP_EXECUTORS}")
@@ -584,15 +665,19 @@ def make_evaluator(
         raise ValueError(
             f"transport/nodes require backend='process', got backend={backend!r}"
         )
+    if shards and backend != "process":
+        raise ValueError(f"shards require backend='process', got backend={backend!r}")
     if backend == "thread":
-        return ThreadEvaluator(pool, graph, num_workers=num_workers, cache_size=cache_size)
+        return ThreadEvaluator(
+            pool, graph, num_workers=num_workers, cache_size=cache_size, cache_path=cache_path
+        )
     if backend == "process":
         return ProcessEvaluator(
             pool, graph, num_workers=num_workers, shm=shm,
             transport=transport, nodes=nodes, cache_size=cache_size,
-            eval_batch=eval_batch,
+            eval_batch=eval_batch, cache_path=cache_path, shards=shards,
         )
-    return SerialEvaluator(pool, graph, cache_size=cache_size)
+    return SerialEvaluator(pool, graph, cache_size=cache_size, cache_path=cache_path)
 
 
 @contextlib.contextmanager

@@ -236,3 +236,96 @@ class TestSpectralSeed:
         a = partition_graph(medium_graph, 8, method="metis", seed=4)
         b = partition_graph(medium_graph, 8, method="metis", seed=4)
         np.testing.assert_array_equal(a.labels, b.labels)
+
+
+# ---------------------------------------------------------------------------
+# edge cases: isolated nodes, degenerate k, cross-strategy invariants
+# ---------------------------------------------------------------------------
+
+
+def _graph_with_isolates(num_nodes: int = 40, num_isolated: int = 6, seed: int = 0):
+    """A connected ring over the prefix plus a tail of isolated nodes."""
+    from repro.graph import Graph
+
+    rng = np.random.default_rng(seed)
+    connected = num_nodes - num_isolated
+    src = np.arange(connected, dtype=np.int64)
+    dst = (src + 1) % connected
+    csr = edges_to_csr(np.concatenate([src, dst]), np.concatenate([dst, src]), num_nodes)
+    features = rng.normal(size=(num_nodes, 4))
+    labels = rng.integers(0, 2, num_nodes).astype(np.int64)
+    train = np.zeros(num_nodes, dtype=bool)
+    val = np.zeros(num_nodes, dtype=bool)
+    test = np.zeros(num_nodes, dtype=bool)
+    train[0::3], val[1::3], test[2::3] = True, True, True
+    return Graph(csr, features, labels, train, val, test, 2, name="isolates")
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_isolated_nodes_all_assigned(self, method):
+        g = _graph_with_isolates()
+        result = partition_graph(g, 4, method=method, seed=0)
+        assert result.labels.shape == (g.num_nodes,)
+        assert result.labels.min() >= 0 and result.labels.max() < 4
+        # isolated nodes (the tail) must be assigned like everyone else
+        assert np.all(result.labels[-6:] >= 0)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_isolated_nodes_invariants(self, method):
+        """edge_cut / imbalance / part_weights stay consistent when the
+        graph has zero-degree nodes, for every bisect strategy."""
+        g = _graph_with_isolates()
+        result = partition_graph(g, 4, method=method, seed=0)
+        assert result.cut_edges == edge_cut(g.csr, result.labels)
+        assert 0 <= result.cut_edges <= g.num_edges
+        assert result.imbalance >= 1.0
+        np.testing.assert_allclose(
+            result.part_weights, np.bincount(result.labels, minlength=4).astype(float)
+        )
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_k1_isolated(self, method):
+        g = _graph_with_isolates()
+        result = partition_graph(g, 1, method=method, seed=0)
+        assert result.cut_edges == 0
+        assert result.imbalance == pytest.approx(1.0)
+        assert np.all(result.labels == 0)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_k_equals_n_all_methods(self, method):
+        """k == num_nodes stays valid for every strategy.
+
+        Recursive bisection may leave an empty part at this degenerate k
+        (a 1-node region asked to split), so the contract is label
+        validity and metric consistency, not strict non-emptiness — only
+        the direct assignment of ``random`` guarantees all singletons.
+        """
+        g = _graph_with_isolates(num_nodes=16, num_isolated=3)
+        result = partition_graph(g, 16, method=method, seed=0)
+        assert result.labels.min() >= 0 and result.labels.max() < 16
+        sizes = np.bincount(result.labels, minlength=16)
+        assert sizes.sum() == 16 and sizes.max() <= 2
+        assert result.cut_edges == edge_cut(g.csr, result.labels)
+        assert result.imbalance >= 1.0
+        if method == "random":
+            assert len(np.unique(result.labels)) == 16
+            assert result.cut_edges == g.num_edges
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_k_above_n_rejected(self, method):
+        g = _graph_with_isolates(num_nodes=16, num_isolated=3)
+        with pytest.raises(ValueError):
+            partition_graph(g, 17, method=method, seed=0)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_weighted_part_weights_sum(self, method):
+        """part_weights must account for every node's weight exactly."""
+        g = _graph_with_isolates()
+        weights = np.linspace(1.0, 2.0, g.num_nodes)
+        result = partition_graph(g, 4, method=method, node_weights=weights, seed=0)
+        np.testing.assert_allclose(result.part_weights.sum(), weights.sum())
+        for p in range(4):
+            np.testing.assert_allclose(
+                result.part_weights[p], weights[result.labels == p].sum()
+            )

@@ -1,0 +1,164 @@
+"""Shard/assemble math: exact reconstruction, halo semantics, wire forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GeneratorConfig,
+    Graph,
+    assemble_graph,
+    edges_to_csr,
+    homophilous_graph,
+    shard_from_arrays,
+    shard_graph,
+    shard_to_arrays,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    cfg = GeneratorConfig(
+        num_nodes=300, num_classes=4, avg_degree=7.0, homophily=0.7,
+        feature_dim=10, feature_noise=1.0, name="shardme",
+    )
+    return homophilous_graph(cfg, seed=5)
+
+
+def _graph_with_isolates(num_nodes: int = 50, num_isolated: int = 7, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    connected = num_nodes - num_isolated
+    src = np.arange(connected, dtype=np.int64)
+    dst = (src + 1) % connected
+    csr = edges_to_csr(np.concatenate([src, dst]), np.concatenate([dst, src]), num_nodes)
+    features = rng.normal(size=(num_nodes, 4))
+    labels = rng.integers(0, 3, num_nodes).astype(np.int64)
+    train = np.zeros(num_nodes, dtype=bool)
+    val = np.zeros(num_nodes, dtype=bool)
+    test = np.zeros(num_nodes, dtype=bool)
+    train[0::3], val[1::3], test[2::3] = True, True, True
+    return Graph(csr, features, labels, train, val, test, 3, name="iso")
+
+
+def _assert_graphs_bit_identical(a: Graph, b: Graph) -> None:
+    np.testing.assert_array_equal(a.csr.indptr, b.csr.indptr)
+    np.testing.assert_array_equal(a.csr.indices, b.csr.indices)
+    assert a.csr.num_nodes == b.csr.num_nodes
+    np.testing.assert_array_equal(a.features, b.features)
+    np.testing.assert_array_equal(a.labels, b.labels)
+    np.testing.assert_array_equal(a.train_mask, b.train_mask)
+    np.testing.assert_array_equal(a.val_mask, b.val_mask)
+    np.testing.assert_array_equal(a.test_mask, b.test_mask)
+    assert a.num_classes == b.num_classes
+    assert a.name == b.name
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_assemble_is_exact(self, graph, k):
+        """assemble(shard(G, k)) == G bit-for-bit — the tentpole contract."""
+        shards = shard_graph(graph, k)
+        _assert_graphs_bit_identical(assemble_graph(shards), graph)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_assemble_exact_with_isolated_nodes(self, k):
+        g = _graph_with_isolates()
+        _assert_graphs_bit_identical(assemble_graph(shard_graph(g, k)), g)
+
+    def test_assemble_order_independent(self, graph):
+        shards = shard_graph(graph, 3)
+        _assert_graphs_bit_identical(assemble_graph(shards[::-1]), graph)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_arrays_round_trip(self, graph, k):
+        """shard_from_arrays(shard_to_arrays(s)) preserves every field —
+        the form that crosses wire frames and shm bundles."""
+        for shard in shard_graph(graph, k):
+            arrays, meta = shard_to_arrays(shard)
+            back = shard_from_arrays(arrays, meta)
+            assert back.shard_id == shard.shard_id and back.k == shard.k
+            assert back.num_global_nodes == shard.num_global_nodes
+            assert back.graph_name == shard.graph_name
+            for key, value in arrays.items():
+                np.testing.assert_array_equal(value, getattr(back, key))
+        _assert_graphs_bit_identical(
+            assemble_graph(
+                [
+                    shard_from_arrays(*shard_to_arrays(s))
+                    for s in shard_graph(graph, k)
+                ]
+            ),
+            graph,
+        )
+
+
+class TestShardStructure:
+    def test_owned_nodes_cover_graph(self, graph):
+        shards = shard_graph(graph, 4)
+        owned = np.concatenate([s.owned for s in shards])
+        assert len(owned) == graph.num_nodes
+        np.testing.assert_array_equal(np.sort(owned), np.arange(graph.num_nodes))
+
+    def test_halo_is_incoming_neighbours_only(self, graph):
+        """Every halo node has an edge into an owned node, and owned/halo
+        never overlap — the minimal closure assembly needs."""
+        for shard in shard_graph(graph, 3):
+            assert not np.intersect1d(shard.owned, shard.halo).size
+            owned_set = set(shard.owned.tolist())
+            csr = graph.csr
+            in_nbrs: set = set()
+            for node in shard.owned:
+                in_nbrs.update(csr.indices[csr.indptr[node] : csr.indptr[node + 1]].tolist())
+            assert set(shard.halo.tolist()) == in_nbrs - owned_set
+
+    def test_shard_bytes_fraction(self, graph):
+        """Each shard carries ~(1/k + halo) of the graph — never the whole
+        thing (for k >= 2 on a sparse graph)."""
+        full = sum(
+            arr.nbytes
+            for arr in (
+                graph.csr.indptr, graph.csr.indices, graph.features,
+                graph.labels, graph.train_mask, graph.val_mask, graph.test_mask,
+            )
+        )
+        for shard in shard_graph(graph, 4):
+            assert shard.nbytes < full
+            assert shard.n_owned <= shard.n_local <= graph.num_nodes
+
+    def test_local_graph_masks_owned_only(self, graph):
+        for shard in shard_graph(graph, 3):
+            local = shard.local_graph()
+            assert local.num_nodes == shard.n_local
+            # halo rows carry no split membership: they exist only to
+            # feed message passing into owned rows
+            assert not local.train_mask[shard.n_owned :].any()
+            assert not local.val_mask[shard.n_owned :].any()
+            assert not local.test_mask[shard.n_owned :].any()
+
+    def test_k1_single_shard_is_whole_graph(self, graph):
+        (shard,) = shard_graph(graph, 1)
+        assert shard.n_owned == graph.num_nodes
+        assert shard.halo.size == 0
+
+
+class TestAssembleValidation:
+    def test_missing_shard_rejected(self, graph):
+        shards = shard_graph(graph, 3)
+        with pytest.raises(ValueError):
+            assemble_graph(shards[:2])
+
+    def test_duplicate_shard_rejected(self, graph):
+        shards = shard_graph(graph, 3)
+        with pytest.raises(ValueError):
+            assemble_graph([shards[0], shards[1], shards[1]])
+
+    def test_mixed_k_rejected(self, graph):
+        a = shard_graph(graph, 2)
+        b = shard_graph(graph, 3)
+        with pytest.raises(ValueError):
+            assemble_graph([a[0], b[1]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_graph([])

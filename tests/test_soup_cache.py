@@ -124,6 +124,75 @@ class TestScoreCache:
             assert ev.cache_info()["size"] <= 2
 
 
+class TestPersistedCache:
+    """``cache_path=`` carries scored mixes across evaluator lifetimes."""
+
+    def test_round_trip_warm_start(self, gcn_pool, tiny_graph, tmp_path):
+        path = tmp_path / "scores.json"
+        with make_evaluator(gcn_pool, tiny_graph, cache_path=path) as ev:
+            cold = greedy_soup(gcn_pool, tiny_graph, evaluator=ev)
+            cold_evals = ev.backend_evals
+        assert path.exists()
+        with make_evaluator(gcn_pool, tiny_graph, cache_path=path) as ev:
+            warm = greedy_soup(gcn_pool, tiny_graph, evaluator=ev)
+            assert ev.backend_evals == 0  # every mix came from disk
+            assert ev.cache_info()["hits"] >= cold_evals
+        assert warm.val_acc == cold.val_acc and warm.test_acc == cold.test_acc
+        for name in cold.state_dict:
+            np.testing.assert_array_equal(cold.state_dict[name], warm.state_dict[name])
+
+    def test_value_types_survive_the_round_trip(self, gcn_pool, tiny_graph, tmp_path):
+        path = tmp_path / "scores.json"
+        weights = uniform_weights(len(gcn_pool))
+        with make_evaluator(gcn_pool, tiny_graph, cache_path=path) as ev:
+            before = ev.accuracy_of(weights=weights)
+        with make_evaluator(gcn_pool, tiny_graph, cache_path=path) as ev:
+            after = ev.accuracy_of(weights=weights)
+            assert ev.cache_info()["hits"] == 1
+        assert after == before
+        assert type(after) is type(before)  # np.float64 stays np.float64
+
+    def test_missing_file_starts_empty(self, gcn_pool, tiny_graph, tmp_path):
+        path = tmp_path / "nested" / "fresh.json"
+        with make_evaluator(gcn_pool, tiny_graph, cache_path=path) as ev:
+            ev.accuracy_of(weights=uniform_weights(len(gcn_pool)))
+            assert ev.cache_info()["misses"] == 1
+        assert path.exists()  # parents created on save
+
+    def test_corrupt_file_warns_and_starts_empty(self, gcn_pool, tiny_graph, tmp_path):
+        path = tmp_path / "scores.json"
+        path.write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="cache"):
+            ev = make_evaluator(gcn_pool, tiny_graph, cache_path=path)
+        try:
+            assert ev.cache_info()["size"] == 0
+            ev.accuracy_of(weights=uniform_weights(len(gcn_pool)))
+        finally:
+            ev.close()
+        # and the rewrite repaired the file
+        with make_evaluator(gcn_pool, tiny_graph, cache_path=path) as ev:
+            assert ev.cache_info()["size"] == 1
+
+    def test_load_trims_to_capacity_keeping_newest(self, gcn_pool, tiny_graph, tmp_path):
+        path = tmp_path / "scores.json"
+        n = len(gcn_pool)
+        rng = np.random.default_rng(3)
+        mixes = [w / w.sum() for w in rng.random((5, n))]
+        with make_evaluator(gcn_pool, tiny_graph, cache_path=path) as ev:
+            for w in mixes:
+                ev.accuracy_of(weights=w)
+        with make_evaluator(gcn_pool, tiny_graph, cache_size=2, cache_path=path) as ev:
+            assert ev.cache_info()["size"] == 2
+            ev.accuracy_of(weights=mixes[-1])  # newest entry survived the trim
+            assert ev.cache_info()["hits"] == 1
+
+    def test_disabled_cache_never_persists(self, gcn_pool, tiny_graph, tmp_path):
+        path = tmp_path / "scores.json"
+        with make_evaluator(gcn_pool, tiny_graph, cache_size=0, cache_path=path) as ev:
+            ev.accuracy_of(weights=uniform_weights(len(gcn_pool)))
+        assert not path.exists()
+
+
 class TestWorkerCountValidation:
     """`True` used to slip through as num_workers=1; every entry point now
     applies the scheduler's strict integer rule."""
