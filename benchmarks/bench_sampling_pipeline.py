@@ -1,0 +1,176 @@
+"""Sampled-minibatch pipeline: inline vs prefetched, in-RAM vs store-backed.
+
+The prefetching pipeline (:mod:`repro.train.pipeline`) overlaps neighbour
+sampling with gradient compute: N background threads draw per-(epoch,
+batch) seeded streams ahead of the consumer, bounded by
+``prefetch_depth``. The seeding contract makes results bit-identical at
+any (depth, workers) setting, so this bench measures pure wall-clock:
+
+* **inline vs prefetched** — the same minibatch ingredient trained with
+  ``prefetch_depth=0`` and with a prefetching pipeline; bit-identity is
+  asserted every run, and the speedup must clear
+  ``REPRO_BENCH_PIPELINE_MIN_SPEEDUP`` (default 1.0 on multi-core hosts
+  — prefetch must not lose; on a single-visible-core host the sampler
+  threads have no core to overlap on, so the floor drops to 0.8,
+  non-collapse).
+* **in-RAM vs store-backed** — the same run against an mmap
+  :class:`~repro.graph.store.GraphStore` (no budget), quantifying the
+  out-of-core storage tax on a graph that *does* fit in RAM; also
+  bit-identical. A memory-budgeted row exercises the full out-of-core
+  discipline (pread gathers + blocked eval — exact for SAGE).
+
+The JSON artifact is gated against
+``benchmarks/baselines/sampling_pipeline.json`` by
+``compare_baseline.py`` (>2x wall-clock regression fails CI).
+Reduced-size mode: ``REPRO_BENCH_SCALE`` shrinks the dataset,
+``REPRO_BENCH_PIPELINE_EPOCHS`` bounds the workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.models import build_model
+from repro.graph import load_dataset
+from repro.telemetry import build_report, metrics, write_metrics
+from repro.train import TrainConfig, train_model
+
+from conftest import BENCH_SCALE, write_artifact
+
+EPOCHS = int(os.environ.get("REPRO_BENCH_PIPELINE_EPOCHS", "8"))
+DEPTH = int(os.environ.get("REPRO_BENCH_PIPELINE_DEPTH", "4"))
+WORKERS = int(os.environ.get("REPRO_BENCH_PIPELINE_WORKERS", str(max(2, min(4, (os.cpu_count() or 2) // 2)))))
+# overlap needs a second core to run the sampler threads on: a
+# single-visible-core host serialises them behind the consumer, so the
+# default floor drops to non-collapse there (thread overhead must stay small)
+_DEFAULT_MIN_SPEEDUP = "1.0" if (os.cpu_count() or 1) >= 2 else "0.8"
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_PIPELINE_MIN_SPEEDUP", _DEFAULT_MIN_SPEEDUP))
+BATCH_SIZE = int(os.environ.get("REPRO_BENCH_PIPELINE_BATCH", "256"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_PIPELINE_ROUNDS", "3"))
+FANOUT = 10
+HIDDEN = 64
+SEED = 0
+
+
+def _cfg(depth: int, workers: int) -> TrainConfig:
+    return TrainConfig(
+        epochs=EPOCHS,
+        minibatch=True,
+        batch_size=BATCH_SIZE,
+        fanout=FANOUT,
+        prefetch_depth=depth,
+        sample_workers=workers,
+    )
+
+
+def _train(graph, depth: int, workers: int):
+    """Best-of-ROUNDS wall clock (every round trains the same result)."""
+    best, result = float("inf"), None
+    for _ in range(ROUNDS):
+        model = build_model(
+            "sage", graph.feature_dim, graph.num_classes, hidden_dim=HIDDEN, seed=SEED
+        )
+        start = time.perf_counter()
+        result = train_model(model, graph, _cfg(depth, workers), seed=SEED)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _assert_identical(ref, other, context: str) -> None:
+    for key in ref.state_dict:
+        np.testing.assert_array_equal(
+            ref.state_dict[key], other.state_dict[key], err_msg=f"{context}: {key}"
+        )
+    assert (ref.val_acc, ref.test_acc) == (other.val_acc, other.test_acc), context
+
+
+def _sweep() -> dict:
+    metrics.reset()
+    metrics.set_enabled(True)
+    graph = load_dataset("flickr", seed=0, scale=BENCH_SCALE)
+
+    # -- inline vs prefetched (in RAM) ---------------------------------------
+    inline_s, inline = _train(graph, 0, 1)
+    prefetch_s, prefetched = _train(graph, DEPTH, WORKERS)
+    _assert_identical(inline, prefetched, "prefetched vs inline")
+    speedup = inline_s / prefetch_s if prefetch_s > 0 else float("inf")
+
+    pipeline_rows = {
+        "inline": {"wall_clock_s": inline_s, "prefetch_depth": 0, "sample_workers": 1},
+        "prefetched": {
+            "wall_clock_s": prefetch_s,
+            "prefetch_depth": DEPTH,
+            "sample_workers": WORKERS,
+            "speedup_vs_inline": speedup,
+            "bit_identical_to_inline": True,
+        },
+    }
+
+    # -- in-RAM vs store-backed (same prefetched config) ---------------------
+    store_rows = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = graph.to_store(os.path.join(tmp, "store"))
+        store_s, store_result = _train(store.graph(), DEPTH, WORKERS)
+        _assert_identical(prefetched, store_result, "store-backed vs in-RAM")
+        store_rows["in_ram"] = {"wall_clock_s": prefetch_s}
+        store_rows["store_backed"] = {
+            "wall_clock_s": store_s,
+            "overhead_vs_in_ram": store_s / prefetch_s if prefetch_s > 0 else float("inf"),
+            "bit_identical_to_in_ram": True,
+        }
+        # full out-of-core discipline: pread gathers + blocked eval (exact
+        # for SAGE, so still bit-identical on the weights *and* accuracies)
+        budget = max(int(graph.features.nbytes) // 8, 1 << 20)
+        from repro.graph import GraphStore
+
+        budgeted = GraphStore(store.path, memory_budget=budget)
+        budgeted_s, budgeted_result = _train(budgeted.graph(), DEPTH, WORKERS)
+        _assert_identical(prefetched, budgeted_result, "budgeted store vs in-RAM")
+        store_rows["store_budgeted"] = {
+            "wall_clock_s": budgeted_s,
+            "memory_budget_bytes": budget,
+            "bit_identical_to_in_ram": True,
+        }
+        budgeted.close()
+
+    return {
+        "config": {
+            "dataset": "flickr",
+            "scale": BENCH_SCALE,
+            "epochs": EPOCHS,
+            "batch_size": BATCH_SIZE,
+            "fanout": FANOUT,
+            "hidden_dim": HIDDEN,
+            "prefetch_depth": DEPTH,
+            "sample_workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+        },
+        "pipeline": pipeline_rows,
+        "store": store_rows,
+    }
+
+
+def test_bench_sampling_pipeline(benchmark, results_dir):
+    """Inline vs prefetched sampling, in-RAM vs mmap store-backed training."""
+    report = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_artifact(
+        results_dir, "sampling_pipeline.json", json.dumps(report, indent=2) + "\n"
+    )
+    write_metrics(
+        build_report(bench="sampling_pipeline"),
+        results_dir / "sampling_pipeline_metrics.json",
+    )
+    metrics.set_enabled(False)
+    assert report["pipeline"]["prefetched"]["bit_identical_to_inline"]
+    assert report["store"]["store_backed"]["bit_identical_to_in_ram"]
+    assert report["store"]["store_budgeted"]["bit_identical_to_in_ram"]
+    assert report["pipeline"]["prefetched"]["speedup_vs_inline"] >= MIN_SPEEDUP, (
+        f"prefetched pipeline speedup "
+        f"{report['pipeline']['prefetched']['speedup_vs_inline']:.2f}x "
+        f"below the {MIN_SPEEDUP:.2f}x floor"
+    )

@@ -48,7 +48,7 @@ from .distributed import (
 )
 from .experiments.cache import get_or_train_pool
 from .experiments.config import EXPERIMENT_GRID, ExperimentSpec
-from .graph import dataset_names, load_dataset, partition_graph
+from .graph import GraphStore, dataset_names, load_dataset, partition_graph
 from .serve.server import BACKENDS as SERVE_BACKENDS
 from .soup import PLSConfig, SOUP_EXECUTORS, SOUP_METHODS, SoupConfig, make_evaluator, soup
 from .telemetry import build_report, load_report, metrics, summarize, write_metrics, write_trace
@@ -72,6 +72,13 @@ def _spec_for(arch: str, dataset: str, args: argparse.Namespace) -> ExperimentSp
         overrides["num_workers"] = args.workers
     if getattr(args, "epochs", None) is not None and hasattr(base, "ingredient_epochs"):
         pass  # 'epochs' belongs to souping; ingredient epochs use the spec
+    if getattr(args, "minibatch", False):
+        overrides["minibatch"] = True
+    if getattr(args, "batch_size", None) is not None:
+        overrides["batch_size"] = args.batch_size
+    if getattr(args, "fanout", None) is not None:
+        # 0 = full neighbourhood expansion (fanout=None)
+        overrides["fanout"] = args.fanout if args.fanout > 0 else None
     return replace(base, **overrides) if overrides else base
 
 
@@ -109,6 +116,19 @@ def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
     if getattr(args, "checkpoint_every", 0) and getattr(args, "checkpoint_dir", None) is None:
         raise SystemExit("error: --checkpoint-every requires --checkpoint-dir")
     graph = load_dataset(dataset, seed=args.seed, scale=args.scale)
+    store_dir = getattr(args, "graph_store", None)
+    budget = getattr(args, "memory_budget", None)
+    if budget is not None and store_dir is None:
+        raise SystemExit("error: --memory-budget requires --graph-store")
+    if store_dir is not None:
+        from pathlib import Path
+
+        store_path = Path(store_dir)
+        if (store_path / "meta.json").exists():
+            store = GraphStore(store_path, memory_budget=budget)
+        else:
+            store = graph.to_store(store_path, memory_budget=budget)
+        graph = store.graph()
     spec = _spec_for(arch, dataset, args)
     transport = getattr(args, "transport", "pipe")
     nodes = getattr(args, "nodes", None)
@@ -128,6 +148,8 @@ def _get_pool(arch: str, dataset: str, args: argparse.Namespace):
         checkpoint_every=getattr(args, "checkpoint_every", 0),
         checkpoint_keep=getattr(args, "checkpoint_keep", 1),
         resume=getattr(args, "resume", False),
+        prefetch_depth=getattr(args, "prefetch_depth", None),
+        sample_workers=getattr(args, "sample_workers", None),
     )
     return spec, graph, pool
 
@@ -489,6 +511,57 @@ def _executor_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _minibatch_args(p: argparse.ArgumentParser) -> None:
+    """Sampled-minibatch pipeline and out-of-core store flags."""
+    p.add_argument(
+        "--minibatch",
+        action="store_true",
+        help="train ingredients on sampled seed-node minibatches instead of full-batch",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="seed nodes per sampled minibatch (default: spec's, 512)",
+    )
+    p.add_argument(
+        "--fanout",
+        type=int,
+        default=None,
+        metavar="F",
+        help="per-hop neighbour cap when minibatching (0 = full expansion; default: spec's, 10)",
+    )
+    p.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="sampled-but-unconsumed batch cap for background prefetching "
+        "(0 = inline sampling; results are bit-identical at any depth)",
+    )
+    p.add_argument(
+        "--sample-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="background sampler threads when prefetching (results are bit-identical at any count)",
+    )
+    p.add_argument(
+        "--graph-store",
+        default=None,
+        metavar="DIR",
+        help="train against an mmap-backed graph store at DIR (created from the dataset if absent)",
+    )
+    p.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="SIZE",
+        help="enforce an out-of-core memory budget on the store (bytes, or e.g. '64M'); "
+        "requires --graph-store and --minibatch ($REPRO_MEMORY_BUDGET also applies)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__.splitlines()[0])
@@ -507,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--n-ingredients", type=int, default=None)
     _common_data_args(p)
     _executor_args(p)
+    _minibatch_args(p)
     _telemetry_args(p)
     p.set_defaults(fn=cmd_train)
 
@@ -573,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the candidate-score cache here (loaded on start, saved on "
         "close; repeat runs turn repeat evaluations into lookups)",
     )
+    _minibatch_args(p)  # reconstructs the cache key of a minibatch-trained pool
     _common_data_args(p)
     _executor_args(p)
     _telemetry_args(p)

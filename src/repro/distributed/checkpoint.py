@@ -88,20 +88,35 @@ def run_fingerprint(
     def digest(arr) -> str:
         return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()[:12]
 
+    if graph.is_store_backed:
+        # summing an mmap-backed feature matrix would page the whole file
+        # in; the store's write-time CRC is an equivalent cheap signature
+        feature_sig: float | str = f"crc32:{graph.store.feature_digest}"
+    else:
+        feature_sig = float(graph.features.sum())
     graph_sig = {
         "name": graph.name,
         "nodes": graph.num_nodes,
         "edges": graph.num_edges,
         "classes": graph.num_classes,
         "feature_dim": graph.feature_dim,
-        "feature_sum": float(graph.features.sum()),
+        "feature_sum": feature_sig,
         "labels": digest(graph.labels),
         "splits": [digest(graph.train_mask), digest(graph.val_mask), digest(graph.test_mask)],
     }
+
+    def cfg_sig(c: TrainConfig) -> dict:
+        sig = asdict(c)
+        # prefetch depth and sampler-thread count cannot change results
+        # (the determinism contract), so they don't invalidate checkpoints
+        sig.pop("prefetch_depth", None)
+        sig.pop("sample_workers", None)
+        return sig
+
     payload = {
         "model_config": model_config,
         "graph": graph_sig,
-        "tasks": [{"seed": int(s), "cfg": asdict(c)} for s, c in zip(seeds, task_cfgs)],
+        "tasks": [{"seed": int(s), "cfg": cfg_sig(c)} for s, c in zip(seeds, task_cfgs)],
     }
     return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
 

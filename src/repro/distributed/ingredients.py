@@ -333,6 +333,15 @@ def _worker_init(graph_ref: dict, store_args: tuple | None = None, checkpoint_ev
         # only the assigned shard materialises here (attach or fetch);
         # the rest arrive at the first task, via _worker_graph()
         _WORKER_SOURCE = ShardedGraphSource(graph_ref)
+    elif graph_ref["kind"] == "graph_store":
+        # out-of-core: each worker reopens the mmap store (shared
+        # filesystem) instead of receiving a materialised feature matrix
+        from ..graph.store import GraphStore
+
+        metrics.inc("transport.store_opens")
+        _WORKER_GRAPH = GraphStore(
+            graph_ref["path"], memory_budget=graph_ref.get("budget")
+        ).graph()
     else:
         metrics.inc("transport.payload_inits")
         _WORKER_GRAPH = _graph_from_payload(graph_ref["payload"])
@@ -704,6 +713,14 @@ def _execute_tasks(
             # assigned shard at handshake; the rest attach/fetch lazily
             shard_dispatch = ShardDispatch(graph, shards, shm=shm)
             graph_ref = shard_dispatch.context_ref()
+        elif graph.is_store_backed:
+            # out-of-core: ship only the store path; workers mmap the
+            # arrays themselves, so no feature bytes cross the transport
+            graph_ref = {
+                "kind": "graph_store",
+                "path": str(graph.store.path),
+                "budget": graph.store.memory_budget,
+            }
         elif shm:
             try:
                 shm_buffer = SharedGraphBuffer.create(graph)
@@ -745,6 +762,11 @@ def _execute_tasks(
                             }
 
                         fallback = fallback_context if shard_dispatch.has_specs else None
+                    elif graph_ref["kind"] == "graph_store":
+                        # no payload fallback: materialising the feature
+                        # matrix would defeat the memory budget, so remote
+                        # workers must share the store's filesystem
+                        fallback = None
                     else:
                         def fallback_context():
                             return {
@@ -956,6 +978,11 @@ def train_ingredients(
             raise ValueError(
                 "sharded dispatch over the pipe transport requires shm=True "
                 "(pipe workers receive shards via shared memory)"
+            )
+        if graph.is_store_backed:
+            raise ValueError(
+                "sharded dispatch (shards > 0) is incompatible with a "
+                "store-backed graph — workers reopen the mmap store directly"
             )
     # validate up-front with the scheduler's strict rule — a bad worker
     # count must fail here, not after hours of training at the final

@@ -9,6 +9,7 @@ Pools are persisted as ``.npz`` archives keyed by the experiment spec, so
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -57,6 +58,13 @@ def pool_cache_key(spec: ExperimentSpec, graph_seed: int, graph_nodes: int | Non
         "graph_seed": graph_seed,
         "graph_nodes": graph_nodes,
     }
+    # sampled-minibatch settings change the trained weights, so they key
+    # the cache; prefetch_depth/sample_workers deliberately do not (the
+    # determinism contract makes results identical at any pipeline shape)
+    if spec.minibatch:
+        payload["minibatch"] = True
+        payload["batch_size"] = spec.batch_size
+        payload["fanout"] = spec.fanout
     digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
     return f"{spec.arch}-{spec.dataset}-n{spec.n_ingredients}-{digest}"
 
@@ -111,6 +119,8 @@ def get_or_train_pool(
     checkpoint_every: int = 0,
     checkpoint_keep: int = 1,
     resume: bool = False,
+    prefetch_depth: int | None = None,
+    sample_workers: int | None = None,
 ) -> IngredientPool:
     """Load the spec's pool from cache, training and persisting on a miss.
 
@@ -120,7 +130,23 @@ def get_or_train_pool(
     miss; none of them enter the cache key because the determinism
     contract makes the pool identical across executors, queue disciplines
     and transports (including remote tcp workers and sharded dispatch).
+    ``prefetch_depth``/``sample_workers`` override the spec's sampling-
+    pipeline knobs — also determinism-neutral, also outside the key.
     """
+    ingredient_kwargs = spec.ingredient_kwargs()
+    if prefetch_depth is not None or sample_workers is not None:
+        cfg = ingredient_kwargs["train_cfg"]
+        ingredient_kwargs["train_cfg"] = dataclasses.replace(
+            cfg,
+            **{
+                k: v
+                for k, v in {
+                    "prefetch_depth": prefetch_depth,
+                    "sample_workers": sample_workers,
+                }.items()
+                if v is not None
+            },
+        )
     path = cache_dir() / (pool_cache_key(spec, graph_seed, graph.num_nodes) + ".npz")
     if path.exists():
         try:
@@ -141,7 +167,7 @@ def get_or_train_pool(
         checkpoint_every=checkpoint_every,
         checkpoint_keep=checkpoint_keep,
         resume=resume,
-        **spec.ingredient_kwargs(),
+        **ingredient_kwargs,
     )
     save_pool(pool, path)
     return pool

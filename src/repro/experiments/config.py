@@ -40,6 +40,13 @@ class ExperimentSpec:
     ingredient_weight_decay: float = 5e-4
     epoch_jitter: int = 15
     num_workers: int = 8
+    # sampled-minibatch ingredient training (semantic: changes results)
+    minibatch: bool = False
+    batch_size: int = 512
+    fanout: int | None = 10
+    # sampling-pipeline throughput knobs (determinism-neutral)
+    prefetch_depth: int = 0
+    sample_workers: int = 1
     # phase 2 (souping)
     gis_granularity: int = 20
     ls_epochs: int = 40
@@ -59,6 +66,11 @@ class ExperimentSpec:
             epochs=self.ingredient_epochs,
             lr=self.ingredient_lr,
             weight_decay=self.ingredient_weight_decay,
+            minibatch=self.minibatch,
+            batch_size=self.batch_size,
+            fanout=self.fanout,
+            prefetch_depth=self.prefetch_depth,
+            sample_workers=self.sample_workers,
         )
 
     def ls_config(self, seed: int = 0) -> SoupConfig:

@@ -146,6 +146,8 @@ def run_cell(
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 0,
     resume: bool = False,
+    prefetch_depth: int | None = None,
+    sample_workers: int | None = None,
     soup_executor: str = "serial",
     soup_workers: int = 4,
     soup_transport: str = "pipe",
@@ -158,7 +160,9 @@ def run_cell(
 
     ``executor``/``queue``/``shm``/``transport``/``nodes``/
     ``checkpoint_dir``/``checkpoint_every``/``resume`` govern Phase-1
-    training on a pool-cache miss (see
+    training on a pool-cache miss; ``prefetch_depth``/``sample_workers``
+    override the spec's sampling-pipeline knobs for minibatch cells
+    (determinism-neutral — results are bit-identical at any setting; see
     :func:`repro.experiments.cache.get_or_train_pool`); ``transport`` /
     ``nodes`` reach the shared cluster runtime, so a cell's ingredients
     can train on remote ``cluster start-worker`` nodes.
@@ -193,6 +197,8 @@ def run_cell(
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             resume=resume,
+            prefetch_depth=prefetch_depth,
+            sample_workers=sample_workers,
         )
     )
     n_soups = n_soups if n_soups is not None else spec.n_soups

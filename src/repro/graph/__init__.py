@@ -13,6 +13,7 @@ from .sampling import (
     khop_subgraph,
     NeighborSampler,
 )
+from .store import GraphStore, StoreGraph, MemoryBudgetError, parse_memory_budget
 
 __all__ = [
     "CSR",
@@ -40,4 +41,8 @@ __all__ = [
     "num_possible_subgraphs",
     "khop_subgraph",
     "NeighborSampler",
+    "GraphStore",
+    "StoreGraph",
+    "MemoryBudgetError",
+    "parse_memory_budget",
 ]

@@ -19,6 +19,8 @@ __all__ = ["Graph"]
 class Graph:
     """An attributed, node-classified graph with train/val/test masks."""
 
+    is_store_backed = False  # True on mmap-backed StoreGraph views
+
     __slots__ = (
         "csr",
         "features",
@@ -162,6 +164,30 @@ class Graph:
         if key not in self._operators:
             self._operators[key] = MessageStructure(self.csr.with_self_loops())  # type: ignore[assignment]
         return self._operators[key]  # type: ignore[return-value]
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_store(self, path, memory_budget: int | str | None = None):
+        """Persist to an mmap-backed :class:`~repro.graph.store.GraphStore`.
+
+        Writes the graph's arrays as raw binaries under ``path`` and
+        returns the opened store; ``store.graph()`` yields the
+        out-of-core :class:`~repro.graph.store.StoreGraph` view.
+        """
+        from .store import GraphStore  # local import: store depends on Graph
+
+        GraphStore.write(
+            path,
+            csr=self.csr,
+            features=self.features,
+            labels=self.labels,
+            train_mask=self.train_mask,
+            val_mask=self.val_mask,
+            test_mask=self.test_mask,
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+        return GraphStore(path, memory_budget=memory_budget)
 
     # -- subgraphs -----------------------------------------------------------------
 

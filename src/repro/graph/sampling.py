@@ -12,15 +12,28 @@ Two consumers:
 * **Minibatch ingredient training** — :func:`khop_subgraph` and
   :class:`NeighborSampler` give GraphSAGE-style fixed-fanout sampled
   neighbourhoods around a seed batch.
+
+Seeding contract
+----------------
+``NeighborSampler`` supports two RNG modes. The legacy mode takes a shared
+``rng`` whose state advances as batches are drawn, so the sampled stream
+depends on *when* each batch is sampled. The seeded mode (``seed=``)
+derives one independent ``np.random.Generator`` per (epoch, batch) from
+``np.random.SeedSequence`` spawn keys, making every batch a pure function
+of ``(seed, epoch, batch_index)`` — batch order, prefetch depth and
+sampler-worker count can never change what is sampled. That property is
+what lets :class:`repro.train.pipeline.PrefetchPipeline` sample batches
+concurrently and out of order while keeping training bit-identical.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
-from .csr import CSR
+from .csr import CSR, row_slice_index
 from .graph import Graph
 
 __all__ = [
@@ -78,16 +91,16 @@ def khop_subgraph(
     for _ in range(hops):
         if len(frontier) == 0:
             break
-        starts, ends = csr.indptr[frontier], csr.indptr[frontier + 1]
-        degs = ends - starts
         if fanout is None:
-            idx = np.concatenate([np.arange(s, e) for s, e in zip(starts, ends)]) if len(frontier) else np.empty(0, np.int64)
-            neighbours = csr.indices[idx]
+            flat, _ = row_slice_index(csr.indptr, frontier)
+            neighbours = csr.indices[flat]
         else:
             if rng is None:
                 raise ValueError("fanout sampling requires an rng")
             # sample min(deg, fanout) in-edges per frontier node, vectorised
             # over a fanout-wide random offset matrix
+            starts = csr.indptr[frontier]
+            degs = csr.indptr[frontier + 1] - starts
             capped = np.minimum(degs, fanout)
             offsets = (rng.random((len(frontier), fanout)) * degs[:, None]).astype(np.int64)
             take = np.arange(fanout)[None, :] < capped[:, None]
@@ -100,11 +113,24 @@ def khop_subgraph(
 
 
 class NeighborSampler:
-    """Iterator of seed-batch sampled subgraphs for minibatch training.
+    """Seed-batch sampled subgraphs for minibatch training.
 
-    Each iteration yields ``(subgraph, seed_positions)`` where
-    ``seed_positions`` indexes the batch's seed nodes inside the subgraph;
-    the trainer computes loss only on those rows, mirroring DGL blocks.
+    Every batch is ``(subgraph, seed_positions)`` where ``seed_positions``
+    indexes the batch's seed nodes inside the subgraph; the trainer
+    computes loss only on those rows, mirroring DGL blocks.
+
+    Pass exactly one of:
+
+    ``rng``
+        Legacy shared-stream mode: iteration consumes the generator, so
+        the sampled stream depends on draw order. Only ``__iter__`` is
+        available.
+    ``seed``
+        Per-(epoch, batch) stream mode: :meth:`sample` is a pure function
+        of ``(seed, epoch, index)`` and safe to call from any thread in
+        any order. The epoch's shuffle permutation uses spawn key
+        ``(epoch, 0)`` and batch ``i`` samples with spawn key
+        ``(epoch, i + 1)``.
     """
 
     def __init__(
@@ -114,23 +140,76 @@ class NeighborSampler:
         batch_size: int,
         hops: int,
         fanout: int | None,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None = None,
         shuffle: bool = True,
+        *,
+        seed: int | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if (rng is None) == (seed is None):
+            raise ValueError("pass exactly one of rng= (shared stream) or seed= (per-batch streams)")
         self.graph = graph
         self.seeds = np.asarray(seeds, dtype=np.int64)
         self.batch_size = batch_size
         self.hops = hops
         self.fanout = fanout
         self.rng = rng
+        self.seed = None if seed is None else int(seed)
         self.shuffle = shuffle
+        self._order_lock = threading.Lock()
+        self._order_cache: dict[int, np.ndarray] = {}
 
     def __len__(self) -> int:
         return int(np.ceil(len(self.seeds) / self.batch_size))
 
-    def __iter__(self):
+    # -- seeded per-(epoch, batch) streams ---------------------------------
+
+    def _stream(self, *spawn_key: int) -> np.random.Generator:
+        return np.random.default_rng(np.random.SeedSequence(self.seed, spawn_key=spawn_key))
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """The epoch's seed permutation (identity when ``shuffle=False``)."""
+        if not self.shuffle:
+            return np.arange(len(self.seeds))
+        if self.seed is None:
+            raise ValueError("epoch_order requires seeded mode (seed=)")
+        with self._order_lock:
+            order = self._order_cache.get(epoch)
+            if order is None:
+                order = self._stream(epoch, 0).permutation(len(self.seeds))
+                self._order_cache[epoch] = order
+                while len(self._order_cache) > 2:  # keep current + previous epoch
+                    self._order_cache.pop(next(iter(self._order_cache)))
+            return order
+
+    def batch_seeds(self, epoch: int, index: int) -> np.ndarray:
+        """Seed node ids of batch ``index`` within ``epoch``."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"batch index {index} out of range [0, {len(self)})")
+        order = self.epoch_order(epoch)
+        start = index * self.batch_size
+        return self.seeds[order[start : start + self.batch_size]]
+
+    def sample(self, epoch: int, index: int) -> tuple[Graph, np.ndarray]:
+        """Sample batch ``index`` of ``epoch`` — pure in ``(seed, epoch, index)``."""
+        if self.seed is None:
+            raise ValueError("sample(epoch, index) requires seeded mode (seed=)")
+        batch = self.batch_seeds(epoch, index)
+        rng = None if self.fanout is None else self._stream(epoch, index + 1)
+        nodes = khop_subgraph(self.graph.csr, batch, self.hops, self.fanout, rng)
+        sub = self.graph.subgraph(nodes)
+        positions = np.searchsorted(nodes, batch)
+        return sub, positions
+
+    def iter_epoch(self, epoch: int):
+        """Iterate the epoch's batches in index order (seeded mode)."""
+        for index in range(len(self)):
+            yield self.sample(epoch, index)
+
+    # -- legacy shared-stream iteration ------------------------------------
+
+    def _iter_shared(self):
         order = self.rng.permutation(len(self.seeds)) if self.shuffle else np.arange(len(self.seeds))
         for start in range(0, len(order), self.batch_size):
             batch = self.seeds[order[start : start + self.batch_size]]
@@ -138,3 +217,8 @@ class NeighborSampler:
             sub = self.graph.subgraph(nodes)
             positions = np.searchsorted(nodes, batch)
             yield sub, positions
+
+    def __iter__(self):
+        if self.rng is not None:
+            return self._iter_shared()
+        return self.iter_epoch(0)

@@ -1,0 +1,367 @@
+"""mmap-backed graph store: out-of-core CSR + feature matrix.
+
+``GraphStore`` persists a :class:`~repro.graph.graph.Graph` as raw
+little-endian binary arrays plus a ``meta.json`` manifest, then reopens
+them as read-only ``mmap`` views. Because :class:`Graph`/:class:`CSR`
+construction is no-copy for C-contiguous arrays of the right dtype, a
+store-backed graph holds **no resident copy** of the feature matrix or
+edge arrays — pages fault in only when a sampler slices the rows a batch
+actually needs.
+
+Memory budget
+-------------
+With ``memory_budget`` set (bytes, or via ``$REPRO_MEMORY_BUDGET``), the
+store enforces out-of-core discipline:
+
+* any single feature gather larger than the budget raises
+  :class:`MemoryBudgetError` (the batch would not fit);
+* full-graph operator materialisation (``Graph.operator`` /
+  ``attention_structure``) raises — training must go through the sampled
+  minibatch path and evaluation through the blocked evaluator;
+* the store tracks bytes touched through gathers and, past a quarter of
+  the budget, drops the resident file-backed pages with
+  ``madvise(MADV_DONTNEED)`` so peak RSS stays bounded no matter how many
+  batches stream through.
+
+Labels and split masks (a few bytes per node) are loaded into RAM — the
+budget targets the feature matrix and edge arrays, which dominate.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import re
+import threading
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ..telemetry import metrics
+from .csr import CSR
+from .graph import Graph
+
+__all__ = ["GraphStore", "StoreGraph", "MemoryBudgetError", "parse_memory_budget"]
+
+_FORMAT = "repro-graph-store"
+_VERSION = 1
+_ENV_BUDGET = "REPRO_MEMORY_BUDGET"
+_WRITE_CHUNK_ROWS = 65536
+
+_SUFFIXES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+
+
+class MemoryBudgetError(RuntimeError):
+    """An operation would exceed the store's enforced memory budget."""
+
+
+def parse_memory_budget(value) -> int | None:
+    """Parse a budget: ``None``, byte count, or a string like ``"64M"``.
+
+    Accepts ``K``/``M``/``G``/``T`` suffixes (1024-based), optionally
+    followed by ``B``/``iB`` (``"64M"`` == ``"64MB"`` == ``"64MiB"``).
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        budget = int(value)
+    else:
+        match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([KMGT]?)(?:I?B)?\s*", str(value).upper())
+        if not match:
+            raise ValueError(f"cannot parse memory budget {value!r}")
+        budget = int(float(match.group(1)) * _SUFFIXES[match.group(2)])
+    if budget <= 0:
+        raise ValueError("memory budget must be positive")
+    return budget
+
+
+def _env_budget() -> int | None:
+    return parse_memory_budget(os.environ.get(_ENV_BUDGET) or None)
+
+
+def _write_binary(path: Path, chunks, dtype: np.dtype) -> tuple[int, int]:
+    """Stream array chunks to ``path``; return ``(crc32, total_rows)``."""
+    crc, rows = 0, 0
+    with open(path, "wb") as fh:
+        for chunk in chunks:
+            chunk = np.ascontiguousarray(chunk, dtype=dtype)
+            view = memoryview(chunk).cast("B")
+            crc = zlib.crc32(view, crc)
+            fh.write(view)
+            rows += chunk.shape[0] if chunk.ndim else chunk.size
+    return crc, rows
+
+
+def _as_chunks(array_or_chunks):
+    if isinstance(array_or_chunks, np.ndarray):
+        arr = array_or_chunks
+        for start in range(0, max(len(arr), 1), _WRITE_CHUNK_ROWS):
+            yield arr[start : start + _WRITE_CHUNK_ROWS]
+    else:
+        yield from array_or_chunks
+
+
+class GraphStore:
+    """A directory of raw binary arrays + ``meta.json``, opened via mmap.
+
+    ``indptr``/``indices``/``features`` are exposed as read-only mmap
+    views (no resident copy); ``labels`` and the three split masks are
+    loaded into RAM. Use :meth:`write` (or :meth:`Graph.to_store`) to
+    create one and :meth:`graph` to get the trainable
+    :class:`StoreGraph`.
+    """
+
+    _ARRAYS = ("indptr", "indices", "features", "labels", "train_mask", "val_mask", "test_mask")
+
+    def __init__(self, path: str | os.PathLike, memory_budget: int | str | None = None) -> None:
+        self.path = Path(path)
+        meta_path = self.path / "meta.json"
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no graph store at {self.path} (missing meta.json)")
+        self.meta = json.loads(meta_path.read_text())
+        if self.meta.get("format") != _FORMAT:
+            raise ValueError(f"{meta_path} is not a {_FORMAT} manifest")
+        budget = parse_memory_budget(memory_budget) if memory_budget is not None else _env_budget()
+        self.memory_budget = budget
+        self._lock = threading.Lock()
+        self._touched = 0
+        self._release_threshold = max(budget // 4, mmap.PAGESIZE) if budget else None
+        self._mmaps: dict[str, mmap.mmap] = {}
+
+        n = int(self.meta["num_nodes"])
+        e = int(self.meta["num_edges"])
+        d = int(self.meta["feature_dim"])
+        self.indptr = self._open_mmap("indptr", np.int64, (n + 1,))
+        self.indices = self._open_mmap("indices", np.int64, (e,))
+        self.features = self._open_mmap("features", np.float64, (n, d))
+        # budgeted gathers bypass the mmap and pread() rows instead: a page
+        # fault maps the whole containing page-cache folio (up to 2MB on
+        # kernels with large folios), so mmap fancy-indexing would grow RSS
+        # far past the budget no matter what madvise() asks for
+        self._features_fd: int | None = None
+        if budget is not None and n * d > 0:
+            self._features_fd = os.open(self.path / "features.bin", os.O_RDONLY)
+        self.labels = np.fromfile(self.path / "labels.bin", dtype=np.int64)
+        self.train_mask = np.fromfile(self.path / "train_mask.bin", dtype=bool)
+        self.val_mask = np.fromfile(self.path / "val_mask.bin", dtype=bool)
+        self.test_mask = np.fromfile(self.path / "test_mask.bin", dtype=bool)
+
+    def _open_mmap(self, name: str, dtype, shape: tuple) -> np.ndarray:
+        count = int(np.prod(shape, dtype=np.int64))
+        size = count * np.dtype(dtype).itemsize
+        if size == 0:
+            return np.empty(shape, dtype=dtype)
+        fh = open(self.path / f"{name}.bin", "rb")
+        try:
+            mm = mmap.mmap(fh.fileno(), size, access=mmap.ACCESS_READ)
+        finally:
+            fh.close()  # the mmap keeps its own reference to the file
+        if name == "features" and hasattr(mm, "madvise"):
+            advice = getattr(mmap, "MADV_RANDOM", None)
+            if advice is not None:
+                mm.madvise(advice)
+        self._mmaps[name] = mm
+        return np.frombuffer(mm, dtype=dtype, count=count).reshape(shape)
+
+    # -- writing -----------------------------------------------------------
+
+    @classmethod
+    def write(
+        cls,
+        path: str | os.PathLike,
+        *,
+        csr: CSR,
+        features,
+        labels: np.ndarray,
+        train_mask: np.ndarray,
+        val_mask: np.ndarray,
+        test_mask: np.ndarray,
+        num_classes: int,
+        name: str = "graph",
+        feature_dim: int | None = None,
+    ) -> Path:
+        """Write a store directory; ``features`` may be an ``[n, d]`` array
+        or an iterable of row-chunk arrays (out-of-core construction)."""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        arrays = {}
+        plan = [
+            ("indptr", csr.indptr, np.int64),
+            ("indices", csr.indices, np.int64),
+            ("features", features, np.float64),
+            ("labels", labels, np.int64),
+            ("train_mask", train_mask, bool),
+            ("val_mask", val_mask, bool),
+            ("test_mask", test_mask, bool),
+        ]
+        feature_rows = 0
+        for arr_name, data, dtype in plan:
+            crc, rows = _write_binary(path / f"{arr_name}.bin", _as_chunks(data), np.dtype(dtype))
+            arrays[arr_name] = {"crc32": crc, "dtype": np.dtype(dtype).name}
+            if arr_name == "features":
+                feature_rows = rows
+        if feature_dim is None:
+            feature_dim = int(features.shape[1]) if isinstance(features, np.ndarray) else 0
+        if feature_dim <= 0:
+            raise ValueError("feature_dim must be provided for chunked feature writes")
+        meta = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "name": name,
+            "num_nodes": csr.num_nodes,
+            "num_edges": csr.num_edges,
+            "feature_dim": feature_dim,
+            "num_classes": int(num_classes),
+            "arrays": arrays,
+        }
+        if feature_rows != csr.num_nodes:
+            raise ValueError(f"wrote {feature_rows} feature rows for {csr.num_nodes} nodes")
+        (path / "meta.json").write_text(json.dumps(meta, indent=2))
+        return path
+
+    # -- budgeted access ---------------------------------------------------
+
+    def gather_features(self, nodes: np.ndarray) -> np.ndarray:
+        """Copy the feature rows of ``nodes`` out of the mmap (budget-checked)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        need = int(nodes.size) * int(self.meta["feature_dim"]) * 8
+        if self.memory_budget is not None and need > self.memory_budget:
+            raise MemoryBudgetError(
+                f"gather of {need} bytes ({nodes.size} rows) exceeds the "
+                f"{self.memory_budget}-byte memory budget"
+            )
+        if self._features_fd is not None:
+            d = int(self.meta["feature_dim"])
+            row_bytes = d * 8
+            out = np.empty((nodes.size, d), dtype=np.float64)
+            for i, node in enumerate(nodes.tolist()):
+                row = os.pread(self._features_fd, row_bytes, node * row_bytes)
+                out[i] = np.frombuffer(row, dtype=np.float64)
+        else:
+            out = self.features[nodes]
+        metrics.inc("store.gather_bytes", float(need))
+        self.note_touched(need)
+        return out
+
+    def note_touched(self, nbytes: int) -> None:
+        """Account mmap bytes paged in; release resident pages past threshold."""
+        if self._release_threshold is None:
+            return
+        with self._lock:
+            self._touched += int(nbytes)
+            due = self._touched >= self._release_threshold
+            if due:
+                self._touched = 0
+        if due:
+            self.release_pages()
+
+    def close(self) -> None:
+        """Release the pread descriptor (mmaps close with the last view)."""
+        fd, self._features_fd = self._features_fd, None
+        if fd is not None:
+            os.close(fd)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def release_pages(self) -> None:
+        """Drop resident file-backed pages (``madvise(MADV_DONTNEED)``)."""
+        advice = getattr(mmap, "MADV_DONTNEED", None)
+        if advice is None:
+            return
+        for mm in self._mmaps.values():
+            if hasattr(mm, "madvise"):
+                mm.madvise(advice)
+        metrics.inc("store.releases")
+
+    # -- assembly ----------------------------------------------------------
+
+    @property
+    def feature_digest(self) -> int:
+        """CRC32 of the feature matrix, recorded at write time."""
+        return int(self.meta["arrays"]["features"]["crc32"])
+
+    def digest(self) -> str:
+        """Cheap whole-store signature (no page touched): the array CRCs."""
+        crcs = [self.meta["arrays"][a]["crc32"] for a in self._ARRAYS]
+        return "-".join(str(c) for c in crcs)
+
+    def csr(self) -> CSR:
+        """The stored adjacency as a (no-copy, mmap-view) :class:`CSR`."""
+        return CSR(self.indptr, self.indices, int(self.meta["num_nodes"]))
+
+    def graph(self) -> "StoreGraph":
+        """The trainable store-backed graph view."""
+        return StoreGraph(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore(path={str(self.path)!r}, nodes={self.meta['num_nodes']}, "
+            f"edges={self.meta['num_edges']}, dim={self.meta['feature_dim']}, "
+            f"budget={self.memory_budget})"
+        )
+
+
+class StoreGraph(Graph):
+    """A :class:`Graph` whose features/edges are read-only mmap views.
+
+    Subgraph extraction routes through the store's budget accounting, and
+    — when a budget is set — full-graph operator materialisation raises
+    :class:`MemoryBudgetError`: training must use the sampled minibatch
+    path and evaluation the blocked evaluator. (The guard lives in the
+    operator hooks, so it covers the message-passing models; a plain MLP
+    forward over all rows is not intercepted.)
+    """
+
+    __slots__ = ("store",)
+    is_store_backed = True
+
+    def __init__(self, store: GraphStore) -> None:
+        self.store = store
+        super().__init__(
+            store.csr(),
+            store.features,
+            store.labels,
+            store.train_mask,
+            store.val_mask,
+            store.test_mask,
+            int(store.meta["num_classes"]),
+            name=store.meta.get("name", "graph"),
+        )
+
+    def _check_budget(self, what: str) -> None:
+        if self.store.memory_budget is not None:
+            raise MemoryBudgetError(
+                f"{what} would materialise the full graph, but the store enforces a "
+                f"{self.store.memory_budget}-byte memory budget; use minibatch training "
+                "and blocked evaluation"
+            )
+
+    def operator(self, kind: str):
+        self._check_budget(f"operator({kind!r})")
+        return super().operator(kind)
+
+    def attention_structure(self):
+        self._check_budget("attention_structure()")
+        return super().attention_structure()
+
+    def subgraph(self, nodes: np.ndarray, name: str | None = None) -> Graph:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        sub_csr, _ = self.csr.induced_subgraph(nodes)
+        feats = self.store.gather_features(nodes)
+        self.store.note_touched(int(sub_csr.num_edges) * 8)  # indices pages
+        return Graph(
+            sub_csr,
+            feats,
+            self.labels[nodes],
+            self.train_mask[nodes],
+            self.val_mask[nodes],
+            self.test_mask[nodes],
+            self.num_classes,
+            name=name or f"{self.name}[sub:{len(nodes)}]",
+        )

@@ -1,7 +1,16 @@
 """Training substrate: single-model loops and metrics."""
 
 from .metrics import predictions, accuracy, macro_f1, confusion_matrix
-from .trainer import EpochTrainState, TrainConfig, TrainResult, train_model, evaluate, evaluate_logits
+from .pipeline import PrefetchPipeline
+from .trainer import (
+    EpochTrainState,
+    TrainConfig,
+    TrainResult,
+    train_model,
+    evaluate,
+    evaluate_blocked,
+    evaluate_logits,
+)
 
 __all__ = [
     "predictions",
@@ -11,7 +20,9 @@ __all__ = [
     "EpochTrainState",
     "TrainConfig",
     "TrainResult",
+    "PrefetchPipeline",
     "train_model",
     "evaluate",
+    "evaluate_blocked",
     "evaluate_logits",
 ]

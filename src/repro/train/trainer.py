@@ -15,12 +15,13 @@ from typing import Callable
 import numpy as np
 
 from ..graph.graph import Graph
-from ..graph.sampling import NeighborSampler
+from ..graph.sampling import NeighborSampler, khop_subgraph
 from ..nn import Module, cross_entropy
 from ..optim import Adam, AdamW, SGD, ConstantLR, CosineAnnealingLR
 from ..telemetry import metrics
 from ..tensor import Tensor, no_grad
 from .metrics import accuracy
+from .pipeline import PrefetchPipeline
 
 __all__ = [
     "EpochTrainState",
@@ -28,6 +29,7 @@ __all__ = [
     "TrainResult",
     "train_model",
     "evaluate",
+    "evaluate_blocked",
     "evaluate_logits",
 ]
 
@@ -47,12 +49,24 @@ class TrainConfig:
     batch_size: int = 512
     fanout: int | None = 10  # per-hop neighbour cap when minibatching
     eval_every: int = 1
+    prefetch_depth: int = 0  # sampled-but-unconsumed batch cap; 0 = inline sampling
+    sample_workers: int = 1  # background sampler threads when prefetching
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
         if self.optimizer not in ("adam", "adamw", "sgd"):
             raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.fanout is not None and self.fanout < 1:
+            raise ValueError("fanout must be None (full expansion) or >= 1")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        if self.sample_workers < 1:
+            raise ValueError("sample_workers must be >= 1")
 
 
 @dataclass
@@ -74,8 +88,9 @@ class EpochTrainState:
     Snapshotted at an epoch boundary by ``train_model``'s ``on_epoch_end``
     hook and fed back through its ``epoch_state`` parameter: current
     parameters, optimizer buffers (Adam moments / SGD velocity, step
-    count, lr), the scheduler cursor, the *exact* RNG state (dropout /
-    shuffling / sampling continue where they stopped), and the
+    count, lr), the scheduler cursor, the *exact* RNG state (dropout
+    continues where it stopped; shuffling and sampling are pure functions
+    of ``(seed, epoch, batch)`` and need no state), and the
     best-validation bookkeeping. A resumed run produces the same final
     :class:`TrainResult` state dict as an uninterrupted one.
     """
@@ -120,6 +135,32 @@ def evaluate(model: Module, graph: Graph, idx: np.ndarray) -> float:
     return accuracy(logits[idx], graph.labels[idx])
 
 
+def evaluate_blocked(model: Module, graph: Graph, idx: np.ndarray, batch_size: int = 512) -> float:
+    """Accuracy over k-hop blocks — no full-graph materialisation.
+
+    Each batch of ``idx`` is evaluated on its full L-hop induced
+    neighbourhood (``fanout=None``), so only one block's features and
+    operator are resident at a time. This is the evaluation path for
+    budgeted store-backed graphs, where the full-graph forward is
+    forbidden. Destination-degree aggregators (SAGE's mean) see complete
+    1-hop neighbourhoods and match the full-graph pass exactly;
+    aggregators that also read *source*-node degrees (GCN's symmetric
+    norm) can differ marginally on the outermost hop ring, where induced
+    degrees are truncated.
+    """
+    hops = getattr(model, "num_layers", 2)
+    correct = total = 0
+    for start in range(0, len(idx), batch_size):
+        batch = idx[start : start + batch_size]
+        nodes = khop_subgraph(graph.csr, batch, hops=hops, fanout=None)
+        sub = graph.subgraph(nodes)
+        positions = np.searchsorted(nodes, batch)
+        logits = evaluate_logits(model, sub)
+        correct += int((logits[positions].argmax(axis=1) == graph.labels[batch]).sum())
+        total += len(batch)
+    return correct / total if total else 0.0
+
+
 def train_model(
     model: Module,
     graph: Graph,
@@ -144,7 +185,33 @@ def train_model(
     optimizer = _make_optimizer(model, cfg)
     scheduler = CosineAnnealingLR(optimizer, t_max=cfg.epochs) if cfg.cosine_schedule else ConstantLR(optimizer)
     train_idx, val_idx = graph.train_idx, graph.val_idx
-    features = Tensor(graph.features)
+
+    budgeted_store = graph.is_store_backed and graph.store.memory_budget is not None
+    if budgeted_store and not cfg.minibatch:
+        raise ValueError(
+            "full-batch training on a memory-budgeted store-backed graph would "
+            "materialise the full feature matrix; set minibatch=True"
+        )
+    features = None if cfg.minibatch else Tensor(graph.features)
+
+    def run_eval(idx: np.ndarray) -> float:
+        if budgeted_store:
+            return evaluate_blocked(model, graph, idx, batch_size=cfg.batch_size)
+        return evaluate(model, graph, idx)
+
+    pipeline: PrefetchPipeline | None = None
+    if cfg.minibatch:
+        # sampling is a pure function of (seed, epoch, batch): the sampler is
+        # built once, and prefetch depth / worker count cannot change results
+        sampler = NeighborSampler(
+            graph,
+            train_idx,
+            cfg.batch_size,
+            hops=getattr(model, "num_layers", 2),
+            fanout=cfg.fanout,
+            seed=seed,
+        )
+        pipeline = PrefetchPipeline(sampler, prefetch_depth=cfg.prefetch_depth, num_workers=cfg.sample_workers)
 
     best_val, best_state, best_epoch = -1.0, model.state_dict(), 0
     history: list[tuple[int, float, float]] = []
@@ -182,54 +249,56 @@ def train_model(
 
     # a snapshot taken on the early-stopping epoch resumes straight to the end
     stop = patience_left is not None and patience_left <= 0
-    for epoch in range(start_epoch, cfg.epochs + 1):
-        if stop:
-            break
-        epoch_t0 = time.perf_counter() if metrics.enabled else 0.0
-        epochs_run = epoch
-        model.train()
-        if cfg.minibatch:
-            sampler = NeighborSampler(
-                graph, train_idx, cfg.batch_size, hops=getattr(model, "num_layers", 2), fanout=cfg.fanout, rng=rng
-            )
-            epoch_loss, n_batches = 0.0, 0
-            for sub, seed_pos in sampler:
-                logits = model(sub, Tensor(sub.features), rng)
-                loss = cross_entropy(logits[seed_pos], sub.labels[seed_pos])
+    try:
+        for epoch in range(start_epoch, cfg.epochs + 1):
+            if stop:
+                break
+            epoch_t0 = time.perf_counter() if metrics.enabled else 0.0
+            epochs_run = epoch
+            model.train()
+            if cfg.minibatch:
+                epoch_loss, n_batches = 0.0, 0
+                for batch_index, (sub, seed_pos) in enumerate(pipeline.epoch(epoch)):
+                    with metrics.span("pipeline.compute", epoch=epoch, batch=batch_index):
+                        logits = model(sub, Tensor(sub.features), rng)
+                        loss = cross_entropy(logits[seed_pos], sub.labels[seed_pos])
+                        optimizer.zero_grad()
+                        loss.backward()
+                        optimizer.step()
+                    epoch_loss += float(loss.data)
+                    n_batches += 1
+                mean_loss = epoch_loss / max(n_batches, 1)
+            else:
+                logits = model(graph, features, rng)
+                loss = cross_entropy(logits[train_idx], graph.labels[train_idx])
                 optimizer.zero_grad()
                 loss.backward()
                 optimizer.step()
-                epoch_loss += float(loss.data)
-                n_batches += 1
-            mean_loss = epoch_loss / max(n_batches, 1)
-        else:
-            logits = model(graph, features, rng)
-            loss = cross_entropy(logits[train_idx], graph.labels[train_idx])
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            mean_loss = float(loss.data)
-        scheduler.step()
-        if metrics.enabled:
-            # optimisation step only — the periodic val pass is excluded
-            metrics.observe("train.epoch_step_s", time.perf_counter() - epoch_t0)
+                mean_loss = float(loss.data)
+            scheduler.step()
+            if metrics.enabled:
+                # optimisation step only — the periodic val pass is excluded
+                metrics.observe("train.epoch_step_s", time.perf_counter() - epoch_t0)
 
-        if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
-            val_acc = evaluate(model, graph, val_idx)
-            history.append((epoch, mean_loss, val_acc))
-            if val_acc > best_val:
-                best_val, best_state, best_epoch = val_acc, model.state_dict(), epoch
-                if patience_left is not None:
-                    patience_left = cfg.early_stopping
-            elif patience_left is not None:
-                patience_left -= cfg.eval_every
-                stop = patience_left <= 0
-        if on_epoch_end is not None:
-            on_epoch_end(epoch, snapshot)
+            if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
+                val_acc = run_eval(val_idx)
+                history.append((epoch, mean_loss, val_acc))
+                if val_acc > best_val:
+                    best_val, best_state, best_epoch = val_acc, model.state_dict(), epoch
+                    if patience_left is not None:
+                        patience_left = cfg.early_stopping
+                elif patience_left is not None:
+                    patience_left -= cfg.eval_every
+                    stop = patience_left <= 0
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, snapshot)
+    finally:
+        if pipeline is not None:
+            pipeline.close()
 
     elapsed = prior_elapsed + (time.perf_counter() - start)
     model.load_state_dict(best_state)
-    test_acc = evaluate(model, graph, graph.test_idx)
+    test_acc = run_eval(graph.test_idx)
     return TrainResult(
         state_dict=best_state,
         val_acc=best_val,

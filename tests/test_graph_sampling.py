@@ -13,6 +13,7 @@ from repro.graph import (
     partition_union_subgraph,
     select_partitions,
 )
+from repro.graph.csr import row_slice_index
 
 
 @pytest.fixture(scope="module")
@@ -141,6 +142,56 @@ class TestKhopSubgraph:
         extras = np.setdiff1d(out, seeds)
         real = small_graph.csr.row(3)
         assert np.all(np.isin(extras, real))
+
+
+class TestVectorizedEquality:
+    """The repeat/cumsum fast paths must match their per-node reference loops."""
+
+    def test_row_slice_index_matches_loop(self, small_graph, rng):
+        indptr = small_graph.csr.indptr
+        rows = np.sort(rng.choice(small_graph.num_nodes, size=60, replace=False))
+        flat, degs = row_slice_index(indptr, rows)
+        ref = np.concatenate(
+            [np.arange(indptr[r], indptr[r + 1]) for r in rows] or [np.empty(0, dtype=np.int64)]
+        )
+        np.testing.assert_array_equal(flat, ref)
+        np.testing.assert_array_equal(degs, indptr[rows + 1] - indptr[rows])
+
+    def test_khop_full_expansion_matches_loop(self, small_graph):
+        csr = small_graph.csr
+        seeds = small_graph.train_idx[:16]
+        fast = khop_subgraph(csr, seeds, hops=2, fanout=None)
+
+        frontier = np.unique(seeds)
+        visited = set(frontier.tolist())
+        for _ in range(2):
+            nxt = set()
+            for node in frontier:
+                nxt.update(csr.row(int(node)).tolist())
+            frontier = np.array(sorted(nxt - visited), dtype=np.int64)
+            visited |= nxt
+        np.testing.assert_array_equal(fast, np.array(sorted(visited), dtype=np.int64))
+
+    def test_induced_subgraph_matches_edge_scan(self, small_graph, rng):
+        csr = small_graph.csr
+        nodes = np.sort(rng.choice(small_graph.num_nodes, size=80, replace=False))
+        sub, _ = csr.induced_subgraph(nodes)
+
+        # O(E) reference: scan the full edge list and relabel
+        new_of_old = {int(o): i for i, o in enumerate(nodes)}
+        src, dst = csr.edge_list()
+        ref_edges = sorted(
+            (new_of_old[int(d)], new_of_old[int(s)])
+            for s, d in zip(src, dst)
+            if int(s) in new_of_old and int(d) in new_of_old
+        )
+        sub_src, sub_dst = sub.edge_list()
+        got_edges = sorted(zip((int(d) for d in sub_dst), (int(s) for s in sub_src)))
+        assert got_edges == ref_edges
+
+    def test_empty_rows(self, small_graph):
+        flat, degs = row_slice_index(small_graph.csr.indptr, np.empty(0, dtype=np.int64))
+        assert flat.size == 0 and degs.size == 0
 
 
 class TestNeighborSampler:

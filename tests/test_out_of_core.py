@@ -1,0 +1,128 @@
+"""Out-of-core smoke: train an ingredient on a store whose feature matrix
+is >=10x the memory budget, and prove peak RSS growth stays under the cap.
+
+The store is built chunk-wise by the parent (which therefore never holds
+the full feature matrix either); a fresh subprocess opens it under
+``$REPRO_MEMORY_BUDGET`` and trains, measuring ``VmHWM`` growth from
+``/proc/self/status``. ``VmHWM`` is the kernel's high-water RSS mark, so
+the delta bounds every transient peak during training, not just the
+final resident size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStore
+from repro.graph.csr import edges_to_csr
+
+NUM_NODES = 350_000
+FEATURE_DIM = 128
+NUM_CLASSES = 7
+BUDGET = 32 * 1024**2
+FEATURE_BYTES = NUM_NODES * FEATURE_DIM * 8
+
+_CHILD = """
+import json, os
+import numpy as np
+from repro.graph import GraphStore
+from repro.models import build_model
+from repro.train import TrainConfig, train_model
+
+def vmhwm():
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmHWM:"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("no VmHWM in /proc/self/status")
+
+store = GraphStore(os.environ["STORE_PATH"])  # budget comes from the env
+assert store.memory_budget == int(os.environ["EXPECT_BUDGET"])
+graph = store.graph()
+model = build_model(
+    "sage", graph.feature_dim, graph.num_classes, hidden_dim=16, num_layers=2, seed=0
+)
+baseline = vmhwm()
+cfg = TrainConfig(
+    epochs=2, minibatch=True, batch_size=128, fanout=3,
+    prefetch_depth=2, sample_workers=2,
+)
+result = train_model(model, graph, cfg, seed=3)
+print(json.dumps({
+    "baseline": baseline,
+    "final": vmhwm(),
+    "val_acc": result.val_acc,
+    "test_acc": result.test_acc,
+}))
+"""
+
+
+def _build_store(path: Path) -> None:
+    n = NUM_NODES
+    base = np.arange(n, dtype=np.int64)
+    src = np.concatenate([(base + 1) % n, (base - 1) % n, (base + 7) % n, (base - 7) % n])
+    dst = np.concatenate([base, base, base, base])
+    csr = edges_to_csr(src, dst, n, dedup=False)
+
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, NUM_CLASSES, size=n)
+    order = rng.permutation(n)
+    train_mask = np.zeros(n, dtype=bool)
+    val_mask = np.zeros(n, dtype=bool)
+    test_mask = np.zeros(n, dtype=bool)
+    train_mask[order[:400]] = True
+    val_mask[order[400:550]] = True
+    test_mask[order[550:700]] = True
+
+    def feature_chunks():
+        chunk_rng = np.random.default_rng(1)
+        for start in range(0, n, 16384):
+            rows = min(16384, n - start)
+            yield chunk_rng.standard_normal((rows, FEATURE_DIM))
+
+    GraphStore.write(
+        path,
+        csr=csr,
+        features=feature_chunks(),
+        labels=labels,
+        train_mask=train_mask,
+        val_mask=val_mask,
+        test_mask=test_mask,
+        num_classes=NUM_CLASSES,
+        name="ooc-smoke",
+        feature_dim=FEATURE_DIM,
+    )
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="needs /proc/self/status VmHWM")
+def test_out_of_core_training_stays_under_budget(tmp_path):
+    assert FEATURE_BYTES >= 10 * BUDGET  # the premise: features dwarf the cap
+    store_path = tmp_path / "store"
+    _build_store(store_path)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    env["STORE_PATH"] = str(store_path)
+    env["REPRO_MEMORY_BUDGET"] = str(BUDGET)
+    env["EXPECT_BUDGET"] = str(BUDGET)
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD], env=env, capture_output=True, text=True, timeout=600
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(proc.stdout.strip().splitlines()[-1])
+
+    growth = report["final"] - report["baseline"]
+    assert growth < BUDGET, (
+        f"training grew peak RSS by {growth} bytes, over the {BUDGET}-byte budget "
+        f"(features on disk: {FEATURE_BYTES} bytes)"
+    )
+    # training actually ran end to end
+    assert 0.0 <= report["val_acc"] <= 1.0
+    assert 0.0 <= report["test_acc"] <= 1.0
